@@ -1,0 +1,78 @@
+// Ablation bench — the design choices DESIGN.md calls out, each evaluated
+// by the combined score of the resulting 10x10 sub-table on FL:
+//   (a) corpus composition: tuple-sentences / column-sentences / both
+//       (Algorithm 2 line 2 uses both);
+//   (b) context subsampling cap (our tractable stand-in for the paper's
+//       whole-sentence window, DESIGN.md §3);
+//   (c) embedding dimension;
+//   (d) binning strategy fed to the pipeline (the paper uses KDE binning).
+// Not in the paper as a figure — this quantifies our documented deviations.
+
+#include "subtab/util/stopwatch.h"
+
+#include "bench_common.h"
+
+namespace subtab::bench {
+namespace {
+
+double ScoreConfig(const GeneratedDataset& data, const CoverageEvaluator& evaluator,
+                   SubTabConfig config, double* seconds) {
+  Stopwatch watch;
+  Result<SubTab> st = SubTab::Fit(data.table, config);
+  SUBTAB_CHECK(st.ok());
+  const SubTabView view = st->Select();
+  *seconds = watch.ElapsedSeconds();
+  return ScoreSubTable(evaluator, view.row_ids, view.col_ids, 0.5).combined;
+}
+
+}  // namespace
+}  // namespace subtab::bench
+
+int main() {
+  using namespace subtab::bench;
+  using namespace subtab;
+  Header("Ablations: corpus composition, pair cap, dimension, binning (FL)");
+
+  const size_t rows = 8000;
+  auto p = Pipeline::Build("FL", rows);
+  const CoverageEvaluator& evaluator = p->eval();
+  double seconds = 0.0;
+
+  std::printf("\n(a) corpus composition (Algorithm 2 uses rows + columns):\n");
+  for (int mode = 0; mode < 3; ++mode) {
+    SubTabConfig config = DefaultConfig();
+    config.corpus.tuple_sentences = mode != 1;
+    config.corpus.column_sentences = mode != 0;
+    const char* label = mode == 0 ? "rows only" : mode == 1 ? "cols only" : "both";
+    const double score = ScoreConfig(p->data, evaluator, config, &seconds);
+    std::printf("  %-10s combined=%.3f  (fit %5.2fs)\n", label, score, seconds);
+  }
+
+  std::printf("\n(b) context pairs per token (whole-sentence window subsample):\n");
+  for (size_t cap : {4u, 16u, 64u}) {
+    SubTabConfig config = DefaultConfig();
+    config.embedding.max_pairs_per_token = cap;
+    const double score = ScoreConfig(p->data, evaluator, config, &seconds);
+    std::printf("  cap=%-6zu combined=%.3f  (fit %5.2fs)\n", cap, score, seconds);
+  }
+
+  std::printf("\n(c) embedding dimension:\n");
+  for (size_t dim : {8u, 32u, 96u}) {
+    SubTabConfig config = DefaultConfig();
+    config.embedding.dim = dim;
+    const double score = ScoreConfig(p->data, evaluator, config, &seconds);
+    std::printf("  dim=%-6zu combined=%.3f  (fit %5.2fs)\n", dim, score, seconds);
+  }
+
+  std::printf("\n(d) binning strategy driving the pipeline:\n");
+  for (BinningStrategy strategy :
+       {BinningStrategy::kEqualWidth, BinningStrategy::kQuantile,
+        BinningStrategy::kKde}) {
+    SubTabConfig config = DefaultConfig();
+    config.binning.strategy = strategy;
+    const double score = ScoreConfig(p->data, evaluator, config, &seconds);
+    std::printf("  %-12s combined=%.3f  (fit %5.2fs)\n",
+                BinningStrategyName(strategy), score, seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+#ifndef SUBTAB_BENCH_BENCH_COMMON_H_
+#define SUBTAB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "subtab/baselines/naive_clustering.h"
+#include "subtab/baselines/random_baseline.h"
+#include "subtab/core/subtab.h"
+#include "subtab/data/datasets.h"
+#include "subtab/rules/miner.h"
+#include "subtab/util/parallel.h"
+
+/// \file bench_common.h
+/// Shared scaffolding for the per-figure/table benchmark harnesses. Every
+/// harness prints (a) what the paper reports and (b) what this reproduction
+/// measures, using scaled synthetic datasets (DESIGN.md §4). Budgeted
+/// baselines get budgets scaled with the data (the paper's 60 s of RAN
+/// against 6M rows becomes a bounded draw count here); each harness states
+/// its scaling in its header line.
+
+namespace subtab::bench {
+
+/// Standard reproduction config (paper defaults; multithreaded training).
+inline SubTabConfig DefaultConfig(uint64_t seed = 42) {
+  SubTabConfig config;
+  config.k = 10;
+  config.l = 10;
+  config.embedding.dim = 32;
+  config.embedding.epochs = 3;
+  // Single-threaded training: with our few-hundred-token vocabularies,
+  // hogwild updates collide on the same vectors and cost quality (the
+  // paper's gensim runs face the same trade-off at much larger vocabs).
+  config.embedding.num_threads = 1;
+  config.seed = seed;
+  return config;
+}
+
+/// Paper-default rule mining (Sec. 6.1): support 0.1, confidence 0.6,
+/// minimum rule size 3.
+inline RuleMiningOptions DefaultMining() {
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.1;
+  mining.min_confidence = 0.6;
+  mining.min_rule_size = 3;
+  return mining;
+}
+
+/// Bench-scale dataset sizes (~1/10 of the already-scaled library defaults,
+/// so each harness stays within a couple of minutes).
+inline GeneratedDataset LoadDataset(const std::string& name, size_t rows) {
+  if (name == "FL") return MakeFlights(rows);
+  if (name == "CY") return MakeCyber(rows);
+  if (name == "SP") return MakeSpotify(rows);
+  if (name == "CC") return MakeCreditCard(rows);
+  if (name == "USF") return MakeUsFunds(rows);
+  if (name == "BL") return MakeBankLoans(rows);
+  SUBTAB_CHECK(false);
+  return MakeFlights(rows);
+}
+
+/// Prints a section header.
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints the paper-reported reference line for a figure/table.
+inline void PaperRef(const std::string& text) {
+  std::printf("paper    | %s\n", text.c_str());
+}
+
+/// Prints one measured line, aligned with PaperRef.
+inline void Measured(const std::string& text) {
+  std::printf("measured | %s\n", text.c_str());
+}
+
+/// One fitted pipeline: dataset + SubTab model + mined rules + evaluator.
+/// Heap-allocated so every member's address is stable (the evaluator keeps
+/// pointers into the binned table and rule set).
+struct Pipeline {
+  GeneratedDataset data;
+  SubTab subtab;
+  RuleSet rules;
+  std::unique_ptr<CoverageEvaluator> evaluator;
+
+  const CoverageEvaluator& eval() const { return *evaluator; }
+
+  static std::unique_ptr<Pipeline> Build(const std::string& dataset, size_t rows,
+                                         SubTabConfig config = DefaultConfig(),
+                                         RuleMiningOptions mining = DefaultMining()) {
+    GeneratedDataset data = LoadDataset(dataset, rows);
+    Result<SubTab> st = SubTab::Fit(data.table, config);
+    SUBTAB_CHECK(st.ok());
+    auto pipeline = std::unique_ptr<Pipeline>(
+        new Pipeline{std::move(data), std::move(*st), RuleSet{}, nullptr});
+    pipeline->rules = MineRules(pipeline->subtab.preprocessed().binned(), mining);
+    pipeline->evaluator = std::make_unique<CoverageEvaluator>(
+        pipeline->subtab.preprocessed().binned(), pipeline->rules);
+    return pipeline;
+  }
+};
+
+/// Scaled RAN baseline: the paper's 60 s on full dumps becomes a bounded
+/// number of draws against the scaled tables.
+inline RandomBaselineOptions ScaledRan(size_t k, size_t l,
+                                       std::vector<size_t> targets = {},
+                                       uint64_t seed = 7) {
+  RandomBaselineOptions ran;
+  ran.k = k;
+  ran.l = l;
+  ran.target_cols = std::move(targets);
+  ran.max_iterations = 100;
+  ran.time_budget_seconds = 10.0;
+  ran.seed = seed;
+  return ran;
+}
+
+}  // namespace subtab::bench
+
+#endif  // SUBTAB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Figure 8 — intrinsic quality metrics (diversity, cell coverage, combined)
+// for SubTab vs RAN vs NC over the FL, SP, and CY datasets.
+//
+// Paper shape: SubTab has significantly higher cell coverage and combined
+// score on all three datasets; on FL and CY it also wins diversity, on SP
+// RAN's diversity is slightly higher but its coverage is very low (e.g. SP
+// totals: SubTab 0.68 vs RAN 0.47 vs NC 0.51).
+
+#include "bench_common.h"
+
+namespace subtab::bench {
+namespace {
+
+void RunDataset(const std::string& name, size_t rows) {
+  std::printf("\n--- %s (%zu rows, scaled) ---\n", name.c_str(), rows);
+  auto p = Pipeline::Build(name, rows);
+  std::printf("rules mined: %zu (%zu token-set classes), upcov=%zu cells\n",
+              p->rules.size(), p->eval().num_classes(), p->eval().upcov());
+
+  // SubTab.
+  const SubTabView view = p->subtab.Select();
+  const SubTableScore st = ScoreSubTable(p->eval(), view.row_ids, view.col_ids, 0.5);
+
+  // RAN at two budgets: a single arbitrary draw (what a plain display shows)
+  // and the paper's best-of-budget variant. NOTE (EXPERIMENTS.md): on the
+  // paper's full-size tables one metric evaluation costs seconds, so its
+  // 60 s budget bought only a handful of draws; at our scale the same
+  // wall-clock-equivalent budget (~100 draws) makes RAN a much stronger
+  // direct optimizer of the reported metric than it was in the paper.
+  RandomBaselineOptions one = ScaledRan(10, 10);
+  one.max_iterations = 1;
+  const BaselineResult ran1 = RandomBaseline(p->eval(), one);
+  const BaselineResult ran100 = RandomBaseline(p->eval(), ScaledRan(10, 10));
+
+  // NC.
+  NaiveClusteringOptions nc_options;
+  nc_options.k = 10;
+  nc_options.l = 10;
+  nc_options.max_rows = 4000;
+  const BaselineResult nc = NaiveClustering(p->eval(), nc_options);
+
+  std::printf("%-8s %10s %14s %10s\n", "method", "diversity", "cell coverage",
+              "combined");
+  std::printf("%-8s %10.3f %14.3f %10.3f\n", "SubTab", st.diversity,
+              st.cell_coverage, st.combined);
+  std::printf("%-8s %10.3f %14.3f %10.3f\n", "RAN-1", ran1.score.diversity,
+              ran1.score.cell_coverage, ran1.score.combined);
+  std::printf("%-8s %10.3f %14.3f %10.3f\n", "RAN-100", ran100.score.diversity,
+              ran100.score.cell_coverage, ran100.score.combined);
+  std::printf("%-8s %10.3f %14.3f %10.3f\n", "NC", nc.score.diversity,
+              nc.score.cell_coverage, nc.score.combined);
+}
+
+}  // namespace
+}  // namespace subtab::bench
+
+int main() {
+  using namespace subtab::bench;
+  Header("Figure 8: quality metrics for SubTab / RAN / NC on FL, SP, CY");
+  PaperRef("SubTab wins cell coverage + combined on all three datasets;");
+  PaperRef("diversity too on FL and CY (SP: RAN slightly more diverse,");
+  PaperRef("but with very low coverage). SP combined: 0.68 / 0.47 / 0.51.");
+  RunDataset("FL", 12000);
+  RunDataset("SP", 10000);
+  RunDataset("CY", 8000);
+  return 0;
+}

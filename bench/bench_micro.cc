@@ -1,0 +1,117 @@
+// Google-benchmark micro benchmarks for the substrates: query engine,
+// binning, Apriori, Word2Vec training, k-means, coverage evaluation. These
+// are throughput measurements of the building blocks behind Figs. 7 and 9.
+
+#include <benchmark/benchmark.h>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/cluster/kmeans.h"
+#include "subtab/data/datasets.h"
+#include "subtab/embed/word2vec.h"
+#include "subtab/metrics/combined.h"
+#include "subtab/rules/miner.h"
+#include "subtab/table/query.h"
+
+namespace subtab {
+namespace {
+
+const GeneratedDataset& Flights(size_t rows) {
+  static auto* cache = new std::map<size_t, GeneratedDataset>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) it = cache->emplace(rows, MakeFlights(rows)).first;
+  return it->second;
+}
+
+void BM_QueryFilter(benchmark::State& state) {
+  const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
+  SpQuery q;
+  q.filters = {Predicate::Num("DISTANCE", CmpOp::kGe, 1500.0),
+               Predicate::Str("CANCELLED", CmpOp::kEq, "0")};
+  for (auto _ : state) {
+    Result<QueryResult> r = RunQuery(data.table, q);
+    benchmark::DoNotOptimize(r->row_ids.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryFilter)->Arg(10000)->Arg(40000);
+
+void BM_Binning(benchmark::State& state) {
+  const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    BinnedTable binned = BinnedTable::Compute(data.table);
+    benchmark::DoNotOptimize(binned.total_bins());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 31);
+}
+BENCHMARK(BM_Binning)->Arg(10000)->Arg(40000);
+
+void BM_Apriori(benchmark::State& state) {
+  const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  AprioriOptions options;
+  options.min_support = 0.1;
+  options.max_itemset_size = 3;
+  for (auto _ : state) {
+    auto itemsets = MineFrequentItemsets(binned, options);
+    benchmark::DoNotOptimize(itemsets.size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  const GeneratedDataset& data = Flights(10000);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  Rng rng(1);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = static_cast<size_t>(state.range(0));
+  options.epochs = 1;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    Word2VecModel model = Word2VecModel::Train(corpus, options);
+    benchmark::DoNotOptimize(model.vocab_size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.total_words()));
+}
+BENCHMARK(BM_Word2VecEpoch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 32;
+  std::vector<float> points(n * dim);
+  for (float& v : points) v = static_cast<float>(rng.Normal());
+  KMeansOptions options;
+  options.k = 10;
+  for (auto _ : state) {
+    KMeansResult result = KMeans(points, dim, options);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CoverageScore(benchmark::State& state) {
+  const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.1;
+  mining.min_confidence = 0.6;
+  mining.min_rule_size = 3;
+  RuleSet rules = MineRules(binned, mining);
+  CoverageEvaluator evaluator(binned, rules);
+  Rng rng(5);
+  for (auto _ : state) {
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(binned.num_rows(), 10);
+    std::vector<size_t> cols = rng.SampleWithoutReplacement(binned.num_columns(), 10);
+    SubTableScore score = ScoreSubTable(evaluator, rows, cols, 0.5);
+    benchmark::DoNotOptimize(score.combined);
+  }
+}
+BENCHMARK(BM_CoverageScore)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace subtab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Flights exploration with a target column and rule highlighting — the
+// scenario of Example 1.1/1.2: an analyst predicting flight cancellations
+// explores the table through sub-tables focused on CANCELLED, with the
+// association rules each displayed row exemplifies highlighted in color
+// (Fig. 1 / Fig. 2 style).
+
+#include <cstdio>
+
+#include "subtab/core/highlight.h"
+#include "subtab/core/subtab.h"
+#include "subtab/data/datasets.h"
+#include "subtab/rules/miner.h"
+
+using namespace subtab;
+
+int main() {
+  std::printf("Generating the flights dataset (Example 1.1)...\n");
+  GeneratedDataset flights = MakeFlights(20000);
+
+  // The analyst's task: predict cancellations => CANCELLED is the target
+  // column and must appear in every display.
+  SubTabConfig config;
+  config.target_columns = {"CANCELLED"};
+  config.embedding.num_threads = 0;
+  Result<SubTab> subtab = SubTab::Fit(flights.table, config);
+  SUBTAB_CHECK(subtab.ok());
+
+  // Mine rules once for the highlighting UI; keep only rules that touch the
+  // target (the R* filter of Sec. 3.2).
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.08;
+  mining.min_confidence = 0.6;
+  mining.min_rule_size = 2;
+  const BinnedTable& binned = subtab->preprocessed().binned();
+  RuleSet rules = MineRules(binned, mining)
+                      .FilterByTargets({static_cast<uint32_t>(
+                          flights.ColumnIndex("CANCELLED"))});
+  std::printf("mined %zu target-focused rules\n\n", rules.size());
+
+  // ---- Display 1: the whole table. ----------------------------------------
+  SubTabView view = subtab->Select();
+  std::vector<RowHighlight> highlights = HighlightRules(binned, rules, view);
+  std::printf("=== Informative view of the full table ===\n%s\n",
+              RenderHighlighted(view, highlights).c_str());
+
+  // ---- Display 2: drill into long flights (Example 1.2's first rule). -----
+  SpQuery query;
+  query.filters = {Predicate::Num("DISTANCE", CmpOp::kGe, 2000.0)};
+  Result<SubTabView> drill = subtab->SelectForQuery(query);
+  if (drill.ok()) {
+    std::vector<RowHighlight> drill_highlights =
+        HighlightRules(binned, rules, *drill);
+    std::printf("=== %s ===\n%s\n", query.ToString().c_str(),
+                RenderHighlighted(*drill, drill_highlights).c_str());
+  }
+
+  // ---- Display 3: the cancelled flights themselves. ------------------------
+  SpQuery cancelled;
+  cancelled.filters = {Predicate::Str("CANCELLED", CmpOp::kEq, "1")};
+  Result<SubTabView> cview = subtab->SelectForQuery(cancelled);
+  if (cview.ok()) {
+    std::vector<RowHighlight> chl = HighlightRules(binned, rules, *cview);
+    std::printf("=== %s ===\n%s\n", cancelled.ToString().c_str(),
+                RenderHighlighted(*cview, chl).c_str());
+  }
+
+  std::printf("Note how cancelled rows carry NaN in the operational columns —\n"
+              "the missingness pattern the sub-table surfaces (cf. Fig. 3).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef SUBTAB_BASELINES_BASELINE_H_
+#define SUBTAB_BASELINES_BASELINE_H_
+
+#include <vector>
+
+#include "subtab/metrics/combined.h"
+
+/// \file baseline.h
+/// Shared result type for the paper's baseline algorithms (Sec. 6.1):
+/// RAN, NC, Greedy / semi-greedy, MAB, and the brute-force optimum used by
+/// tests. Each baseline returns the selected sub-table plus its intrinsic
+/// scores and bookkeeping.
+
+namespace subtab {
+
+/// Output of one baseline run.
+struct BaselineResult {
+  std::vector<size_t> row_ids;
+  std::vector<size_t> col_ids;
+  SubTableScore score;
+  double seconds = 0.0;
+  size_t iterations = 0;  ///< Draws / rounds / column combinations examined.
+};
+
+/// Lexicographic combination enumeration: `idx` holds `k` ascending indices
+/// into [0, n). Returns false when the last combination has been passed.
+inline bool NextCombination(std::vector<size_t>* idx, size_t n) {
+  std::vector<size_t>& v = *idx;
+  const size_t k = v.size();
+  if (k == 0 || k > n) return false;
+  size_t i = k;
+  while (i > 0) {
+    --i;
+    if (v[i] < n - k + i) {
+      ++v[i];
+      for (size_t j = i + 1; j < k; ++j) v[j] = v[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The first (lexicographically smallest) k-combination {0, 1, ..., k-1}.
+inline std::vector<size_t> FirstCombination(size_t k) {
+  std::vector<size_t> v(k);
+  for (size_t i = 0; i < k; ++i) v[i] = i;
+  return v;
+}
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_BASELINE_H_

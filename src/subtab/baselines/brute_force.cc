@@ -1,0 +1,59 @@
+#include "subtab/baselines/brute_force.h"
+
+#include <algorithm>
+
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+BaselineResult BruteForceOptimal(const CoverageEvaluator& evaluator,
+                                 const BruteForceOptions& options) {
+  Stopwatch watch;
+  const BinnedTable& binned = evaluator.binned();
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+  const size_t k = std::min(options.k, n);
+  SUBTAB_CHECK(options.target_cols.size() <= options.l);
+
+  std::vector<size_t> pool;
+  for (size_t c = 0; c < m; ++c) {
+    if (std::find(options.target_cols.begin(), options.target_cols.end(), c) ==
+        options.target_cols.end()) {
+      pool.push_back(c);
+    }
+  }
+  const size_t draw = std::min(options.l - options.target_cols.size(), pool.size());
+
+  BaselineResult best;
+  best.score.combined = -1.0;
+  size_t examined = 0;
+
+  std::vector<size_t> col_picks = FirstCombination(draw);
+  bool more_cols = true;
+  while (more_cols) {
+    std::vector<size_t> cols = options.target_cols;
+    for (size_t p : col_picks) cols.push_back(pool[p]);
+    std::sort(cols.begin(), cols.end());
+
+    std::vector<size_t> rows = FirstCombination(k);
+    bool more_rows = true;
+    while (more_rows) {
+      ++examined;
+      SUBTAB_CHECK(examined <= options.max_subtables);
+      const SubTableScore score = ScoreSubTable(evaluator, rows, cols, options.alpha);
+      if (score.combined > best.score.combined) {
+        best.row_ids = rows;
+        best.col_ids = cols;
+        best.score = score;
+      }
+      more_rows = NextCombination(&rows, n);
+    }
+    more_cols = draw > 0 && NextCombination(&col_picks, pool.size());
+  }
+
+  best.iterations = examined;
+  best.seconds = watch.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace subtab

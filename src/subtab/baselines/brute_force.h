@@ -1,0 +1,31 @@
+#ifndef SUBTAB_BASELINES_BRUTE_FORCE_H_
+#define SUBTAB_BASELINES_BRUTE_FORCE_H_
+
+#include "subtab/baselines/baseline.h"
+
+/// \file brute_force.h
+/// Exhaustive optimum for OPT-SUB-TABLE on tiny instances: enumerates all
+/// C(n,k) x C(m,l) sub-tables (Sec. 4.1's infeasible brute force). Used by
+/// tests to validate the greedy (1-1/e) guarantee and by the worked example
+/// of Fig. 3 (which the paper states has ˆT(1)_sub as its optimum).
+
+namespace subtab {
+
+struct BruteForceOptions {
+  size_t k = 3;
+  size_t l = 4;
+  std::vector<size_t> target_cols;
+  double alpha = 0.5;
+  /// Safety cap on enumerated sub-tables; exceeded => fatal (the caller
+  /// asked for an infeasible instance).
+  size_t max_subtables = 20000000;
+};
+
+/// Returns a maximum-combined-score sub-table (ties: lexicographically
+/// smallest row then column selection).
+BaselineResult BruteForceOptimal(const CoverageEvaluator& evaluator,
+                                 const BruteForceOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,109 @@
+#include "subtab/baselines/greedy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "subtab/util/rng.h"
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+std::pair<std::vector<size_t>, size_t> GreedyRowSelection(
+    const CoverageEvaluator& evaluator, size_t k,
+    const std::vector<size_t>& col_ids) {
+  const size_t n = evaluator.binned().num_rows();
+  CoverageAccumulator acc(evaluator, col_ids);
+  std::vector<size_t> rows;
+  std::vector<char> taken(n, 0);
+  const size_t k_eff = std::min(k, n);
+  rows.reserve(k_eff);
+
+  for (size_t step = 0; step < k_eff; ++step) {
+    size_t best_row = n;
+    size_t best_gain = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (taken[r]) continue;
+      const size_t gain = acc.GainOfRow(r);
+      if (best_row == n || gain > best_gain) {
+        best_gain = gain;
+        best_row = r;
+      }
+    }
+    SUBTAB_CHECK(best_row < n);
+    taken[best_row] = 1;
+    rows.push_back(best_row);
+    acc.AddRow(best_row);
+  }
+  std::sort(rows.begin(), rows.end());
+  return {rows, acc.covered_cells()};
+}
+
+BaselineResult GreedySubTable(const CoverageEvaluator& evaluator,
+                              const GreedyOptions& options) {
+  Stopwatch watch;
+  const BinnedTable& binned = evaluator.binned();
+  const size_t m = binned.num_columns();
+  SUBTAB_CHECK(options.target_cols.size() <= options.l);
+
+  std::vector<size_t> pool;
+  for (size_t c = 0; c < m; ++c) {
+    if (std::find(options.target_cols.begin(), options.target_cols.end(), c) ==
+        options.target_cols.end()) {
+      pool.push_back(c);
+    }
+  }
+  const size_t draw = std::min(options.l - options.target_cols.size(), pool.size());
+
+  BaselineResult best;
+  size_t best_cells = 0;
+  bool any = false;
+  size_t combos = 0;
+  const bool budgeted = options.time_budget_seconds > 0.0;
+  Deadline deadline(budgeted ? options.time_budget_seconds : 1e18);
+  Rng rng(options.seed);
+
+  auto evaluate_combo = [&](const std::vector<size_t>& picks) {
+    std::vector<size_t> cols = options.target_cols;
+    for (size_t p : picks) cols.push_back(pool[p]);
+    std::sort(cols.begin(), cols.end());
+    auto [rows, cells] = GreedyRowSelection(evaluator, options.k, cols);
+    ++combos;
+    if (!any || cells > best_cells) {
+      any = true;
+      best_cells = cells;
+      best.row_ids = std::move(rows);
+      best.col_ids = std::move(cols);
+    }
+  };
+
+  if (draw == 0) {
+    evaluate_combo({});
+  } else if (options.randomize_column_order) {
+    // Semi-greedy: i.i.d. random subsets, deduplicated, until the budget or
+    // the combo cap runs out.
+    std::set<std::vector<size_t>> seen;
+    while (!deadline.Expired()) {
+      if (options.max_column_combos > 0 && combos >= options.max_column_combos) break;
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(pool.size(), draw);
+      std::sort(picks.begin(), picks.end());
+      if (!seen.insert(picks).second) continue;
+      evaluate_combo(picks);
+    }
+  } else {
+    // Exhaustive lexicographic enumeration (Algorithm 1 line 2).
+    std::vector<size_t> picks = FirstCombination(draw);
+    do {
+      evaluate_combo(picks);
+      if (options.max_column_combos > 0 && combos >= options.max_column_combos) break;
+      if (budgeted && deadline.Expired()) break;
+    } while (NextCombination(&picks, pool.size()));
+  }
+
+  SUBTAB_CHECK(any);
+  best.score = ScoreSubTable(evaluator, best.row_ids, best.col_ids, options.alpha);
+  best.iterations = combos;
+  best.seconds = watch.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace subtab

@@ -1,0 +1,44 @@
+#ifndef SUBTAB_BASELINES_GREEDY_H_
+#define SUBTAB_BASELINES_GREEDY_H_
+
+#include "subtab/baselines/baseline.h"
+
+/// \file greedy.h
+/// Algorithm 1 of the paper: enumerate column subsets of size l and, for
+/// each, greedily add the row with the largest marginal cell-coverage gain
+/// k times. Greedy row selection is a (1 - 1/e)-approximation of the optimal
+/// rows for that column set (Prop. 4.3, via submodularity of cellCov in
+/// rows). The exhaustive column enumeration is infeasible beyond tiny m, so
+/// the paper's "semi-greedy" variant visits column combinations in random
+/// order under a time budget and keeps the best sub-table seen.
+
+namespace subtab {
+
+struct GreedyOptions {
+  size_t k = 10;
+  size_t l = 10;
+  std::vector<size_t> target_cols;  ///< Forced into every column subset.
+  double alpha = 0.5;               ///< Used only for the reported score;
+                                    ///< selection maximizes coverage alone.
+  /// 0 = exhaustive enumeration (use only when C(m,l) is small).
+  double time_budget_seconds = 0.0;
+  /// Visit column subsets in random order (the semi-greedy variant).
+  bool randomize_column_order = false;
+  /// Hard cap on subsets examined (0 = unlimited).
+  size_t max_column_combos = 0;
+  uint64_t seed = 42;
+};
+
+/// GreedyRowSelection of Algorithm 1: k rows maximizing marginal coverage
+/// gain over the fixed `col_ids`. Ties break toward the smallest row id.
+/// Returns the rows and the achieved covered-cell count.
+std::pair<std::vector<size_t>, size_t> GreedyRowSelection(
+    const CoverageEvaluator& evaluator, size_t k, const std::vector<size_t>& col_ids);
+
+/// Full Algorithm 1 / semi-greedy driver.
+BaselineResult GreedySubTable(const CoverageEvaluator& evaluator,
+                              const GreedyOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_GREEDY_H_

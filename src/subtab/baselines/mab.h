@@ -1,0 +1,31 @@
+#ifndef SUBTAB_BASELINES_MAB_H_
+#define SUBTAB_BASELINES_MAB_H_
+
+#include "subtab/baselines/baseline.h"
+
+/// \file mab.h
+/// The Multi-Armed Bandit baseline (Sec. 6.1, baseline 4): every row and
+/// every column is an arm; each round draws k row-arms and l column-arms by
+/// Upper Confidence Bound (UCB1) [Lai & Robbins '85], evaluates the induced
+/// sub-table with the combined metric, and credits the reward to every
+/// participating arm. The best sub-table seen within the budget is returned.
+
+namespace subtab {
+
+struct MabOptions {
+  size_t k = 10;
+  size_t l = 10;
+  std::vector<size_t> target_cols;
+  double alpha = 0.5;
+  double time_budget_seconds = 30.0;
+  size_t max_iterations = 0;       ///< 0 = budget-limited only.
+  double exploration = 1.41421356; ///< UCB exploration constant (√2).
+  uint64_t seed = 42;
+};
+
+/// Runs the UCB bandit search.
+BaselineResult MabBaseline(const CoverageEvaluator& evaluator, const MabOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_MAB_H_

@@ -1,0 +1,98 @@
+#include "subtab/baselines/naive_clustering.h"
+
+#include <algorithm>
+
+#include "subtab/cluster/kmeans.h"
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+BaselineResult NaiveClustering(const CoverageEvaluator& evaluator,
+                               const NaiveClusteringOptions& options) {
+  Stopwatch watch;
+  const BinnedTable& binned = evaluator.binned();
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+  const size_t total_bins = binned.total_bins();
+  const size_t k = std::min(options.k, n);
+
+  BaselineResult result;
+
+  // ---- Rows: one-hot over the bin vocabulary. ----------------------------
+  {
+    // Optional deterministic stride subsample of the clustering input.
+    std::vector<size_t> pool;
+    if (options.max_rows > 0 && n > options.max_rows) {
+      const size_t stride = n / options.max_rows;
+      for (size_t r = 0; r < n && pool.size() < options.max_rows; r += stride) {
+        pool.push_back(r);
+      }
+    } else {
+      pool.resize(n);
+      for (size_t r = 0; r < n; ++r) pool[r] = r;
+    }
+    const size_t pn = pool.size();
+    const size_t k_eff = std::min(k, pn);
+    std::vector<float> onehot(pn * total_bins, 0.0f);
+    for (size_t i = 0; i < pn; ++i) {
+      const Token* row = binned.row_data(pool[i]);
+      for (size_t c = 0; c < m; ++c) {
+        onehot[i * total_bins + binned.DenseIndex(row[c])] = 1.0f;
+      }
+    }
+    KMeansOptions opts;
+    opts.k = k_eff;
+    opts.n_init = 2;  // Restarts, bounded by the one-hot matrix size.
+    opts.seed = options.seed ^ 0xa0761d6478bd642fULL;
+    for (size_t medoid : ClusterRepresentatives(onehot, total_bins, opts)) {
+      result.row_ids.push_back(pool[medoid]);
+    }
+    std::sort(result.row_ids.begin(), result.row_ids.end());
+  }
+
+  // ---- Columns: per-row normalized bin ordinals. --------------------------
+  std::vector<size_t> candidates;
+  for (size_t c = 0; c < m; ++c) {
+    if (std::find(options.target_cols.begin(), options.target_cols.end(), c) ==
+        options.target_cols.end()) {
+      candidates.push_back(c);
+    }
+  }
+  SUBTAB_CHECK(options.target_cols.size() <= options.l);
+  const size_t clusters =
+      std::min(options.l - options.target_cols.size(), candidates.size());
+
+  std::vector<size_t> cols = options.target_cols;
+  if (clusters >= candidates.size()) {
+    cols.insert(cols.end(), candidates.begin(), candidates.end());
+  } else if (clusters > 0) {
+    const size_t rows_used = options.column_vector_rows == 0
+                                 ? n
+                                 : std::min(options.column_vector_rows, n);
+    std::vector<float> col_matrix(candidates.size() * rows_used);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const size_t c = candidates[i];
+      const float inv_bins = 1.0f / static_cast<float>(binned.bins_in_column(c));
+      for (size_t r = 0; r < rows_used; ++r) {
+        col_matrix[i * rows_used + r] =
+            static_cast<float>(TokenBin(binned.token(r, c))) * inv_bins;
+      }
+    }
+    KMeansOptions opts;
+    opts.k = clusters;
+    opts.seed = options.seed ^ 0xe7037ed1a0b428dbULL;
+    for (size_t medoid : ClusterRepresentatives(col_matrix, rows_used, opts)) {
+      cols.push_back(candidates[medoid]);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  result.col_ids = std::move(cols);
+
+  result.score =
+      ScoreSubTable(evaluator, result.row_ids, result.col_ids, options.alpha);
+  result.iterations = 1;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace subtab

@@ -1,0 +1,36 @@
+#ifndef SUBTAB_BASELINES_NAIVE_CLUSTERING_H_
+#define SUBTAB_BASELINES_NAIVE_CLUSTERING_H_
+
+#include "subtab/baselines/baseline.h"
+
+/// \file naive_clustering.h
+/// The NC baseline (Sec. 6.1): skip the embedding entirely — one-hot encode
+/// each row over the bin vocabulary, K-means the row vectors and take cluster
+/// medoids as rows; represent each column by its per-row (normalized) bin
+/// ordinal and select columns analogously. The paper uses NC to show that
+/// clustering raw one-hot data misses the patterns the embedding captures.
+
+namespace subtab {
+
+struct NaiveClusteringOptions {
+  size_t k = 10;
+  size_t l = 10;
+  std::vector<size_t> target_cols;
+  double alpha = 0.5;
+  uint64_t seed = 42;
+  /// Rows used to form column vectors (cap keeps the m-point clustering
+  /// cheap on tall tables); 0 = all rows.
+  size_t column_vector_rows = 4096;
+  /// Row-clustering subsample cap (our scalar k-means lacks sklearn's
+  /// vectorization, so interactive replay caps the one-hot clustering input);
+  /// 0 = all rows. Medoids are drawn from the subsample.
+  size_t max_rows = 0;
+};
+
+/// Runs naive one-hot clustering. The evaluator provides table + scoring.
+BaselineResult NaiveClustering(const CoverageEvaluator& evaluator,
+                               const NaiveClusteringOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_NAIVE_CLUSTERING_H_

@@ -1,0 +1,60 @@
+#include "subtab/baselines/random_baseline.h"
+
+#include <algorithm>
+
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+BaselineResult RandomBaseline(const CoverageEvaluator& evaluator,
+                              const RandomBaselineOptions& options) {
+  const BinnedTable& binned = evaluator.binned();
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+  const size_t k = std::min(options.k, n);
+  SUBTAB_CHECK(options.target_cols.size() <= options.l);
+
+  // Non-target columns to draw from.
+  std::vector<size_t> pool;
+  for (size_t c = 0; c < m; ++c) {
+    if (std::find(options.target_cols.begin(), options.target_cols.end(), c) ==
+        options.target_cols.end()) {
+      pool.push_back(c);
+    }
+  }
+  const size_t draw_cols = std::min(options.l - options.target_cols.size(), pool.size());
+
+  Rng rng(options.seed);
+  Stopwatch watch;
+  Deadline deadline(options.time_budget_seconds);
+  BaselineResult best;
+  best.score.combined = -1.0;
+
+  size_t iter = 0;
+  while (true) {
+    if (options.max_iterations > 0 && iter >= options.max_iterations) break;
+    if (iter > 0 && deadline.Expired()) break;
+    ++iter;
+
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(n, k);
+    std::sort(rows.begin(), rows.end());
+
+    std::vector<size_t> cols = options.target_cols;
+    for (size_t pick : rng.SampleWithoutReplacement(pool.size(), draw_cols)) {
+      cols.push_back(pool[pick]);
+    }
+    std::sort(cols.begin(), cols.end());
+
+    const SubTableScore score = ScoreSubTable(evaluator, rows, cols, options.alpha);
+    if (score.combined > best.score.combined) {
+      best.row_ids = std::move(rows);
+      best.col_ids = std::move(cols);
+      best.score = score;
+    }
+  }
+  best.iterations = iter;
+  best.seconds = watch.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace subtab

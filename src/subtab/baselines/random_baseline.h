@@ -1,0 +1,34 @@
+#ifndef SUBTAB_BASELINES_RANDOM_BASELINE_H_
+#define SUBTAB_BASELINES_RANDOM_BASELINE_H_
+
+#include "subtab/baselines/baseline.h"
+#include "subtab/util/rng.h"
+
+/// \file random_baseline.h
+/// The RAN baseline (Sec. 6.1): repeatedly draw k rows and l columns
+/// uniformly at random, score each draw with the combined metric, and return
+/// the best sub-table found within the budget ("we iteratively repeat the
+/// random selection for one minute, and return the sub-table with highest
+/// score").
+
+namespace subtab {
+
+struct RandomBaselineOptions {
+  size_t k = 10;
+  size_t l = 10;
+  std::vector<size_t> target_cols;  ///< Always included in the l columns.
+  double alpha = 0.5;
+  /// Paper uses 60 s; tests/benches shrink this.
+  double time_budget_seconds = 60.0;
+  /// Hard cap on draws (0 = unbounded, budget-limited only).
+  size_t max_iterations = 0;
+  uint64_t seed = 42;
+};
+
+/// Runs best-of-random selection. The evaluator carries the table and rules.
+BaselineResult RandomBaseline(const CoverageEvaluator& evaluator,
+                              const RandomBaselineOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BASELINES_RANDOM_BASELINE_H_

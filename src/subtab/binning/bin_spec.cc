@@ -1,0 +1,135 @@
+#include "subtab/binning/bin_spec.h"
+
+#include <algorithm>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+const char* BinningStrategyName(BinningStrategy strategy) {
+  switch (strategy) {
+    case BinningStrategy::kEqualWidth:
+      return "equal_width";
+    case BinningStrategy::kQuantile:
+      return "quantile";
+    case BinningStrategy::kKde:
+      return "kde";
+  }
+  return "unknown";
+}
+
+uint32_t ColumnBinning::BinOfNumeric(double value) const {
+  SUBTAB_DCHECK(type == ColumnType::kNumeric);
+  // First edge > value determines the bin: bin i covers [e_{i-1}, e_i).
+  const auto it = std::upper_bound(edges.begin(), edges.end(), value);
+  return static_cast<uint32_t>(it - edges.begin());
+}
+
+uint32_t ColumnBinning::BinOfCode(int32_t code) const {
+  SUBTAB_DCHECK(type == ColumnType::kCategorical);
+  SUBTAB_CHECK(code >= 0 && static_cast<size_t>(code) < code_to_bin.size());
+  return code_to_bin[static_cast<size_t>(code)];
+}
+
+TableBinning TableBinning::FromColumns(std::vector<ColumnBinning> columns,
+                                       const BinningOptions& options) {
+  TableBinning binning;
+  binning.options_ = options;
+  binning.columns_ = std::move(columns);
+  return binning;
+}
+
+TableBinning TableBinning::Compute(const Table& table, const BinningOptions& options) {
+  TableBinning binning;
+  binning.options_ = options;
+  binning.columns_.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.is_numeric()) {
+      binning.columns_.push_back(BinNumericColumn(col, options));
+    } else {
+      binning.columns_.push_back(BinCategoricalColumn(col, options));
+    }
+  }
+  return binning;
+}
+
+ColumnBinning BinNumericColumn(const Column& column, const BinningOptions& options) {
+  SUBTAB_CHECK(column.is_numeric());
+  std::vector<double> values;
+  values.reserve(column.size());
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (!column.is_null(r)) values.push_back(column.num_value(r));
+  }
+
+  ColumnBinning out;
+  out.type = ColumnType::kNumeric;
+  switch (options.strategy) {
+    case BinningStrategy::kEqualWidth:
+      out.edges = EqualWidthEdges(values, options.num_bins);
+      break;
+    case BinningStrategy::kQuantile:
+      out.edges = QuantileEdges(values, options.num_bins);
+      break;
+    case BinningStrategy::kKde:
+      out.edges = KdeEdges(values, options.num_bins);
+      break;
+  }
+  out.num_value_bins = static_cast<uint32_t>(out.edges.size()) + 1;
+
+  // Labels: "(-inf,e0)", "[e0,e1)", ..., "[ek,inf)"; "NaN" for the null bin.
+  out.labels.reserve(out.num_bins());
+  for (uint32_t b = 0; b < out.num_value_bins; ++b) {
+    const std::string lo =
+        (b == 0) ? "-inf" : FormatCell(out.edges[b - 1], 4);
+    const std::string hi =
+        (b == out.num_value_bins - 1) ? "inf" : FormatCell(out.edges[b], 4);
+    out.labels.push_back(StrFormat("[%s,%s)", lo.c_str(), hi.c_str()));
+  }
+  out.labels.push_back("NaN");
+  return out;
+}
+
+ColumnBinning BinCategoricalColumn(const Column& column, const BinningOptions& options) {
+  SUBTAB_CHECK(!column.is_numeric());
+  const auto& dict = column.dictionary();
+
+  // Frequency of each dictionary code.
+  std::vector<size_t> freq(dict.size(), 0);
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (!column.is_null(r)) ++freq[static_cast<size_t>(column.cat_code(r))];
+  }
+
+  ColumnBinning out;
+  out.type = ColumnType::kCategorical;
+  out.code_to_bin.assign(dict.size(), 0);
+
+  const uint32_t max_bins = std::max<uint32_t>(options.max_cat_bins, 1);
+  if (dict.size() <= max_bins) {
+    // Every category keeps its own bin (e.g. a binary CANCELLED column).
+    out.num_value_bins = static_cast<uint32_t>(dict.size());
+    for (size_t code = 0; code < dict.size(); ++code) {
+      out.code_to_bin[code] = static_cast<uint32_t>(code);
+      out.labels.push_back(dict[code]);
+    }
+  } else {
+    // Top (max_bins - 1) categories by frequency own a bin; rest -> "other".
+    std::vector<size_t> order(dict.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&freq](size_t a, size_t b) { return freq[a] > freq[b]; });
+    const uint32_t kept = max_bins - 1;
+    out.num_value_bins = kept + 1;
+    const uint32_t other_bin = kept;
+    out.code_to_bin.assign(dict.size(), other_bin);
+    for (uint32_t rank = 0; rank < kept; ++rank) {
+      out.code_to_bin[order[rank]] = rank;
+      out.labels.push_back(dict[order[rank]]);
+    }
+    out.labels.push_back("other");
+  }
+  out.labels.push_back("NaN");
+  return out;
+}
+
+}  // namespace subtab

@@ -1,0 +1,111 @@
+#ifndef SUBTAB_BINNING_BIN_SPEC_H_
+#define SUBTAB_BINNING_BIN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subtab/table/table.h"
+
+/// \file bin_spec.h
+/// Binning functions per Def. 3.2: every column u_i is mapped to a finite set
+/// of bins such that each cell value belongs to exactly one bin. Numeric
+/// columns are cut at strategy-specific edges; categorical columns either
+/// keep their categories or group the tail into an "other" bin; nulls always
+/// get a dedicated bin (the paper treats NaN as a value that participates in
+/// association rules, cf. Fig. 3).
+
+namespace subtab {
+
+/// How numeric cut points are chosen.
+enum class BinningStrategy {
+  kEqualWidth,  ///< Uniform-width intervals over [min, max].
+  kQuantile,    ///< Equal-frequency intervals.
+  kKde,         ///< Cuts at minima of a Gaussian kernel density estimate —
+                ///< the paper's sciPy-based method (Sec. 6.1).
+};
+
+const char* BinningStrategyName(BinningStrategy strategy);
+
+/// Table-wide binning parameters.
+struct BinningOptions {
+  BinningStrategy strategy = BinningStrategy::kKde;
+  /// Target number of value bins per numeric column (paper default: 5).
+  uint32_t num_bins = 5;
+  /// Maximum category bins per categorical column; less frequent categories
+  /// share an "other" bin (cf. Example 3.3: airlines grouped by continent).
+  uint32_t max_cat_bins = 5;
+};
+
+/// The binning of one column. Bin ids are dense: 0..num_value_bins-1 for
+/// values, then one extra id for nulls.
+struct ColumnBinning {
+  ColumnType type = ColumnType::kNumeric;
+  /// Interior cut points, ascending (numeric columns). With c cuts there are
+  /// c+1 value bins: (-inf, e0), [e0, e1), ..., [e_{c-1}, +inf).
+  std::vector<double> edges;
+  /// Dictionary code -> bin id (categorical columns).
+  std::vector<uint32_t> code_to_bin;
+  /// Human-readable label per bin id (includes the null bin, labelled "NaN").
+  std::vector<std::string> labels;
+  uint32_t num_value_bins = 0;
+
+  /// Total bins including the null bin.
+  uint32_t num_bins() const { return num_value_bins + 1; }
+  /// Id of the dedicated null bin.
+  uint32_t null_bin() const { return num_value_bins; }
+
+  /// Bin of a non-null numeric value (binary search over edges).
+  uint32_t BinOfNumeric(double value) const;
+  /// Bin of a categorical dictionary code.
+  uint32_t BinOfCode(int32_t code) const;
+};
+
+/// The binning of a whole table. Computed once per table load (pre-processing
+/// step, Algorithm 2 line 1) and reused for all queries over it.
+class TableBinning {
+ public:
+  /// Derives a binning for every column of `table`.
+  static TableBinning Compute(const Table& table, const BinningOptions& options);
+
+  /// Reassembles a binning from per-column specs (model deserialization).
+  static TableBinning FromColumns(std::vector<ColumnBinning> columns,
+                                  const BinningOptions& options);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnBinning& column(size_t i) const {
+    SUBTAB_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+  const BinningOptions& options() const { return options_; }
+
+ private:
+  std::vector<ColumnBinning> columns_;
+  BinningOptions options_;
+};
+
+// -- Strategy primitives (exposed for unit testing) ---------------------------
+
+/// Interior edges for `num_bins` equal-width bins over the value range.
+std::vector<double> EqualWidthEdges(const std::vector<double>& values,
+                                    uint32_t num_bins);
+
+/// Interior edges at the 1/num_bins ... (num_bins-1)/num_bins quantiles
+/// (deduplicated, so heavily-tied data can yield fewer bins).
+std::vector<double> QuantileEdges(std::vector<double> values, uint32_t num_bins);
+
+/// Interior edges at local minima of a Gaussian KDE (Silverman bandwidth,
+/// 256-point grid). Picks the deepest num_bins-1 minima; falls back to
+/// quantile edges when the density has no interior minima.
+std::vector<double> KdeEdges(const std::vector<double>& values, uint32_t num_bins);
+
+/// Bins one numeric column with the chosen strategy.
+ColumnBinning BinNumericColumn(const Column& column, const BinningOptions& options);
+
+/// Bins one categorical column (top-(max_cat_bins-1) categories by frequency
+/// keep their own bin, the rest share "other").
+ColumnBinning BinCategoricalColumn(const Column& column, const BinningOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BINNING_BIN_SPEC_H_

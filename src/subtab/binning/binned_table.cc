@@ -1,0 +1,70 @@
+#include "subtab/binning/binned_table.h"
+
+namespace subtab {
+
+BinnedTable BinnedTable::FromTable(const Table& table, const TableBinning& binning) {
+  SUBTAB_CHECK(binning.num_columns() == table.num_columns());
+  BinnedTable out;
+  out.num_rows_ = table.num_rows();
+  out.num_columns_ = table.num_columns();
+  out.binning_ = binning;
+  out.cells_.resize(out.num_rows_ * out.num_columns_);
+  out.column_names_.reserve(out.num_columns_);
+  out.offsets_.resize(out.num_columns_);
+
+  size_t offset = 0;
+  for (size_t c = 0; c < out.num_columns_; ++c) {
+    const ColumnBinning& cb = binning.column(c);
+    SUBTAB_CHECK(cb.num_bins() <= kTokenMaxBins);
+    out.column_names_.push_back(table.column(c).name());
+    out.offsets_[c] = offset;
+    offset += cb.num_bins();
+  }
+  out.total_bins_ = offset;
+
+  for (size_t c = 0; c < out.num_columns_; ++c) {
+    const Column& col = table.column(c);
+    const ColumnBinning& cb = binning.column(c);
+    for (size_t r = 0; r < out.num_rows_; ++r) {
+      uint32_t bin;
+      if (col.is_null(r)) {
+        bin = cb.null_bin();
+      } else if (col.is_numeric()) {
+        bin = cb.BinOfNumeric(col.num_value(r));
+      } else {
+        bin = cb.BinOfCode(col.cat_code(r));
+      }
+      out.cells_[r * out.num_columns_ + c] = MakeToken(static_cast<uint32_t>(c), bin);
+    }
+  }
+  return out;
+}
+
+BinnedTable BinnedTable::Compute(const Table& table, const BinningOptions& options) {
+  return FromTable(table, TableBinning::Compute(table, options));
+}
+
+Token BinnedTable::TokenOfDense(size_t dense) const {
+  SUBTAB_CHECK(dense < total_bins_);
+  // offsets_ is ascending; linear scan is fine at m <= a few hundred.
+  size_t col = num_columns_ - 1;
+  for (size_t c = 0; c + 1 < num_columns_; ++c) {
+    if (dense < offsets_[c + 1]) {
+      col = c;
+      break;
+    }
+  }
+  return MakeToken(static_cast<uint32_t>(col),
+                   static_cast<uint32_t>(dense - offsets_[col]));
+}
+
+std::string BinnedTable::TokenLabel(Token t) const {
+  const uint32_t col = TokenColumn(t);
+  const uint32_t bin = TokenBin(t);
+  SUBTAB_CHECK(col < num_columns_);
+  const ColumnBinning& cb = binning_.column(col);
+  SUBTAB_CHECK(bin < cb.num_bins());
+  return column_names_[col] + "=" + cb.labels[bin];
+}
+
+}  // namespace subtab

@@ -1,0 +1,94 @@
+#ifndef SUBTAB_BINNING_BINNED_TABLE_H_
+#define SUBTAB_BINNING_BINNED_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subtab/binning/bin_spec.h"
+#include "subtab/table/table.h"
+
+/// \file binned_table.h
+/// The normalized, binned view T~ of a table (Algorithm 2 line 1): every cell
+/// is replaced by a *token* identifying its (column, bin) pair. Association
+/// rule mining, the Jaccard diversity metric, the Word2Vec corpus, and the
+/// one-hot baseline all operate on this single representation.
+
+namespace subtab {
+
+/// Packed (column, bin) pair. 20 bits of column, 12 bits of bin.
+using Token = uint32_t;
+
+inline constexpr uint32_t kTokenBinBits = 12;
+inline constexpr uint32_t kTokenMaxBins = 1u << kTokenBinBits;
+
+inline constexpr Token MakeToken(uint32_t column, uint32_t bin) {
+  return (column << kTokenBinBits) | bin;
+}
+inline constexpr uint32_t TokenColumn(Token t) { return t >> kTokenBinBits; }
+inline constexpr uint32_t TokenBin(Token t) { return t & (kTokenMaxBins - 1); }
+
+/// Row-major matrix of tokens plus the binning that produced it.
+class BinnedTable {
+ public:
+  /// Bins every cell of `table` using `binning` (columns must correspond).
+  static BinnedTable FromTable(const Table& table, const TableBinning& binning);
+
+  /// Convenience: compute the binning and apply it in one step.
+  static BinnedTable Compute(const Table& table, const BinningOptions& options = {});
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return num_columns_; }
+
+  Token token(size_t row, size_t col) const {
+    SUBTAB_DCHECK(row < num_rows_ && col < num_columns_);
+    return cells_[row * num_columns_ + col];
+  }
+
+  /// All tokens of one row (contiguous span of length num_columns()).
+  const Token* row_data(size_t row) const {
+    SUBTAB_DCHECK(row < num_rows_);
+    return cells_.data() + row * num_columns_;
+  }
+
+  const TableBinning& binning() const { return binning_; }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  /// Bin count (incl. null bin) of a column.
+  uint32_t bins_in_column(size_t col) const {
+    return binning_.column(col).num_bins();
+  }
+
+  /// Total number of distinct tokens across all columns; dense ids below.
+  size_t total_bins() const { return total_bins_; }
+
+  /// Bijection between tokens and dense ids in [0, total_bins()); used as
+  /// vocabulary indices by the embedding and as one-hot coordinates by the
+  /// NC baseline.
+  size_t DenseIndex(Token t) const {
+    const uint32_t col = TokenColumn(t);
+    SUBTAB_DCHECK(col < num_columns_);
+    return offsets_[col] + TokenBin(t);
+  }
+  Token TokenOfDense(size_t dense) const;
+
+  /// "COLUMN=bin_label" for rule and highlight display.
+  std::string TokenLabel(Token t) const;
+
+  /// True if two tokens of the same column denote the same bin — the
+  /// similarity notion used by the diversity metric.
+  static bool SameBin(Token a, Token b) { return a == b; }
+
+ private:
+  std::vector<Token> cells_;
+  size_t num_rows_ = 0;
+  size_t num_columns_ = 0;
+  TableBinning binning_;
+  std::vector<std::string> column_names_;
+  std::vector<size_t> offsets_;  ///< Per-column start of the dense id range.
+  size_t total_bins_ = 0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BINNING_BINNED_TABLE_H_

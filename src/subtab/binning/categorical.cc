@@ -1,0 +1,10 @@
+// Categorical binning lives in bin_spec.cc (BinCategoricalColumn); this
+// translation unit exists to host future category-grouping strategies (e.g.
+// semantic grouping such as Example 3.3's airlines-by-continent) behind the
+// same ColumnBinning interface.
+//
+// Current strategy (implemented in BinCategoricalColumn):
+//   * <= max_cat_bins distinct categories: one bin per category;
+//   * otherwise: top (max_cat_bins - 1) categories by frequency keep a bin,
+//     the tail shares an "other" bin; nulls always get their own bin.
+#include "subtab/binning/bin_spec.h"

@@ -1,0 +1,23 @@
+#include <algorithm>
+
+#include "subtab/binning/bin_spec.h"
+
+namespace subtab {
+
+std::vector<double> EqualWidthEdges(const std::vector<double>& values,
+                                    uint32_t num_bins) {
+  if (values.empty() || num_bins <= 1) return {};
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mn == mx) return {};  // Constant column: a single bin.
+  std::vector<double> edges;
+  edges.reserve(num_bins - 1);
+  const double width = (mx - mn) / static_cast<double>(num_bins);
+  for (uint32_t i = 1; i < num_bins; ++i) {
+    edges.push_back(mn + width * static_cast<double>(i));
+  }
+  return edges;
+}
+
+}  // namespace subtab

@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <cmath>
+
+#include "subtab/binning/bin_spec.h"
+
+namespace subtab {
+namespace {
+
+constexpr size_t kGridPoints = 256;
+/// Caps the sample used to evaluate the density; KDE cost is
+/// O(sample * grid) and a few thousand points pin the minima well enough.
+constexpr size_t kMaxKdeSample = 4096;
+
+/// Standard deviation of a sample (population formula; bandwidth heuristic
+/// is insensitive to the n-1 correction at our sizes).
+double StdDev(const std::vector<double>& v) {
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  return std::sqrt(var);
+}
+
+}  // namespace
+
+std::vector<double> KdeEdges(const std::vector<double>& values, uint32_t num_bins) {
+  if (values.empty() || num_bins <= 1) return {};
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mn == mx) return {};
+
+  // Deterministic stride subsample keeps evaluation bounded on big columns.
+  std::vector<double> sample;
+  if (values.size() > kMaxKdeSample) {
+    sample.reserve(kMaxKdeSample);
+    const size_t stride = values.size() / kMaxKdeSample;
+    for (size_t i = 0; i < values.size() && sample.size() < kMaxKdeSample; i += stride) {
+      sample.push_back(values[i]);
+    }
+  } else {
+    sample = values;
+  }
+
+  // Silverman's rule of thumb, as used by scipy.stats.gaussian_kde.
+  const double sd = StdDev(sample);
+  const double n = static_cast<double>(sample.size());
+  double bandwidth = 1.06 * sd * std::pow(n, -0.2);
+  if (bandwidth <= 0.0) bandwidth = (mx - mn) / static_cast<double>(num_bins);
+
+  // Density on a uniform grid over [mn, mx].
+  std::vector<double> density(kGridPoints, 0.0);
+  const double step = (mx - mn) / static_cast<double>(kGridPoints - 1);
+  const double inv_bw = 1.0 / bandwidth;
+  for (size_t g = 0; g < kGridPoints; ++g) {
+    const double x = mn + step * static_cast<double>(g);
+    double acc = 0.0;
+    for (double v : sample) {
+      const double z = (x - v) * inv_bw;
+      acc += std::exp(-0.5 * z * z);
+    }
+    density[g] = acc;  // Normalization constant is irrelevant for minima.
+  }
+
+  // Interior local minima of the density = natural cut points between modes.
+  struct Minimum {
+    double x;
+    double depth;
+  };
+  std::vector<Minimum> minima;
+  for (size_t g = 1; g + 1 < kGridPoints; ++g) {
+    if (density[g] <= density[g - 1] && density[g] < density[g + 1]) {
+      minima.push_back({mn + step * static_cast<double>(g), density[g]});
+    }
+  }
+
+  if (minima.empty()) {
+    // Unimodal density: no natural cuts; fall back to quantile edges so the
+    // requested bin count is still honoured.
+    return QuantileEdges(values, num_bins);
+  }
+
+  // Keep the deepest (lowest-density) minima, at most num_bins - 1 of them.
+  std::stable_sort(minima.begin(), minima.end(),
+                   [](const Minimum& a, const Minimum& b) { return a.depth < b.depth; });
+  const size_t keep = std::min<size_t>(minima.size(), num_bins - 1);
+  std::vector<double> edges;
+  edges.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) edges.push_back(minima[i].x);
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace subtab

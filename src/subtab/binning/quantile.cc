@@ -1,0 +1,31 @@
+#include <algorithm>
+
+#include "subtab/binning/bin_spec.h"
+
+namespace subtab {
+
+std::vector<double> QuantileEdges(std::vector<double> values, uint32_t num_bins) {
+  if (values.empty() || num_bins <= 1) return {};
+  std::sort(values.begin(), values.end());
+  std::vector<double> edges;
+  edges.reserve(num_bins - 1);
+  const size_t n = values.size();
+  for (uint32_t i = 1; i < num_bins; ++i) {
+    // Linear-interpolation quantile at p = i / num_bins.
+    const double p = static_cast<double>(i) / static_cast<double>(num_bins);
+    const double pos = p * static_cast<double>(n - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    const double q =
+        (lo + 1 < n) ? values[lo] * (1.0 - frac) + values[lo + 1] * frac : values[lo];
+    // Deduplicate: heavily tied data may repeat a quantile.
+    if (edges.empty() || q > edges.back()) edges.push_back(q);
+  }
+  // An edge equal to the minimum would create an empty first bin.
+  while (!edges.empty() && edges.front() <= values.front()) {
+    edges.erase(edges.begin());
+  }
+  return edges;
+}
+
+}  // namespace subtab

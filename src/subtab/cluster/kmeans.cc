@@ -1,0 +1,209 @@
+#include "subtab/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace subtab {
+
+double SquaredDistance(const float* a, const float* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+namespace {
+
+/// k-means++ seeding: first center uniform, then D^2-weighted.
+std::vector<float> PlusPlusInit(const std::vector<float>& points, size_t dim,
+                                size_t num_points, size_t k, Rng* rng) {
+  std::vector<float> centroids(k * dim);
+  std::vector<double> dist2(num_points, std::numeric_limits<double>::max());
+
+  const size_t first = rng->Uniform(num_points);
+  std::copy_n(points.data() + first * dim, dim, centroids.begin());
+
+  for (size_t c = 1; c < k; ++c) {
+    const float* last = centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (size_t p = 0; p < num_points; ++p) {
+      const double d = SquaredDistance(points.data() + p * dim, last, dim);
+      dist2[p] = std::min(dist2[p], d);
+      total += dist2[p];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centers.
+      chosen = rng->Uniform(num_points);
+    } else {
+      double u = rng->UniformDouble() * total;
+      chosen = num_points - 1;
+      for (size_t p = 0; p < num_points; ++p) {
+        u -= dist2[p];
+        if (u <= 0.0) {
+          chosen = p;
+          break;
+        }
+      }
+    }
+    std::copy_n(points.data() + chosen * dim, dim, centroids.begin() + c * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+namespace {
+
+KMeansResult KMeansSingleInit(const std::vector<float>& points, size_t dim,
+                              const KMeansOptions& options, uint64_t seed);
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<float>& points, size_t dim,
+                    const KMeansOptions& options) {
+  SUBTAB_CHECK(options.n_init >= 1);
+  KMeansResult best;
+  for (size_t init = 0; init < options.n_init; ++init) {
+    KMeansResult run = KMeansSingleInit(points, dim, options,
+                                        options.seed + init * 0x9e3779b9ULL);
+    if (init == 0 || run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+namespace {
+
+KMeansResult KMeansSingleInit(const std::vector<float>& points, size_t dim,
+                              const KMeansOptions& options, uint64_t seed) {
+  SUBTAB_CHECK(dim > 0);
+  SUBTAB_CHECK(points.size() % dim == 0);
+  const size_t num_points = points.size() / dim;
+  const size_t k = options.k;
+  SUBTAB_CHECK(k >= 1 && k <= num_points);
+
+  Rng rng(seed);
+  KMeansResult result;
+  result.centroids = PlusPlusInit(points, dim, num_points, k, &rng);
+  result.assignment.assign(num_points, 0);
+
+  std::vector<double> sums(k * dim);
+  std::vector<size_t> counts(k);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t p = 0; p < num_points; ++p) {
+      const float* point = points.data() + p * dim;
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(point, result.centroids.data() + c * dim, dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      result.assignment[p] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t p = 0; p < num_points; ++p) {
+      const uint32_t c = result.assignment[p];
+      const float* point = points.data() + p * dim;
+      for (size_t d = 0; d < dim; ++d) sums[c * dim + d] += point[d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed at the point farthest from its centroid.
+        size_t far_p = 0;
+        double far_d = -1.0;
+        for (size_t p = 0; p < num_points; ++p) {
+          const double d = SquaredDistance(
+              points.data() + p * dim,
+              result.centroids.data() + result.assignment[p] * dim, dim);
+          if (d > far_d) {
+            far_d = d;
+            far_p = p;
+          }
+        }
+        std::copy_n(points.data() + far_p * dim, dim,
+                    result.centroids.begin() + c * dim);
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] = static_cast<float>(sums[c * dim + d] * inv);
+      }
+    }
+
+    // Convergence on relative inertia improvement.
+    if (prev_inertia != std::numeric_limits<double>::max()) {
+      const double denom = std::max(prev_inertia, 1e-12);
+      if ((prev_inertia - inertia) / denom < options.tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<size_t> SelectMedoids(const std::vector<float>& points, size_t dim,
+                                  const KMeansResult& result) {
+  const size_t num_points = points.size() / dim;
+  const size_t k = result.centroids.size() / dim;
+  SUBTAB_CHECK(k <= num_points);
+
+  std::vector<size_t> medoids;
+  medoids.reserve(k);
+  std::vector<char> used(num_points, 0);
+  for (size_t c = 0; c < k; ++c) {
+    const float* centroid = result.centroids.data() + c * dim;
+    double best = std::numeric_limits<double>::max();
+    size_t best_p = num_points;  // Sentinel.
+    // Prefer points assigned to this cluster.
+    for (size_t p = 0; p < num_points; ++p) {
+      if (used[p] || result.assignment[p] != c) continue;
+      const double d = SquaredDistance(points.data() + p * dim, centroid, dim);
+      if (d < best) {
+        best = d;
+        best_p = p;
+      }
+    }
+    if (best_p == num_points) {
+      // Empty (or fully used) cluster: fall back to the globally nearest
+      // unused point so we still return k distinct representatives.
+      for (size_t p = 0; p < num_points; ++p) {
+        if (used[p]) continue;
+        const double d = SquaredDistance(points.data() + p * dim, centroid, dim);
+        if (d < best) {
+          best = d;
+          best_p = p;
+        }
+      }
+    }
+    SUBTAB_CHECK(best_p < num_points);
+    used[best_p] = 1;
+    medoids.push_back(best_p);
+  }
+  return medoids;
+}
+
+std::vector<size_t> ClusterRepresentatives(const std::vector<float>& points,
+                                           size_t dim, const KMeansOptions& options) {
+  const KMeansResult result = KMeans(points, dim, options);
+  return SelectMedoids(points, dim, result);
+}
+
+}  // namespace subtab

@@ -1,0 +1,29 @@
+#include "subtab/core/config.h"
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+Status SubTabConfig::Validate() const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  if (target_columns.size() > l) {
+    return Status::InvalidArgument(
+        StrFormat("|U*| = %zu target columns exceed l = %zu", target_columns.size(), l));
+  }
+  if (binning.num_bins < 2) {
+    return Status::InvalidArgument("binning.num_bins must be >= 2");
+  }
+  if (embedding.dim == 0) {
+    return Status::InvalidArgument("embedding.dim must be >= 1");
+  }
+  if (corpus.max_sentences == 0) {
+    return Status::InvalidArgument("corpus.max_sentences must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace subtab

@@ -1,0 +1,45 @@
+#ifndef SUBTAB_CORE_CONFIG_H_
+#define SUBTAB_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/binning/bin_spec.h"
+#include "subtab/embed/corpus.h"
+#include "subtab/embed/word2vec.h"
+#include "subtab/util/status.h"
+
+/// \file config.h
+/// Configuration of the SubTab pipeline (paper defaults throughout): the
+/// sub-table dimensions k x l, the coverage/diversity balance α, binning,
+/// corpus, and embedding parameters, plus optional target columns U*.
+
+namespace subtab {
+
+/// All knobs of the SubTab algorithm.
+struct SubTabConfig {
+  /// Sub-table dimensions (paper displays 10 x 10 by default).
+  size_t k = 10;
+  size_t l = 10;
+
+  /// Coverage/diversity balance in Eq. 3 (paper default 0.5). Only used when
+  /// *evaluating* sub-tables; the selection algorithm itself is metric-free.
+  double alpha = 0.5;
+
+  /// Target columns U* that must appear in the sub-table (may be empty).
+  std::vector<std::string> target_columns;
+
+  BinningOptions binning;
+  CorpusOptions corpus;
+  Word2VecOptions embedding;
+
+  /// Master seed for every stochastic stage.
+  uint64_t seed = 42;
+
+  /// Checks internal consistency (k, l >= 1; α in [0,1]; |U*| <= l).
+  Status Validate() const;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_CONFIG_H_

@@ -1,0 +1,120 @@
+#include "subtab/core/highlight.h"
+
+#include <algorithm>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+std::vector<RowHighlight> HighlightRules(const BinnedTable& binned,
+                                         const RuleSet& rules, const SubTabView& view) {
+  std::vector<RowHighlight> highlights;
+  if (rules.empty()) return highlights;
+
+  CoverageEvaluator evaluator(binned, rules);
+  const std::vector<size_t> covered =
+      evaluator.CoveredRules(view.row_ids, view.col_ids);
+  if (covered.empty()) return highlights;
+
+  // Source column id -> position within the view.
+  std::vector<int> col_pos(binned.num_columns(), -1);
+  for (size_t i = 0; i < view.col_ids.size(); ++i) {
+    col_pos[view.col_ids[i]] = static_cast<int>(i);
+  }
+
+  for (size_t vr = 0; vr < view.row_ids.size(); ++vr) {
+    const size_t source_row = view.row_ids[vr];
+    // Largest covered rule that holds for this row.
+    size_t best_rule = rules.size();
+    size_t best_size = 0;
+    for (size_t ri : covered) {
+      if (!evaluator.rule_rows(ri).Test(source_row)) continue;
+      const size_t size = rules.rules[ri].size();
+      if (size > best_size) {
+        best_size = size;
+        best_rule = ri;
+      }
+    }
+    if (best_rule == rules.size()) continue;
+
+    RowHighlight h;
+    h.view_row = vr;
+    h.rule_index = best_rule;
+    for (uint32_t c : evaluator.rule_columns(best_rule)) {
+      SUBTAB_CHECK(col_pos[c] >= 0);  // Covered => all rule columns visible.
+      h.view_cols.push_back(static_cast<size_t>(col_pos[c]));
+    }
+    std::sort(h.view_cols.begin(), h.view_cols.end());
+    h.rule_text = rules.rules[best_rule].ToString(binned);
+    highlights.push_back(std::move(h));
+  }
+  return highlights;
+}
+
+std::string RenderHighlighted(const SubTabView& view,
+                              const std::vector<RowHighlight>& highlights) {
+  const Table& t = view.table;
+  const size_t rows = t.num_rows();
+  const size_t cols = t.num_columns();
+
+  // Rotating ANSI background colors, one per highlighted row (Fig. 1 style).
+  static const char* kColors[] = {"\x1b[43m", "\x1b[44m", "\x1b[42m",
+                                  "\x1b[45m", "\x1b[46m"};
+  constexpr const char* kReset = "\x1b[0m";
+
+  std::vector<std::vector<char>> mark(rows, std::vector<char>(cols, 0));
+  std::vector<int> row_color(rows, -1);
+  for (size_t i = 0; i < highlights.size(); ++i) {
+    const RowHighlight& h = highlights[i];
+    row_color[h.view_row] = static_cast<int>(i % 5);
+    for (size_t c : h.view_cols) mark[h.view_row][c] = 1;
+  }
+
+  // Column widths from plain text.
+  std::vector<size_t> width(cols);
+  std::vector<std::vector<std::string>> cells(rows, std::vector<std::string>(cols));
+  for (size_t c = 0; c < cols; ++c) width[c] = t.column(c).name().size();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      cells[r][c] = t.column(c).ToDisplay(r);
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+
+  std::string out;
+  for (size_t c = 0; c < cols; ++c) {
+    out += "| " + t.column(c).name();
+    out.append(width[c] - t.column(c).name().size() + 1, ' ');
+  }
+  out += "|\n";
+  for (size_t c = 0; c < cols; ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      out += "| ";
+      const std::string& text = cells[r][c];
+      if (mark[r][c]) {
+        out += kColors[row_color[r]];
+        out += text;
+        out += kReset;
+      } else {
+        out += text;
+      }
+      out.append(width[c] - text.size() + 1, ' ');
+    }
+    out += "|\n";
+  }
+  if (!highlights.empty()) {
+    out += "\nHighlighted rules (one per row):\n";
+    for (size_t i = 0; i < highlights.size(); ++i) {
+      out += StrFormat("  row %zu: %s\n", highlights[i].view_row,
+                       highlights[i].rule_text.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace subtab

@@ -1,0 +1,40 @@
+#ifndef SUBTAB_CORE_HIGHLIGHT_H_
+#define SUBTAB_CORE_HIGHLIGHT_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/core/subtab.h"
+#include "subtab/metrics/cell_coverage.h"
+#include "subtab/rules/rule.h"
+
+/// \file highlight.h
+/// The optional rule-highlighting UI of Figs. 1 and 3: for every displayed
+/// row, pick (at most) one association rule that the sub-table covers and
+/// that holds for the row — preferring larger rules — and mark the cells it
+/// describes. "Many more rules hold; to avoid visual clutter we only
+/// highlight one rule per row."
+
+namespace subtab {
+
+/// The highlighted rule of one displayed row.
+struct RowHighlight {
+  size_t view_row = 0;            ///< Index into the sub-table's rows.
+  size_t rule_index = 0;          ///< Index into the rule set.
+  std::vector<size_t> view_cols;  ///< Highlighted columns (sub-table positions).
+  std::string rule_text;          ///< Human-readable rule.
+};
+
+/// Computes at most one highlight per displayed row. Rules must have been
+/// mined over the same binned table.
+std::vector<RowHighlight> HighlightRules(const BinnedTable& binned,
+                                         const RuleSet& rules, const SubTabView& view);
+
+/// Renders the sub-table with ANSI colors marking highlighted cells, plus a
+/// legend listing each row's rule (for terminal examples).
+std::string RenderHighlighted(const SubTabView& view,
+                              const std::vector<RowHighlight>& highlights);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_HIGHLIGHT_H_

@@ -1,0 +1,55 @@
+#include "subtab/core/preprocess.h"
+
+#include "subtab/util/logging.h"
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+PreprocessedTable::PreprocessedTable(BinnedTable binned, Word2VecModel model,
+                                     PreprocessTimings timings)
+    : binned_(std::make_unique<BinnedTable>(std::move(binned))),
+      model_(binned_.get(), std::move(model)),
+      timings_(timings) {}
+
+PreprocessedTable Preprocess(const Table& table, const SubTabConfig& config) {
+  Stopwatch total;
+  PreprocessTimings timings;
+
+  // Line 1: normalize and bin. (Value normalization happens at ingestion in
+  // the table layer; binning is computed here.)
+  Stopwatch phase;
+  BinnedTable binned = BinnedTable::Compute(table, config.binning);
+  timings.binning_seconds = phase.ElapsedSeconds();
+
+  // Line 2: rows and columns of T as sentences.
+  phase.Reset();
+  Rng rng(config.seed);
+  const Corpus corpus = Corpus::Build(binned, config.corpus, &rng);
+  timings.corpus_seconds = phase.ElapsedSeconds();
+
+  // Line 3: Word2Vec(S, windowSize = max{n, m}).
+  phase.Reset();
+  Word2VecOptions w2v = config.embedding;
+  w2v.seed = config.seed;
+  Word2VecModel model = Word2VecModel::Train(corpus, w2v);
+  timings.training_seconds = phase.ElapsedSeconds();
+
+  timings.total_seconds = total.ElapsedSeconds();
+  SUBTAB_LOG_STREAM(Info) << "preprocess: bin=" << timings.binning_seconds
+                          << "s corpus=" << timings.corpus_seconds
+                          << "s train=" << timings.training_seconds << "s";
+  return PreprocessedTable(std::move(binned), std::move(model), timings);
+}
+
+PreprocessedTable PreprocessWithModel(const Table& table, const SubTabConfig& config,
+                                      Word2VecModel model) {
+  Stopwatch total;
+  PreprocessTimings timings;
+  Stopwatch phase;
+  BinnedTable binned = BinnedTable::Compute(table, config.binning);
+  timings.binning_seconds = phase.ElapsedSeconds();
+  timings.total_seconds = total.ElapsedSeconds();
+  return PreprocessedTable(std::move(binned), std::move(model), timings);
+}
+
+}  // namespace subtab

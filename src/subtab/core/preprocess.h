@@ -1,0 +1,57 @@
+#ifndef SUBTAB_CORE_PREPROCESS_H_
+#define SUBTAB_CORE_PREPROCESS_H_
+
+#include <memory>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/core/config.h"
+#include "subtab/embed/cell_model.h"
+
+/// \file preprocess.h
+/// The pre-processing phase of Algorithm 2 (lines 1–4): normalize & bin the
+/// raw table, build the tabular-sentence corpus, train the cell embedding.
+/// Executed once when the table is loaded; every subsequent query display
+/// reuses the result (red arrows of Fig. 1).
+
+namespace subtab {
+
+/// Wall-clock breakdown of the pre-processing phase (Fig. 9).
+struct PreprocessTimings {
+  double binning_seconds = 0.0;
+  double corpus_seconds = 0.0;
+  double training_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The immutable artifact of pre-processing: the binned token matrix and the
+/// cell-to-vector model M over it.
+class PreprocessedTable {
+ public:
+  PreprocessedTable(BinnedTable binned, Word2VecModel model, PreprocessTimings timings);
+
+  // Movable (the cell model's internal pointer stays valid because the
+  // binned table lives behind a unique_ptr).
+  PreprocessedTable(PreprocessedTable&&) = default;
+  PreprocessedTable& operator=(PreprocessedTable&&) = default;
+
+  const BinnedTable& binned() const { return *binned_; }
+  const CellModel& cell_model() const { return model_; }
+  const PreprocessTimings& timings() const { return timings_; }
+
+ private:
+  std::unique_ptr<BinnedTable> binned_;
+  CellModel model_;
+  PreprocessTimings timings_;
+};
+
+/// Runs the pre-processing phase on `table`.
+PreprocessedTable Preprocess(const Table& table, const SubTabConfig& config);
+
+/// Variant that reuses an external embedding trainer (the EmbDI baseline
+/// plugs in here): the caller supplies a token-space model.
+PreprocessedTable PreprocessWithModel(const Table& table, const SubTabConfig& config,
+                                      Word2VecModel model);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_PREPROCESS_H_

@@ -1,0 +1,43 @@
+#ifndef SUBTAB_CORE_SELECT_H_
+#define SUBTAB_CORE_SELECT_H_
+
+#include <vector>
+
+#include "subtab/core/preprocess.h"
+
+/// \file select.h
+/// The centroid-based selection phase of Algorithm 2 (lines 5–19): average
+/// cell vectors into tuple-vectors, cluster them into k clusters and take the
+/// medoids as rows; likewise for columns (excluding target columns, which are
+/// always included). Runs per display — on the full table or on any SP query
+/// result — reusing the pre-computed embedding.
+
+namespace subtab {
+
+/// Scope of one selection: which source rows/columns are visible (a query
+/// result), and which columns are mandatory.
+struct SelectionScope {
+  /// Visible source row ids; empty = all rows.
+  std::vector<size_t> rows;
+  /// Visible source column ids; empty = all columns.
+  std::vector<size_t> cols;
+  /// Mandatory columns U* (source ids). Targets projected away by the query
+  /// are ignored.
+  std::vector<size_t> target_cols;
+};
+
+/// The selected sub-table: row/column ids refer to the *source* table.
+struct Selection {
+  std::vector<size_t> row_ids;
+  std::vector<size_t> col_ids;
+  double seconds = 0.0;  ///< Wall time of the selection phase (Fig. 9).
+};
+
+/// Runs centroid-based selection for a k x l display. If fewer rows/columns
+/// are visible than requested, all of them are returned.
+Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
+                         const SelectionScope& scope, uint64_t seed);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_SELECT_H_

@@ -1,0 +1,96 @@
+#include "subtab/core/subtab.h"
+
+#include "subtab/core/model_io.h"
+#include "subtab/util/logging.h"
+
+namespace subtab {
+namespace {
+
+Result<std::vector<size_t>> ResolveTargets(const Table& table,
+                                           const SubTabConfig& config) {
+  std::vector<size_t> target_ids;
+  for (const std::string& name : config.target_columns) {
+    SUBTAB_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+    target_ids.push_back(idx);
+  }
+  return target_ids;
+}
+
+}  // namespace
+
+SubTab::SubTab(Table table, SubTabConfig config, std::vector<size_t> target_ids,
+               PreprocessedTable pre)
+    : table_(std::move(table)),
+      config_(std::move(config)),
+      target_ids_(std::move(target_ids)),
+      pre_(std::move(pre)) {}
+
+Result<SubTab> SubTab::Fit(Table table, SubTabConfig config) {
+  SUBTAB_RETURN_IF_ERROR(config.Validate());
+  if (table.num_rows() == 0 || table.num_columns() == 0) {
+    return Status::InvalidArgument("cannot fit SubTab on an empty table");
+  }
+  SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
+                          ResolveTargets(table, config));
+  PreprocessedTable pre = Preprocess(table, config);
+  return SubTab(std::move(table), std::move(config), std::move(target_ids),
+                std::move(pre));
+}
+
+Result<SubTab> SubTab::FitCached(Table table, SubTabConfig config,
+                                 const std::string& model_path) {
+  SUBTAB_RETURN_IF_ERROR(config.Validate());
+  if (table.num_rows() == 0 || table.num_columns() == 0) {
+    return Status::InvalidArgument("cannot fit SubTab on an empty table");
+  }
+  SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
+                          ResolveTargets(table, config));
+
+  Result<PreprocessedTable> cached = LoadModel(table, model_path);
+  if (cached.ok()) {
+    SUBTAB_LOG_STREAM(Info) << "loaded cached model from " << model_path;
+    return SubTab(std::move(table), std::move(config), std::move(target_ids),
+                  std::move(*cached));
+  }
+  SUBTAB_LOG_STREAM(Info) << "model cache miss (" << cached.status().ToString()
+                          << "); pre-processing";
+  PreprocessedTable pre = Preprocess(table, config);
+  const Status saved = SaveModel(pre, table, model_path);
+  if (!saved.ok()) {
+    SUBTAB_LOG_STREAM(Warning) << "could not save model cache: " << saved.ToString();
+  }
+  return SubTab(std::move(table), std::move(config), std::move(target_ids),
+                std::move(pre));
+}
+
+SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) const {
+  SelectionScope scope;
+  scope.target_cols = target_ids_;
+  return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l));
+}
+
+Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
+                                          std::optional<size_t> k,
+                                          std::optional<size_t> l) const {
+  SUBTAB_ASSIGN_OR_RETURN(QueryResult result, RunQuery(table_, query));
+  if (result.row_ids.empty()) {
+    return Status::InvalidArgument("query returned no rows: " + query.ToString());
+  }
+  SelectionScope scope;
+  scope.rows = std::move(result.row_ids);
+  scope.cols = std::move(result.col_ids);
+  scope.target_cols = target_ids_;
+  return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l));
+}
+
+SubTabView SubTab::SelectScoped(const SelectionScope& scope, size_t k, size_t l) const {
+  const Selection sel = SelectSubTable(pre_, k, l, scope, config_.seed);
+  SubTabView view;
+  view.table = table_.SubTable(sel.row_ids, sel.col_ids);
+  view.row_ids = sel.row_ids;
+  view.col_ids = sel.col_ids;
+  view.selection_seconds = sel.seconds;
+  return view;
+}
+
+}  // namespace subtab

@@ -1,0 +1,78 @@
+#ifndef SUBTAB_CORE_SUBTAB_H_
+#define SUBTAB_CORE_SUBTAB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subtab/core/config.h"
+#include "subtab/core/preprocess.h"
+#include "subtab/core/select.h"
+#include "subtab/table/query.h"
+
+/// \file subtab.h
+/// The SubTab facade — the library's main entry point. Usage:
+///
+///   SubTabConfig config;                       // paper defaults
+///   SUBTAB_ASSIGN_OR_RETURN(SubTab st, SubTab::Fit(table, config));
+///   SubTabView view = st.Select();             // 10x10 view of the table
+///   SubTabView qview = *st.SelectForQuery(q);  // view of a query result
+///
+/// Fit runs the one-off pre-processing phase (binning + embedding); Select
+/// and SelectForQuery run only the cheap centroid-selection phase, so query
+/// displays are interactive (Sec. 5.1).
+
+namespace subtab {
+
+/// A selected sub-table, materialized for display.
+struct SubTabView {
+  Table table;                  ///< The k x l sub-table.
+  std::vector<size_t> row_ids;  ///< Source row ids, ascending.
+  std::vector<size_t> col_ids;  ///< Source column ids, ascending.
+  double selection_seconds = 0.0;
+};
+
+/// A fitted SubTab instance bound to one table.
+class SubTab {
+ public:
+  /// Validates the config, resolves target columns, and runs pre-processing.
+  static Result<SubTab> Fit(Table table, SubTabConfig config);
+
+  /// Like Fit, but with a persistent model cache (see core/model_io.h): if
+  /// `model_path` holds a model matching the table's schema it is loaded
+  /// (skipping binning + training); otherwise pre-processing runs and the
+  /// artifact is saved there for the next session.
+  static Result<SubTab> FitCached(Table table, SubTabConfig config,
+                                  const std::string& model_path);
+
+  const Table& table() const { return table_; }
+  const SubTabConfig& config() const { return config_; }
+  const PreprocessedTable& preprocessed() const { return pre_; }
+  /// Resolved indices of the configured target columns.
+  const std::vector<size_t>& target_column_ids() const { return target_ids_; }
+
+  /// Sub-table of the full table, with optional dimension overrides.
+  SubTabView Select(std::optional<size_t> k = std::nullopt,
+                    std::optional<size_t> l = std::nullopt) const;
+
+  /// Sub-table of an SP query's result (re-runs only the selection phase).
+  Result<SubTabView> SelectForQuery(const SpQuery& query,
+                                    std::optional<size_t> k = std::nullopt,
+                                    std::optional<size_t> l = std::nullopt) const;
+
+  /// Selection over an explicit scope (used by baselines and benches).
+  SubTabView SelectScoped(const SelectionScope& scope, size_t k, size_t l) const;
+
+ private:
+  SubTab(Table table, SubTabConfig config, std::vector<size_t> target_ids,
+         PreprocessedTable pre);
+
+  Table table_;
+  SubTabConfig config_;
+  std::vector<size_t> target_ids_;
+  PreprocessedTable pre_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_SUBTAB_H_

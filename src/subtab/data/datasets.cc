@@ -1,0 +1,562 @@
+#include "subtab/data/datasets.h"
+
+#include <cmath>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+namespace {
+
+/// Time-of-day column: morning / noon / afternoon / evening modes (HHMM).
+ColumnSpec TimeOfDay(std::string name, double nan_probability = 0.0) {
+  return ColumnSpec::Numeric(std::move(name), {600, 1130, 1530, 2030}, 45.0,
+                             nan_probability);
+}
+
+/// A high-entropy "noise" column: many near-uniform groups. Such columns
+/// carry no frequent itemsets at the paper's support threshold (every bin
+/// pair falls below support 0.1), mirroring the id-like and high-cardinality
+/// columns of real tables that contribute no rules.
+ColumnSpec NoiseNumeric(std::string name, double lo, double hi, size_t groups,
+                        double nan_probability = 0.0) {
+  std::vector<double> centers;
+  const double step = (hi - lo) / static_cast<double>(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    centers.push_back(lo + step * (static_cast<double>(g) + 0.5));
+  }
+  ColumnSpec spec = ColumnSpec::Numeric(std::move(name), std::move(centers),
+                                        step * 0.18, nan_probability);
+  spec.zipf_skew = 0.2;  // Near-uniform: no dominant bin.
+  return spec;
+}
+
+/// Marks a set of columns as the profile-affine pattern core.
+void SetAffinity(DatasetSpec* spec, const std::vector<std::string>& names,
+                 double affinity) {
+  for (ColumnSpec& col : spec->columns) {
+    for (const std::string& name : names) {
+      if (col.name == name) col.profile_affinity = affinity;
+    }
+  }
+}
+
+size_t ColumnIndexOf(const DatasetSpec& spec, const std::string& name) {
+  for (size_t c = 0; c < spec.columns.size(); ++c) {
+    if (spec.columns[c].name == name) return c;
+  }
+  SUBTAB_CHECK(false);
+  return 0;
+}
+
+/// Nudges planted-pattern antecedents so that no latent profile *harms*
+/// them: a profile is harmful iff it prefers the entire antecedent but a
+/// different consequent group — its rows would then flood the antecedent
+/// with contradicting consequents, destroying the planted confidence.
+/// (A profile agreeing on the consequent reinforces the pattern and is
+/// unavoidable for binary-column antecedents anyway.) Must run after
+/// profiles are configured.
+void AvoidProfileCollisions(DatasetSpec* spec) {
+  if (spec->num_profiles == 0) return;
+  const auto harmful = [spec](const PlantedPattern& pattern, size_t p) {
+    for (const auto& [name, group] : pattern.lhs) {
+      if (spec->PreferredGroup(p, ColumnIndexOf(*spec, name)) != group) {
+        return false;
+      }
+    }
+    return spec->PreferredGroup(p, ColumnIndexOf(*spec, pattern.rhs.first)) !=
+           pattern.rhs.second;
+  };
+  for (PlantedPattern& pattern : spec->patterns) {
+    // Enumerate every lhs group assignment (odometer over the product
+    // space, capped) and keep the one with the least popularity-weighted
+    // harm; planted semantics tolerate moving a conjunct to a sibling group.
+    std::vector<size_t> radices;
+    size_t combos = 1;
+    for (const auto& [name, group] : pattern.lhs) {
+      radices.push_back(spec->columns[ColumnIndexOf(*spec, name)].num_groups());
+      combos *= radices.back();
+      if (combos > 4096) break;
+    }
+    if (combos > 4096 || radices.size() != pattern.lhs.size()) continue;
+
+    const auto harm_of = [&](const PlantedPattern& candidate) {
+      double harm = 0.0;
+      for (size_t p = 0; p < spec->num_profiles; ++p) {
+        if (harmful(candidate, p)) {
+          // Popular profiles do more damage (Zipf rank weighting).
+          harm += 1.0 / std::pow(static_cast<double>(p + 1), spec->profile_zipf);
+        }
+      }
+      return harm;
+    };
+
+    PlantedPattern best = pattern;
+    double best_harm = harm_of(pattern);
+    std::vector<size_t> odometer(radices.size(), 0);
+    for (size_t combo = 0; combo < combos && best_harm > 0.0; ++combo) {
+      PlantedPattern candidate = pattern;
+      for (size_t i = 0; i < odometer.size(); ++i) {
+        candidate.lhs[i].second = odometer[i];
+      }
+      const double harm = harm_of(candidate);
+      if (harm < best_harm) {
+        best_harm = harm;
+        best = candidate;
+      }
+      // Advance the odometer.
+      for (size_t i = 0; i < odometer.size(); ++i) {
+        if (++odometer[i] < radices[i]) break;
+        odometer[i] = 0;
+      }
+    }
+    pattern = std::move(best);
+  }
+}
+
+}  // namespace
+
+GeneratedDataset MakeFlights(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "FL";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  const std::vector<std::string> airlines = {"AA", "AS", "B6", "DL", "EV", "F9", "HA",
+                                             "MQ", "NK", "OO", "UA", "US", "VX", "WN"};
+  const std::vector<std::string> airports = {"ATL", "ORD", "DFW", "DEN", "LAX",
+                                             "SFO", "PHX", "LAS", "IAH", "SEA"};
+  std::vector<std::string> tails;
+  for (int i = 0; i < 30; ++i) tails.push_back(StrFormat("N%03dXX", 100 + i));
+
+  // Pattern core: the operational columns analysts care about (few groups,
+  // profile-affine). Noise: calendar/id columns (many near-uniform groups).
+  spec.columns = {
+      ColumnSpec::Numeric("YEAR", {2015}, 0.0),
+      NoiseNumeric("MONTH", 1, 12, 12),
+      NoiseNumeric("DAY", 1, 31, 10),
+      NoiseNumeric("DAY_OF_WEEK", 1, 7, 7),
+      ColumnSpec::Categorical("AIRLINE", airlines, 0.8),
+      NoiseNumeric("FLIGHT_NUMBER", 1, 6000, 10),
+      ColumnSpec::Categorical("TAIL_NUMBER", tails, 0.3, 0.01),
+      ColumnSpec::Categorical("ORIGIN_AIRPORT", airports, 0.8),
+      ColumnSpec::Categorical("DESTINATION_AIRPORT", airports, 0.8),
+      TimeOfDay("SCHEDULED_DEPARTURE"),
+      TimeOfDay("DEPARTURE_TIME", 0.005),
+      ColumnSpec::Numeric("DEPARTURE_DELAY", {-5, 15, 65}, 4.0),
+      NoiseNumeric("TAXI_OUT", 4, 40, 6),
+      NoiseNumeric("WHEELS_OFF", 1, 2400, 8),
+      ColumnSpec::Numeric("SCHEDULED_TIME", {75, 150, 250, 350}, 12.0),
+      ColumnSpec::Numeric("ELAPSED_TIME", {75, 150, 250, 350}, 14.0),
+      ColumnSpec::Numeric("AIR_TIME", {60, 130, 230, 330}, 12.0),
+      ColumnSpec::Numeric("DISTANCE", {400, 900, 1600, 2400}, 90.0),
+      NoiseNumeric("WHEELS_ON", 1, 2400, 8),
+      NoiseNumeric("TAXI_IN", 2, 25, 6),
+      TimeOfDay("SCHEDULED_ARRIVAL"),
+      TimeOfDay("ARRIVAL_TIME", 0.005),
+      ColumnSpec::Numeric("ARRIVAL_DELAY", {-8, 12, 55}, 4.0),
+      ColumnSpec::Categorical("DIVERTED", {"0", "1"}, 3.0),
+      ColumnSpec::Categorical("CANCELLED", {"0", "1"}, 2.5),
+      ColumnSpec::Categorical("CANCELLATION_REASON", {"A", "B", "C", "D"}, 1.0, 0.9),
+      ColumnSpec::Numeric("AIR_SYSTEM_DELAY", {0, 30}, 5.0),
+      ColumnSpec::Numeric("SECURITY_DELAY", {0, 20}, 4.0),
+      ColumnSpec::Numeric("AIRLINE_DELAY", {0, 35}, 5.0),
+      ColumnSpec::Numeric("LATE_AIRCRAFT_DELAY", {0, 40}, 5.0),
+      ColumnSpec::Numeric("WEATHER_DELAY", {0, 25}, 4.0),
+  };
+
+  // Planted patterns — the prominent rules of Examples 1.2 / 3.5.
+  spec.patterns = {
+      {{{"AIR_TIME", 3}, {"DISTANCE", 3}},
+       {"CANCELLED", 0},
+       0.12,
+       0.95,
+       "long flights (AIR_TIME, DISTANCE high) are almost never cancelled"},
+      {{{"SCHEDULED_DEPARTURE", 2}, {"SCHEDULED_ARRIVAL", 2}, {"SCHEDULED_TIME", 0}},
+       {"CANCELLED", 1},
+       0.08,
+       0.85,
+       "short afternoon flights are likely to be cancelled"},
+      {{{"DEPARTURE_DELAY", 2}, {"SCHEDULED_TIME", 1}},
+       {"ARRIVAL_DELAY", 2},
+       0.10,
+       0.90,
+       "large departure delays on mid-length flights imply large arrival delays"},
+      {{{"AIRLINE", 0}, {"ORIGIN_AIRPORT", 0}},
+       {"DEPARTURE_DELAY", 0},
+       0.08,
+       0.80,
+       "AA flights out of ATL tend to leave early"},
+  };
+
+  // Cancelled flights blank their operational columns (cf. Fig. 1 / Fig. 3),
+  // and the five delay-breakdown columns are only populated for flights with
+  // a large arrival delay — exactly the real dataset's missingness, which
+  // makes "the last five columns contain only NaN" in arbitrary displays
+  // (Example 1.1) and creates the giant co-NaN rules of the delay block.
+  const std::vector<std::string> kDelayBreakdown = {
+      "AIR_SYSTEM_DELAY", "SECURITY_DELAY", "AIRLINE_DELAY", "LATE_AIRCRAFT_DELAY",
+      "WEATHER_DELAY"};
+  spec.nan_patterns = {
+      {"CANCELLED",
+       1,
+       {"DEPARTURE_TIME", "DEPARTURE_DELAY", "TAXI_OUT", "WHEELS_OFF", "ELAPSED_TIME",
+        "AIR_TIME", "WHEELS_ON", "TAXI_IN", "ARRIVAL_TIME", "ARRIVAL_DELAY"}},
+      {"ARRIVAL_DELAY", 0, kDelayBreakdown},  // Early arrivals: no breakdown.
+      {"ARRIVAL_DELAY", 1, kDelayBreakdown},  // Small delays: no breakdown.
+  };
+
+  // Flight-leg profiles (short-haul commuter, long-haul, red-eye, ...);
+  // more profiles than displayed rows, so medoids come from distinct
+  // behavioural clusters (real tables have many such clusters).
+  spec.num_profiles = 12;
+  spec.profile_zipf = 1.05;
+  // A compact, strongly correlated pattern core (the flight-profile columns)
+  // plus a weakly correlated periphery — like the real table, where rule
+  // mass concentrates on the handful of operational columns analysts reason
+  // about. CANCELLED stays profile-independent (cancellations are rare and
+  // noisy in reality); the planted patterns supply its structure.
+  SetAffinity(&spec,
+              {"SCHEDULED_DEPARTURE", "SCHEDULED_TIME", "ELAPSED_TIME", "AIR_TIME",
+               "DISTANCE", "SCHEDULED_ARRIVAL"},
+              0.75);
+  SetAffinity(&spec,
+              {"AIRLINE", "ORIGIN_AIRPORT", "DESTINATION_AIRPORT", "DEPARTURE_DELAY",
+               "ARRIVAL_DELAY"},
+              0.4);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+GeneratedDataset MakeCyber(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "CY";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  std::vector<std::string> src_ips;
+  for (int i = 0; i < 20; ++i) src_ips.push_back(StrFormat("10.0.%d.%d", i / 8, i));
+  std::vector<std::string> countries = {"CN", "US", "RU", "BR", "DE", "IN", "KR", "NL"};
+
+  spec.columns = {
+      NoiseNumeric("timestamp", 0, 86400, 12),
+      ColumnSpec::Categorical("src_ip", src_ips, 0.3),
+      ColumnSpec::Categorical("honeypot", {"hp-ams", "hp-sgp", "hp-nyc"}, 0.8),
+      NoiseNumeric("src_port", 1024, 65535, 10),
+      ColumnSpec::Numeric("dst_port", {22, 445, 1433, 3389}, 1.0),
+      ColumnSpec::Categorical("protocol", {"tcp", "udp", "icmp"}, 1.2),
+      ColumnSpec::Numeric("packets", {4, 60, 900}, 2.0),
+      ColumnSpec::Numeric("bytes", {300, 9000, 150000}, 80.0),
+      ColumnSpec::Numeric("duration", {1, 45, 320}, 0.8),
+      ColumnSpec::Categorical("alert_type",
+                              {"benign", "scan", "bruteforce", "dos", "malware"}, 1.0),
+      ColumnSpec::Numeric("severity", {1, 3, 5}, 0.3),
+      ColumnSpec::Categorical("action", {"allow", "deny", "drop"}, 1.0),
+      ColumnSpec::Categorical("country", countries, 0.4),
+      ColumnSpec::Categorical("tcp_flags", {"S", "SA", "FA", "R"}, 0.9),
+      ColumnSpec::Numeric("failed_logins", {0, 8, 40}, 1.0, 0.05),
+  };
+
+  spec.patterns = {
+      {{{"dst_port", 0}, {"failed_logins", 2}},
+       {"alert_type", 2},
+       0.10,
+       0.92,
+       "many failed logins on port 22 indicate brute force"},
+      {{{"packets", 2}, {"bytes", 2}},
+       {"alert_type", 3},
+       0.08,
+       0.90,
+       "huge packet and byte counts indicate DoS"},
+      {{{"protocol", 0}, {"dst_port", 3}, {"tcp_flags", 0}},
+       {"alert_type", 1},
+       0.12,
+       0.85,
+       "tcp SYN probes of port 3389 are scans"},
+      {{{"tcp_flags", 3}, {"action", 2}},
+       {"severity", 2},
+       0.08,
+       0.88,
+       "dropped RST-flag traffic is high severity"},
+  };
+
+  // Attack-campaign profiles (scanning wave, credential stuffing, ...).
+  spec.num_profiles = 10;
+  spec.profile_zipf = 1.05;
+  SetAffinity(&spec,
+              {"dst_port", "protocol", "packets", "bytes", "alert_type", "severity",
+               "action", "failed_logins"},
+              0.7);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+GeneratedDataset MakeSpotify(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "SP";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  std::vector<std::string> artists;
+  for (int i = 0; i < 40; ++i) artists.push_back(StrFormat("artist_%02d", i));
+
+  spec.columns = {
+      ColumnSpec::Categorical("artist", artists, 0.3),
+      ColumnSpec::Categorical("genre",
+                              {"pop", "rock", "hiphop", "edm", "jazz", "classical"},
+                              0.9),
+      ColumnSpec::Numeric("danceability", {0.35, 0.75}, 0.06),
+      ColumnSpec::Numeric("energy", {0.3, 0.8}, 0.07),
+      ColumnSpec::Numeric("loudness", {-12, -5}, 1.0),
+      NoiseNumeric("speechiness", 0.0, 0.5, 6),
+      ColumnSpec::Numeric("acousticness", {0.15, 0.8}, 0.08),
+      ColumnSpec::Numeric("instrumentalness", {0.05, 0.7}, 0.08),
+      NoiseNumeric("liveness", 0.0, 0.6, 6),
+      ColumnSpec::Numeric("valence", {0.3, 0.7}, 0.08),
+      ColumnSpec::Numeric("tempo", {92, 125, 160}, 8.0),
+      NoiseNumeric("duration_ms", 120000, 360000, 8),
+      ColumnSpec::Categorical("explicit", {"0", "1"}, 2.0),
+      ColumnSpec::Categorical("key", {"C", "D", "E", "F", "G", "A", "B"}, 0.2),
+      ColumnSpec::Numeric("popularity", {20, 50, 80}, 7.0),
+  };
+
+  spec.patterns = {
+      {{{"danceability", 1}, {"energy", 1}},
+       {"popularity", 2},
+       0.12,
+       0.88,
+       "danceable high-energy songs are popular"},
+      {{{"acousticness", 1}, {"instrumentalness", 1}},
+       {"popularity", 0},
+       0.10,
+       0.85,
+       "acoustic instrumental tracks stay niche"},
+      {{{"genre", 0}, {"explicit", 1}},
+       {"popularity", 2},
+       0.08,
+       0.80,
+       "explicit pop tracks chart high"},
+      {{{"tempo", 1}, {"valence", 1}},
+       {"danceability", 1},
+       0.10,
+       0.82,
+       "mid-tempo happy songs are danceable"},
+  };
+
+  // Style profiles (club track, singer-songwriter, ambient, ...).
+  spec.num_profiles = 10;
+  spec.profile_zipf = 1.05;
+  SetAffinity(&spec,
+              {"genre", "danceability", "energy", "acousticness", "instrumentalness",
+               "valence", "tempo", "explicit", "popularity"},
+              0.65);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+GeneratedDataset MakeCreditCard(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "CC";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  // All-numeric, like the original (PCA components V1..V28 + Time, Amount,
+  // Class) — the binning-heavy pre-processing case of Fig. 9. V1-V9 carry
+  // the transaction-mix structure; the higher components are near-noise,
+  // like the small-variance tail of a real PCA.
+  spec.columns.push_back(NoiseNumeric("Time", 0, 172800, 10));
+  for (int v = 1; v <= 28; ++v) {
+    if (v <= 9) {
+      if (v % 2 == 0) {
+        spec.columns.push_back(
+            ColumnSpec::Numeric(StrFormat("V%d", v), {-2.0, 2.0}, 0.7));
+      } else {
+        spec.columns.push_back(
+            ColumnSpec::Numeric(StrFormat("V%d", v), {-3.0, 0.0, 3.0}, 0.7));
+      }
+    } else {
+      spec.columns.push_back(NoiseNumeric(StrFormat("V%d", v), -4.0, 4.0, 6));
+    }
+  }
+  spec.columns.push_back(ColumnSpec::Numeric("Amount", {15, 120, 900}, 10.0));
+  // Fraud is rare (skew pushes ~90% of background to Class 0) and does not
+  // follow spending profiles — only the planted patterns predict it.
+  ColumnSpec cls = ColumnSpec::Numeric("Class", {0, 1}, 0.02);
+  cls.zipf_skew = 3.0;
+  spec.columns.push_back(std::move(cls));
+
+  spec.patterns = {
+      {{{"V1", 0}, {"V2", 1}, {"V3", 2}, {"V4", 0}},
+       {"Class", 1},
+       0.05,
+       0.90,
+       "the V1-V4 fraud signature"},
+      {{{"Amount", 2}, {"V4", 1}, {"V7", 1}},
+       {"Class", 1},
+       0.04,
+       0.85,
+       "large amounts with the V4/V7 signature are fraudulent"},
+      {{{"V5", 1}, {"V6", 0}},
+       {"Class", 0},
+       0.15,
+       0.95,
+       "V5 mid + V6 low is ordinary traffic"},
+  };
+
+  // Spending profiles (groceries, travel, online, ...). The leading PCA
+  // components of the real dataset correlate through the transaction mix.
+  spec.num_profiles = 8;
+  spec.profile_zipf = 1.05;
+  SetAffinity(&spec,
+              {"V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8", "V9", "Amount"},
+              0.6);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+GeneratedDataset MakeUsFunds(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "USF";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  std::vector<std::string> families;
+  for (int i = 0; i < 25; ++i) families.push_back(StrFormat("family_%02d", i));
+
+  spec.columns = {
+      ColumnSpec::Categorical("category",
+                              {"large_blend", "large_growth", "small_value", "bond",
+                               "international", "sector"},
+                              0.9),
+      ColumnSpec::Categorical("fund_family", families, 0.3),
+      ColumnSpec::Categorical("investment_type", {"equity", "fixed_income", "mixed"},
+                              1.0),
+      ColumnSpec::Categorical("size_type", {"large", "medium", "small"}, 0.9),
+      ColumnSpec::Numeric("rating", {1, 3, 5}, 0.4),
+      ColumnSpec::Numeric("risk_rating", {1, 3, 5}, 0.4),
+      ColumnSpec::Numeric("expense_ratio", {0.2, 0.9, 1.8}, 0.1),
+      NoiseNumeric("total_assets", 1e7, 1e10, 8),
+      ColumnSpec::Numeric("yield", {0.5, 2.5, 5.0}, 0.3),
+      NoiseNumeric("turnover", 5, 250, 8),
+  };
+  // Yearly return / alpha / beta panels — the wide numeric tail of the
+  // original 298-column table (scaled to 60 columns total). Returns follow
+  // the fund's profile; the per-year risk diagnostics are high-entropy.
+  for (int year = 2010; year < 2020; ++year) {
+    spec.columns.push_back(ColumnSpec::Numeric(StrFormat("return_%d", year),
+                                               {-8, 4, 14}, 2.0, 0.05));
+    spec.columns.push_back(NoiseNumeric(StrFormat("alpha_%d", year), -4, 4, 6, 0.08));
+    spec.columns.push_back(NoiseNumeric(StrFormat("beta_%d", year), 0.4, 1.6, 6, 0.08));
+    spec.columns.push_back(
+        NoiseNumeric(StrFormat("sharpe_%d", year), -1, 2.5, 6, 0.08));
+    spec.columns.push_back(NoiseNumeric(StrFormat("stdev_%d", year), 4, 26, 6, 0.08));
+  }
+
+  spec.patterns = {
+      {{{"investment_type", 1}, {"risk_rating", 0}},
+       {"return_2019", 0},
+       0.12,
+       0.85,
+       "low-risk fixed income funds return little"},
+      {{{"category", 1}, {"size_type", 2}},
+       {"return_2019", 2},
+       0.08,
+       0.90,
+       "small growth funds outperform"},
+      {{{"expense_ratio", 2}},
+       {"rating", 0},
+       0.10,
+       0.75,
+       "expensive funds rate poorly"},
+  };
+
+  // Fund-style profiles (index tracker, aggressive growth, income, ...).
+  spec.num_profiles = 8;
+  spec.profile_zipf = 1.05;
+  std::vector<std::string> core = {"category",      "investment_type", "size_type",
+                                   "rating",        "risk_rating",     "expense_ratio",
+                                   "yield"};
+  for (int year = 2010; year < 2020; ++year) {
+    core.push_back(StrFormat("return_%d", year));
+  }
+  SetAffinity(&spec, core, 0.6);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+GeneratedDataset MakeBankLoans(size_t num_rows, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "BL";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+
+  spec.columns = {
+      ColumnSpec::Categorical("loan_status", {"Fully Paid", "Charged Off"}, 2.0),
+      ColumnSpec::Numeric("current_loan_amount", {5000, 15000, 32000}, 1500.0),
+      ColumnSpec::Categorical("term", {"Short Term", "Long Term"}, 1.5),
+      ColumnSpec::Numeric("credit_score", {595, 680, 745}, 12.0, 0.08),
+      ColumnSpec::Numeric("annual_income", {28000, 62000, 120000}, 6000.0, 0.08),
+      ColumnSpec::Categorical("years_in_job", {"<1", "1-3", "4-9", "10+"}, 0.4),
+      ColumnSpec::Categorical("home_ownership", {"Rent", "Mortgage", "Own"}, 0.9),
+      ColumnSpec::Categorical("purpose",
+                              {"debt_consolidation", "home_improvement", "business",
+                               "medical", "other"},
+                              0.9),
+      NoiseNumeric("monthly_debt", 100, 4000, 8),
+      NoiseNumeric("years_credit_history", 2, 40, 8),
+      ColumnSpec::Numeric("months_since_delinquent", {10, 35, 70}, 5.0, 0.5),
+      NoiseNumeric("open_accounts", 1, 30, 8),
+      ColumnSpec::Numeric("credit_problems", {0, 1, 3}, 0.2),
+      NoiseNumeric("credit_balance", 1000, 90000, 8),
+      NoiseNumeric("max_open_credit", 5000, 200000, 8),
+      ColumnSpec::Numeric("bankruptcies", {0, 1}, 0.05),
+      ColumnSpec::Numeric("tax_liens", {0, 1}, 0.05),
+      ColumnSpec::Numeric("utilization", {0.2, 0.55, 0.9}, 0.05),
+      ColumnSpec::Numeric("dti", {0.1, 0.25, 0.45}, 0.03),
+  };
+
+  spec.patterns = {
+      {{{"credit_score", 2}, {"annual_income", 2}},
+       {"loan_status", 0},
+       0.12,
+       0.93,
+       "high credit score + high income repay in full"},
+      {{{"credit_problems", 2}, {"bankruptcies", 1}},
+       {"loan_status", 1},
+       0.07,
+       0.90,
+       "credit problems + bankruptcy lead to charge-off"},
+      {{{"term", 1}, {"current_loan_amount", 2}, {"utilization", 2}},
+       {"loan_status", 1},
+       0.08,
+       0.85,
+       "long-term large loans at high utilization default"},
+      {{{"dti", 0}, {"credit_score", 2}},
+       {"utilization", 0},
+       0.10,
+       0.80,
+       "low debt-to-income borrowers keep utilization low"},
+  };
+
+  // Borrower profiles (prime, subprime, small-business, ...).
+  spec.num_profiles = 10;
+  spec.profile_zipf = 1.05;
+  SetAffinity(&spec,
+              {"loan_status", "current_loan_amount", "term", "credit_score",
+               "annual_income", "home_ownership", "purpose", "credit_problems",
+               "bankruptcies", "tax_liens", "utilization", "dti"},
+              0.6);
+  AvoidProfileCollisions(&spec);
+  return GenerateDataset(spec);
+}
+
+std::string DatasetTargetColumn(const std::string& dataset_name) {
+  if (dataset_name == "FL") return "CANCELLED";
+  if (dataset_name == "SP") return "popularity";
+  if (dataset_name == "CC") return "Class";
+  if (dataset_name == "BL") return "loan_status";
+  if (dataset_name == "CY") return "alert_type";
+  if (dataset_name == "USF") return "rating";
+  return "";
+}
+
+}  // namespace subtab

@@ -1,0 +1,39 @@
+#ifndef SUBTAB_DATA_DATASETS_H_
+#define SUBTAB_DATA_DATASETS_H_
+
+#include "subtab/data/generator.h"
+
+/// \file datasets.h
+/// Emulators for the paper's six evaluation datasets (Sec. 6.1), built on
+/// the planted-pattern generator. Shapes match the paper's column counts;
+/// row counts default to ~1/100 of the originals (the `num_rows` parameter
+/// scales further). Every dataset exposes its planted patterns as ground
+/// truth (GeneratedDataset::spec.patterns) for the simulated user study.
+///
+///   paper             here (default rows x cols)
+///   FL  6M x 31    -> MakeFlights    60,000 x 31
+///   CY  30K x 15   -> MakeCyber      30,000 x 15
+///   SP  42K x 15   -> MakeSpotify    42,000 x 15
+///   CC  250K x 31  -> MakeCreditCard 50,000 x 31 (all-numeric, like the
+///                                    original — the binning-heavy case of
+///                                    Fig. 9)
+///   USF 23.5K x 298-> MakeUsFunds     5,000 x 60 (column count scaled too;
+///                                    USF appears in no figure)
+///   BL  110K x 19  -> MakeBankLoans  20,000 x 19
+
+namespace subtab {
+
+GeneratedDataset MakeFlights(size_t num_rows = 60000, uint64_t seed = 101);
+GeneratedDataset MakeCyber(size_t num_rows = 30000, uint64_t seed = 202);
+GeneratedDataset MakeSpotify(size_t num_rows = 42000, uint64_t seed = 303);
+GeneratedDataset MakeCreditCard(size_t num_rows = 50000, uint64_t seed = 404);
+GeneratedDataset MakeUsFunds(size_t num_rows = 5000, uint64_t seed = 505);
+GeneratedDataset MakeBankLoans(size_t num_rows = 20000, uint64_t seed = 606);
+
+/// Name of the target column conventionally analyzed in each dataset
+/// (CANCELLED for FL, popularity for SP, ...); empty if none.
+std::string DatasetTargetColumn(const std::string& dataset_name);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_DATA_DATASETS_H_

@@ -1,0 +1,95 @@
+#include "subtab/data/example_fixture.h"
+
+#include <algorithm>
+#include <map>
+
+namespace subtab {
+
+Table MakeExampleTable() {
+  // Fig. 3, rows 1-8. Empty string = null (the DEP._TIME NaNs).
+  Column cancelled = Column::Categorical(
+      "CANCELLED", {"1", "1", "1", "1", "0", "0", "0", "0"});
+  Column dep_time = Column::Categorical(
+      "DEP._TIME", {"", "", "", "", "morning", "morning", "evening", "evening"});
+  Column year = Column::Categorical(
+      "YEAR", {"2015", "2015", "2015", "2015", "2016", "2015", "2015", "2015"});
+  Column sched_dep = Column::Categorical(
+      "SCHED._DEP.", {"afternoon", "afternoon", "morning", "morning", "morning",
+                      "morning", "evening", "afternoon"});
+  Column distance = Column::Categorical(
+      "DISTANCE", {"short", "medium", "medium", "short", "medium", "medium", "long",
+                   "long"});
+  Result<Table> table = Table::Make({std::move(cancelled), std::move(dep_time),
+                                     std::move(year), std::move(sched_dep),
+                                     std::move(distance)});
+  SUBTAB_CHECK(table.ok());
+  return std::move(table).value();
+}
+
+RuleSet EnumerateRuleFamily(const BinnedTable& binned, size_t rhs_col,
+                            size_t min_lhs_columns, size_t min_rows) {
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+  SUBTAB_CHECK(rhs_col < m);
+  SUBTAB_CHECK(m <= 20);  // Bitmask enumeration of column subsets.
+
+  std::vector<size_t> lhs_cols_all;
+  for (size_t c = 0; c < m; ++c) {
+    if (c != rhs_col) lhs_cols_all.push_back(c);
+  }
+
+  RuleSet out;
+  // For every subset of lhs columns of size >= min_lhs_columns, candidate
+  // lhs assignments are the distinct projections of actual rows (any other
+  // assignment holds for zero rows).
+  const size_t subsets = size_t{1} << lhs_cols_all.size();
+  for (size_t mask = 1; mask < subsets; ++mask) {
+    std::vector<size_t> cols;
+    for (size_t i = 0; i < lhs_cols_all.size(); ++i) {
+      if (mask & (size_t{1} << i)) cols.push_back(lhs_cols_all[i]);
+    }
+    if (cols.size() < min_lhs_columns) continue;
+
+    // Count (lhs tokens, rhs token) co-occurrences and lhs totals.
+    std::map<std::vector<Token>, std::map<Token, size_t>> joint;
+    std::map<std::vector<Token>, size_t> lhs_count;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<Token> lhs;
+      lhs.reserve(cols.size());
+      for (size_t c : cols) lhs.push_back(binned.token(r, c));
+      ++joint[lhs][binned.token(r, rhs_col)];
+      ++lhs_count[lhs];
+    }
+    for (const auto& [lhs, rhs_counts] : joint) {
+      for (const auto& [rhs_token, count] : rhs_counts) {
+        if (count < min_rows) continue;
+        Rule rule;
+        rule.lhs = lhs;
+        std::sort(rule.lhs.begin(), rule.lhs.end());
+        rule.rhs = {rhs_token};
+        rule.support = static_cast<double>(count) / static_cast<double>(n);
+        rule.confidence =
+            static_cast<double>(count) / static_cast<double>(lhs_count.at(lhs));
+        out.rules.push_back(std::move(rule));
+      }
+    }
+  }
+  std::sort(out.rules.begin(), out.rules.end());
+  return out;
+}
+
+std::vector<size_t> ExampleSubTableRows() { return {0, 4, 6}; }
+
+std::vector<size_t> ExampleSubTable1Cols() {
+  return {kExampleCancelled, kExampleDepTime, kExampleYear, kExampleDistance};
+}
+
+std::vector<size_t> ExampleSubTable2Cols() {
+  return {kExampleCancelled, kExampleDepTime, kExampleYear, kExampleSchedDep};
+}
+
+std::vector<size_t> ExampleSubTable3Cols() {
+  return {kExampleCancelled, kExampleDepTime, kExampleSchedDep, kExampleDistance};
+}
+
+}  // namespace subtab

@@ -1,0 +1,201 @@
+#include "subtab/data/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+ColumnSpec ColumnSpec::Numeric(std::string name, std::vector<double> centers,
+                               double spread, double nan_probability) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kNumeric;
+  spec.group_centers = std::move(centers);
+  spec.group_spread = spread;
+  spec.nan_probability = nan_probability;
+  return spec;
+}
+
+ColumnSpec ColumnSpec::Categorical(std::string name, std::vector<std::string> categories,
+                                   double zipf_skew, double nan_probability) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kCategorical;
+  spec.categories = std::move(categories);
+  spec.zipf_skew = zipf_skew;
+  spec.nan_probability = nan_probability;
+  return spec;
+}
+
+size_t DatasetSpec::PreferredGroup(size_t profile, size_t column) const {
+  SUBTAB_CHECK(column < columns.size());
+  const size_t groups = columns[column].num_groups();
+  // Deterministic pseudo-random profile->group mapping (SplitMix64-style
+  // mix) so distinct profiles disagree on many columns.
+  uint64_t h = profile * 0x9e3779b97f4a7c15ULL + column * 0xbf58476d1ce4e5b9ULL + seed;
+  h ^= h >> 31;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 29;
+  return static_cast<size_t>(h % groups);
+}
+
+size_t GeneratedDataset::ColumnIndex(const std::string& name) const {
+  auto idx = table.schema().IndexOf(name);
+  SUBTAB_CHECK(idx.has_value());
+  return *idx;
+}
+
+namespace {
+
+/// Cell state during generation: group assignment per (row, column);
+/// kFree marks cells awaiting a background draw.
+constexpr int32_t kFree = -1;
+
+}  // namespace
+
+GeneratedDataset GenerateDataset(const DatasetSpec& spec) {
+  const size_t n = spec.num_rows;
+  const size_t m = spec.columns.size();
+  SUBTAB_CHECK(n > 0 && m > 0);
+  Rng rng(spec.seed);
+
+  std::unordered_map<std::string, size_t> col_index;
+  for (size_t c = 0; c < m; ++c) {
+    SUBTAB_CHECK(spec.columns[c].num_groups() > 0);
+    col_index.emplace(spec.columns[c].name, c);
+  }
+  auto index_of = [&col_index](const std::string& name) {
+    auto it = col_index.find(name);
+    SUBTAB_CHECK(it != col_index.end());
+    return it->second;
+  };
+
+  // ---- Partition rows into pattern regions + background. ------------------
+  double total_support = 0.0;
+  for (const auto& p : spec.patterns) total_support += p.support;
+  SUBTAB_CHECK(total_support <= 0.9);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  // Group assignment matrix, row-major.
+  std::vector<int32_t> group(n * m, kFree);
+
+  size_t cursor = 0;
+  for (const auto& pattern : spec.patterns) {
+    const size_t region = static_cast<size_t>(pattern.support * static_cast<double>(n));
+    SUBTAB_CHECK(cursor + region <= n);
+    const size_t rhs_col = index_of(pattern.rhs.first);
+    const size_t rhs_groups = spec.columns[rhs_col].num_groups();
+    SUBTAB_CHECK(pattern.rhs.second < rhs_groups);
+
+    for (size_t i = 0; i < region; ++i) {
+      const size_t row = order[cursor + i];
+      for (const auto& [col_name, grp] : pattern.lhs) {
+        const size_t c = index_of(col_name);
+        SUBTAB_CHECK(grp < spec.columns[c].num_groups());
+        group[row * m + c] = static_cast<int32_t>(grp);
+      }
+      if (rng.Bernoulli(pattern.confidence) || rhs_groups == 1) {
+        group[row * m + rhs_col] = static_cast<int32_t>(pattern.rhs.second);
+      } else {
+        // Confidence miss: any *other* group of the rhs column.
+        size_t other = rng.Uniform(rhs_groups - 1);
+        if (other >= pattern.rhs.second) ++other;
+        group[row * m + rhs_col] = static_cast<int32_t>(other);
+      }
+    }
+    cursor += region;
+  }
+
+  // ---- Latent row profiles (cross-column correlation). --------------------
+  std::vector<size_t> profile(n, 0);
+  if (spec.num_profiles > 0) {
+    for (size_t r = 0; r < n; ++r) {
+      profile[r] = rng.Zipf(spec.num_profiles, spec.profile_zipf);
+    }
+  }
+
+  // ---- Resolve background cells. -------------------------------------------
+  // Groups are decided for *every* cell before NaN handling so that NaN
+  // co-patterns also fire on background rows that happen to land in the
+  // trigger group (e.g. background-cancelled flights must blank their
+  // operational columns too). A cell follows its row's profile with
+  // probability profile_affinity, otherwise the Zipf background.
+  std::vector<char> forced(n * m, 0);  // Pattern-forced cells keep values.
+  for (size_t i = 0; i < group.size(); ++i) forced[i] = (group[i] != kFree);
+  for (size_t c = 0; c < m; ++c) {
+    const size_t groups = spec.columns[c].num_groups();
+    const double skew = spec.columns[c].zipf_skew;
+    const double affinity = spec.columns[c].profile_affinity;
+    for (size_t r = 0; r < n; ++r) {
+      if (group[r * m + c] != kFree) continue;
+      if (spec.num_profiles > 0 && affinity > 0.0 && rng.Bernoulli(affinity)) {
+        group[r * m + c] =
+            static_cast<int32_t>(spec.PreferredGroup(profile[r], c));
+      } else {
+        group[r * m + c] = static_cast<int32_t>(rng.Zipf(groups, skew));
+      }
+    }
+  }
+
+  // ---- Background NaN noise (never blanks pattern-forced cells). ----------
+  std::vector<char> null_mask(n * m, 0);
+  for (size_t c = 0; c < m; ++c) {
+    const double p = spec.columns[c].nan_probability;
+    if (p <= 0.0) continue;
+    for (size_t r = 0; r < n; ++r) {
+      if (!forced[r * m + c] && rng.Bernoulli(p)) null_mask[r * m + c] = 1;
+    }
+  }
+
+  // ---- NaN co-patterns (these *do* override: cancellation blanks cells). --
+  for (const auto& nan_pattern : spec.nan_patterns) {
+    const size_t trigger = index_of(nan_pattern.trigger_column);
+    for (size_t r = 0; r < n; ++r) {
+      if (null_mask[r * m + trigger]) continue;  // Trigger cell itself null.
+      if (group[r * m + trigger] ==
+          static_cast<int32_t>(nan_pattern.trigger_group)) {
+        for (const auto& name : nan_pattern.nan_columns) {
+          null_mask[r * m + index_of(name)] = 1;
+        }
+      }
+    }
+  }
+
+  // ---- Materialize values. -------------------------------------------------
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (size_t c = 0; c < m; ++c) {
+    const ColumnSpec& cs = spec.columns[c];
+    Column col(cs.name, cs.type);
+    col.Reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (null_mask[r * m + c]) {
+        col.AppendNull();
+        continue;
+      }
+      const int32_t g = group[r * m + c];
+      SUBTAB_DCHECK(g >= 0);
+      if (cs.type == ColumnType::kNumeric) {
+        col.AppendNumeric(rng.Normal(cs.group_centers[static_cast<size_t>(g)],
+                                     cs.group_spread));
+      } else {
+        col.AppendCategorical(cs.categories[static_cast<size_t>(g)]);
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+
+  Result<Table> table = Table::Make(std::move(columns));
+  SUBTAB_CHECK(table.ok());
+  GeneratedDataset out;
+  out.table = std::move(table).value();
+  out.spec = spec;
+  return out;
+}
+
+}  // namespace subtab

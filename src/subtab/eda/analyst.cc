@@ -1,0 +1,107 @@
+#include "subtab/eda/analyst.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "subtab/util/bitset.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+AnalystReport SimulateAnalyst(const BinnedTable& binned,
+                              const std::vector<size_t>& row_ids,
+                              const std::vector<size_t>& col_ids,
+                              const AnalystOptions& options) {
+  AnalystReport report;
+
+  // ---- What the analyst sees: co-occurrence counts in the display. --------
+  std::map<std::pair<Token, Token>, size_t> pair_counts;
+  for (size_t r : row_ids) {
+    for (size_t i = 0; i < col_ids.size(); ++i) {
+      for (size_t j = i + 1; j < col_ids.size(); ++j) {
+        Token a = binned.token(r, col_ids[i]);
+        Token b = binned.token(r, col_ids[j]);
+        if (a > b) std::swap(a, b);
+        ++pair_counts[{a, b}];
+      }
+    }
+  }
+
+  struct Candidate {
+    Token a;
+    Token b;
+    size_t repeats;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [pair, count] : pair_counts) {
+    if (count < options.min_repeats) continue;
+    if (options.focus_column >= 0) {
+      const auto focus = static_cast<uint32_t>(options.focus_column);
+      if (TokenColumn(pair.first) != focus && TokenColumn(pair.second) != focus) {
+        continue;  // Off-topic for the analysis task.
+      }
+    }
+    candidates.push_back({pair.first, pair.second, count});
+  }
+  // Salience order: most repeated first, deterministic tie-break.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     if (x.repeats != y.repeats) return x.repeats > y.repeats;
+                     if (x.a != y.a) return x.a < y.a;
+                     return x.b < y.b;
+                   });
+  if (candidates.empty()) return report;
+
+  // ---- Fact-check each insight against the full table. --------------------
+  const size_t n = binned.num_rows();
+  std::unordered_map<Token, Bitset> tids;
+  for (size_t r = 0; r < n; ++r) {
+    const Token* row = binned.row_data(r);
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      auto [it, inserted] = tids.try_emplace(row[c], Bitset(n));
+      it->second.Set(r);
+    }
+  }
+
+  // Drop trivial candidates ("almost every row has this value anyway").
+  const auto trivial = [&](Token t) {
+    return static_cast<double>(tids.at(t).Count()) >
+           options.max_token_support * static_cast<double>(n);
+  };
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](const Candidate& c) {
+                                    return trivial(c.a) || trivial(c.b);
+                                  }),
+                   candidates.end());
+  if (candidates.size() > options.max_insights) {
+    candidates.resize(options.max_insights);
+  }
+
+  for (const Candidate& cand : candidates) {
+    const Bitset& ta = tids.at(cand.a);
+    const Bitset& tb = tids.at(cand.b);
+    const size_t joint = Bitset::IntersectionCount(ta, tb);
+    const size_t ca = ta.Count();
+    const size_t cb = tb.Count();
+    const double support = static_cast<double>(joint) / static_cast<double>(n);
+    const double conf_ab = ca == 0 ? 0.0 : static_cast<double>(joint) / ca;
+    const double conf_ba = cb == 0 ? 0.0 : static_cast<double>(joint) / cb;
+
+    Insight insight;
+    insight.a = cand.a;
+    insight.b = cand.b;
+    insight.repeats = cand.repeats;
+    insight.correct = support >= options.truth_support &&
+                      std::max(conf_ab, conf_ba) >= options.truth_confidence;
+    insight.text = StrFormat("%s goes with %s (seen %zux)",
+                             binned.TokenLabel(cand.a).c_str(),
+                             binned.TokenLabel(cand.b).c_str(), cand.repeats);
+    report.num_correct += insight.correct ? 1 : 0;
+    report.insights.push_back(std::move(insight));
+  }
+  report.num_total = report.insights.size();
+  return report;
+}
+
+}  // namespace subtab

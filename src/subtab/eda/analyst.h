@@ -1,0 +1,74 @@
+#ifndef SUBTAB_EDA_ANALYST_H_
+#define SUBTAB_EDA_ANALYST_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/data/generator.h"
+#include "subtab/eda/session.h"
+
+/// \file analyst.h
+/// The simulated analyst behind our reproduction of the user study
+/// (Table 1). The live study asked 15 participants to write down insights
+/// while looking only at displayed sub-tables, then manually marked each
+/// insight correct or statistically wrong. The simulation does exactly
+/// that, mechanically:
+///
+///   * the analyst sees ONLY the displayed k x l sub-table (binned);
+///   * any (col=bin, col=bin) conjunction recurring in >= `min_repeats`
+///     displayed rows *looks like* a pattern and is reported as an insight;
+///   * an insight is *correct* iff the association actually holds in the
+///     full table (confidence >= `truth_confidence` in either direction and
+///     joint support >= `truth_support`) — the mechanical analogue of the
+///     authors' statistical fact-check.
+///
+/// Misleading sub-tables (random draws, repetitive clusters) surface
+/// spurious repetitions that fail the fact-check, reproducing the paper's
+/// observation that RAN/NC users "reached false conclusions since many of
+/// the sub-tables were misleading".
+
+namespace subtab {
+
+struct AnalystOptions {
+  /// Repetitions within the display that make a co-occurrence look like a
+  /// pattern to the analyst.
+  size_t min_repeats = 2;
+  /// How many insights one analyst reports per task (most salient first).
+  size_t max_insights = 6;
+  /// Full-table thresholds for an insight to be factually correct.
+  double truth_support = 0.03;
+  double truth_confidence = 0.6;
+  /// Task focus: if >= 0, only co-occurrences touching this column count as
+  /// insights (the study's tasks were target-driven, e.g. "what makes songs
+  /// popular"; off-topic observations were discarded by the authors).
+  int focus_column = -1;
+  /// Tokens more frequent than this fraction of rows are too trivial to
+  /// report ("all flights are from 2015" is not an insight).
+  double max_token_support = 0.9;
+};
+
+/// One reported insight.
+struct Insight {
+  Token a = 0;
+  Token b = 0;
+  size_t repeats = 0;   ///< Occurrences in the displayed sub-table.
+  bool correct = false; ///< Passes the full-table fact-check.
+  std::string text;
+};
+
+/// The outcome of one simulated analysis task.
+struct AnalystReport {
+  std::vector<Insight> insights;
+  size_t num_correct = 0;
+  size_t num_total = 0;
+};
+
+/// Runs the simulated analyst on one displayed sub-table.
+AnalystReport SimulateAnalyst(const BinnedTable& binned,
+                              const std::vector<size_t>& row_ids,
+                              const std::vector<size_t>& col_ids,
+                              const AnalystOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EDA_ANALYST_H_

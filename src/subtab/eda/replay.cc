@@ -1,0 +1,37 @@
+#include "subtab/eda/replay.h"
+
+#include "subtab/util/stopwatch.h"
+
+namespace subtab {
+
+ReplayStats ReplaySessions(const Table& table, const BinnedTable& binned,
+                           const std::vector<Session>& sessions, size_t k, size_t l,
+                           const SelectorFn& selector) {
+  ReplayStats stats;
+  for (const Session& session : sessions) {
+    for (size_t i = 0; i + 1 < session.steps.size(); ++i) {
+      const SessionStep& step = session.steps[i];
+      const SessionStep& next = session.steps[i + 1];
+
+      Result<QueryResult> result = RunQuery(table, step.query);
+      SUBTAB_CHECK(result.ok());
+      if (result->row_ids.empty()) continue;
+
+      Stopwatch watch;
+      auto [rows, cols] = selector(result->row_ids, result->col_ids, k, l);
+      stats.total_selection_seconds += watch.ElapsedSeconds();
+
+      ++stats.steps_scored;
+      if (FragmentCaptured(next.fragment, binned, rows, cols)) {
+        ++stats.fragments_captured;
+      }
+    }
+  }
+  if (stats.steps_scored > 0) {
+    stats.capture_rate = static_cast<double>(stats.fragments_captured) /
+                         static_cast<double>(stats.steps_scored);
+  }
+  return stats;
+}
+
+}  // namespace subtab

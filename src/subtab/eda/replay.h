@@ -1,0 +1,39 @@
+#ifndef SUBTAB_EDA_REPLAY_H_
+#define SUBTAB_EDA_REPLAY_H_
+
+#include <functional>
+
+#include "subtab/eda/session.h"
+
+/// \file replay.h
+/// The simulation-based study of Sec. 6.2.2: replay each session, build a
+/// sub-table after every step with a given algorithm, and measure the
+/// fraction of next-step fragments that already appear in the displayed
+/// sub-table (Fig. 6 reports this versus sub-table width).
+
+namespace subtab {
+
+/// A sub-table selection strategy: given the visible scope (query result
+/// rows/columns in source ids), produce k rows and l columns.
+using SelectorFn = std::function<std::pair<std::vector<size_t>, std::vector<size_t>>(
+    const std::vector<size_t>& rows, const std::vector<size_t>& cols, size_t k,
+    size_t l)>;
+
+/// Aggregate capture statistics of one replay run.
+struct ReplayStats {
+  size_t steps_scored = 0;       ///< Steps with a successor (fragments tested).
+  size_t fragments_captured = 0;
+  double capture_rate = 0.0;     ///< captured / scored.
+  double total_selection_seconds = 0.0;
+};
+
+/// Replays `sessions` over the table behind `binned`, building a k x l
+/// sub-table after each step with `selector` and testing the next step's
+/// fragment. `table` must be the source table of `binned`.
+ReplayStats ReplaySessions(const Table& table, const BinnedTable& binned,
+                           const std::vector<Session>& sessions, size_t k, size_t l,
+                           const SelectorFn& selector);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EDA_REPLAY_H_

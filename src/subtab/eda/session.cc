@@ -1,0 +1,70 @@
+#include "subtab/eda/session.h"
+
+#include <algorithm>
+
+namespace subtab {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFilter:
+      return "filter";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kGroupBy:
+      return "group_by";
+    case OpKind::kSort:
+      return "sort";
+  }
+  return "?";
+}
+
+bool FragmentCaptured(const Fragment& fragment, const BinnedTable& binned,
+                      const std::vector<size_t>& row_ids,
+                      const std::vector<size_t>& col_ids) {
+  // Resolve the fragment's column.
+  const auto& names = binned.column_names();
+  size_t col = names.size();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c] == fragment.column) {
+      col = c;
+      break;
+    }
+  }
+  SUBTAB_CHECK(col < names.size());
+  if (std::find(col_ids.begin(), col_ids.end(), col) == col_ids.end()) return false;
+  if (!fragment.has_value) return true;
+
+  // A valued fragment is captured if some displayed cell of the column falls
+  // in the same bin as the value.
+  const ColumnBinning& cb = binned.binning().column(col);
+  uint32_t want_bin;
+  if (fragment.value_is_numeric) {
+    SUBTAB_CHECK(cb.type == ColumnType::kNumeric);
+    want_bin = cb.BinOfNumeric(fragment.num_value);
+  } else {
+    SUBTAB_CHECK(cb.type == ColumnType::kCategorical);
+    // Locate the label among the bin labels (top categories keep their own
+    // label; tail categories live in "other").
+    want_bin = cb.num_value_bins;  // Sentinel: not found -> "other" bin if any.
+    for (uint32_t b = 0; b < cb.num_value_bins; ++b) {
+      if (cb.labels[b] == fragment.str_value) {
+        want_bin = b;
+        break;
+      }
+    }
+    if (want_bin == cb.num_value_bins) {
+      // Tail category: it lives in the "other" bin iff one exists.
+      bool has_other = cb.num_value_bins > 0 &&
+                       cb.labels[cb.num_value_bins - 1] == "other";
+      if (!has_other) return false;
+      want_bin = cb.num_value_bins - 1;
+    }
+  }
+  const Token want = MakeToken(static_cast<uint32_t>(col), want_bin);
+  for (size_t r : row_ids) {
+    if (binned.token(r, col) == want) return true;
+  }
+  return false;
+}
+
+}  // namespace subtab

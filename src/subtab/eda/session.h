@@ -1,0 +1,60 @@
+#ifndef SUBTAB_EDA_SESSION_H_
+#define SUBTAB_EDA_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/core/subtab.h"
+#include "subtab/table/query.h"
+
+/// \file session.h
+/// EDA-session model for the simulation study of Sec. 6.2.2. A session is a
+/// series of exploratory steps (select / project / group-by / sort); each
+/// step carries the *fragment* it introduces — the parameter an analyst had
+/// to come up with (a selection term, a group-by attribute, ...). The study
+/// asks: does the fragment of step i+1 already appear in the sub-table
+/// displayed after step i?
+
+namespace subtab {
+
+/// The exploration operation kinds the replayed sessions use (Sec. 6.2.2:
+/// "select, project, group-by, and sort operations").
+enum class OpKind { kFilter, kProject, kGroupBy, kSort };
+
+const char* OpKindName(OpKind kind);
+
+/// The parameter of one step that a sub-table could have suggested.
+struct Fragment {
+  std::string column;           ///< Referenced column (all op kinds).
+  bool has_value = false;       ///< Filters also carry a value.
+  bool value_is_numeric = true;
+  double num_value = 0.0;
+  std::string str_value;
+};
+
+/// One step of a session.
+struct SessionStep {
+  OpKind kind = OpKind::kFilter;
+  Fragment fragment;
+  /// The cumulative SP query visible *after* this step executes (filters are
+  /// conjunctive; projection replaces; sort applies to the result).
+  SpQuery query;
+};
+
+/// One recorded exploration session.
+struct Session {
+  std::vector<SessionStep> steps;
+};
+
+/// True iff `fragment` appears in the displayed sub-table: its column is
+/// among the selected columns and, for valued fragments, some displayed cell
+/// of that column falls in the same bin as the value (the notion of
+/// "appears" the paper uses for selection terms).
+bool FragmentCaptured(const Fragment& fragment, const BinnedTable& binned,
+                      const std::vector<size_t>& row_ids,
+                      const std::vector<size_t>& col_ids);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EDA_SESSION_H_

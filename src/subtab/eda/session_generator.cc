@@ -1,0 +1,170 @@
+#include "subtab/eda/session_generator.h"
+
+#include <algorithm>
+
+namespace subtab {
+namespace {
+
+/// A (column, concrete value) pick for a step parameter.
+struct ValuePick {
+  size_t col = 0;
+  bool is_numeric = true;
+  double num_value = 0.0;
+  std::string str_value;
+};
+
+/// Draws a parameter: with `pattern_bias`, a random conjunct of a random
+/// planted pattern (materialized as a concrete value from a matching row);
+/// otherwise a uniformly random (column, row-value) pair.
+ValuePick DrawPick(const GeneratedDataset& dataset,
+                   const std::vector<size_t>& visible_rows, double pattern_bias,
+                   Rng* rng) {
+  const Table& t = dataset.table;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    size_t col;
+    const ColumnSpec* pattern_group = nullptr;
+    size_t group = 0;
+    if (!dataset.spec.patterns.empty() && rng->Bernoulli(pattern_bias)) {
+      const PlantedPattern& p =
+          dataset.spec.patterns[rng->Uniform(dataset.spec.patterns.size())];
+      // Pick a conjunct: lhs entries or the rhs. Analysts chase the pattern
+      // *values* they noticed, so the value comes from that conjunct's group.
+      const size_t which = rng->Uniform(p.lhs.size() + 1);
+      const std::string& name =
+          which < p.lhs.size() ? p.lhs[which].first : p.rhs.first;
+      group = which < p.lhs.size() ? p.lhs[which].second : p.rhs.second;
+      col = dataset.ColumnIndex(name);
+      pattern_group = &dataset.spec.columns[col];
+    } else {
+      col = rng->Uniform(t.num_columns());
+    }
+    const Column& c = t.column(col);
+    ValuePick pick;
+    pick.col = col;
+    pick.is_numeric = c.is_numeric();
+    if (pattern_group != nullptr) {
+      if (pattern_group->type == ColumnType::kNumeric) {
+        pick.num_value = rng->Normal(pattern_group->group_centers[group],
+                                     pattern_group->group_spread);
+      } else {
+        pick.str_value = pattern_group->categories[group];
+      }
+      return pick;
+    }
+    // Exploratory pick: a value from a random visible row (so filters always
+    // have support in the current result).
+    const size_t row = visible_rows[rng->Uniform(visible_rows.size())];
+    if (c.is_null(row)) continue;
+    if (c.is_numeric()) {
+      pick.num_value = c.num_value(row);
+    } else {
+      pick.str_value = std::string(c.cat_value(row));
+    }
+    return pick;
+  }
+  // Degenerate fallback: first non-null cell of column 0.
+  ValuePick pick;
+  pick.col = 0;
+  const Column& c = t.column(0);
+  for (size_t r = 0; r < c.size(); ++r) {
+    if (c.is_null(r)) continue;
+    pick.is_numeric = c.is_numeric();
+    if (c.is_numeric()) {
+      pick.num_value = c.num_value(r);
+    } else {
+      pick.str_value = std::string(c.cat_value(r));
+    }
+    break;
+  }
+  return pick;
+}
+
+}  // namespace
+
+std::vector<Session> GenerateSessions(const GeneratedDataset& dataset,
+                                      const SessionGeneratorOptions& options) {
+  const Table& t = dataset.table;
+  Rng rng(options.seed);
+  std::vector<Session> sessions;
+  sessions.reserve(options.num_sessions);
+
+  const std::vector<double> op_weights = {options.p_filter, options.p_group_by,
+                                          options.p_sort, options.p_project};
+  const OpKind op_kinds[] = {OpKind::kFilter, OpKind::kGroupBy, OpKind::kSort,
+                             OpKind::kProject};
+
+  for (size_t s = 0; s < options.num_sessions; ++s) {
+    Session session;
+    SpQuery query;  // Cumulative state.
+    const size_t steps =
+        options.min_steps + rng.Uniform(options.max_steps - options.min_steps + 1);
+
+    for (size_t step = 0; step < steps; ++step) {
+      // Current visible rows under the cumulative filters.
+      Result<QueryResult> current = RunQuery(t, query);
+      SUBTAB_CHECK(current.ok());
+      const std::vector<size_t>& visible = current->row_ids;
+      if (visible.size() < options.min_result_rows) break;
+
+      const OpKind kind = op_kinds[rng.Categorical(op_weights)];
+      SessionStep st;
+      st.kind = kind;
+      const ValuePick pick = DrawPick(dataset, visible, options.pattern_bias, &rng);
+      const std::string& col_name = t.column(pick.col).name();
+      st.fragment.column = col_name;
+
+      switch (kind) {
+        case OpKind::kFilter: {
+          st.fragment.has_value = true;
+          st.fragment.value_is_numeric = pick.is_numeric;
+          st.fragment.num_value = pick.num_value;
+          st.fragment.str_value = pick.str_value;
+          Predicate pred =
+              pick.is_numeric
+                  ? Predicate::Num(col_name,
+                                   rng.Bernoulli(0.5) ? CmpOp::kGe : CmpOp::kLe,
+                                   pick.num_value)
+                  : Predicate::Str(col_name, CmpOp::kEq, pick.str_value);
+          SpQuery trial = query;
+          trial.filters.push_back(pred);
+          Result<QueryResult> after = RunQuery(t, trial);
+          SUBTAB_CHECK(after.ok());
+          if (after->row_ids.size() < options.min_result_rows) {
+            // Too selective; retry this step as a different op next loop.
+            continue;
+          }
+          query = std::move(trial);
+          break;
+        }
+        case OpKind::kProject: {
+          // Keep a random ~60% of columns, always including the picked one.
+          std::vector<std::string> proj;
+          for (size_t c = 0; c < t.num_columns(); ++c) {
+            if (c == pick.col || rng.Bernoulli(0.6)) {
+              proj.push_back(t.column(c).name());
+            }
+          }
+          query.projection = std::move(proj);
+          break;
+        }
+        case OpKind::kGroupBy:
+        case OpKind::kSort: {
+          // Group-by / sort do not change the visible SP result (the
+          // sub-table is built over the SP portion); they contribute their
+          // attribute as the fragment. Sorting is recorded on the query.
+          if (kind == OpKind::kSort) {
+            query.order_by = col_name;
+            query.descending = rng.Bernoulli(0.5);
+          }
+          break;
+        }
+      }
+      st.query = query;
+      session.steps.push_back(std::move(st));
+    }
+    if (session.steps.size() >= 2) sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+}  // namespace subtab

@@ -1,0 +1,42 @@
+#ifndef SUBTAB_EDA_SESSION_GENERATOR_H_
+#define SUBTAB_EDA_SESSION_GENERATOR_H_
+
+#include "subtab/data/generator.h"
+#include "subtab/eda/session.h"
+
+/// \file session_generator.h
+/// Synthetic EDA sessions standing in for the 122 recorded sessions of [22]
+/// that the paper replays over the CY dataset (Sec. 6.2.2). The generator
+/// mimics analyst behaviour documented there: a mix of select / project /
+/// group-by / sort steps whose parameters are drawn mostly from *real
+/// patterns of the data* (analysts drill into values they believe matter —
+/// here, the planted patterns) with a uniform-random remainder. See
+/// DESIGN.md §4 for the substitution argument.
+
+namespace subtab {
+
+struct SessionGeneratorOptions {
+  size_t num_sessions = 122;  ///< Paper's session count.
+  size_t min_steps = 3;
+  size_t max_steps = 8;
+  /// Probability that a step's parameter comes from a planted pattern
+  /// (vs. a uniformly random column/value).
+  double pattern_bias = 0.7;
+  /// Op mix (normalized internally).
+  double p_filter = 0.45;
+  double p_group_by = 0.25;
+  double p_sort = 0.15;
+  double p_project = 0.15;
+  /// A filter step is rejected if it leaves fewer rows than this.
+  size_t min_result_rows = 25;
+  uint64_t seed = 42;
+};
+
+/// Generates sessions over a dataset. Each returned session's steps carry
+/// cumulative SP queries that are valid (non-empty) on the dataset's table.
+std::vector<Session> GenerateSessions(const GeneratedDataset& dataset,
+                                      const SessionGeneratorOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EDA_SESSION_GENERATOR_H_

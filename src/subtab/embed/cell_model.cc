@@ -1,0 +1,42 @@
+#include "subtab/embed/cell_model.h"
+
+namespace subtab {
+
+std::vector<float> CellModel::RowVector(size_t row,
+                                        const std::vector<size_t>& col_ids) const {
+  SUBTAB_CHECK(!col_ids.empty());
+  std::vector<float> acc(dim(), 0.0f);
+  for (size_t c : col_ids) {
+    const auto v = CellVector(row, c);
+    for (size_t d = 0; d < acc.size(); ++d) acc[d] += v[d];
+  }
+  const float inv = 1.0f / static_cast<float>(col_ids.size());
+  for (float& x : acc) x *= inv;
+  return acc;
+}
+
+std::vector<float> CellModel::ColumnVector(size_t col,
+                                           const std::vector<size_t>& row_ids) const {
+  SUBTAB_CHECK(!row_ids.empty());
+  std::vector<float> acc(dim(), 0.0f);
+  for (size_t r : row_ids) {
+    const auto v = CellVector(r, col);
+    for (size_t d = 0; d < acc.size(); ++d) acc[d] += v[d];
+  }
+  const float inv = 1.0f / static_cast<float>(row_ids.size());
+  for (float& x : acc) x *= inv;
+  return acc;
+}
+
+std::vector<float> CellModel::RowMatrix(const std::vector<size_t>& row_ids,
+                                        const std::vector<size_t>& col_ids) const {
+  std::vector<float> matrix;
+  matrix.reserve(row_ids.size() * dim());
+  for (size_t r : row_ids) {
+    const std::vector<float> v = RowVector(r, col_ids);
+    matrix.insert(matrix.end(), v.begin(), v.end());
+  }
+  return matrix;
+}
+
+}  // namespace subtab

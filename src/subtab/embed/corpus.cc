@@ -1,0 +1,63 @@
+#include "subtab/embed/corpus.h"
+
+#include <algorithm>
+
+namespace subtab {
+
+Corpus Corpus::FromSentences(std::vector<Sentence> sentences, size_t vocab_size) {
+  Corpus corpus;
+  corpus.vocab_size_ = vocab_size;
+  for (const Sentence& s : sentences) {
+    corpus.total_words_ += s.size();
+    for (uint32_t w : s) SUBTAB_CHECK(w < vocab_size);
+  }
+  corpus.sentences_ = std::move(sentences);
+  return corpus;
+}
+
+Corpus Corpus::Build(const BinnedTable& binned, const CorpusOptions& options, Rng* rng) {
+  SUBTAB_CHECK(rng != nullptr);
+  Corpus corpus;
+  corpus.vocab_size_ = binned.total_bins();
+
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+  const size_t total = (options.tuple_sentences ? n : 0) +
+                       (options.column_sentences ? m : 0);
+
+  // Choose which sentences to materialize. Sentence ids: [0, n) are rows,
+  // [n, n+m) are columns (offsets shift when rows are disabled).
+  std::vector<size_t> chosen;
+  if (total <= options.max_sentences) {
+    chosen.resize(total);
+    for (size_t i = 0; i < total; ++i) chosen[i] = i;
+  } else {
+    chosen = rng->SampleWithoutReplacement(total, options.max_sentences);
+    std::sort(chosen.begin(), chosen.end());
+  }
+
+  const size_t row_count = options.tuple_sentences ? n : 0;
+  corpus.sentences_.reserve(chosen.size());
+  for (size_t id : chosen) {
+    Sentence s;
+    if (id < row_count) {
+      const size_t r = id;
+      s.reserve(m);
+      const Token* row = binned.row_data(r);
+      for (size_t c = 0; c < m; ++c) {
+        s.push_back(static_cast<uint32_t>(binned.DenseIndex(row[c])));
+      }
+    } else {
+      const size_t c = id - row_count;
+      s.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        s.push_back(static_cast<uint32_t>(binned.DenseIndex(binned.token(r, c))));
+      }
+    }
+    corpus.total_words_ += s.size();
+    corpus.sentences_.push_back(std::move(s));
+  }
+  return corpus;
+}
+
+}  // namespace subtab

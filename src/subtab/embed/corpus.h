@@ -1,0 +1,55 @@
+#ifndef SUBTAB_EMBED_CORPUS_H_
+#define SUBTAB_EMBED_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/util/rng.h"
+
+/// \file corpus.h
+/// The "corpus of tabular sentences" of Sec. 5.1: every cell is a word
+/// (dense token id); tuple-sentences list the tokens of one row and
+/// column-sentences the tokens of one column. The corpus is capped at
+/// `max_sentences` sentences chosen uniformly at random, as in the paper
+/// (100K default).
+
+namespace subtab {
+
+/// One sentence = sequence of dense token ids.
+using Sentence = std::vector<uint32_t>;
+
+struct CorpusOptions {
+  /// Paper: "we limit the corpus size to 100K, where the sentences are
+  /// chosen uniformly at random".
+  size_t max_sentences = 100000;
+  bool tuple_sentences = true;
+  bool column_sentences = true;
+};
+
+/// Materialized training corpus.
+class Corpus {
+ public:
+  /// Builds tuple- and column-sentences from a binned table, sampling
+  /// uniformly when the cap is exceeded.
+  static Corpus Build(const BinnedTable& binned, const CorpusOptions& options,
+                      Rng* rng);
+
+  /// Wraps an externally generated sentence set (e.g. EmbDI random walks).
+  /// Every word id must be < vocab_size.
+  static Corpus FromSentences(std::vector<Sentence> sentences, size_t vocab_size);
+
+  const std::vector<Sentence>& sentences() const { return sentences_; }
+  size_t vocab_size() const { return vocab_size_; }
+  /// Total number of word occurrences.
+  size_t total_words() const { return total_words_; }
+
+ private:
+  std::vector<Sentence> sentences_;
+  size_t vocab_size_ = 0;
+  size_t total_words_ = 0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EMBED_CORPUS_H_

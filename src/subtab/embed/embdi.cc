@@ -1,0 +1,116 @@
+#include "subtab/embed/embdi.h"
+
+#include <algorithm>
+
+#include "subtab/util/logging.h"
+
+namespace subtab {
+namespace {
+
+/// Adjacency of the tripartite table graph, by node kind.
+struct TableGraph {
+  size_t num_tokens = 0;  // B
+  size_t num_rows = 0;    // n
+  size_t num_cols = 0;    // m
+  /// token dense id -> rows containing it.
+  std::vector<std::vector<uint32_t>> token_rows;
+
+  size_t TokenNode(size_t dense) const { return dense; }
+  size_t RowNode(size_t row) const { return num_tokens + row; }
+  size_t ColNode(size_t col) const { return num_tokens + num_rows + col; }
+  size_t NumNodes() const { return num_tokens + num_rows + num_cols; }
+};
+
+TableGraph BuildGraph(const BinnedTable& binned) {
+  TableGraph g;
+  g.num_tokens = binned.total_bins();
+  g.num_rows = binned.num_rows();
+  g.num_cols = binned.num_columns();
+  g.token_rows.resize(g.num_tokens);
+  for (size_t r = 0; r < g.num_rows; ++r) {
+    for (size_t c = 0; c < g.num_cols; ++c) {
+      g.token_rows[binned.DenseIndex(binned.token(r, c))].push_back(
+          static_cast<uint32_t>(r));
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Corpus BuildEmbDiCorpus(const BinnedTable& binned, const EmbDiOptions& options,
+                        Rng* rng) {
+  SUBTAB_CHECK(rng != nullptr);
+  const TableGraph g = BuildGraph(binned);
+  const size_t n = binned.num_rows();
+  const size_t m = binned.num_columns();
+
+  // Re-use the Corpus container: sentences over the node-id vocabulary.
+  // Walk step rules (uniform over neighbour kinds, as in EmbDI's
+  // value/rid/cid graph):
+  //   row   -> token of a random cell of the row;
+  //   token -> 50% a random row containing it, 50% its column node;
+  //   col   -> token of a random cell of the column.
+  std::vector<Sentence> sentences;
+  const size_t start_nodes = n + m + g.num_tokens;
+  sentences.reserve(start_nodes * options.walks_per_node);
+
+  auto step_from_row = [&](size_t row) -> size_t {
+    const size_t c = rng->Uniform(m);
+    return g.TokenNode(binned.DenseIndex(binned.token(row, c)));
+  };
+  auto step_from_col = [&](size_t col) -> size_t {
+    const size_t r = rng->Uniform(n);
+    return g.TokenNode(binned.DenseIndex(binned.token(r, col)));
+  };
+  auto step_from_token = [&](size_t dense) -> size_t {
+    const auto& rows = g.token_rows[dense];
+    if (rows.empty() || rng->Bernoulli(0.5)) {
+      return g.ColNode(TokenColumn(binned.TokenOfDense(dense)));
+    }
+    return g.RowNode(rows[rng->Uniform(rows.size())]);
+  };
+  auto step = [&](size_t node) -> size_t {
+    if (node < g.num_tokens) return step_from_token(node);
+    if (node < g.num_tokens + n) return step_from_row(node - g.num_tokens);
+    return step_from_col(node - g.num_tokens - n);
+  };
+
+  for (size_t start = 0; start < start_nodes; ++start) {
+    // Map the start index to a node id: tokens, then rows, then columns.
+    for (size_t w = 0; w < options.walks_per_node; ++w) {
+      Sentence walk;
+      walk.reserve(options.walk_length);
+      size_t node = start;
+      walk.push_back(static_cast<uint32_t>(node));
+      for (size_t s = 1; s < options.walk_length; ++s) {
+        node = step(node);
+        walk.push_back(static_cast<uint32_t>(node));
+      }
+      sentences.push_back(std::move(walk));
+    }
+  }
+
+  return Corpus::FromSentences(std::move(sentences), g.NumNodes());
+}
+
+Word2VecModel TrainEmbDi(const BinnedTable& binned, const EmbDiOptions& options) {
+  Rng rng(options.seed);
+  const Corpus corpus = BuildEmbDiCorpus(binned, options, &rng);
+  SUBTAB_LOG_STREAM(Info) << "EmbDI: " << corpus.sentences().size() << " walks, "
+                          << corpus.total_words() << " node visits";
+  Word2VecOptions w2v = options.word2vec;
+  w2v.seed = options.seed;
+  const Word2VecModel full = Word2VecModel::Train(corpus, w2v);
+
+  // Keep only the token-node vectors: dense ids [0, total_bins).
+  const size_t dim = full.dim();
+  std::vector<float> token_vectors(binned.total_bins() * dim);
+  for (size_t t = 0; t < binned.total_bins(); ++t) {
+    const auto v = full.vector(t);
+    std::copy(v.begin(), v.end(), token_vectors.begin() + t * dim);
+  }
+  return Word2VecModel::FromVectors(dim, std::move(token_vectors));
+}
+
+}  // namespace subtab

@@ -1,0 +1,42 @@
+#ifndef SUBTAB_EMBED_EMBDI_H_
+#define SUBTAB_EMBED_EMBDI_H_
+
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/embed/word2vec.h"
+#include "subtab/util/rng.h"
+
+/// \file embdi.h
+/// EmbDI-style graph embedding (Cappuzzo et al., SIGMOD'20) — the paper's
+/// slow high-quality baseline (Sec. 6.1, baseline 6). The table becomes a
+/// tripartite graph: row nodes, value (token) nodes, and column nodes; edges
+/// connect a row to the tokens of its cells and a token to its column.
+/// Node2vec-style uniform random walks over this graph form the training
+/// corpus for the same SGNS trainer, and the token-node vectors serve as the
+/// cell-to-vector model. Deliberately much more expensive than SubTab's
+/// direct tabular corpus (the paper measures ~26x slower pre-processing).
+
+namespace subtab {
+
+struct EmbDiOptions {
+  size_t walks_per_node = 10;
+  size_t walk_length = 20;
+  Word2VecOptions word2vec;  ///< dim/epochs/negative shared with SubTab.
+  uint64_t seed = 42;
+};
+
+/// Generates the random-walk corpus over the tripartite graph. Word ids:
+/// [0, B) token nodes, [B, B+n) row nodes, [B+n, B+n+m) column nodes, where
+/// B = binned.total_bins(). Exposed separately for testing.
+Corpus BuildEmbDiCorpus(const BinnedTable& binned, const EmbDiOptions& options,
+                        Rng* rng);
+
+/// Trains the EmbDI embedding and returns a model over the *token* id space
+/// [0, total_bins) (row/column node vectors are dropped), so it is a drop-in
+/// replacement for the Word2Vec cell model.
+Word2VecModel TrainEmbDi(const BinnedTable& binned, const EmbDiOptions& options);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EMBED_EMBDI_H_

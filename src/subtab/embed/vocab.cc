@@ -1,0 +1,44 @@
+#include "subtab/embed/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace subtab {
+
+Vocabulary::Vocabulary(const Corpus& corpus, size_t vocab_size) {
+  counts_.assign(vocab_size, 0);
+  for (const Sentence& s : corpus.sentences()) {
+    for (uint32_t w : s) {
+      SUBTAB_CHECK(w < vocab_size);
+      ++counts_[w];
+    }
+  }
+  BuildSampler();
+}
+
+Vocabulary::Vocabulary(std::vector<uint64_t> counts) : counts_(std::move(counts)) {
+  BuildSampler();
+}
+
+void Vocabulary::BuildSampler() {
+  total_ = 0;
+  cumulative_.resize(counts_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    total_ += counts_[i];
+    acc += std::pow(static_cast<double>(counts_[i]), 0.75);
+    cumulative_[i] = acc;
+  }
+  cumulative_total_ = acc;
+}
+
+uint32_t Vocabulary::SampleNegative(Rng* rng) const {
+  SUBTAB_CHECK(cumulative_total_ > 0.0);
+  const double u = rng->UniformDouble() * cumulative_total_;
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  if (idx >= cumulative_.size()) idx = cumulative_.size() - 1;
+  return static_cast<uint32_t>(idx);
+}
+
+}  // namespace subtab

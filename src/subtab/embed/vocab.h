@@ -1,0 +1,47 @@
+#ifndef SUBTAB_EMBED_VOCAB_H_
+#define SUBTAB_EMBED_VOCAB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/embed/corpus.h"
+#include "subtab/util/rng.h"
+
+/// \file vocab.h
+/// Word frequencies and the unigram^0.75 negative-sampling distribution of
+/// Mikolov et al. [21]. Word ids are the dense token ids of the binned table,
+/// so no string interning is needed.
+
+namespace subtab {
+
+/// Frequency table + negative sampler over a fixed-size id space.
+class Vocabulary {
+ public:
+  /// Counts occurrences over the corpus; `vocab_size` ids.
+  Vocabulary(const Corpus& corpus, size_t vocab_size);
+
+  /// Explicit counts (used by the EmbDI walker whose corpus is implicit).
+  Vocabulary(std::vector<uint64_t> counts);  // NOLINT(runtime/explicit)
+
+  size_t size() const { return counts_.size(); }
+  uint64_t count(size_t word) const {
+    SUBTAB_CHECK(word < counts_.size());
+    return counts_[word];
+  }
+  uint64_t total_count() const { return total_; }
+
+  /// Draws a word id ∝ count^0.75 (words with zero count are never drawn).
+  uint32_t SampleNegative(Rng* rng) const;
+
+ private:
+  void BuildSampler();
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  std::vector<double> cumulative_;  ///< CDF of count^0.75.
+  double cumulative_total_ = 0.0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EMBED_VOCAB_H_

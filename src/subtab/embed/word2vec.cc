@@ -1,0 +1,180 @@
+#include "subtab/embed/word2vec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "subtab/util/logging.h"
+#include "subtab/util/parallel.h"
+
+namespace subtab {
+namespace {
+
+constexpr size_t kSigmoidTableSize = 1024;
+constexpr double kSigmoidClip = 6.0;
+
+/// Precomputed sigmoid lookup, as in the reference word2vec implementation.
+struct SigmoidTable {
+  float values[kSigmoidTableSize];
+
+  SigmoidTable() {
+    for (size_t i = 0; i < kSigmoidTableSize; ++i) {
+      const double x =
+          (static_cast<double>(i) / kSigmoidTableSize * 2.0 - 1.0) * kSigmoidClip;
+      values[i] = static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+    }
+  }
+
+  float operator()(float x) const {
+    if (x >= kSigmoidClip) return 1.0f;
+    if (x <= -kSigmoidClip) return 0.0f;
+    const size_t idx = static_cast<size_t>((x / kSigmoidClip + 1.0f) / 2.0f *
+                                           kSigmoidTableSize);
+    return values[std::min(idx, kSigmoidTableSize - 1)];
+  }
+};
+
+const SigmoidTable& Sigmoid() {
+  static const SigmoidTable table;
+  return table;
+}
+
+}  // namespace
+
+Word2VecModel Word2VecModel::Train(const Corpus& corpus,
+                                   const Word2VecOptions& options) {
+  Word2VecModel model;
+  model.dim_ = options.dim;
+  model.vocab_size_ = corpus.vocab_size();
+  const size_t dim = options.dim;
+  const size_t vocab = model.vocab_size_;
+  SUBTAB_CHECK(dim > 0);
+
+  Vocabulary vocabulary(corpus, vocab);
+
+  // Init: input vectors uniform in [-0.5/dim, 0.5/dim], output vectors zero.
+  Rng init_rng(options.seed);
+  model.in_.resize(vocab * dim);
+  std::vector<float> out(vocab * dim, 0.0f);
+  for (float& v : model.in_) {
+    v = static_cast<float>((init_rng.UniformDouble() - 0.5) / static_cast<double>(dim));
+  }
+  if (corpus.sentences().empty() || vocabulary.total_count() == 0) return model;
+
+  const size_t total_sentences = corpus.sentences().size() * options.epochs;
+  std::atomic<size_t> sentences_done{0};
+  float* in_data = model.in_.data();
+  float* out_data = out.data();
+  const SigmoidTable& sigmoid = Sigmoid();
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const size_t n_sent = corpus.sentences().size();
+    ParallelFor(n_sent, options.num_threads, [&](size_t shard, size_t begin,
+                                                 size_t end) {
+      // Independent stream per (seed, epoch, shard): reproducible for a
+      // fixed thread count.
+      Rng rng(options.seed ^ (epoch * 0x9e3779b9ULL + shard * 0x85ebca6bULL + 1));
+      std::vector<float> grad_center(dim);
+      for (size_t si = begin; si < end; ++si) {
+        const Sentence& sent = corpus.sentences()[si];
+        const size_t len = sent.size();
+        if (len < 2) {
+          sentences_done.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Linear learning-rate decay over all sentences of all epochs.
+        const double progress =
+            static_cast<double>(sentences_done.load(std::memory_order_relaxed)) /
+            static_cast<double>(total_sentences);
+        const float lr = static_cast<float>(
+            std::max(options.min_lr, options.initial_lr * (1.0 - progress)));
+
+        for (size_t i = 0; i < len; ++i) {
+          const uint32_t center = sent[i];
+          float* v_center = in_data + static_cast<size_t>(center) * dim;
+
+          // Context positions: whole sentence (window == 0) or a window,
+          // subsampled down to max_pairs_per_token positions.
+          const size_t window =
+              options.window == 0 ? len : std::min(options.window, len);
+          const size_t lo = (options.window == 0 || i < window) ? 0 : i - window;
+          const size_t hi = options.window == 0
+                                ? len
+                                : std::min(len, i + window + 1);
+          const size_t span = hi - lo - 1;  // Excluding the center itself.
+          if (span == 0) continue;
+          const size_t pairs = std::min(span, options.max_pairs_per_token);
+
+          for (size_t p = 0; p < pairs; ++p) {
+            size_t j;
+            if (span <= options.max_pairs_per_token) {
+              j = lo + p;
+              if (j >= i) ++j;  // Skip the center position.
+            } else {
+              j = lo + rng.Uniform(span + 1);
+              if (j == i) continue;
+            }
+            if (j >= hi) continue;
+            const uint32_t context = sent[j];
+            if (context == center) continue;
+
+            // SGNS update: positive (context) + `negative` sampled words.
+            std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+            for (size_t neg = 0; neg <= options.negative; ++neg) {
+              uint32_t target;
+              float label;
+              if (neg == 0) {
+                target = context;
+                label = 1.0f;
+              } else {
+                target = vocabulary.SampleNegative(&rng);
+                if (target == center || target == context) continue;
+                label = 0.0f;
+              }
+              float* v_target = out_data + static_cast<size_t>(target) * dim;
+              float dot = 0.0f;
+              for (size_t d = 0; d < dim; ++d) dot += v_center[d] * v_target[d];
+              const float g = (label - sigmoid(dot)) * lr;
+              for (size_t d = 0; d < dim; ++d) {
+                grad_center[d] += g * v_target[d];
+                v_target[d] += g * v_center[d];
+              }
+            }
+            for (size_t d = 0; d < dim; ++d) v_center[d] += grad_center[d];
+          }
+        }
+        sentences_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    SUBTAB_LOG_STREAM(Debug) << "word2vec epoch " << epoch + 1 << "/" << options.epochs
+                             << " done";
+  }
+  return model;
+}
+
+Word2VecModel Word2VecModel::FromVectors(size_t dim, std::vector<float> vectors) {
+  SUBTAB_CHECK(dim > 0);
+  SUBTAB_CHECK(vectors.size() % dim == 0);
+  Word2VecModel model;
+  model.dim_ = dim;
+  model.vocab_size_ = vectors.size() / dim;
+  model.in_ = std::move(vectors);
+  return model;
+}
+
+double Word2VecModel::CosineSimilarity(size_t a, size_t b) const {
+  const auto va = vector(a);
+  const auto vb = vector(b);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t d = 0; d < dim_; ++d) {
+    dot += va[d] * vb[d];
+    na += va[d] * va[d];
+    nb += vb[d] * vb[d];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace subtab

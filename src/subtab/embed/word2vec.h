@@ -1,0 +1,68 @@
+#ifndef SUBTAB_EMBED_WORD2VEC_H_
+#define SUBTAB_EMBED_WORD2VEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "subtab/embed/corpus.h"
+#include "subtab/embed/vocab.h"
+
+/// \file word2vec.h
+/// Skip-gram with negative sampling (SGNS) [Mikolov et al., NeurIPS'13] —
+/// the embedding engine behind Algorithm 2 line 3. The paper trains with
+/// windowSize = max{n, m}, i.e. whole-sentence context; for column-sentences
+/// of length n the full O(len^2) pair set is intractable, so each center
+/// token samples at most `max_pairs_per_token` context positions uniformly —
+/// an unbiased subsample of the same objective (documented in DESIGN.md).
+
+namespace subtab {
+
+struct Word2VecOptions {
+  size_t dim = 64;
+  size_t epochs = 5;
+  size_t negative = 5;             ///< Negative samples per pair.
+  double initial_lr = 0.025;
+  double min_lr = 1e-4;
+  /// Context window; 0 = whole sentence (the paper's max{n, m} setting).
+  size_t window = 0;
+  /// Cap on sampled context positions per center token.
+  size_t max_pairs_per_token = 16;
+  /// Training shards (hogwild). 1 = fully deterministic; 0 = hardware.
+  size_t num_threads = 1;
+  uint64_t seed = 42;
+};
+
+/// A trained embedding: one `dim`-dimensional vector per word id.
+class Word2VecModel {
+ public:
+  Word2VecModel() = default;
+
+  /// Trains SGNS over the corpus.
+  static Word2VecModel Train(const Corpus& corpus, const Word2VecOptions& options);
+
+  /// Wraps pre-computed vectors (row-major vocab x dim); used by EmbDI to
+  /// expose the token-node slice of its graph embedding.
+  static Word2VecModel FromVectors(size_t dim, std::vector<float> vectors);
+
+  size_t dim() const { return dim_; }
+  size_t vocab_size() const { return vocab_size_; }
+
+  /// Input vector of a word (the representation used downstream).
+  std::span<const float> vector(size_t word) const {
+    SUBTAB_CHECK(word < vocab_size_);
+    return {in_.data() + word * dim_, dim_};
+  }
+
+  /// Cosine similarity between two word vectors (0 for zero vectors).
+  double CosineSimilarity(size_t a, size_t b) const;
+
+ private:
+  size_t dim_ = 0;
+  size_t vocab_size_ = 0;
+  std::vector<float> in_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EMBED_WORD2VEC_H_

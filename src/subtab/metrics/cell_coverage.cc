@@ -1,0 +1,242 @@
+#include "subtab/metrics/cell_coverage.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace subtab {
+namespace {
+
+/// True iff `needle` (sorted) is a subset of `haystack` (sorted).
+bool SortedSubset(const std::vector<uint32_t>& needle,
+                  const std::vector<uint32_t>& haystack) {
+  size_t j = 0;
+  for (uint32_t x : needle) {
+    while (j < haystack.size() && haystack[j] < x) ++j;
+    if (j == haystack.size() || haystack[j] != x) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> SortedCols(const std::vector<size_t>& col_ids) {
+  std::vector<uint32_t> cols;
+  cols.reserve(col_ids.size());
+  for (size_t c : col_ids) cols.push_back(static_cast<uint32_t>(c));
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+}  // namespace
+
+CoverageEvaluator::CoverageEvaluator(const BinnedTable& binned, const RuleSet& rules)
+    : binned_(&binned), rules_(&rules) {
+  const size_t n = binned.num_rows();
+  const size_t num_rules = rules.rules.size();
+  rule_class_.resize(num_rules);
+
+  // Token tidsets once, then AND per class.
+  std::unordered_map<Token, Bitset> token_tids;
+  for (size_t r = 0; r < n; ++r) {
+    const Token* row = binned.row_data(r);
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      auto [it, inserted] = token_tids.try_emplace(row[c], Bitset(n));
+      it->second.Set(r);
+    }
+  }
+
+  // Group rules into classes by their token set.
+  std::map<std::vector<Token>, uint32_t> class_of_tokens;
+  std::vector<const std::vector<Token>*> class_tokens;
+  std::vector<std::vector<Token>> token_storage;
+  token_storage.reserve(num_rules);
+  for (size_t i = 0; i < num_rules; ++i) {
+    token_storage.push_back(rules.rules[i].AllTokens());
+    const std::vector<Token>& tokens = token_storage.back();
+    SUBTAB_CHECK(!tokens.empty());
+    auto [it, inserted] = class_of_tokens.try_emplace(
+        tokens, static_cast<uint32_t>(class_rules_.size()));
+    if (inserted) {
+      class_rules_.emplace_back();
+      class_tokens.push_back(&it->first);
+    }
+    rule_class_[i] = it->second;
+    class_rules_[it->second].push_back(static_cast<uint32_t>(i));
+  }
+
+  const size_t num_classes = class_rules_.size();
+  class_tids_.reserve(num_classes);
+  class_cols_.reserve(num_classes);
+  std::vector<Bitset> col_union(binned.num_columns());
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    const std::vector<Token>& tokens = *class_tokens[cls];
+    Bitset tids(n);
+    auto it0 = token_tids.find(tokens[0]);
+    if (it0 != token_tids.end()) {
+      tids = it0->second;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        auto it = token_tids.find(tokens[t]);
+        if (it == token_tids.end()) {
+          tids = Bitset(n);
+          break;
+        }
+        tids.IntersectWith(it->second);
+      }
+    }
+    std::vector<uint32_t> cols;
+    cols.reserve(tokens.size());
+    for (Token t : tokens) cols.push_back(TokenColumn(t));
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+    for (uint32_t c : cols) {
+      if (col_union[c].size() == 0) col_union[c] = Bitset(n);
+      col_union[c].UnionWith(tids);
+    }
+    class_cols_.push_back(std::move(cols));
+    class_tids_.push_back(std::move(tids));
+  }
+
+  upcov_ = 0;
+  for (const Bitset& bs : col_union) {
+    if (bs.size() != 0) upcov_ += bs.Count();
+  }
+}
+
+const Bitset& CoverageEvaluator::rule_rows(size_t i) const {
+  SUBTAB_CHECK(i < rule_class_.size());
+  return class_tids_[rule_class_[i]];
+}
+
+const std::vector<uint32_t>& CoverageEvaluator::rule_columns(size_t i) const {
+  SUBTAB_CHECK(i < rule_class_.size());
+  return class_cols_[rule_class_[i]];
+}
+
+size_t CoverageEvaluator::RuleCellCount(size_t i) const {
+  SUBTAB_CHECK(i < rule_class_.size());
+  const uint32_t cls = rule_class_[i];
+  return class_tids_[cls].Count() * class_cols_[cls].size();
+}
+
+std::vector<size_t> CoverageEvaluator::CoveredClasses(
+    const std::vector<size_t>& row_ids, const std::vector<size_t>& col_ids) const {
+  const std::vector<uint32_t> cols = SortedCols(col_ids);
+  for (size_t row : row_ids) SUBTAB_CHECK(row < binned_->num_rows());
+  std::vector<size_t> covered;
+  // Classes are typically far fewer than rows x classes memberships, so scan
+  // classes and probe the (few) selected rows against each tid bitset.
+  for (size_t cls = 0; cls < class_rules_.size(); ++cls) {
+    if (!SortedSubset(class_cols_[cls], cols)) continue;
+    for (size_t row : row_ids) {
+      if (class_tids_[cls].Test(row)) {
+        covered.push_back(cls);
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+std::vector<size_t> CoverageEvaluator::CoveredRules(
+    const std::vector<size_t>& row_ids, const std::vector<size_t>& col_ids) const {
+  std::vector<size_t> covered;
+  for (size_t cls : CoveredClasses(row_ids, col_ids)) {
+    for (uint32_t rule : class_rules_[cls]) covered.push_back(rule);
+  }
+  std::sort(covered.begin(), covered.end());
+  return covered;
+}
+
+size_t CoverageEvaluator::CoveredCellCount(const std::vector<size_t>& row_ids,
+                                           const std::vector<size_t>& col_ids) const {
+  const std::vector<size_t> covered = CoveredClasses(row_ids, col_ids);
+  // Union of cell(R,T) per column, then sum counts.
+  std::unordered_map<uint32_t, Bitset> per_col;
+  for (size_t cls : covered) {
+    for (uint32_t c : class_cols_[cls]) {
+      auto [it, inserted] = per_col.try_emplace(c, Bitset(binned_->num_rows()));
+      it->second.UnionWith(class_tids_[cls]);
+    }
+  }
+  size_t total = 0;
+  for (const auto& [c, bs] : per_col) total += bs.Count();
+  return total;
+}
+
+double CoverageEvaluator::CellCoverage(const std::vector<size_t>& row_ids,
+                                       const std::vector<size_t>& col_ids) const {
+  if (upcov_ == 0) return 0.0;
+  return static_cast<double>(CoveredCellCount(row_ids, col_ids)) /
+         static_cast<double>(upcov_);
+}
+
+CoverageAccumulator::CoverageAccumulator(const CoverageEvaluator& evaluator,
+                                         const std::vector<size_t>& col_ids)
+    : evaluator_(&evaluator) {
+  const std::vector<uint32_t> cols = SortedCols(col_ids);
+  const size_t num_classes = evaluator.class_rules_.size();
+  class_covered_.assign(num_classes, 0);
+  col_selected_.assign(evaluator.binned().num_columns(), 0);
+  for (uint32_t c : cols) col_selected_[c] = 1;
+  covered_by_col_.resize(evaluator.binned().num_columns());
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    if (SortedSubset(evaluator.class_cols_[cls], cols)) {
+      eligible_classes_.push_back(static_cast<uint32_t>(cls));
+    }
+  }
+}
+
+size_t CoverageAccumulator::GainOfRow(size_t row) const {
+  SUBTAB_CHECK(row < evaluator_->binned().num_rows());
+  size_t gain = 0;
+  // Cells newly covered by the classes this row activates. Overlaps *between*
+  // the newly activated classes themselves are handled by accumulating into
+  // scratch copies per column.
+  std::unordered_map<uint32_t, Bitset> scratch;
+  for (uint32_t cls : eligible_classes_) {
+    if (class_covered_[cls] || !evaluator_->class_tids_[cls].Test(row)) continue;
+    for (uint32_t c : evaluator_->class_cols_[cls]) {
+      auto it = scratch.find(c);
+      if (it == scratch.end()) {
+        const Bitset& base = covered_by_col_[c];
+        Bitset init = (base.size() != 0) ? base : Bitset(evaluator_->binned().num_rows());
+        it = scratch.emplace(c, std::move(init)).first;
+      }
+      const size_t before = it->second.Count();
+      it->second.UnionWith(evaluator_->class_tids_[cls]);
+      gain += it->second.Count() - before;
+    }
+  }
+  return gain;
+}
+
+void CoverageAccumulator::AddRow(size_t row) {
+  SUBTAB_CHECK(row < evaluator_->binned().num_rows());
+  for (uint32_t cls : eligible_classes_) {
+    if (class_covered_[cls] || !evaluator_->class_tids_[cls].Test(row)) continue;
+    class_covered_[cls] = 1;
+    for (uint32_t c : evaluator_->class_cols_[cls]) {
+      Bitset& acc = covered_by_col_[c];
+      if (acc.size() == 0) acc = Bitset(evaluator_->binned().num_rows());
+      const size_t before = acc.Count();
+      acc.UnionWith(evaluator_->class_tids_[cls]);
+      covered_cells_ += acc.Count() - before;
+    }
+  }
+}
+
+double CoverageAccumulator::CellCoverage() const {
+  const size_t up = evaluator_->upcov();
+  if (up == 0) return 0.0;
+  return static_cast<double>(covered_cells_) / static_cast<double>(up);
+}
+
+double CellCoverage(const BinnedTable& binned, const RuleSet& rules,
+                    const std::vector<size_t>& row_ids,
+                    const std::vector<size_t>& col_ids) {
+  CoverageEvaluator evaluator(binned, rules);
+  return evaluator.CellCoverage(row_ids, col_ids);
+}
+
+}  // namespace subtab

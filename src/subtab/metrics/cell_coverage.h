@@ -1,0 +1,112 @@
+#ifndef SUBTAB_METRICS_CELL_COVERAGE_H_
+#define SUBTAB_METRICS_CELL_COVERAGE_H_
+
+#include <vector>
+
+#include "subtab/rules/rule.h"
+#include "subtab/util/bitset.h"
+
+/// \file cell_coverage.h
+/// The cell-coverage metric of Def. 3.6. A rule R is covered by a sub-table
+/// (rows, cols) iff U_R ⊆ cols and at least one selected row satisfies R; the
+/// metric is |∪_{covered R} cell(R,T)| / upcov, where cell(R,T) = T_R × U_R
+/// and upcov normalizes by the union over *all* rules.
+///
+/// CoverageEvaluator pre-computes per-rule row sets (T_R) once per
+/// (table, rule set); CoverageAccumulator supports the greedy baseline's
+/// incremental "gain of adding one row" queries.
+
+namespace subtab {
+
+/// Pre-computed coverage machinery for one (binned table, rule set) pair.
+class CoverageEvaluator {
+ public:
+  CoverageEvaluator(const BinnedTable& binned, const RuleSet& rules);
+
+  const BinnedTable& binned() const { return *binned_; }
+  const RuleSet& rules() const { return *rules_; }
+  size_t num_rules() const { return rules_->rules.size(); }
+
+  /// Rows of T satisfying rule i (the set T_R).
+  const Bitset& rule_rows(size_t i) const;
+  /// Columns used by rule i (U_R), sorted.
+  const std::vector<uint32_t>& rule_columns(size_t i) const;
+  /// |cell(R_i, T)| = |T_R| · |U_R|.
+  size_t RuleCellCount(size_t i) const;
+
+  /// Normalization constant upcov = |∪_R cell(R,T)| (0 when no rules).
+  size_t upcov() const { return upcov_; }
+
+  /// Number of distinct token-set classes among the rules.
+  size_t num_classes() const { return class_rules_.size(); }
+
+  /// Indices of rules covered by the sub-table (Def. 3.6 d1).
+  std::vector<size_t> CoveredRules(const std::vector<size_t>& row_ids,
+                                   const std::vector<size_t>& col_ids) const;
+
+  /// Indices of covered token-set classes (deduplicated rules).
+  std::vector<size_t> CoveredClasses(const std::vector<size_t>& row_ids,
+                                     const std::vector<size_t>& col_ids) const;
+
+  /// Number of cells of T described by covered rules (numerator of Eq. 1).
+  size_t CoveredCellCount(const std::vector<size_t>& row_ids,
+                          const std::vector<size_t>& col_ids) const;
+
+  /// cellCov in [0, 1]; 0 when the rule set is empty.
+  double CellCoverage(const std::vector<size_t>& row_ids,
+                      const std::vector<size_t>& col_ids) const;
+
+ private:
+  friend class CoverageAccumulator;
+
+  // Rules with the same token set (lhs ∪ rhs) have identical T_R and U_R and
+  // hence identical cell(R,T); they are deduplicated into *classes* so rich
+  // rule sets (every lhs/rhs split of an itemset) cost one bitset, not many.
+  const BinnedTable* binned_;
+  const RuleSet* rules_;
+  std::vector<uint32_t> rule_class_;             ///< Rule -> class id.
+  std::vector<std::vector<uint32_t>> class_rules_;///< Class -> member rules.
+  std::vector<Bitset> class_tids_;               ///< T_R per class.
+  std::vector<std::vector<uint32_t>> class_cols_;///< U_R per class, sorted.
+  size_t upcov_ = 0;
+};
+
+/// Incremental covered-cell counting for greedy row selection over a fixed
+/// column set. Complexity of GainOfRow is proportional to the rules holding
+/// on that row.
+class CoverageAccumulator {
+ public:
+  /// `col_ids` is the fixed column selection (need not be sorted).
+  CoverageAccumulator(const CoverageEvaluator& evaluator,
+                      const std::vector<size_t>& col_ids);
+
+  /// Cells newly described if `row` were added to the selection.
+  size_t GainOfRow(size_t row) const;
+
+  /// Adds a row to the selection.
+  void AddRow(size_t row);
+
+  /// Cells currently described.
+  size_t covered_cells() const { return covered_cells_; }
+
+  /// Current cellCov value.
+  double CellCoverage() const;
+
+ private:
+  const CoverageEvaluator* evaluator_;
+  std::vector<uint32_t> eligible_classes_;  ///< Classes with U_R ⊆ columns.
+  std::vector<char> class_covered_;
+  /// Per selected column: rows of T whose cell in that column is described.
+  std::vector<Bitset> covered_by_col_;  ///< Indexed by column id (sparse).
+  std::vector<char> col_selected_;
+  size_t covered_cells_ = 0;
+};
+
+/// One-shot convenience wrapper over CoverageEvaluator.
+double CellCoverage(const BinnedTable& binned, const RuleSet& rules,
+                    const std::vector<size_t>& row_ids,
+                    const std::vector<size_t>& col_ids);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_METRICS_CELL_COVERAGE_H_

@@ -1,0 +1,23 @@
+#include "subtab/metrics/combined.h"
+
+namespace subtab {
+
+SubTableScore ScoreSubTable(const CoverageEvaluator& evaluator,
+                            const std::vector<size_t>& row_ids,
+                            const std::vector<size_t>& col_ids, double alpha) {
+  SUBTAB_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  SubTableScore score;
+  score.cell_coverage = evaluator.CellCoverage(row_ids, col_ids);
+  score.diversity = Diversity(evaluator.binned(), row_ids, col_ids);
+  score.combined = alpha * score.cell_coverage + (1.0 - alpha) * score.diversity;
+  return score;
+}
+
+SubTableScore ScoreSubTable(const BinnedTable& binned, const RuleSet& rules,
+                            const std::vector<size_t>& row_ids,
+                            const std::vector<size_t>& col_ids, double alpha) {
+  CoverageEvaluator evaluator(binned, rules);
+  return ScoreSubTable(evaluator, row_ids, col_ids, alpha);
+}
+
+}  // namespace subtab

@@ -1,0 +1,35 @@
+#ifndef SUBTAB_METRICS_COMBINED_H_
+#define SUBTAB_METRICS_COMBINED_H_
+
+#include <vector>
+
+#include "subtab/metrics/cell_coverage.h"
+#include "subtab/metrics/diversity.h"
+
+/// \file combined.h
+/// The combined informativeness score of Eq. 3:
+///   combined = α · cellCov + (1 − α) · divers,  α ∈ [0, 1] (default 0.5).
+
+namespace subtab {
+
+/// All three scores of one sub-table.
+struct SubTableScore {
+  double cell_coverage = 0.0;
+  double diversity = 0.0;
+  double combined = 0.0;
+};
+
+/// Scores a sub-table against a pre-built evaluator (preferred when scoring
+/// many candidates over the same table + rules).
+SubTableScore ScoreSubTable(const CoverageEvaluator& evaluator,
+                            const std::vector<size_t>& row_ids,
+                            const std::vector<size_t>& col_ids, double alpha = 0.5);
+
+/// One-shot convenience (builds the evaluator internally).
+SubTableScore ScoreSubTable(const BinnedTable& binned, const RuleSet& rules,
+                            const std::vector<size_t>& row_ids,
+                            const std::vector<size_t>& col_ids, double alpha = 0.5);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_METRICS_COMBINED_H_

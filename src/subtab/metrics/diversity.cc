@@ -1,0 +1,30 @@
+#include "subtab/metrics/diversity.h"
+
+namespace subtab {
+
+double RowSimilarity(const BinnedTable& binned, size_t row_a, size_t row_b,
+                     const std::vector<size_t>& col_ids) {
+  SUBTAB_CHECK(!col_ids.empty());
+  size_t same = 0;
+  for (size_t c : col_ids) {
+    if (binned.token(row_a, c) == binned.token(row_b, c)) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(col_ids.size());
+}
+
+double Diversity(const BinnedTable& binned, const std::vector<size_t>& row_ids,
+                 const std::vector<size_t>& col_ids) {
+  const size_t k = row_ids.size();
+  if (k < 2) return 1.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      total += RowSimilarity(binned, row_ids[i], row_ids[j], col_ids);
+      ++pairs;
+    }
+  }
+  return 1.0 - total / static_cast<double>(pairs);
+}
+
+}  // namespace subtab

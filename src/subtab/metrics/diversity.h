@@ -1,0 +1,28 @@
+#ifndef SUBTAB_METRICS_DIVERSITY_H_
+#define SUBTAB_METRICS_DIVERSITY_H_
+
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+
+/// \file diversity.h
+/// The diversity metric of Def. 3.7: 1 minus the average pairwise Jaccard
+/// similarity of the selected rows, where two cells are similar iff they fall
+/// in the same bin of their column.
+
+namespace subtab {
+
+/// Jaccard similarity of two rows restricted to `col_ids`: the fraction of
+/// those columns where both rows fall in the same bin (null bins compare
+/// equal, matching the paper's treatment of NaN as a value).
+double RowSimilarity(const BinnedTable& binned, size_t row_a, size_t row_b,
+                     const std::vector<size_t>& col_ids);
+
+/// divers(T_sub) = 1 - avg over unordered row pairs of RowSimilarity.
+/// Sub-tables with fewer than two rows are maximally diverse (1.0).
+double Diversity(const BinnedTable& binned, const std::vector<size_t>& row_ids,
+                 const std::vector<size_t>& col_ids);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_METRICS_DIVERSITY_H_

@@ -1,0 +1,142 @@
+#include "subtab/rules/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "subtab/util/logging.h"
+
+namespace subtab {
+namespace {
+
+/// FNV-1a over the token vector, for the subset-pruning hash set.
+struct ItemsetHash {
+  size_t operator()(const std::vector<Token>& items) const {
+    size_t h = 1469598103934665603ULL;
+    for (Token t : items) {
+      h ^= t;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+using ItemsetSet = std::unordered_set<std::vector<Token>, ItemsetHash>;
+
+/// True iff every (k-1)-subset of `candidate` is frequent (Apriori prune).
+/// The two parent subsets are frequent by construction, so only subsets
+/// dropping one of the first k-2 items need checking.
+bool AllSubsetsFrequent(const std::vector<Token>& candidate, const ItemsetSet& frequent) {
+  std::vector<Token> subset(candidate.size() - 1);
+  for (size_t skip = 0; skip + 2 < candidate.size(); ++skip) {
+    size_t j = 0;
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[j++] = candidate[i];
+    }
+    if (frequent.find(subset) == frequent.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const BinnedTable& binned, const AprioriOptions& options,
+    const std::vector<uint32_t>* row_subset) {
+  const size_t n_total = binned.num_rows();
+  const size_t universe =
+      row_subset != nullptr ? row_subset->size() : n_total;
+  std::vector<FrequentItemset> result;
+  if (universe == 0) return result;
+
+  const size_t min_count = static_cast<size_t>(
+      std::ceil(options.min_support * static_cast<double>(universe)));
+  const size_t effective_min = std::max<size_t>(min_count, 1);
+
+  // ---- L1: one tid-bitset per token. -----------------------------------
+  std::unordered_map<Token, Bitset> tidsets;
+  auto scan_row = [&](uint32_t r) {
+    const Token* row = binned.row_data(r);
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      auto [it, inserted] = tidsets.try_emplace(row[c], Bitset(n_total));
+      it->second.Set(r);
+    }
+  };
+  if (row_subset != nullptr) {
+    for (uint32_t r : *row_subset) scan_row(r);
+  } else {
+    for (size_t r = 0; r < n_total; ++r) scan_row(static_cast<uint32_t>(r));
+  }
+
+  std::vector<FrequentItemset> level;
+  for (auto& [token, tids] : tidsets) {
+    const size_t count = tids.Count();
+    if (count >= effective_min) {
+      FrequentItemset fi;
+      fi.items = {token};
+      fi.tids = std::move(tids);
+      fi.count = count;
+      level.push_back(std::move(fi));
+    }
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(level.begin(), level.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+
+  ItemsetSet frequent_keys;
+  for (const auto& fi : level) frequent_keys.insert(fi.items);
+  for (const auto& fi : level) result.push_back(fi);
+
+  // ---- Level-wise join. -------------------------------------------------
+  for (size_t k = 2; k <= options.max_itemset_size && level.size() >= 2; ++k) {
+    std::vector<FrequentItemset> next;
+    // level is sorted by items; candidates join pairs sharing the first k-2
+    // items. Scan blocks with a common prefix.
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        const auto& a = level[i].items;
+        const auto& b = level[j].items;
+        // Shared (k-2)-prefix required; since `level` is sorted, a mismatch
+        // means no later j matches either.
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) break;
+        const Token ta = a.back();
+        const Token tb = b.back();
+        // One token per column per row: same-column pairs can never co-occur.
+        if (TokenColumn(ta) == TokenColumn(tb)) continue;
+
+        std::vector<Token> candidate = a;
+        candidate.push_back(tb);  // b.back() > a.back() by sort order.
+        if (!AllSubsetsFrequent(candidate, frequent_keys)) continue;
+
+        Bitset tids = Bitset::Intersection(level[i].tids, level[j].tids);
+        const size_t count = tids.Count();
+        if (count < effective_min) continue;
+
+        FrequentItemset fi;
+        fi.items = std::move(candidate);
+        fi.tids = std::move(tids);
+        fi.count = count;
+        next.push_back(std::move(fi));
+        if (result.size() + next.size() >= options.max_itemsets) {
+          SUBTAB_LOG_STREAM(Warning)
+              << "Apriori: itemset cap " << options.max_itemsets << " reached at level "
+              << k << "; results truncated";
+          for (auto& f : next) {
+            frequent_keys.insert(f.items);
+            result.push_back(std::move(f));
+          }
+          return result;
+        }
+      }
+    }
+    for (const auto& fi : next) frequent_keys.insert(fi.items);
+    for (auto& fi : next) result.push_back(fi);
+    level = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace subtab

@@ -1,0 +1,53 @@
+#ifndef SUBTAB_RULES_APRIORI_H_
+#define SUBTAB_RULES_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/util/bitset.h"
+
+/// \file apriori.h
+/// Apriori frequent-itemset mining [Agrawal & Srikant '94] over binned
+/// tables. Transactions are rows; items are tokens. Because every row carries
+/// exactly one token per column, itemsets never contain two tokens of the
+/// same column — candidate generation exploits this. Support counting uses
+/// vertical tid-bitsets: the tidset of a (k)-candidate is the AND of its two
+/// parents' tidsets, so each level costs one word-wise pass per candidate.
+
+namespace subtab {
+
+/// Mining parameters.
+struct AprioriOptions {
+  /// Minimum support as a fraction of transactions (paper default 0.1).
+  double min_support = 0.1;
+  /// Largest itemset size to mine. Rules of size >= 3 need itemsets of at
+  /// least 3 tokens; 4 covers the paper's examples at modest cost.
+  size_t max_itemset_size = 4;
+  /// Safety cap on the total number of frequent itemsets kept.
+  size_t max_itemsets = 500000;
+};
+
+/// A frequent itemset with its transaction set.
+struct FrequentItemset {
+  std::vector<Token> items;  ///< Sorted ascending; ≤ 1 token per column.
+  Bitset tids;               ///< Rows containing every item.
+  size_t count = 0;          ///< tids.Count(), cached.
+
+  double Support(size_t num_rows) const {
+    return num_rows == 0 ? 0.0 : static_cast<double>(count) / num_rows;
+  }
+};
+
+/// Mines all frequent itemsets of size in [1, max_itemset_size].
+///
+/// If `row_subset` is non-null, only those rows form the transaction universe
+/// (used when mining per target-bin subsets, Sec. 6.1); tid bitsets are still
+/// indexed by the original row ids.
+std::vector<FrequentItemset> MineFrequentItemsets(
+    const BinnedTable& binned, const AprioriOptions& options,
+    const std::vector<uint32_t>* row_subset = nullptr);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_RULES_APRIORI_H_

@@ -1,0 +1,172 @@
+#include "subtab/rules/miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "subtab/util/logging.h"
+
+namespace subtab {
+namespace {
+
+struct ItemsetHash {
+  size_t operator()(const std::vector<Token>& items) const {
+    size_t h = 1469598103934665603ULL;
+    for (Token t : items) {
+      h ^= t;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+using CountMap = std::unordered_map<std::vector<Token>, size_t, ItemsetHash>;
+
+/// Emits all rules of `itemset` with |rhs| in [1, max_rhs_size]; counts come
+/// from the frequent-itemset map (every subset of a frequent itemset is
+/// frequent, so lookups always succeed).
+void EmitRules(const FrequentItemset& itemset, const CountMap& counts, size_t num_rows,
+               const RuleMiningOptions& options, RuleSet* out) {
+  const size_t k = itemset.items.size();
+  if (k < options.min_rule_size || k < 2) return;
+  const double support =
+      static_cast<double>(itemset.count) / static_cast<double>(num_rows);
+
+  const size_t max_rhs = std::min(options.max_rhs_size, k - 1);
+  // Enumerate consequents of size 1..max_rhs via bitmask subsets (k <= ~5).
+  SUBTAB_CHECK(k < 20);
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    const size_t rhs_size = static_cast<size_t>(__builtin_popcount(mask));
+    if (rhs_size == 0 || rhs_size > max_rhs) continue;
+    Rule rule;
+    rule.support = support;
+    std::vector<Token> lhs;
+    std::vector<Token> rhs;
+    for (size_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) {
+        rhs.push_back(itemset.items[i]);
+      } else {
+        lhs.push_back(itemset.items[i]);
+      }
+    }
+    auto it = counts.find(lhs);
+    SUBTAB_CHECK(it != counts.end());
+    const double lhs_count = static_cast<double>(it->second);
+    const double confidence = static_cast<double>(itemset.count) / lhs_count;
+    if (confidence < options.min_confidence) continue;
+    rule.lhs = std::move(lhs);
+    rule.rhs = std::move(rhs);
+    rule.confidence = confidence;
+    out->rules.push_back(std::move(rule));
+    if (out->rules.size() >= options.max_rules) return;
+  }
+}
+
+}  // namespace
+
+RuleSet MineRules(const BinnedTable& binned, const RuleMiningOptions& options) {
+  RuleSet out;
+  const size_t n = binned.num_rows();
+  if (n == 0) return out;
+
+  std::vector<FrequentItemset> itemsets = MineFrequentItemsets(binned, options.apriori);
+  CountMap counts;
+  counts.reserve(itemsets.size());
+  for (const auto& fi : itemsets) counts.emplace(fi.items, fi.count);
+
+  for (const auto& fi : itemsets) {
+    EmitRules(fi, counts, n, options, &out);
+    if (out.rules.size() >= options.max_rules) {
+      SUBTAB_LOG_STREAM(Warning) << "rule cap " << options.max_rules << " reached";
+      break;
+    }
+  }
+  std::sort(out.rules.begin(), out.rules.end());
+  return out;
+}
+
+RuleSet MineRulesForTargets(const BinnedTable& binned, const RuleMiningOptions& options,
+                            const std::vector<uint32_t>& target_columns) {
+  RuleSet out;
+  const size_t n = binned.num_rows();
+  if (n == 0 || target_columns.empty()) return out;
+
+  // Full-table tidset per token, for global antecedent frequencies.
+  std::unordered_map<Token, Bitset> token_tids;
+  for (size_t r = 0; r < n; ++r) {
+    const Token* row = binned.row_data(r);
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      auto [it, inserted] = token_tids.try_emplace(row[c], Bitset(n));
+      it->second.Set(r);
+    }
+  }
+  auto full_count = [&token_tids, n](const std::vector<Token>& items) -> size_t {
+    SUBTAB_CHECK(!items.empty());
+    Bitset acc = token_tids.at(items[0]);
+    for (size_t i = 1; i < items.size(); ++i) acc.IntersectWith(token_tids.at(items[i]));
+    return acc.Count();
+  };
+
+  const size_t global_min_count = std::max<size_t>(
+      1, static_cast<size_t>(options.apriori.min_support * static_cast<double>(n)));
+
+  for (uint32_t target : target_columns) {
+    SUBTAB_CHECK(target < binned.num_columns());
+    const uint32_t bins = binned.bins_in_column(target);
+    for (uint32_t b = 0; b < bins; ++b) {
+      const Token target_token = MakeToken(target, b);
+      auto it = token_tids.find(target_token);
+      if (it == token_tids.end()) continue;  // Bin unused.
+      std::vector<uint32_t> subset = it->second.ToIndices();
+      // Rule support can never exceed |subset| / n.
+      if (subset.size() < global_min_count) continue;
+
+      // Local support threshold equivalent to the global min count.
+      AprioriOptions local = options.apriori;
+      local.min_support = static_cast<double>(global_min_count) /
+                          static_cast<double>(subset.size());
+      // Antecedent needs min_rule_size - 1 tokens; no target tokens inside.
+      std::vector<FrequentItemset> itemsets =
+          MineFrequentItemsets(binned, local, &subset);
+
+      for (const auto& fi : itemsets) {
+        if (fi.items.size() + 1 < options.min_rule_size) continue;
+        bool uses_target_column = false;
+        for (Token t : fi.items) {
+          if (TokenColumn(t) == target) {
+            uses_target_column = true;
+            break;
+          }
+        }
+        if (uses_target_column) continue;
+
+        const size_t lhs_full = full_count(fi.items);
+        SUBTAB_CHECK(lhs_full >= fi.count);
+        const double confidence =
+            static_cast<double>(fi.count) / static_cast<double>(lhs_full);
+        if (confidence < options.min_confidence) continue;
+
+        Rule rule;
+        rule.lhs = fi.items;
+        rule.rhs = {target_token};
+        rule.support = static_cast<double>(fi.count) / static_cast<double>(n);
+        rule.confidence = confidence;
+        out.rules.push_back(std::move(rule));
+        if (out.rules.size() >= options.max_rules) {
+          SUBTAB_LOG_STREAM(Warning)
+              << "rule cap " << options.max_rules << " reached (targeted mining)";
+          std::sort(out.rules.begin(), out.rules.end());
+          return out;
+        }
+      }
+    }
+  }
+  std::sort(out.rules.begin(), out.rules.end());
+  out.rules.erase(std::unique(out.rules.begin(), out.rules.end(),
+                              [](const Rule& a, const Rule& b) {
+                                return a.SameTokens(b);
+                              }),
+                  out.rules.end());
+  return out;
+}
+
+}  // namespace subtab

@@ -1,0 +1,43 @@
+#ifndef SUBTAB_RULES_MINER_H_
+#define SUBTAB_RULES_MINER_H_
+
+#include <vector>
+
+#include "subtab/rules/apriori.h"
+#include "subtab/rules/rule.h"
+
+/// \file miner.h
+/// Association-rule generation on top of the Apriori itemset miner, with the
+/// paper's defaults (Sec. 6.1): min support 0.1, min confidence 0.6, minimum
+/// rule size 3. Two modes:
+///   * MineRules          — global mining; callers may then apply the R*
+///                          target filter (RuleSet::FilterByTargets).
+///   * MineRulesForTargets — the paper's implementation detail for target
+///                          columns: "the data is split according to the
+///                          binned values of the target columns. The rules
+///                          are then mined over each subset separately."
+
+namespace subtab {
+
+/// Rule-mining parameters (thresholds apply to the *rule*, i.e. lhs ∪ rhs).
+struct RuleMiningOptions {
+  AprioriOptions apriori;        ///< min_support applies to lhs ∪ rhs.
+  double min_confidence = 0.6;   ///< Paper default.
+  size_t min_rule_size = 3;      ///< Minimum |lhs| + |rhs| (paper default).
+  size_t max_rhs_size = 1;       ///< Single-token consequents by default.
+  size_t max_rules = 500000;     ///< Safety cap.
+};
+
+/// Mines rules over the whole table. Deterministic output order.
+RuleSet MineRules(const BinnedTable& binned, const RuleMiningOptions& options);
+
+/// Mines rules whose consequent is a target-column bin, by mining frequent
+/// antecedents within each target-bin row subset (Sec. 6.1). Support is
+/// measured against the full table; confidence against the antecedent's
+/// full-table frequency.
+RuleSet MineRulesForTargets(const BinnedTable& binned, const RuleMiningOptions& options,
+                            const std::vector<uint32_t>& target_columns);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_RULES_MINER_H_

@@ -1,0 +1,78 @@
+#include "subtab/rules/rule.h"
+
+#include <algorithm>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+std::vector<Token> Rule::AllTokens() const {
+  std::vector<Token> all;
+  all.reserve(lhs.size() + rhs.size());
+  std::merge(lhs.begin(), lhs.end(), rhs.begin(), rhs.end(), std::back_inserter(all));
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::vector<uint32_t> Rule::Columns() const {
+  std::vector<uint32_t> cols;
+  cols.reserve(size());
+  for (Token t : lhs) cols.push_back(TokenColumn(t));
+  for (Token t : rhs) cols.push_back(TokenColumn(t));
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+bool Rule::HoldsForRow(const BinnedTable& binned, size_t row) const {
+  for (Token t : lhs) {
+    if (binned.token(row, TokenColumn(t)) != t) return false;
+  }
+  for (Token t : rhs) {
+    if (binned.token(row, TokenColumn(t)) != t) return false;
+  }
+  return true;
+}
+
+bool Rule::TouchesAnyColumn(const std::vector<uint32_t>& columns) const {
+  auto touches = [&columns](Token t) {
+    return std::binary_search(columns.begin(), columns.end(), TokenColumn(t));
+  };
+  for (Token t : lhs) {
+    if (touches(t)) return true;
+  }
+  for (Token t : rhs) {
+    if (touches(t)) return true;
+  }
+  return false;
+}
+
+std::string Rule::ToString(const BinnedTable& binned) const {
+  std::vector<std::string> lhs_parts;
+  lhs_parts.reserve(lhs.size());
+  for (Token t : lhs) lhs_parts.push_back(binned.TokenLabel(t));
+  std::vector<std::string> rhs_parts;
+  rhs_parts.reserve(rhs.size());
+  for (Token t : rhs) rhs_parts.push_back(binned.TokenLabel(t));
+  return StrFormat("%s -> %s [supp=%.3f conf=%.3f]",
+                   StrJoin(lhs_parts, ", ").c_str(), StrJoin(rhs_parts, ", ").c_str(),
+                   support, confidence);
+}
+
+bool Rule::operator<(const Rule& other) const {
+  if (lhs != other.lhs) return lhs < other.lhs;
+  return rhs < other.rhs;
+}
+
+RuleSet RuleSet::FilterByTargets(const std::vector<uint32_t>& target_columns) const {
+  if (target_columns.empty()) return *this;
+  std::vector<uint32_t> sorted = target_columns;
+  std::sort(sorted.begin(), sorted.end());
+  RuleSet out;
+  for (const Rule& r : rules) {
+    if (r.TouchesAnyColumn(sorted)) out.rules.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace subtab

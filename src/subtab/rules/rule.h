@@ -1,0 +1,65 @@
+#ifndef SUBTAB_RULES_RULE_H_
+#define SUBTAB_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+
+/// \file rule.h
+/// Association rules over binned tables (Def. 3.4). A rule's antecedent and
+/// consequent are token sets; a rule *holds* for a row iff the row carries
+/// every token of the rule. U_R — the set of columns the rule uses — drives
+/// the coverage semantics (Def. 3.6 d1 requires U_R ⊆ U_sub).
+
+namespace subtab {
+
+/// One association rule lhs -> rhs with its quality statistics.
+struct Rule {
+  std::vector<Token> lhs;  ///< Antecedent tokens, sorted ascending.
+  std::vector<Token> rhs;  ///< Consequent tokens, sorted ascending (may be
+                           ///< empty for synthetic rules used in tests).
+  double support = 0.0;    ///< Fraction of rows where lhs ∪ rhs holds.
+  double confidence = 0.0; ///< supp(lhs ∪ rhs) / supp(lhs).
+
+  /// Total number of tokens (the "rule size" the paper thresholds at 3).
+  size_t size() const { return lhs.size() + rhs.size(); }
+
+  /// Sorted union of lhs and rhs tokens.
+  std::vector<Token> AllTokens() const;
+
+  /// Distinct column ids used by the rule (U_R), sorted ascending.
+  std::vector<uint32_t> Columns() const;
+
+  /// True iff the rule holds for `row` of `binned` (Def. 3.4).
+  bool HoldsForRow(const BinnedTable& binned, size_t row) const;
+
+  /// True iff any column of the rule appears in `columns` (sorted).
+  bool TouchesAnyColumn(const std::vector<uint32_t>& columns) const;
+
+  /// "A=x, B=y -> C=z [supp=0.12 conf=0.81]".
+  std::string ToString(const BinnedTable& binned) const;
+
+  /// Orders rules deterministically (by tokens); used to canonicalize sets.
+  bool operator<(const Rule& other) const;
+  bool SameTokens(const Rule& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+};
+
+/// A mined rule collection with provenance.
+struct RuleSet {
+  std::vector<Rule> rules;
+
+  size_t size() const { return rules.size(); }
+  bool empty() const { return rules.empty(); }
+
+  /// Rules that touch at least one of `target_columns` — the R* filter of
+  /// the optimization problem (Sec. 3.2). Returns all rules when targets are
+  /// empty, matching the paper's convention.
+  RuleSet FilterByTargets(const std::vector<uint32_t>& target_columns) const;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_RULES_RULE_H_

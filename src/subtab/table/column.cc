@@ -1,0 +1,166 @@
+#include "subtab/table/column.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+Column Column::Numeric(std::string name, const std::vector<double>& values) {
+  Column col(std::move(name), ColumnType::kNumeric);
+  col.Reserve(values.size());
+  for (double v : values) col.AppendNumeric(v);
+  return col;
+}
+
+Column Column::Categorical(std::string name, const std::vector<std::string>& values) {
+  Column col(std::move(name), ColumnType::kCategorical);
+  col.Reserve(values.size());
+  for (const auto& v : values) {
+    if (v.empty()) {
+      col.AppendNull();
+    } else {
+      col.AppendCategorical(v);
+    }
+  }
+  return col;
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  if (type_ == ColumnType::kNumeric) {
+    nums_.reserve(n);
+  } else {
+    codes_.reserve(n);
+  }
+}
+
+void Column::AppendNull() {
+  valid_.push_back(0);
+  if (type_ == ColumnType::kNumeric) {
+    nums_.push_back(std::nan(""));
+  } else {
+    codes_.push_back(-1);
+  }
+}
+
+void Column::AppendNumeric(double value) {
+  SUBTAB_CHECK(type_ == ColumnType::kNumeric);
+  if (std::isnan(value)) {
+    AppendNull();
+    return;
+  }
+  valid_.push_back(1);
+  nums_.push_back(value);
+}
+
+void Column::AppendCategorical(std::string_view value) {
+  SUBTAB_CHECK(type_ == ColumnType::kCategorical);
+  std::string key(value);
+  auto it = dict_index_.find(key);
+  int32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.push_back(key);
+    dict_index_.emplace(std::move(key), code);
+  } else {
+    code = it->second;
+  }
+  valid_.push_back(1);
+  codes_.push_back(code);
+}
+
+size_t Column::null_count() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) n += (v == 0);
+  return n;
+}
+
+double Column::num_value(size_t row) const {
+  SUBTAB_CHECK(type_ == ColumnType::kNumeric);
+  SUBTAB_DCHECK(row < size());
+  return nums_[row];
+}
+
+int32_t Column::cat_code(size_t row) const {
+  SUBTAB_CHECK(type_ == ColumnType::kCategorical);
+  SUBTAB_DCHECK(row < size());
+  SUBTAB_DCHECK(valid_[row] != 0);
+  return codes_[row];
+}
+
+std::string_view Column::cat_value(size_t row) const {
+  return dict_[static_cast<size_t>(cat_code(row))];
+}
+
+size_t Column::distinct_count() const {
+  if (type_ == ColumnType::kCategorical) {
+    std::unordered_set<int32_t> seen;
+    for (size_t i = 0; i < size(); ++i) {
+      if (valid_[i]) seen.insert(codes_[i]);
+    }
+    return seen.size();
+  }
+  std::unordered_set<double> seen;
+  for (size_t i = 0; i < size(); ++i) {
+    if (valid_[i]) seen.insert(nums_[i]);
+  }
+  return seen.size();
+}
+
+std::string Column::ToDisplay(size_t row) const {
+  if (is_null(row)) return "NaN";
+  if (type_ == ColumnType::kNumeric) return FormatCell(nums_[row]);
+  return std::string(cat_value(row));
+}
+
+Column Column::Take(const std::vector<size_t>& indices) const {
+  Column out(name_, type_);
+  out.Reserve(indices.size());
+  for (size_t i : indices) {
+    SUBTAB_CHECK(i < size());
+    if (is_null(i)) {
+      out.AppendNull();
+    } else if (type_ == ColumnType::kNumeric) {
+      out.AppendNumeric(nums_[i]);
+    } else {
+      out.AppendCategorical(cat_value(i));
+    }
+  }
+  return out;
+}
+
+bool Column::NumericRange(double* min_out, double* max_out) const {
+  SUBTAB_CHECK(type_ == ColumnType::kNumeric);
+  bool found = false;
+  double mn = 0.0;
+  double mx = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!valid_[i]) continue;
+    const double v = nums_[i];
+    if (!found || v < mn) mn = v;
+    if (!found || v > mx) mx = v;
+    found = true;
+  }
+  if (found) {
+    *min_out = mn;
+    *max_out = mx;
+  }
+  return found;
+}
+
+}  // namespace subtab

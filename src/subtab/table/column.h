@@ -1,0 +1,99 @@
+#ifndef SUBTAB_TABLE_COLUMN_H_
+#define SUBTAB_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "subtab/util/check.h"
+
+/// \file column.h
+/// Columnar storage for the dataframe substrate (Sec. 3.1 of the paper models
+/// tables as tuples over a schema; we store them column-wise like Arrow /
+/// Pandas). Two physical types cover the paper's data model:
+///   * kNumeric      — doubles with a validity bitmap (NaN input => null),
+///   * kCategorical  — dictionary-encoded strings with a validity bitmap.
+/// Nulls are first-class: the paper's examples use NaN as a *value* that
+/// participates in association rules (e.g. DEP_TIME = NaN for cancelled
+/// flights), which the binning layer later maps to a dedicated bin.
+
+namespace subtab {
+
+enum class ColumnType { kNumeric, kCategorical };
+
+/// Returns "numeric" / "categorical".
+const char* ColumnTypeName(ColumnType type);
+
+/// A single named, typed column. Append-only builder API plus random access.
+class Column {
+ public:
+  /// Creates an empty column of the given type.
+  Column(std::string name, ColumnType type);
+
+  /// Convenience factory: numeric column from values; NaNs become nulls.
+  static Column Numeric(std::string name, const std::vector<double>& values);
+
+  /// Convenience factory: categorical column from strings; empty strings
+  /// become nulls.
+  static Column Categorical(std::string name, const std::vector<std::string>& values);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  ColumnType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+
+  // -- Builder API ----------------------------------------------------------
+
+  void AppendNull();
+  void AppendNumeric(double value);          // NaN is recorded as null.
+  void AppendCategorical(std::string_view value);
+  void Reserve(size_t n);
+
+  // -- Access ---------------------------------------------------------------
+
+  bool is_null(size_t row) const {
+    SUBTAB_DCHECK(row < size());
+    return valid_[row] == 0;
+  }
+  size_t null_count() const;
+
+  /// Numeric value; NaN if null. Column must be numeric.
+  double num_value(size_t row) const;
+
+  /// Dictionary code of a categorical cell; requires non-null cell.
+  int32_t cat_code(size_t row) const;
+
+  /// Dictionary string for a categorical cell; requires non-null cell.
+  std::string_view cat_value(size_t row) const;
+
+  /// The dictionary of distinct categorical values, in first-seen order.
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  /// Number of distinct non-null values.
+  size_t distinct_count() const;
+
+  /// Cell rendered for display ("NaN" for nulls).
+  std::string ToDisplay(size_t row) const;
+
+  /// New column containing rows at `indices` (duplicates allowed).
+  Column Take(const std::vector<size_t>& indices) const;
+
+  /// Min / max over non-null numeric values; returns false if no such value.
+  bool NumericRange(double* min_out, double* max_out) const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<uint8_t> valid_;       // 1 = present, 0 = null.
+  std::vector<double> nums_;         // Numeric payload (size() entries).
+  std::vector<int32_t> codes_;       // Categorical payload (size() entries).
+  std::vector<std::string> dict_;    // Dictionary for categorical columns.
+  std::unordered_map<std::string, int32_t> dict_index_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_COLUMN_H_

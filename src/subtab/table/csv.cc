@@ -1,0 +1,184 @@
+#include "subtab/table/csv.h"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+namespace {
+
+bool NeedsQuoting(std::string_view s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(std::string_view s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) return std::string(s);
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool ParseCsvRecord(std::string_view line, char delimiter,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // Trailing CR from CRLF input; drop it.
+    } else {
+      cur += c;
+    }
+    ++i;
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(cur));
+  return true;
+}
+
+Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
+  std::unordered_set<std::string> na_set;
+  for (const auto& na : options.na_values) na_set.insert(StrLower(na));
+  auto is_na = [&na_set](const std::string& s) {
+    return na_set.count(StrLower(std::string(StrTrim(s)))) > 0;
+  };
+
+  std::string line;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> records;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() && in.peek() == EOF) break;
+    std::vector<std::string> fields;
+    // RFC 4180: quoted fields may span lines; an "unterminated quote" means
+    // the record continues on the next line.
+    const size_t record_start_line = line_no;
+    while (!ParseCsvRecord(line, options.delimiter, &fields)) {
+      std::string continuation;
+      if (!std::getline(in, continuation)) {
+        return Status::InvalidArgument(
+            StrFormat("malformed CSV record (unterminated quote) at line %zu",
+                      record_start_line));
+      }
+      ++line_no;
+      line += '\n';
+      line += continuation;
+    }
+    if (header.empty() && options.has_header) {
+      header = std::move(fields);
+      continue;
+    }
+    if (header.empty()) {
+      // Headerless input: synthesize names from the first record's arity.
+      header.resize(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) header[i] = StrFormat("col_%zu", i);
+    }
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no, fields.size(),
+                    header.size()));
+    }
+    records.push_back(std::move(fields));
+    if (options.max_rows > 0 && records.size() >= options.max_rows) break;
+  }
+  if (header.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+
+  const size_t m = header.size();
+  // Type inference: numeric iff every non-NA cell parses as a finite double.
+  std::vector<bool> numeric(m, true);
+  std::vector<bool> any_value(m, false);
+  for (const auto& rec : records) {
+    for (size_t c = 0; c < m; ++c) {
+      if (is_na(rec[c])) continue;
+      any_value[c] = true;
+      if (numeric[c] && !LooksNumeric(rec[c])) numeric[c] = false;
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(m);
+  for (size_t c = 0; c < m; ++c) {
+    // All-null columns default to categorical.
+    const ColumnType type = (numeric[c] && any_value[c]) ? ColumnType::kNumeric
+                                                         : ColumnType::kCategorical;
+    Column col(header[c], type);
+    col.Reserve(records.size());
+    for (const auto& rec : records) {
+      if (is_na(rec[c])) {
+        col.AppendNull();
+      } else if (type == ColumnType::kNumeric) {
+        double v = 0.0;
+        SUBTAB_CHECK(ParseDouble(rec[c], &v));
+        col.AppendNumeric(v);
+      } else {
+        col.AppendCategorical(std::string(StrTrim(rec[c])));
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(columns));
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file '" + path + "'");
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out, char delimiter) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << delimiter;
+    out << QuoteField(table.column(c).name(), delimiter);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << delimiter;
+      const Column& col = table.column(c);
+      if (col.is_null(r)) continue;  // Nulls serialize as empty fields.
+      out << QuoteField(col.ToDisplay(r), delimiter);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("CSV write failed");
+  return Status::Ok();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  return WriteCsv(table, out, delimiter);
+}
+
+}  // namespace subtab

@@ -1,0 +1,49 @@
+#ifndef SUBTAB_TABLE_CSV_H_
+#define SUBTAB_TABLE_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "subtab/table/table.h"
+#include "subtab/util/status.h"
+
+/// \file csv.h
+/// CSV reader/writer for the dataframe substrate (the paper's datasets are
+/// Kaggle CSV dumps). The reader handles RFC-4180 quoting, configurable
+/// delimiters, NA spellings, and per-column type inference (a column is
+/// numeric iff every non-NA cell parses as a finite double).
+
+namespace subtab {
+
+/// Reader configuration.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Cell spellings treated as null (case-insensitive).
+  std::vector<std::string> na_values = {"", "na", "nan", "null", "none"};
+  /// Maximum rows to read (0 = unlimited).
+  size_t max_rows = 0;
+};
+
+/// Parses one CSV record (handles quoted fields, embedded delimiters and
+/// doubled quotes). Returns false on a malformed record (unterminated quote).
+bool ParseCsvRecord(std::string_view line, char delimiter,
+                    std::vector<std::string>* fields);
+
+/// Reads a table from a stream.
+Result<Table> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Reads a table from a file path.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// Writes a table as CSV (quoting cells that need it).
+Status WriteCsv(const Table& table, std::ostream& out, char delimiter = ',');
+
+/// Writes a table to a file path.
+Status WriteCsvFile(const Table& table, const std::string& path, char delimiter = ',');
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_CSV_H_

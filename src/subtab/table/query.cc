@@ -1,0 +1,295 @@
+#include "subtab/table/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kIsNull:
+      return "is null";
+    case CmpOp::kNotNull:
+      return "is not null";
+  }
+  return "?";
+}
+
+Predicate Predicate::Num(std::string column, CmpOp op, double value) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = op;
+  p.num_literal = value;
+  p.literal_is_numeric = true;
+  return p;
+}
+
+Predicate Predicate::Str(std::string column, CmpOp op, std::string value) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = op;
+  p.str_literal = std::move(value);
+  p.literal_is_numeric = false;
+  return p;
+}
+
+Predicate Predicate::IsNull(std::string column) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = CmpOp::kIsNull;
+  return p;
+}
+
+Predicate Predicate::NotNull(std::string column) {
+  Predicate p;
+  p.column = std::move(column);
+  p.op = CmpOp::kNotNull;
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  if (op == CmpOp::kIsNull || op == CmpOp::kNotNull) {
+    return column + " " + CmpOpName(op);
+  }
+  if (literal_is_numeric) {
+    return StrFormat("%s %s %s", column.c_str(), CmpOpName(op),
+                     FormatCell(num_literal).c_str());
+  }
+  return column + " " + CmpOpName(op) + " '" + str_literal + "'";
+}
+
+std::string SpQuery::ToString() const {
+  std::string out = "SELECT ";
+  out += projection.empty() ? "*" : StrJoin(projection, ", ");
+  if (!filters.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(filters.size());
+    for (const auto& f : filters) parts.push_back(f.ToString());
+    out += " WHERE " + StrJoin(parts, " AND ");
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY " + order_by + (descending ? " DESC" : " ASC");
+  }
+  if (limit > 0) out += StrFormat(" LIMIT %zu", limit);
+  return out;
+}
+
+namespace {
+
+template <typename T>
+bool Compare(CmpOp op, const T& lhs, const T& rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<char>> EvalPredicate(const Table& table, const Predicate& pred) {
+  SUBTAB_ASSIGN_OR_RETURN(size_t col_idx, table.ColumnIndex(pred.column));
+  const Column& col = table.column(col_idx);
+  const size_t n = table.num_rows();
+  std::vector<char> mask(n, 0);
+
+  if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
+    const bool want_null = pred.op == CmpOp::kIsNull;
+    for (size_t r = 0; r < n; ++r) mask[r] = (col.is_null(r) == want_null) ? 1 : 0;
+    return mask;
+  }
+
+  if (col.is_numeric() != pred.literal_is_numeric) {
+    return Status::InvalidArgument(
+        StrFormat("predicate on '%s' mixes %s column with %s literal",
+                  pred.column.c_str(), ColumnTypeName(col.type()),
+                  pred.literal_is_numeric ? "numeric" : "string"));
+  }
+
+  if (col.is_numeric()) {
+    for (size_t r = 0; r < n; ++r) {
+      if (col.is_null(r)) continue;  // Nulls fail all value comparisons.
+      mask[r] = Compare(pred.op, col.num_value(r), pred.num_literal) ? 1 : 0;
+    }
+  } else {
+    const std::string_view want = pred.str_literal;
+    for (size_t r = 0; r < n; ++r) {
+      if (col.is_null(r)) continue;
+      mask[r] = Compare(pred.op, col.cat_value(r), want) ? 1 : 0;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+Result<QueryResult> RunQuery(const Table& table, const SpQuery& query) {
+  const size_t n = table.num_rows();
+  std::vector<char> keep(n, 1);
+  for (const auto& pred : query.filters) {
+    SUBTAB_ASSIGN_OR_RETURN(std::vector<char> mask, EvalPredicate(table, pred));
+    for (size_t r = 0; r < n; ++r) keep[r] = keep[r] & mask[r];
+  }
+
+  std::vector<size_t> row_ids;
+  for (size_t r = 0; r < n; ++r) {
+    if (keep[r]) row_ids.push_back(r);
+  }
+
+  if (!query.order_by.empty()) {
+    SUBTAB_ASSIGN_OR_RETURN(size_t sort_idx, table.ColumnIndex(query.order_by));
+    const Column& col = table.column(sort_idx);
+    auto null_last_less = [&col](size_t a, size_t b) {
+      const bool na = col.is_null(a);
+      const bool nb = col.is_null(b);
+      if (na != nb) return nb;  // Nulls sort last.
+      if (na) return false;
+      if (col.is_numeric()) return col.num_value(a) < col.num_value(b);
+      return col.cat_value(a) < col.cat_value(b);
+    };
+    std::stable_sort(row_ids.begin(), row_ids.end(), null_last_less);
+    if (query.descending) std::reverse(row_ids.begin(), row_ids.end());
+  }
+
+  if (query.limit > 0 && row_ids.size() > query.limit) {
+    row_ids.resize(query.limit);
+  }
+
+  std::vector<size_t> col_ids;
+  if (query.projection.empty()) {
+    col_ids.resize(table.num_columns());
+    std::iota(col_ids.begin(), col_ids.end(), 0);
+  } else {
+    for (const auto& name : query.projection) {
+      SUBTAB_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+      col_ids.push_back(idx);
+    }
+  }
+
+  QueryResult result;
+  result.table = table.SubTable(row_ids, col_ids);
+  result.row_ids = std::move(row_ids);
+  result.col_ids = std::move(col_ids);
+  return result;
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMean:
+      return "mean";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+Result<Table> RunGroupBy(const Table& table, const GroupByQuery& query) {
+  SUBTAB_ASSIGN_OR_RETURN(size_t key_idx, table.ColumnIndex(query.key_column));
+  const Column& key = table.column(key_idx);
+  const bool needs_agg_col = query.fn != AggFn::kCount;
+  const Column* agg = nullptr;
+  if (needs_agg_col) {
+    SUBTAB_ASSIGN_OR_RETURN(size_t agg_idx, table.ColumnIndex(query.agg_column));
+    agg = &table.column(agg_idx);
+    if (!agg->is_numeric()) {
+      return Status::InvalidArgument("aggregate column '" + query.agg_column +
+                                     "' must be numeric");
+    }
+  }
+
+  struct Acc {
+    size_t count = 0;      // Rows in the group.
+    size_t agg_count = 0;  // Non-null aggregate values in the group.
+    double sum = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+    bool any = false;
+  };
+  // std::map keeps groups in deterministic key order.
+  std::map<std::string, Acc> groups;
+  std::map<std::string, double> numeric_keys;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (key.is_null(r)) continue;
+    std::string k = key.ToDisplay(r);
+    Acc& acc = groups[k];
+    if (key.is_numeric()) numeric_keys[k] = key.num_value(r);
+    ++acc.count;
+    if (needs_agg_col && !agg->is_null(r)) {
+      const double v = agg->num_value(r);
+      acc.sum += v;
+      if (!acc.any || v < acc.mn) acc.mn = v;
+      if (!acc.any || v > acc.mx) acc.mx = v;
+      acc.any = true;
+      ++acc.agg_count;
+    }
+  }
+
+  Column key_out = key.is_numeric() ? Column(query.key_column, ColumnType::kNumeric)
+                                    : Column(query.key_column, ColumnType::kCategorical);
+  const std::string agg_name =
+      needs_agg_col ? StrFormat("%s(%s)", AggFnName(query.fn), query.agg_column.c_str())
+                    : "count";
+  Column agg_out(agg_name, ColumnType::kNumeric);
+  for (const auto& [k, acc] : groups) {
+    if (key.is_numeric()) {
+      key_out.AppendNumeric(numeric_keys[k]);
+    } else {
+      key_out.AppendCategorical(k);
+    }
+    switch (query.fn) {
+      case AggFn::kCount:
+        agg_out.AppendNumeric(static_cast<double>(acc.count));
+        break;
+      case AggFn::kSum:
+        agg_out.AppendNumeric(acc.sum);
+        break;
+      case AggFn::kMean:
+        if (acc.any) {
+          agg_out.AppendNumeric(acc.sum / static_cast<double>(acc.agg_count));
+        } else {
+          agg_out.AppendNull();
+        }
+        break;
+      case AggFn::kMin:
+        acc.any ? agg_out.AppendNumeric(acc.mn) : agg_out.AppendNull();
+        break;
+      case AggFn::kMax:
+        acc.any ? agg_out.AppendNumeric(acc.mx) : agg_out.AppendNull();
+        break;
+    }
+  }
+  return Table::Make({std::move(key_out), std::move(agg_out)});
+}
+
+}  // namespace subtab

@@ -1,0 +1,82 @@
+#ifndef SUBTAB_TABLE_QUERY_H_
+#define SUBTAB_TABLE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/table/table.h"
+#include "subtab/util/status.h"
+
+/// \file query.h
+/// The exploratory query engine. The paper's EDA sessions issue
+/// selection-projection (SP) queries plus sort and group-by (Sec. 1, 6.2.2);
+/// sub-tables are computed over SP query results (Algorithm 2 line 6).
+
+namespace subtab {
+
+/// Comparison operators for predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kIsNull, kNotNull };
+
+const char* CmpOpName(CmpOp op);
+
+/// One conjunct of a selection: `column op literal`. The literal is numeric
+/// for numeric columns and a string for categorical ones; kIsNull/kNotNull
+/// ignore the literal.
+struct Predicate {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  double num_literal = 0.0;
+  std::string str_literal;
+  bool literal_is_numeric = true;
+
+  static Predicate Num(std::string column, CmpOp op, double value);
+  static Predicate Str(std::string column, CmpOp op, std::string value);
+  static Predicate IsNull(std::string column);
+  static Predicate NotNull(std::string column);
+
+  /// "COL <= 3.5" for logging / session display.
+  std::string ToString() const;
+};
+
+/// A selection-projection query with optional ordering and limit.
+struct SpQuery {
+  std::vector<Predicate> filters;       ///< Conjunction; empty = all rows.
+  std::vector<std::string> projection;  ///< Empty = all columns.
+  std::string order_by;                 ///< Empty = input order.
+  bool descending = false;
+  size_t limit = 0;                     ///< 0 = no limit.
+
+  std::string ToString() const;
+};
+
+/// Query result: the materialized table plus the provenance of each result
+/// row/column in the source table (needed so the SubTab selector can reuse
+/// pre-computed cell vectors, Algorithm 2 line 6).
+struct QueryResult {
+  Table table;
+  std::vector<size_t> row_ids;  ///< Result row -> source row index.
+  std::vector<size_t> col_ids;  ///< Result col -> source col index.
+};
+
+/// Executes an SP query. Errors on unknown columns or type-incompatible
+/// predicates. Null cells never satisfy value comparisons (SQL semantics).
+Result<QueryResult> RunQuery(const Table& table, const SpQuery& query);
+
+/// Group-by aggregates, rounding out the dataframe substrate for EDA.
+enum class AggFn { kCount, kSum, kMean, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+struct GroupByQuery {
+  std::string key_column;
+  std::string agg_column;  ///< Ignored for kCount.
+  AggFn fn = AggFn::kCount;
+};
+
+/// Returns a table with columns [key, agg] where key iterates the distinct
+/// non-null values of the key column (numeric keys kept numeric).
+Result<Table> RunGroupBy(const Table& table, const GroupByQuery& query);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_QUERY_H_

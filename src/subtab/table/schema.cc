@@ -1,0 +1,41 @@
+#include "subtab/table/schema.h"
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) AddField(std::move(f));
+}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Schema::AddField(Field field) {
+  SUBTAB_CHECK(index_.find(field.name) == index_.end());
+  index_.emplace(field.name, fields_.size());
+  fields_.push_back(std::move(field));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  Schema out;
+  for (size_t i : indices) {
+    SUBTAB_CHECK(i < fields_.size());
+    out.AddField(fields_[i]);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& f : fields_) {
+    parts.push_back(f.name + ":" + ColumnTypeName(f.type));
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace subtab

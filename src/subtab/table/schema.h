@@ -1,0 +1,62 @@
+#ifndef SUBTAB_TABLE_SCHEMA_H_
+#define SUBTAB_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "subtab/table/column.h"
+
+/// \file schema.h
+/// Relational schema U = {u_1, ..., u_m} (paper Sec. 3.1): ordered, named,
+/// typed fields with O(1) name lookup.
+
+namespace subtab {
+
+/// One column description.
+struct Field {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered collection of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const {
+    SUBTAB_CHECK(i < fields_.size());
+    return fields_[i];
+  }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with this name, if present.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// Appends a field; name must be unique.
+  void AddField(Field field);
+
+  /// Schema restricted to `indices`, in the given order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_SCHEMA_H_

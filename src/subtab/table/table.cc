@@ -1,0 +1,175 @@
+#include "subtab/table/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+
+Result<Table> Table::Make(std::vector<Column> columns) {
+  Table t;
+  for (auto& col : columns) {
+    SUBTAB_RETURN_IF_ERROR(t.AddColumn(std::move(col)));
+  }
+  return t;
+}
+
+const Column& Table::column(std::string_view name) const {
+  auto idx = schema_.IndexOf(name);
+  SUBTAB_CHECK(idx.has_value());
+  return columns_[*idx];
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  return *idx;
+}
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows_) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows, table has %zu", column.name().c_str(),
+                  column.size(), num_rows_));
+  }
+  if (schema_.IndexOf(column.name()).has_value()) {
+    return Status::InvalidArgument("duplicate column name '" + column.name() + "'");
+  }
+  if (columns_.empty()) num_rows_ = column.size();
+  schema_.AddField({column.name(), column.type()});
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+Table Table::TakeRows(const std::vector<size_t>& indices) const {
+  Table out;
+  for (const auto& col : columns_) {
+    Status st = out.AddColumn(col.Take(indices));
+    SUBTAB_CHECK(st.ok());
+  }
+  // An all-columns table with zero columns keeps zero rows by construction.
+  return out;
+}
+
+Table Table::SelectColumns(const std::vector<size_t>& indices) const {
+  Table out;
+  for (size_t i : indices) {
+    SUBTAB_CHECK(i < columns_.size());
+    Status st = out.AddColumn(columns_[i]);
+    SUBTAB_CHECK(st.ok());
+  }
+  return out;
+}
+
+Table Table::SubTable(const std::vector<size_t>& row_ids,
+                      const std::vector<size_t>& col_ids) const {
+  return SelectColumns(col_ids).TakeRows(row_ids);
+}
+
+Table Table::Head(size_t limit) const {
+  limit = std::min(limit, num_rows_);
+  std::vector<size_t> idx(limit);
+  std::iota(idx.begin(), idx.end(), 0);
+  return TakeRows(idx);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  const size_t rows = std::min(max_rows, num_rows_);
+  // Column widths.
+  std::vector<size_t> width(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].name().size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = columns_[c].ToDisplay(r);
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row_cells) {
+    for (size_t c = 0; c < row_cells.size(); ++c) {
+      out += "| ";
+      out += row_cells[c];
+      out.append(width[c] - row_cells[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::vector<std::string> header(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) header[c] = columns_[c].name();
+  append_row(header);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (size_t r = 0; r < rows; ++r) append_row(cells[r]);
+  if (rows < num_rows_) {
+    out += StrFormat("... (%zu of %zu rows shown)\n", rows, num_rows_);
+  }
+  return out;
+}
+
+Table Table::Describe() const {
+  Column name("column", ColumnType::kCategorical);
+  Column type("type", ColumnType::kCategorical);
+  Column count("count", ColumnType::kNumeric);
+  Column nulls("nulls", ColumnType::kNumeric);
+  Column distinct("distinct", ColumnType::kNumeric);
+  Column mn("min", ColumnType::kNumeric);
+  Column mx("max", ColumnType::kNumeric);
+  Column mean("mean", ColumnType::kNumeric);
+
+  for (const Column& col : columns_) {
+    name.AppendCategorical(col.name());
+    type.AppendCategorical(ColumnTypeName(col.type()));
+    const size_t null_count = col.null_count();
+    count.AppendNumeric(static_cast<double>(col.size() - null_count));
+    nulls.AppendNumeric(static_cast<double>(null_count));
+    distinct.AppendNumeric(static_cast<double>(col.distinct_count()));
+    if (col.is_numeric()) {
+      double lo = 0.0;
+      double hi = 0.0;
+      if (col.NumericRange(&lo, &hi)) {
+        mn.AppendNumeric(lo);
+        mx.AppendNumeric(hi);
+        double total = 0.0;
+        size_t n = 0;
+        for (size_t r = 0; r < col.size(); ++r) {
+          if (!col.is_null(r)) {
+            total += col.num_value(r);
+            ++n;
+          }
+        }
+        mean.AppendNumeric(total / static_cast<double>(n));
+      } else {
+        mn.AppendNull();
+        mx.AppendNull();
+        mean.AppendNull();
+      }
+    } else {
+      mn.AppendNull();
+      mx.AppendNull();
+      mean.AppendNull();
+    }
+  }
+  Result<Table> out =
+      Table::Make({std::move(name), std::move(type), std::move(count),
+                   std::move(nulls), std::move(distinct), std::move(mn),
+                   std::move(mx), std::move(mean)});
+  SUBTAB_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+size_t Table::TotalNullCount() const {
+  size_t n = 0;
+  for (const auto& col : columns_) n += col.null_count();
+  return n;
+}
+
+}  // namespace subtab

@@ -1,0 +1,79 @@
+#ifndef SUBTAB_TABLE_TABLE_H_
+#define SUBTAB_TABLE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "subtab/table/column.h"
+#include "subtab/table/schema.h"
+#include "subtab/util/status.h"
+
+/// \file table.h
+/// Relational table T over schema U (paper Sec. 3.1). Column-oriented; all
+/// columns have equal length. Sub-table extraction is row selection
+/// (TakeRows) composed with projection (SelectColumns), matching Def. 3.1.
+
+namespace subtab {
+
+/// A column-oriented relational table.
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds a table from columns; all columns must have equal length and
+  /// unique names.
+  static Result<Table> Make(std::vector<Column> columns);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  const Column& column(size_t i) const {
+    SUBTAB_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  /// Column by name; fatal if absent (use schema().IndexOf for probing).
+  const Column& column(std::string_view name) const;
+
+  /// Index of a named column as a Status-ful lookup.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Appends a column of matching length.
+  Status AddColumn(Column column);
+
+  /// New table with the rows at `indices` (in order; duplicates allowed).
+  Table TakeRows(const std::vector<size_t>& indices) const;
+
+  /// New table with the columns at `indices` (in order).
+  Table SelectColumns(const std::vector<size_t>& indices) const;
+
+  /// Sub-table per Def. 3.1: rows at `row_ids` projected on `col_ids`.
+  Table SubTable(const std::vector<size_t>& row_ids,
+                 const std::vector<size_t>& col_ids) const;
+
+  /// First `limit` rows (entire table if limit >= num_rows).
+  Table Head(size_t limit) const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table for display.
+  std::string ToString(size_t max_rows = 10) const;
+
+  /// Per-column summary statistics (the pandas describe() analogue):
+  /// columns [column, type, count, nulls, distinct, min, max, mean] with one
+  /// row per column of this table. Min/max/mean are null for categorical
+  /// columns.
+  Table Describe() const;
+
+  /// Total null cells across all columns.
+  size_t TotalNullCount() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_TABLE_H_

@@ -1,0 +1,118 @@
+#ifndef SUBTAB_UTIL_BITSET_H_
+#define SUBTAB_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "subtab/util/check.h"
+
+/// \file bitset.h
+/// Dynamic bitset used for transaction-id sets in the Apriori miner and for
+/// covered-cell accounting in the cell-coverage metric. Intersection is the
+/// hot operation (word-wise AND + popcount).
+
+namespace subtab {
+
+/// Fixed-size-after-construction dynamic bitset.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t size, bool value = false)
+      : size_(size),
+        words_((size + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    ClearPadding();
+  }
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    SUBTAB_DCHECK(i < size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Clear(size_t i) {
+    SUBTAB_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    SUBTAB_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// this &= other (sizes must match).
+  void IntersectWith(const Bitset& other) {
+    SUBTAB_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this |= other (sizes must match).
+  void UnionWith(const Bitset& other) {
+    SUBTAB_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// |a & b| without materializing the intersection.
+  static size_t IntersectionCount(const Bitset& a, const Bitset& b) {
+    SUBTAB_DCHECK(a.size_ == b.size_);
+    size_t n = 0;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      n += static_cast<size_t>(std::popcount(a.words_[i] & b.words_[i]));
+    }
+    return n;
+  }
+
+  /// a & b as a new bitset.
+  static Bitset Intersection(const Bitset& a, const Bitset& b) {
+    Bitset out = a;
+    out.IntersectWith(b);
+    return out;
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<uint32_t> ToIndices() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        out.push_back(static_cast<uint32_t>((w << 6) + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  void ClearPadding() {
+    const size_t rem = size_ & 63;
+    if (rem != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << rem) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_BITSET_H_

@@ -1,0 +1,37 @@
+#ifndef SUBTAB_UTIL_CHECK_H_
+#define SUBTAB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Fatal invariant checks. The library follows the Google style of not using
+/// exceptions: programming errors abort with a diagnostic, while recoverable
+/// errors flow through subtab::Status (see status.h).
+
+namespace subtab::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "SUBTAB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace subtab::internal
+
+/// Aborts the process with a diagnostic when `expr` is false. Always enabled.
+#define SUBTAB_CHECK(expr)                                           \
+  do {                                                               \
+    if (!(expr)) ::subtab::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+/// Debug-only variant of SUBTAB_CHECK; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SUBTAB_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SUBTAB_DCHECK(expr) SUBTAB_CHECK(expr)
+#endif
+
+#endif  // SUBTAB_UTIL_CHECK_H_

@@ -1,0 +1,63 @@
+#ifndef SUBTAB_UTIL_LOGGING_H_
+#define SUBTAB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Tiny leveled logger used by long-running stages (embedding training,
+/// mining) to report progress. Defaults to kWarning so tests stay quiet;
+/// benches raise it to kInfo.
+
+namespace subtab {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement that is below the threshold.
+struct NullLog {
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SUBTAB_LOG(level)                                        \
+  (::subtab::LogLevel::k##level < ::subtab::GetLogLevel())       \
+      ? (void)0                                                  \
+      : (void)(::subtab::internal::LogMessage(                   \
+            ::subtab::LogLevel::k##level, __FILE__, __LINE__))
+
+// Stream-style logging: SUBTAB_LOG_STREAM(Info) << "trained " << n;
+#define SUBTAB_LOG_STREAM(level)                                 \
+  if (::subtab::LogLevel::k##level < ::subtab::GetLogLevel()) {  \
+  } else                                                         \
+    ::subtab::internal::LogMessage(::subtab::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_LOGGING_H_

@@ -1,0 +1,145 @@
+#include "subtab/util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace subtab {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  // All-zero state is invalid for xoshiro; SplitMix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  SUBTAB_CHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SUBTAB_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Avoid log(0).
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SUBTAB_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SUBTAB_CHECK(w >= 0.0);
+    total += w;
+  }
+  SUBTAB_CHECK(total > 0.0);
+  double u = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point fallthrough.
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  SUBTAB_CHECK(n > 0);
+  // Small n in practice (category counts), so direct inversion on the CDF.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+  double u = UniformDouble() * total;
+  for (size_t i = 0; i < n; ++i) {
+    u -= 1.0 / std::pow(static_cast<double>(i + 1), s);
+    if (u <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  SUBTAB_CHECK(count <= n);
+  if (count == 0) return {};
+  // Floyd's algorithm keeps memory proportional to `count`.
+  std::vector<size_t> picked;
+  picked.reserve(count);
+  auto contains = [&picked](size_t v) {
+    for (size_t p : picked) {
+      if (p == v) return true;
+    }
+    return false;
+  };
+  for (size_t j = n - count; j < n; ++j) {
+    size_t t = Uniform(j + 1);
+    if (contains(t)) {
+      picked.push_back(j);
+    } else {
+      picked.push_back(t);
+    }
+  }
+  Shuffle(&picked);
+  return picked;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace subtab

@@ -1,0 +1,83 @@
+#ifndef SUBTAB_UTIL_RNG_H_
+#define SUBTAB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/util/check.h"
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation. Every stochastic component
+/// of the library (data generators, Word2Vec, k-means++, the RAN and MAB
+/// baselines) takes an explicit seed so experiments are reproducible
+/// bit-for-bit. The engine is xoshiro256**, seeded via SplitMix64.
+
+namespace subtab {
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the engine deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses Lemire's method.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Zipf-like rank sample over [0, n): P(i) ∝ 1/(i+1)^s.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher–Yates shuffle of the container in place.
+  template <typename Container>
+  void Shuffle(Container* c) {
+    SUBTAB_CHECK(c != nullptr);
+    const size_t n = c->size();
+    for (size_t i = n; i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*c)[i - 1], (*c)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (Floyd's algorithm),
+  /// returned in random order. Requires count <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Derives an independent child generator; cheap way to give each worker or
+  /// component its own stream from one master seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_RNG_H_

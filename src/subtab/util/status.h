@@ -1,0 +1,129 @@
+#ifndef SUBTAB_UTIL_STATUS_H_
+#define SUBTAB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "subtab/util/check.h"
+
+/// \file status.h
+/// Minimal Status / Result<T> error model (absl-style). Recoverable failures —
+/// malformed CSV input, invalid user configuration, impossible requests such as
+/// k > n — are reported through these types; invariant violations abort via
+/// SUBTAB_CHECK.
+
+namespace subtab {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored result is a fatal programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in functions returning
+  /// Result<T>, mirroring absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    SUBTAB_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SUBTAB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SUBTAB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SUBTAB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SUBTAB_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::subtab::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning its value to `lhs` or
+/// propagating the error. `lhs` may include a declaration.
+#define SUBTAB_ASSIGN_OR_RETURN(lhs, expr)                \
+  SUBTAB_ASSIGN_OR_RETURN_IMPL_(                          \
+      SUBTAB_STATUS_CONCAT_(_subtab_result_, __LINE__), lhs, expr)
+
+#define SUBTAB_STATUS_CONCAT_INNER_(a, b) a##b
+#define SUBTAB_STATUS_CONCAT_(a, b) SUBTAB_STATUS_CONCAT_INNER_(a, b)
+#define SUBTAB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_STATUS_H_

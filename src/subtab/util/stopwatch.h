@@ -1,0 +1,52 @@
+#ifndef SUBTAB_UTIL_STOPWATCH_H_
+#define SUBTAB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// Wall-clock timing for the pre-processing / selection phase measurements
+/// (Fig. 9) and for budgeted baselines (RAN, semi-greedy, MAB).
+
+namespace subtab {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper for time-budgeted algorithms.
+class Deadline {
+ public:
+  /// A deadline `budget_seconds` from now; a non-positive budget means
+  /// "already expired", an infinite budget can be modeled with a huge value.
+  explicit Deadline(double budget_seconds) : budget_seconds_(budget_seconds) {}
+
+  bool Expired() const { return watch_.ElapsedSeconds() >= budget_seconds_; }
+  double RemainingSeconds() const {
+    return budget_seconds_ - watch_.ElapsedSeconds();
+  }
+
+ private:
+  Stopwatch watch_;
+  double budget_seconds_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_STOPWATCH_H_

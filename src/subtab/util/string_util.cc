@@ -1,0 +1,108 @@
+#include "subtab/util/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace subtab {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string StrLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StrTrim(s);
+  if (s.empty() || s.size() > 63) return false;
+  char buf[64];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  double v = std::strtod(buf, &end);
+  if (end != buf + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool LooksNumeric(std::string_view s) {
+  double v;
+  if (!ParseDouble(s, &v)) return false;
+  return std::isfinite(v);
+}
+
+std::string NormalizeCell(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char raw : StrTrim(s)) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                       c == '.' || c == '_' || c == '+' || c == '-';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatCell(double value, int max_decimals) {
+  if (std::isnan(value)) return "NaN";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return StrFormat("%.0f", value);
+  }
+  std::string s = StrFormat("%.*f", max_decimals, value);
+  // Trim trailing zeros but keep at least one decimal.
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') s.pop_back();
+  return s;
+}
+
+}  // namespace subtab

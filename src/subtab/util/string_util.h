@@ -1,0 +1,46 @@
+#ifndef SUBTAB_UTIL_STRING_UTIL_H_
+#define SUBTAB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared by the CSV layer, the value normalizer
+/// (Algorithm 2 line 1 "normalize"), and display code.
+
+namespace subtab {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string StrLower(std::string_view s);
+
+/// True if `s` parses fully as a floating-point number ("nan"/"inf" excluded;
+/// empty string excluded).
+bool LooksNumeric(std::string_view s);
+
+/// Parses a double; returns false on any trailing garbage.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Normalizes a raw cell for tokenization: trims, lower-cases, and collapses
+/// characters outside [a-z0-9._+-] to '_' (the paper's "remove illegal
+/// characters" step).
+std::string NormalizeCell(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable fixed-width number for table rendering (e.g. "3.14", "12").
+std::string FormatCell(double value, int max_decimals = 3);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_STRING_UTIL_H_

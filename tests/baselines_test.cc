@@ -1,0 +1,298 @@
+// Tests for the baselines of Sec. 4.2 / 6.1, including the property at the
+// heart of Prop. 4.3: greedy row selection achieves >= (1 - 1/e) of the
+// optimal coverage for its column set (verified against brute force on
+// random instances).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subtab/baselines/brute_force.h"
+#include "subtab/baselines/greedy.h"
+#include "subtab/baselines/mab.h"
+#include "subtab/baselines/naive_clustering.h"
+#include "subtab/baselines/random_baseline.h"
+#include "subtab/data/example_fixture.h"
+#include "subtab/rules/miner.h"
+#include "subtab/util/rng.h"
+
+namespace subtab {
+namespace {
+
+/// Random small categorical table + mined rules, for property tests.
+struct RandomInstance {
+  Table table;
+  BinnedTable binned;
+  RuleSet rules;
+};
+
+RandomInstance MakeInstance(uint64_t seed, size_t n = 16, size_t m = 5) {
+  Rng rng(seed);
+  std::vector<Column> cols;
+  for (size_t c = 0; c < m; ++c) {
+    std::vector<std::string> values;
+    for (size_t r = 0; r < n; ++r) {
+      values.push_back(std::string(1, static_cast<char>('a' + rng.Uniform(3))));
+    }
+    cols.push_back(Column::Categorical("c" + std::to_string(c), values));
+  }
+  Result<Table> t = Table::Make(std::move(cols));
+  EXPECT_TRUE(t.ok());
+  RandomInstance inst{std::move(t).value(), {}, {}};
+  inst.binned = BinnedTable::Compute(inst.table);
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.15;
+  mining.min_confidence = 0.4;
+  mining.min_rule_size = 2;
+  inst.rules = MineRules(inst.binned, mining);
+  return inst;
+}
+
+// -------------------------------------------------------------- NextCombo --
+
+TEST(CombinatoricsTest, EnumeratesAllCombinations) {
+  std::vector<size_t> idx = FirstCombination(2);
+  std::set<std::vector<size_t>> seen;
+  do {
+    seen.insert(idx);
+  } while (NextCombination(&idx, 4));
+  EXPECT_EQ(seen.size(), 6u);  // C(4,2).
+}
+
+TEST(CombinatoricsTest, SingleElementAndFull) {
+  std::vector<size_t> idx = FirstCombination(1);
+  size_t count = 1;
+  while (NextCombination(&idx, 5)) ++count;
+  EXPECT_EQ(count, 5u);
+
+  idx = FirstCombination(3);
+  EXPECT_FALSE(NextCombination(&idx, 3));  // Only one 3-of-3 combination.
+}
+
+// ------------------------------------------------------------------ RAN --
+
+TEST(RandomBaselineTest, ShapeAndBudget) {
+  RandomInstance inst = MakeInstance(1);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  RandomBaselineOptions options;
+  options.k = 4;
+  options.l = 3;
+  options.max_iterations = 50;
+  options.time_budget_seconds = 10.0;
+  BaselineResult result = RandomBaseline(evaluator, options);
+  EXPECT_EQ(result.row_ids.size(), 4u);
+  EXPECT_EQ(result.col_ids.size(), 3u);
+  EXPECT_EQ(result.iterations, 50u);
+  EXPECT_GE(result.score.combined, 0.0);
+}
+
+TEST(RandomBaselineTest, MoreIterationsNeverWorse) {
+  RandomInstance inst = MakeInstance(2);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  RandomBaselineOptions options;
+  options.k = 4;
+  options.l = 3;
+  options.seed = 5;
+  options.time_budget_seconds = 10.0;
+  options.max_iterations = 1;
+  const double one = RandomBaseline(evaluator, options).score.combined;
+  options.max_iterations = 200;
+  const double many = RandomBaseline(evaluator, options).score.combined;
+  EXPECT_GE(many, one);  // Same seed: first draw is identical.
+}
+
+TEST(RandomBaselineTest, TargetsAlwaysIncluded) {
+  RandomInstance inst = MakeInstance(3);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  RandomBaselineOptions options;
+  options.k = 3;
+  options.l = 2;
+  options.target_cols = {4};
+  options.max_iterations = 20;
+  BaselineResult result = RandomBaseline(evaluator, options);
+  EXPECT_NE(std::find(result.col_ids.begin(), result.col_ids.end(), 4u),
+            result.col_ids.end());
+}
+
+// ------------------------------------------------------------------- NC --
+
+TEST(NaiveClusteringTest, ShapeAndDistinctRows) {
+  RandomInstance inst = MakeInstance(4, 30, 5);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  NaiveClusteringOptions options;
+  options.k = 6;
+  options.l = 3;
+  BaselineResult result = NaiveClustering(evaluator, options);
+  EXPECT_EQ(result.row_ids.size(), 6u);
+  EXPECT_EQ(result.col_ids.size(), 3u);
+  std::set<size_t> unique(result.row_ids.begin(), result.row_ids.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(NaiveClusteringTest, TargetsIncluded) {
+  RandomInstance inst = MakeInstance(5, 30, 5);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  NaiveClusteringOptions options;
+  options.k = 4;
+  options.l = 3;
+  options.target_cols = {0};
+  BaselineResult result = NaiveClustering(evaluator, options);
+  EXPECT_NE(std::find(result.col_ids.begin(), result.col_ids.end(), 0u),
+            result.col_ids.end());
+}
+
+// --------------------------------------------------------------- Greedy --
+
+TEST(GreedyTest, RowSelectionMatchesAccumulator) {
+  RandomInstance inst = MakeInstance(6);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  const std::vector<size_t> cols = {0, 1, 2, 3, 4};
+  auto [rows, cells] = GreedyRowSelection(evaluator, 4, cols);
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_EQ(cells, evaluator.CoveredCellCount(rows, cols));
+}
+
+TEST(GreedyTest, ExhaustiveBeatsOrMatchesSemiGreedy) {
+  RandomInstance inst = MakeInstance(7);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  GreedyOptions options;
+  options.k = 3;
+  options.l = 3;
+  options.alpha = 1.0;  // Coverage only, as in Algorithm 1.
+  BaselineResult full = GreedySubTable(evaluator, options);
+
+  options.randomize_column_order = true;
+  options.time_budget_seconds = 10.0;
+  options.max_column_combos = 3;
+  BaselineResult semi = GreedySubTable(evaluator, options);
+  EXPECT_GE(full.score.cell_coverage, semi.score.cell_coverage - 1e-12);
+  EXPECT_EQ(full.iterations, 10u);  // C(5,3) column subsets.
+}
+
+class GreedyApproximationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyApproximationTest, AchievesSubmodularBoundPerColumnSet) {
+  // Prop. 4.3: for every fixed column set, greedy rows reach >= (1 - 1/e) of
+  // the optimal row selection's coverage.
+  RandomInstance inst = MakeInstance(100 + static_cast<uint64_t>(GetParam()), 12, 4);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  if (evaluator.upcov() == 0) GTEST_SKIP() << "no rules mined";
+
+  const size_t k = 3;
+  std::vector<size_t> cols = {0, 1, 2, 3};
+  auto [greedy_rows, greedy_cells] = GreedyRowSelection(evaluator, k, cols);
+
+  // Brute-force the optimal k rows for the same columns.
+  size_t best_cells = 0;
+  std::vector<size_t> rows = FirstCombination(k);
+  do {
+    best_cells = std::max(best_cells, evaluator.CoveredCellCount(rows, cols));
+  } while (NextCombination(&rows, inst.binned.num_rows()));
+
+  EXPECT_GE(static_cast<double>(greedy_cells),
+            (1.0 - 1.0 / 2.718281828) * static_cast<double>(best_cells) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyApproximationTest, ::testing::Range(0, 10));
+
+TEST(GreedyTest, OnExampleFixtureFindsOptimum) {
+  // On the Fig. 3 fixture, exhaustive-column greedy (alpha=1 coverage
+  // objective) must reach the known optimal coverage of 28/36 for k=3, l=4
+  // with CANCELLED forced.
+  Table t = MakeExampleTable();
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleSet rules = EnumerateRuleFamily(binned, kExampleCancelled);
+  CoverageEvaluator evaluator(binned, rules);
+  GreedyOptions options;
+  options.k = 3;
+  options.l = 4;
+  options.target_cols = {kExampleCancelled};
+  BaselineResult result = GreedySubTable(evaluator, options);
+  EXPECT_NEAR(result.score.cell_coverage, 28.0 / 36.0, 1e-9);
+}
+
+// ------------------------------------------------------------------ MAB --
+
+TEST(MabTest, ShapeAndReward) {
+  RandomInstance inst = MakeInstance(8, 24, 5);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  MabOptions options;
+  options.k = 4;
+  options.l = 3;
+  options.max_iterations = 60;
+  options.time_budget_seconds = 10.0;
+  BaselineResult result = MabBaseline(evaluator, options);
+  EXPECT_EQ(result.row_ids.size(), 4u);
+  EXPECT_EQ(result.col_ids.size(), 3u);
+  EXPECT_EQ(result.iterations, 60u);
+  EXPECT_GE(result.score.combined, 0.0);
+  EXPECT_LE(result.score.combined, 1.0);
+}
+
+TEST(MabTest, BeatsSingleRandomDrawGivenBudget) {
+  RandomInstance inst = MakeInstance(9, 24, 5);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  MabOptions mab;
+  mab.k = 4;
+  mab.l = 3;
+  mab.max_iterations = 300;
+  mab.time_budget_seconds = 30.0;
+  const double mab_score = MabBaseline(evaluator, mab).score.combined;
+  RandomBaselineOptions ran;
+  ran.k = 4;
+  ran.l = 3;
+  ran.max_iterations = 1;
+  ran.time_budget_seconds = 10.0;
+  const double one_draw = RandomBaseline(evaluator, ran).score.combined;
+  EXPECT_GE(mab_score, one_draw - 1e-12);
+}
+
+TEST(MabTest, TargetsIncluded) {
+  RandomInstance inst = MakeInstance(10, 20, 5);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  MabOptions options;
+  options.k = 3;
+  options.l = 2;
+  options.target_cols = {2};
+  options.max_iterations = 10;
+  BaselineResult result = MabBaseline(evaluator, options);
+  EXPECT_NE(std::find(result.col_ids.begin(), result.col_ids.end(), 2u),
+            result.col_ids.end());
+}
+
+// ----------------------------------------------------------- Brute force --
+
+TEST(BruteForceTest, FindsExactOptimumOnTinyInstance) {
+  RandomInstance inst = MakeInstance(11, 8, 4);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  BruteForceOptions options;
+  options.k = 2;
+  options.l = 2;
+  BaselineResult best = BruteForceOptimal(evaluator, options);
+  EXPECT_EQ(best.iterations, 28u * 6u);  // C(8,2) * C(4,2).
+
+  // No random draw may beat it.
+  RandomBaselineOptions ran;
+  ran.k = 2;
+  ran.l = 2;
+  ran.max_iterations = 300;
+  ran.time_budget_seconds = 30.0;
+  const BaselineResult sampled = RandomBaseline(evaluator, ran);
+  EXPECT_GE(best.score.combined, sampled.score.combined - 1e-12);
+}
+
+TEST(BruteForceTest, RespectsTargets) {
+  RandomInstance inst = MakeInstance(12, 6, 4);
+  CoverageEvaluator evaluator(inst.binned, inst.rules);
+  BruteForceOptions options;
+  options.k = 2;
+  options.l = 2;
+  options.target_cols = {1};
+  BaselineResult best = BruteForceOptimal(evaluator, options);
+  EXPECT_NE(std::find(best.col_ids.begin(), best.col_ids.end(), 1u),
+            best.col_ids.end());
+}
+
+}  // namespace
+}  // namespace subtab

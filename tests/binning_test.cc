@@ -1,0 +1,261 @@
+// Unit + property tests for the binning substrate (Def. 3.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/util/rng.h"
+
+namespace subtab {
+namespace {
+
+std::vector<double> Ramp(size_t n) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return v;
+}
+
+// ------------------------------------------------------------ Edge rules --
+
+TEST(EqualWidthTest, ProducesRequestedEdges) {
+  std::vector<double> edges = EqualWidthEdges(Ramp(100), 5);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_NEAR(edges[0], 19.8, 1e-9);
+  EXPECT_NEAR(edges[3], 79.2, 1e-9);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(EqualWidthTest, ConstantColumnHasNoEdges) {
+  EXPECT_TRUE(EqualWidthEdges({5, 5, 5}, 4).empty());
+  EXPECT_TRUE(EqualWidthEdges({}, 4).empty());
+  EXPECT_TRUE(EqualWidthEdges({1, 2}, 1).empty());
+}
+
+TEST(QuantileTest, BalancedOnUniformData) {
+  std::vector<double> edges = QuantileEdges(Ramp(1000), 4);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_NEAR(edges[0], 249.75, 1.0);
+  EXPECT_NEAR(edges[1], 499.5, 1.0);
+  EXPECT_NEAR(edges[2], 749.25, 1.0);
+}
+
+TEST(QuantileTest, HeavyTiesCollapseEdges) {
+  // 90% zeros: most quantiles coincide at 0 and must be deduplicated.
+  std::vector<double> v(100, 0.0);
+  for (size_t i = 90; i < 100; ++i) v[i] = static_cast<double>(i);
+  std::vector<double> edges = QuantileEdges(v, 5);
+  EXPECT_LT(edges.size(), 4u);
+  for (double e : edges) EXPECT_GT(e, 0.0);  // No empty first bin.
+}
+
+TEST(KdeTest, SplitsWellSeparatedModes) {
+  // Two tight clusters around 0 and 100: the density minimum between them
+  // must be found.
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.Normal(0, 2));
+  for (int i = 0; i < 300; ++i) v.push_back(rng.Normal(100, 2));
+  std::vector<double> edges = KdeEdges(v, 5);
+  ASSERT_FALSE(edges.empty());
+  bool has_separator = false;
+  for (double e : edges) has_separator |= (e > 20 && e < 80);
+  EXPECT_TRUE(has_separator);
+}
+
+TEST(KdeTest, ThreeModesYieldAtLeastTwoCuts) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Normal(0, 1));
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Normal(50, 1));
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Normal(100, 1));
+  std::vector<double> edges = KdeEdges(v, 5);
+  EXPECT_GE(edges.size(), 2u);
+}
+
+TEST(KdeTest, UnimodalFallsBackToQuantiles) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng.Normal(0, 1));
+  std::vector<double> edges = KdeEdges(v, 5);
+  // Fallback guarantees the requested bin count on smooth unimodal data.
+  EXPECT_EQ(edges.size(), 4u);
+}
+
+TEST(KdeTest, RespectsMaxBins) {
+  Rng rng(4);
+  std::vector<double> v;
+  for (int mode = 0; mode < 8; ++mode) {
+    for (int i = 0; i < 100; ++i) v.push_back(rng.Normal(mode * 30, 1));
+  }
+  std::vector<double> edges = KdeEdges(v, 4);  // 8 modes but only 4 bins.
+  EXPECT_LE(edges.size(), 3u);
+}
+
+// ----------------------------------------------- Strategy property sweep --
+
+struct StrategyCase {
+  BinningStrategy strategy;
+  uint32_t num_bins;
+};
+
+class BinningPropertyTest : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(BinningPropertyTest, EveryValueFallsInExactlyOneBin) {
+  const StrategyCase& param = GetParam();
+  Rng rng(99);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Normal(0, 5));
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Normal(40, 3));
+  Column col = Column::Numeric("x", values);
+
+  BinningOptions options;
+  options.strategy = param.strategy;
+  options.num_bins = param.num_bins;
+  ColumnBinning binning = BinNumericColumn(col, options);
+
+  EXPECT_GE(binning.num_value_bins, 1u);
+  EXPECT_LE(binning.num_value_bins, param.num_bins);
+  EXPECT_EQ(binning.labels.size(), binning.num_bins());
+  for (double v : values) {
+    const uint32_t bin = binning.BinOfNumeric(v);
+    EXPECT_LT(bin, binning.num_value_bins);
+  }
+  // Bin boundaries are monotone: larger values never land in earlier bins.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  uint32_t prev = 0;
+  for (double v : sorted) {
+    const uint32_t bin = binning.BinOfNumeric(v);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, BinningPropertyTest,
+    ::testing::Values(StrategyCase{BinningStrategy::kEqualWidth, 3},
+                      StrategyCase{BinningStrategy::kEqualWidth, 5},
+                      StrategyCase{BinningStrategy::kEqualWidth, 10},
+                      StrategyCase{BinningStrategy::kQuantile, 3},
+                      StrategyCase{BinningStrategy::kQuantile, 5},
+                      StrategyCase{BinningStrategy::kQuantile, 10},
+                      StrategyCase{BinningStrategy::kKde, 3},
+                      StrategyCase{BinningStrategy::kKde, 5},
+                      StrategyCase{BinningStrategy::kKde, 10}));
+
+// ------------------------------------------------------------ Categorical --
+
+TEST(CategoricalBinningTest, FewCategoriesKeepOwnBins) {
+  Column col = Column::Categorical("c", {"x", "y", "x", "z"});
+  BinningOptions options;
+  options.max_cat_bins = 5;
+  ColumnBinning b = BinCategoricalColumn(col, options);
+  EXPECT_EQ(b.num_value_bins, 3u);
+  EXPECT_EQ(b.BinOfCode(col.cat_code(0)), b.BinOfCode(col.cat_code(2)));
+  EXPECT_NE(b.BinOfCode(col.cat_code(0)), b.BinOfCode(col.cat_code(1)));
+}
+
+TEST(CategoricalBinningTest, TailCollapsesIntoOther) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 50; ++i) values.push_back("big");
+  for (int i = 0; i < 30; ++i) values.push_back("mid");
+  for (int i = 0; i < 5; ++i) values.push_back(std::string("rare") + char('a' + i));
+  Column col = Column::Categorical("c", values);
+  BinningOptions options;
+  options.max_cat_bins = 3;
+  ColumnBinning b = BinCategoricalColumn(col, options);
+  EXPECT_EQ(b.num_value_bins, 3u);  // big, mid, other.
+  EXPECT_EQ(b.labels[0], "big");
+  EXPECT_EQ(b.labels[1], "mid");
+  EXPECT_EQ(b.labels[2], "other");
+  // All rare categories share the "other" bin.
+  const uint32_t other = 2;
+  for (size_t r = 80; r < values.size(); ++r) {
+    EXPECT_EQ(b.BinOfCode(col.cat_code(r)), other);
+  }
+}
+
+TEST(CategoricalBinningTest, NullBinAlwaysLast) {
+  Column col = Column::Categorical("c", {"a", "", "b"});
+  ColumnBinning b = BinCategoricalColumn(col, BinningOptions{});
+  EXPECT_EQ(b.null_bin(), b.num_value_bins);
+  EXPECT_EQ(b.labels.back(), "NaN");
+}
+
+// ------------------------------------------------------------ BinnedTable --
+
+Table MixedTable() {
+  Column num = Column::Numeric("num", {1, 2, 3, 100, 101, 102, std::nan("")});
+  Column cat = Column::Categorical("cat", {"a", "b", "a", "b", "a", "", "a"});
+  Result<Table> t = Table::Make({std::move(num), std::move(cat)});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(BinnedTableTest, ShapeAndTokens) {
+  Table t = MixedTable();
+  BinningOptions options;
+  options.strategy = BinningStrategy::kEqualWidth;
+  options.num_bins = 2;
+  BinnedTable binned = BinnedTable::Compute(t, options);
+  EXPECT_EQ(binned.num_rows(), 7u);
+  EXPECT_EQ(binned.num_columns(), 2u);
+  // Rows 0-2 share the low numeric bin; rows 3-5 the high one.
+  EXPECT_EQ(binned.token(0, 0), binned.token(1, 0));
+  EXPECT_NE(binned.token(0, 0), binned.token(3, 0));
+  // Null lands in the dedicated bin.
+  EXPECT_EQ(TokenBin(binned.token(6, 0)), binned.binning().column(0).null_bin());
+}
+
+TEST(BinnedTableTest, TokenPackingRoundTrip) {
+  const Token t = MakeToken(17, 9);
+  EXPECT_EQ(TokenColumn(t), 17u);
+  EXPECT_EQ(TokenBin(t), 9u);
+}
+
+TEST(BinnedTableTest, DenseIndexBijection) {
+  Table t = MixedTable();
+  BinnedTable binned = BinnedTable::Compute(t, BinningOptions{});
+  for (size_t d = 0; d < binned.total_bins(); ++d) {
+    EXPECT_EQ(binned.DenseIndex(binned.TokenOfDense(d)), d);
+  }
+}
+
+TEST(BinnedTableTest, TotalBinsIsColumnSum) {
+  Table t = MixedTable();
+  BinnedTable binned = BinnedTable::Compute(t, BinningOptions{});
+  size_t sum = 0;
+  for (size_t c = 0; c < binned.num_columns(); ++c) sum += binned.bins_in_column(c);
+  EXPECT_EQ(binned.total_bins(), sum);
+}
+
+TEST(BinnedTableTest, TokenLabelNamesColumnAndBin) {
+  Table t = MixedTable();
+  BinnedTable binned = BinnedTable::Compute(t, BinningOptions{});
+  const std::string label = binned.TokenLabel(binned.token(0, 1));
+  EXPECT_EQ(label, "cat=a");
+  const std::string null_label = binned.TokenLabel(binned.token(5, 1));
+  EXPECT_EQ(null_label, "cat=NaN");
+}
+
+TEST(BinnedTableTest, RowDataMatchesTokenAccessor) {
+  Table t = MixedTable();
+  BinnedTable binned = BinnedTable::Compute(t, BinningOptions{});
+  for (size_t r = 0; r < binned.num_rows(); ++r) {
+    const Token* row = binned.row_data(r);
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      EXPECT_EQ(row[c], binned.token(r, c));
+    }
+  }
+}
+
+TEST(BinnedTableTest, StrategyNames) {
+  EXPECT_STREQ(BinningStrategyName(BinningStrategy::kKde), "kde");
+  EXPECT_STREQ(BinningStrategyName(BinningStrategy::kQuantile), "quantile");
+  EXPECT_STREQ(BinningStrategyName(BinningStrategy::kEqualWidth), "equal_width");
+}
+
+}  // namespace
+}  // namespace subtab

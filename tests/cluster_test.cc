@@ -1,0 +1,179 @@
+// Tests for k-means / k-means++ / medoid extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subtab/cluster/kmeans.h"
+
+namespace subtab {
+namespace {
+
+/// `clusters` well-separated Gaussian blobs in `dim` dimensions.
+std::vector<float> Blobs(size_t clusters, size_t per_cluster, size_t dim,
+                         uint64_t seed, double separation = 50.0) {
+  Rng rng(seed);
+  std::vector<float> points;
+  points.reserve(clusters * per_cluster * dim);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t p = 0; p < per_cluster; ++p) {
+      for (size_t d = 0; d < dim; ++d) {
+        const double center = (d == c % dim) ? separation * (1.0 + c) : 0.0;
+        points.push_back(static_cast<float>(rng.Normal(center, 1.0)));
+      }
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, SquaredDistance) {
+  const float a[] = {0, 0, 0};
+  const float b[] = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 3), 9.0);
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const size_t per = 40;
+  std::vector<float> points = Blobs(3, per, 4, 1);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 5;
+  KMeansResult result = KMeans(points, 4, options);
+  // All points of one blob share an assignment, and blobs get distinct ones.
+  std::set<uint32_t> blob_labels;
+  for (size_t blob = 0; blob < 3; ++blob) {
+    const uint32_t label = result.assignment[blob * per];
+    blob_labels.insert(label);
+    for (size_t p = 0; p < per; ++p) {
+      EXPECT_EQ(result.assignment[blob * per + p], label);
+    }
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<float> points = Blobs(4, 30, 3, 2);
+  double prev = 1e30;
+  for (size_t k = 1; k <= 4; ++k) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 3;
+    const KMeansResult result = KMeans(points, 3, options);
+    EXPECT_LE(result.inertia, prev + 1e-6);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansTest, KEqualsNumPointsGivesZeroInertia) {
+  std::vector<float> points = {0, 0, 10, 10, 20, 20};
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeans(points, 2, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, SinglePoint) {
+  std::vector<float> points = {1.0f, 2.0f};
+  KMeansOptions options;
+  options.k = 1;
+  KMeansResult result = KMeans(points, 2, options);
+  EXPECT_EQ(result.assignment, (std::vector<uint32_t>{0}));
+  EXPECT_NEAR(result.centroids[0], 1.0f, 1e-6);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<float> points = Blobs(3, 20, 2, 4);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 17;
+  KMeansResult a = KMeans(points, 2, options);
+  KMeansResult b = KMeans(points, 2, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  std::vector<float> points(20, 1.0f);  // 10 identical 2-d points.
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeans(points, 2, options);
+  EXPECT_EQ(result.assignment.size(), 10u);
+}
+
+class KMeansSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(KMeansSweepTest, AssignmentIsNearestCentroid) {
+  // Lloyd invariant: on convergence every point's assigned centroid is at
+  // least as close as any other centroid.
+  const auto [k, dim] = GetParam();
+  std::vector<float> points = Blobs(k, 25, dim, 7 + k + dim);
+  KMeansOptions options;
+  options.k = k;
+  options.max_iterations = 100;
+  options.seed = 23;
+  const KMeansResult result = KMeans(points, dim, options);
+  const size_t n = points.size() / dim;
+  for (size_t p = 0; p < n; ++p) {
+    const double assigned = SquaredDistance(
+        points.data() + p * dim,
+        result.centroids.data() + result.assignment[p] * dim, dim);
+    for (size_t c = 0; c < k; ++c) {
+      const double d =
+          SquaredDistance(points.data() + p * dim, result.centroids.data() + c * dim, dim);
+      EXPECT_GE(d + 1e-5, assigned);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KMeansSweepTest,
+                         ::testing::Combine(::testing::Values(2, 4, 7),
+                                            ::testing::Values(2, 8, 16)));
+
+TEST(MedoidTest, MedoidsAreDistinctRealPoints) {
+  std::vector<float> points = Blobs(4, 15, 3, 9);
+  KMeansOptions options;
+  options.k = 4;
+  const KMeansResult result = KMeans(points, 3, options);
+  const std::vector<size_t> medoids = SelectMedoids(points, 3, result);
+  EXPECT_EQ(medoids.size(), 4u);
+  std::set<size_t> unique(medoids.begin(), medoids.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (size_t m : medoids) EXPECT_LT(m, points.size() / 3);
+}
+
+TEST(MedoidTest, MedoidsComeFromTheirClusters) {
+  const size_t per = 30;
+  std::vector<float> points = Blobs(3, per, 2, 10);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(points, 2, options);
+  const std::vector<size_t> medoids = SelectMedoids(points, 2, result);
+  // Each blob contributes exactly one medoid.
+  std::set<size_t> blobs;
+  for (size_t m : medoids) blobs.insert(m / per);
+  EXPECT_EQ(blobs.size(), 3u);
+}
+
+TEST(MedoidTest, ClusterRepresentativesConvenience) {
+  std::vector<float> points = Blobs(2, 10, 2, 11);
+  KMeansOptions options;
+  options.k = 2;
+  const std::vector<size_t> reps = ClusterRepresentatives(points, 2, options);
+  EXPECT_EQ(reps.size(), 2u);
+  EXPECT_NE(reps[0], reps[1]);
+}
+
+TEST(MedoidTest, KEqualsNReturnsEveryPoint) {
+  std::vector<float> points = {0, 0, 5, 5, 9, 9};
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(points, 2, options);
+  std::vector<size_t> medoids = SelectMedoids(points, 2, result);
+  std::sort(medoids.begin(), medoids.end());
+  EXPECT_EQ(medoids, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace subtab

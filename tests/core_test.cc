@@ -1,0 +1,310 @@
+// Tests for the SubTab core: config validation, pre-processing, centroid
+// selection (Algorithm 2), the facade, and rule highlighting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subtab/core/highlight.h"
+#include "subtab/core/subtab.h"
+#include "subtab/data/datasets.h"
+#include "subtab/rules/miner.h"
+
+namespace subtab {
+namespace {
+
+/// Small fast config for tests.
+SubTabConfig TestConfig() {
+  SubTabConfig config;
+  config.k = 5;
+  config.l = 4;
+  config.embedding.dim = 16;
+  config.embedding.epochs = 2;
+  config.seed = 77;
+  return config;
+}
+
+GeneratedDataset SmallFlights() { return MakeFlights(800, 5); }
+
+// ----------------------------------------------------------------- Config --
+
+TEST(ConfigTest, DefaultsValidate) {
+  SubTabConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.k, 10u);
+  EXPECT_EQ(config.l, 10u);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.5);
+  EXPECT_EQ(config.binning.num_bins, 5u);            // Paper default.
+  EXPECT_EQ(config.corpus.max_sentences, 100000u);   // Paper's 100K cap.
+}
+
+TEST(ConfigTest, RejectsBadValues) {
+  SubTabConfig config;
+  config.k = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SubTabConfig{};
+  config.alpha = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SubTabConfig{};
+  config.l = 2;
+  config.target_columns = {"a", "b", "c"};
+  EXPECT_FALSE(config.Validate().ok());
+  config = SubTabConfig{};
+  config.embedding.dim = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+// ------------------------------------------------------------- Preprocess --
+
+TEST(PreprocessTest, ProducesModelOverAllTokens) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  EXPECT_EQ(pre.binned().num_rows(), data.table.num_rows());
+  EXPECT_EQ(pre.binned().num_columns(), data.table.num_columns());
+  EXPECT_EQ(pre.cell_model().word2vec().vocab_size(), pre.binned().total_bins());
+  EXPECT_GT(pre.timings().total_seconds, 0.0);
+  EXPECT_GE(pre.timings().training_seconds, 0.0);
+}
+
+TEST(PreprocessTest, MoveKeepsCellModelValid) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  PreprocessedTable moved = std::move(pre);
+  // The cell model's internal pointer must survive the move.
+  EXPECT_EQ(&moved.cell_model().binned(), &moved.binned());
+  const auto v = moved.cell_model().CellVector(0, 0);
+  EXPECT_EQ(v.size(), moved.cell_model().dim());
+}
+
+// -------------------------------------------------------------- Selection --
+
+TEST(SelectTest, ReturnsRequestedShape) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  SelectionScope scope;
+  Selection sel = SelectSubTable(pre, 5, 4, scope, 1);
+  EXPECT_EQ(sel.row_ids.size(), 5u);
+  EXPECT_EQ(sel.col_ids.size(), 4u);
+  // Distinct, in-range, sorted ids.
+  std::set<size_t> rows(sel.row_ids.begin(), sel.row_ids.end());
+  EXPECT_EQ(rows.size(), 5u);
+  for (size_t r : sel.row_ids) EXPECT_LT(r, data.table.num_rows());
+  EXPECT_TRUE(std::is_sorted(sel.col_ids.begin(), sel.col_ids.end()));
+}
+
+TEST(SelectTest, TargetColumnsAlwaysIncluded) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  const size_t cancelled = data.ColumnIndex("CANCELLED");
+  SelectionScope scope;
+  scope.target_cols = {cancelled};
+  Selection sel = SelectSubTable(pre, 5, 4, scope, 2);
+  EXPECT_NE(std::find(sel.col_ids.begin(), sel.col_ids.end(), cancelled),
+            sel.col_ids.end());
+  EXPECT_EQ(sel.col_ids.size(), 4u);
+}
+
+TEST(SelectTest, SmallScopeReturnsEverything) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  SelectionScope scope;
+  scope.rows = {3, 9, 11};
+  scope.cols = {0, 5};
+  Selection sel = SelectSubTable(pre, 10, 10, scope, 3);
+  EXPECT_EQ(sel.row_ids, scope.rows);
+  EXPECT_EQ(sel.col_ids, scope.cols);
+}
+
+TEST(SelectTest, ScopedSelectionStaysInScope) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  SelectionScope scope;
+  for (size_t r = 100; r < 400; ++r) scope.rows.push_back(r);
+  for (size_t c = 2; c < 20; ++c) scope.cols.push_back(c);
+  Selection sel = SelectSubTable(pre, 6, 5, scope, 4);
+  EXPECT_EQ(sel.row_ids.size(), 6u);
+  EXPECT_EQ(sel.col_ids.size(), 5u);
+  for (size_t r : sel.row_ids) {
+    EXPECT_GE(r, 100u);
+    EXPECT_LT(r, 400u);
+  }
+  for (size_t c : sel.col_ids) {
+    EXPECT_GE(c, 2u);
+    EXPECT_LT(c, 20u);
+  }
+}
+
+TEST(SelectTest, DeterministicForSeed) {
+  GeneratedDataset data = SmallFlights();
+  PreprocessedTable pre = Preprocess(data.table, TestConfig());
+  SelectionScope scope;
+  Selection a = SelectSubTable(pre, 5, 4, scope, 9);
+  Selection b = SelectSubTable(pre, 5, 4, scope, 9);
+  EXPECT_EQ(a.row_ids, b.row_ids);
+  EXPECT_EQ(a.col_ids, b.col_ids);
+}
+
+// ----------------------------------------------------------------- Facade --
+
+TEST(SubTabTest, FitRejectsBadInput) {
+  SubTabConfig config = TestConfig();
+  EXPECT_FALSE(SubTab::Fit(Table{}, config).ok());
+  GeneratedDataset data = SmallFlights();
+  config.target_columns = {"NO_SUCH_COLUMN"};
+  EXPECT_FALSE(SubTab::Fit(data.table, config).ok());
+}
+
+TEST(SubTabTest, SelectProducesViewWithMaterializedTable) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.table.num_rows(), 5u);
+  EXPECT_EQ(view.table.num_columns(), 4u);
+  EXPECT_EQ(view.row_ids.size(), 5u);
+  EXPECT_EQ(view.col_ids.size(), 4u);
+  // The materialized cells match the source table.
+  for (size_t r = 0; r < view.row_ids.size(); ++r) {
+    for (size_t c = 0; c < view.col_ids.size(); ++c) {
+      EXPECT_EQ(view.table.column(c).ToDisplay(r),
+                data.table.column(view.col_ids[c]).ToDisplay(view.row_ids[r]));
+    }
+  }
+}
+
+TEST(SubTabTest, DimensionOverrides) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select(3, 6);
+  EXPECT_EQ(view.table.num_rows(), 3u);
+  EXPECT_EQ(view.table.num_columns(), 6u);
+}
+
+TEST(SubTabTest, TargetColumnResolvedAndIncluded) {
+  GeneratedDataset data = SmallFlights();
+  SubTabConfig config = TestConfig();
+  config.target_columns = {"CANCELLED"};
+  Result<SubTab> st = SubTab::Fit(data.table, config);
+  ASSERT_TRUE(st.ok());
+  const size_t cancelled = data.ColumnIndex("CANCELLED");
+  EXPECT_EQ(st->target_column_ids(), (std::vector<size_t>{cancelled}));
+  SubTabView view = st->Select();
+  EXPECT_NE(std::find(view.col_ids.begin(), view.col_ids.end(), cancelled),
+            view.col_ids.end());
+}
+
+TEST(SubTabTest, SelectForQueryRestrictsToResult) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SpQuery q;
+  q.filters = {Predicate::Str("CANCELLED", CmpOp::kEq, "1")};
+  Result<SubTabView> view = st->SelectForQuery(q);
+  ASSERT_TRUE(view.ok());
+  // All selected rows must satisfy the query.
+  const Column& cancelled = data.table.column("CANCELLED");
+  for (size_t r : view->row_ids) {
+    ASSERT_FALSE(cancelled.is_null(r));
+    EXPECT_EQ(cancelled.cat_value(r), "1");
+  }
+}
+
+TEST(SubTabTest, SelectForQueryWithProjection) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SpQuery q;
+  q.projection = {"AIRLINE", "DISTANCE", "AIR_TIME", "CANCELLED", "DEPARTURE_DELAY"};
+  Result<SubTabView> view = st->SelectForQuery(q, 4, 3);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->col_ids.size(), 3u);
+  for (size_t c : view->col_ids) {
+    const std::string& name = data.table.column(c).name();
+    EXPECT_TRUE(std::find(q.projection.begin(), q.projection.end(), name) !=
+                q.projection.end());
+  }
+}
+
+TEST(SubTabTest, EmptyQueryResultErrors) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SpQuery q;
+  q.filters = {Predicate::Str("AIRLINE", CmpOp::kEq, "NO_SUCH_AIRLINE")};
+  EXPECT_FALSE(st->SelectForQuery(q).ok());
+}
+
+TEST(SubTabTest, QuerySelectionIsFasterThanPreprocessing) {
+  // The architectural claim of Fig. 1/9: per-query selection reuses the
+  // embedding and costs far less than pre-processing.
+  GeneratedDataset data = MakeFlights(3000, 6);
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_LT(view.selection_seconds, st->preprocessed().timings().total_seconds);
+}
+
+// -------------------------------------------------------------- Highlight --
+
+TEST(HighlightTest, AtMostOneRulePerRowAndValidCells) {
+  GeneratedDataset data = SmallFlights();
+  SubTabConfig config = TestConfig();
+  config.l = 8;
+  Result<SubTab> st = SubTab::Fit(data.table, config);
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.05;
+  mining.min_confidence = 0.5;
+  RuleSet rules = MineRules(st->preprocessed().binned(), mining);
+  std::vector<RowHighlight> highlights =
+      HighlightRules(st->preprocessed().binned(), rules, view);
+
+  std::set<size_t> rows_seen;
+  for (const RowHighlight& h : highlights) {
+    EXPECT_TRUE(rows_seen.insert(h.view_row).second);  // One rule per row.
+    EXPECT_LT(h.view_row, view.row_ids.size());
+    EXPECT_LT(h.rule_index, rules.size());
+    EXPECT_FALSE(h.view_cols.empty());
+    for (size_t c : h.view_cols) EXPECT_LT(c, view.col_ids.size());
+    // The rule actually holds for the source row.
+    EXPECT_TRUE(rules.rules[h.rule_index].HoldsForRow(st->preprocessed().binned(),
+                                                      view.row_ids[h.view_row]));
+  }
+}
+
+TEST(HighlightTest, EmptyRulesNoHighlights) {
+  GeneratedDataset data = SmallFlights();
+  Result<SubTab> st = SubTab::Fit(data.table, TestConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  RuleSet empty;
+  EXPECT_TRUE(HighlightRules(st->preprocessed().binned(), empty, view).empty());
+}
+
+TEST(HighlightTest, RenderContainsLegendAndAnsi) {
+  GeneratedDataset data = SmallFlights();
+  SubTabConfig config = TestConfig();
+  config.l = 8;
+  Result<SubTab> st = SubTab::Fit(data.table, config);
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.05;
+  mining.min_confidence = 0.5;
+  RuleSet rules = MineRules(st->preprocessed().binned(), mining);
+  std::vector<RowHighlight> highlights =
+      HighlightRules(st->preprocessed().binned(), rules, view);
+  const std::string render = RenderHighlighted(view, highlights);
+  EXPECT_FALSE(render.empty());
+  if (!highlights.empty()) {
+    EXPECT_NE(render.find("\x1b["), std::string::npos);
+    EXPECT_NE(render.find("Highlighted rules"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,226 @@
+// Tests for the synthetic dataset generators: planted patterns must be
+// realized with the requested support/confidence, NaN co-patterns must
+// hold, and the six dataset emulators must match the paper's shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subtab/data/datasets.h"
+#include "subtab/data/generator.h"
+
+namespace subtab {
+namespace {
+
+/// Measures the realized support/confidence of a planted pattern using the
+/// generator's group semantics: a numeric cell belongs to group g if it is
+/// nearest to that group's center; categorical cells match exactly.
+struct PatternStats {
+  double support = 0.0;
+  double confidence = 0.0;
+};
+
+size_t GroupOfCell(const ColumnSpec& spec, const Column& col, size_t row) {
+  if (col.is_null(row)) return static_cast<size_t>(-1);
+  if (spec.type == ColumnType::kNumeric) {
+    const double v = col.num_value(row);
+    size_t best = 0;
+    double best_d = std::abs(v - spec.group_centers[0]);
+    for (size_t g = 1; g < spec.group_centers.size(); ++g) {
+      const double d = std::abs(v - spec.group_centers[g]);
+      if (d < best_d) {
+        best_d = d;
+        best = g;
+      }
+    }
+    return best;
+  }
+  const std::string value(col.cat_value(row));
+  for (size_t g = 0; g < spec.categories.size(); ++g) {
+    if (spec.categories[g] == value) return g;
+  }
+  return static_cast<size_t>(-1);
+}
+
+PatternStats MeasurePattern(const GeneratedDataset& data, const PlantedPattern& p) {
+  const Table& t = data.table;
+  size_t lhs_count = 0;
+  size_t joint = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool lhs_holds = true;
+    for (const auto& [name, group] : p.lhs) {
+      const size_t c = data.ColumnIndex(name);
+      const ColumnSpec& spec = data.spec.columns[c];
+      if (GroupOfCell(spec, t.column(c), r) != group) {
+        lhs_holds = false;
+        break;
+      }
+    }
+    if (!lhs_holds) continue;
+    ++lhs_count;
+    const size_t rc = data.ColumnIndex(p.rhs.first);
+    if (GroupOfCell(data.spec.columns[rc], t.column(rc), r) == p.rhs.second) ++joint;
+  }
+  PatternStats stats;
+  stats.support = static_cast<double>(joint) / static_cast<double>(t.num_rows());
+  stats.confidence =
+      lhs_count == 0 ? 0.0 : static_cast<double>(joint) / static_cast<double>(lhs_count);
+  return stats;
+}
+
+TEST(GeneratorTest, ShapeMatchesSpec) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 500;
+  spec.columns = {ColumnSpec::Numeric("x", {0, 100}, 1.0),
+                  ColumnSpec::Categorical("c", {"a", "b", "c"})};
+  GeneratedDataset data = GenerateDataset(spec);
+  EXPECT_EQ(data.table.num_rows(), 500u);
+  EXPECT_EQ(data.table.num_columns(), 2u);
+  EXPECT_EQ(data.table.column(0).type(), ColumnType::kNumeric);
+  EXPECT_EQ(data.table.column(1).type(), ColumnType::kCategorical);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 100;
+  spec.seed = 9;
+  spec.columns = {ColumnSpec::Numeric("x", {0, 50}, 1.0)};
+  GeneratedDataset a = GenerateDataset(spec);
+  GeneratedDataset b = GenerateDataset(spec);
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.table.column(0).ToDisplay(r), b.table.column(0).ToDisplay(r));
+  }
+}
+
+TEST(GeneratorTest, PlantedPatternRealizesSupportAndConfidence) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 4000;
+  spec.seed = 3;
+  spec.columns = {ColumnSpec::Numeric("x", {0, 100}, 1.0),
+                  ColumnSpec::Numeric("y", {0, 100}, 1.0),
+                  ColumnSpec::Categorical("z", {"n", "p"})};
+  spec.patterns = {{{{"x", 1}, {"y", 1}}, {"z", 1}, 0.2, 0.9, "planted"}};
+  GeneratedDataset data = GenerateDataset(spec);
+  const PatternStats stats = MeasurePattern(data, data.spec.patterns[0]);
+  // Background rows can also satisfy the pattern, so realized support is at
+  // least the planted region x confidence.
+  EXPECT_GE(stats.support, 0.2 * 0.9 - 0.02);
+  EXPECT_GE(stats.confidence, 0.6);
+}
+
+TEST(GeneratorTest, BackgroundNanFractionApproximatelyRespected) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 5000;
+  spec.columns = {ColumnSpec::Numeric("x", {0, 10}, 1.0, 0.3)};
+  GeneratedDataset data = GenerateDataset(spec);
+  const double null_rate =
+      static_cast<double>(data.table.column(0).null_count()) / 5000.0;
+  EXPECT_NEAR(null_rate, 0.3, 0.03);
+}
+
+TEST(GeneratorTest, NanPatternBlanksTriggeredRows) {
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 2000;
+  spec.columns = {ColumnSpec::Categorical("flag", {"no", "yes"}),
+                  ColumnSpec::Numeric("v", {0, 10}, 1.0)};
+  spec.nan_patterns = {{"flag", 1, {"v"}}};
+  GeneratedDataset data = GenerateDataset(spec);
+  const Column& flag = data.table.column(0);
+  const Column& v = data.table.column(1);
+  size_t yes_rows = 0;
+  for (size_t r = 0; r < 2000; ++r) {
+    if (!flag.is_null(r) && flag.cat_value(r) == "yes") {
+      ++yes_rows;
+      EXPECT_TRUE(v.is_null(r));
+    }
+  }
+  EXPECT_GT(yes_rows, 0u);
+}
+
+// ----------------------------------------------------- Dataset emulators --
+
+TEST(DatasetsTest, ShapesMatchPaper) {
+  EXPECT_EQ(MakeFlights(500).table.num_columns(), 31u);
+  EXPECT_EQ(MakeCyber(500).table.num_columns(), 15u);
+  EXPECT_EQ(MakeSpotify(500).table.num_columns(), 15u);
+  EXPECT_EQ(MakeCreditCard(500).table.num_columns(), 31u);
+  EXPECT_EQ(MakeUsFunds(500).table.num_columns(), 60u);
+  EXPECT_EQ(MakeBankLoans(500).table.num_columns(), 19u);
+}
+
+TEST(DatasetsTest, RowCountScales) {
+  EXPECT_EQ(MakeFlights(1234).table.num_rows(), 1234u);
+  EXPECT_EQ(MakeCyber(77).table.num_rows(), 77u);
+}
+
+TEST(DatasetsTest, CreditCardIsAllNumeric) {
+  // The paper singles out CC as all-numeric (binning dominates, Fig. 9).
+  GeneratedDataset cc = MakeCreditCard(200);
+  for (size_t c = 0; c < cc.table.num_columns(); ++c) {
+    EXPECT_TRUE(cc.table.column(c).is_numeric()) << cc.table.column(c).name();
+  }
+}
+
+TEST(DatasetsTest, FlightsCancelledRowsHaveNaNOperationalColumns) {
+  GeneratedDataset fl = MakeFlights(3000);
+  const Column& cancelled = fl.table.column("CANCELLED");
+  const Column& air_time = fl.table.column("AIR_TIME");
+  const Column& dep_delay = fl.table.column("DEPARTURE_DELAY");
+  size_t cancelled_rows = 0;
+  for (size_t r = 0; r < fl.table.num_rows(); ++r) {
+    if (!cancelled.is_null(r) && cancelled.cat_value(r) == "1") {
+      ++cancelled_rows;
+      EXPECT_TRUE(air_time.is_null(r));
+      EXPECT_TRUE(dep_delay.is_null(r));
+    }
+  }
+  EXPECT_GT(cancelled_rows, 100u);  // Cancellations actually occur.
+}
+
+TEST(DatasetsTest, EveryDatasetPlantsMinablePatterns) {
+  for (const GeneratedDataset& data :
+       {MakeFlights(4000), MakeCyber(4000), MakeSpotify(4000), MakeCreditCard(4000),
+        MakeUsFunds(2000), MakeBankLoans(4000)}) {
+    ASSERT_FALSE(data.spec.patterns.empty()) << data.spec.name;
+    for (const PlantedPattern& p : data.spec.patterns) {
+      const PatternStats stats = MeasurePattern(data, p);
+      // NaN co-patterns can suppress part of a planted region (e.g. FL's
+      // cancelled rows blank AIR_TIME), so require half the nominal support.
+      EXPECT_GE(stats.support, p.support * p.confidence * 0.5 - 0.01)
+          << data.spec.name << ": " << p.description;
+      EXPECT_GE(stats.confidence, 0.45) << data.spec.name << ": " << p.description;
+    }
+  }
+}
+
+TEST(DatasetsTest, TargetColumnsExist) {
+  EXPECT_TRUE(MakeFlights(100).table.schema().IndexOf("CANCELLED").has_value());
+  EXPECT_TRUE(MakeSpotify(100).table.schema().IndexOf("popularity").has_value());
+  EXPECT_TRUE(MakeBankLoans(100).table.schema().IndexOf("loan_status").has_value());
+  EXPECT_EQ(DatasetTargetColumn("FL"), "CANCELLED");
+  EXPECT_EQ(DatasetTargetColumn("SP"), "popularity");
+  EXPECT_EQ(DatasetTargetColumn("unknown"), "");
+}
+
+TEST(DatasetsTest, PatternColumnsResolve) {
+  for (const GeneratedDataset& data : {MakeFlights(100), MakeCyber(100),
+                                       MakeSpotify(100), MakeCreditCard(100),
+                                       MakeUsFunds(100), MakeBankLoans(100)}) {
+    for (const PlantedPattern& p : data.spec.patterns) {
+      for (const auto& [name, group] : p.lhs) {
+        const size_t c = data.ColumnIndex(name);
+        EXPECT_LT(group, data.spec.columns[c].num_groups());
+      }
+      const size_t rc = data.ColumnIndex(p.rhs.first);
+      EXPECT_LT(p.rhs.second, data.spec.columns[rc].num_groups());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace subtab

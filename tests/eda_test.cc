@@ -1,0 +1,300 @@
+// Tests for the EDA substrate: fragment capture, session generation, replay
+// scoring (Fig. 6 machinery), and the simulated analyst (Table 1 machinery).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "subtab/data/datasets.h"
+#include "subtab/eda/analyst.h"
+#include "subtab/eda/replay.h"
+#include "subtab/eda/session_generator.h"
+
+namespace subtab {
+namespace {
+
+Table TwoColumnTable() {
+  Column num = Column::Numeric("num", {1, 2, 3, 100, 101, 102});
+  Column cat = Column::Categorical("cat", {"a", "a", "a", "b", "b", "b"});
+  Result<Table> t = Table::Make({std::move(num), std::move(cat)});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+// ------------------------------------------------------- FragmentCaptured --
+
+TEST(FragmentTest, ColumnOnlyFragment) {
+  Table t = TwoColumnTable();
+  BinningOptions options;
+  options.strategy = BinningStrategy::kEqualWidth;
+  options.num_bins = 2;
+  BinnedTable binned = BinnedTable::Compute(t, options);
+  Fragment f;
+  f.column = "cat";
+  EXPECT_TRUE(FragmentCaptured(f, binned, {0}, {0, 1}));
+  EXPECT_FALSE(FragmentCaptured(f, binned, {0}, {0}));  // Column not shown.
+}
+
+TEST(FragmentTest, NumericValueMatchesByBin) {
+  Table t = TwoColumnTable();
+  BinningOptions options;
+  options.strategy = BinningStrategy::kEqualWidth;
+  options.num_bins = 2;
+  BinnedTable binned = BinnedTable::Compute(t, options);
+  Fragment f;
+  f.column = "num";
+  f.has_value = true;
+  f.value_is_numeric = true;
+  f.num_value = 2.5;  // Low bin.
+  // Row 0 (value 1) is in the low bin -> captured.
+  EXPECT_TRUE(FragmentCaptured(f, binned, {0}, {0, 1}));
+  // Row 3 (value 100) is in the high bin -> not captured.
+  EXPECT_FALSE(FragmentCaptured(f, binned, {3}, {0, 1}));
+}
+
+TEST(FragmentTest, CategoricalValueMatch) {
+  Table t = TwoColumnTable();
+  BinnedTable binned = BinnedTable::Compute(t);
+  Fragment f;
+  f.column = "cat";
+  f.has_value = true;
+  f.value_is_numeric = false;
+  f.str_value = "b";
+  EXPECT_TRUE(FragmentCaptured(f, binned, {4}, {1}));
+  EXPECT_FALSE(FragmentCaptured(f, binned, {0, 1}, {1}));
+}
+
+TEST(FragmentTest, TailCategoryMapsToOtherBin) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 20; ++i) values.push_back("common");
+  values.push_back("rare1");
+  values.push_back("rare2");
+  values.push_back("rare3");
+  values.push_back("rare4");
+  values.push_back("rare5");
+  Column cat = Column::Categorical("c", values);
+  Result<Table> t = Table::Make({std::move(cat)});
+  ASSERT_TRUE(t.ok());
+  BinningOptions options;
+  options.max_cat_bins = 2;  // common + other.
+  BinnedTable binned = BinnedTable::Compute(*t, options);
+  Fragment f;
+  f.column = "c";
+  f.has_value = true;
+  f.value_is_numeric = false;
+  f.str_value = "rare1";
+  // A displayed row holding rare3 (same "other" bin) captures the fragment.
+  EXPECT_TRUE(FragmentCaptured(f, binned, {22}, {0}));
+  EXPECT_FALSE(FragmentCaptured(f, binned, {0}, {0}));
+}
+
+// ------------------------------------------------------ Session generator --
+
+TEST(SessionGeneratorTest, GeneratesRequestedSessions) {
+  GeneratedDataset data = MakeCyber(2000, 3);
+  SessionGeneratorOptions options;
+  options.num_sessions = 25;
+  options.seed = 4;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+  EXPECT_GE(sessions.size(), 20u);  // A few may collapse below 2 steps.
+  for (const Session& s : sessions) {
+    EXPECT_GE(s.steps.size(), 2u);
+    EXPECT_LE(s.steps.size(), options.max_steps);
+  }
+}
+
+TEST(SessionGeneratorTest, QueriesAreValidAndNonEmpty) {
+  GeneratedDataset data = MakeCyber(2000, 5);
+  SessionGeneratorOptions options;
+  options.num_sessions = 15;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+  for (const Session& s : sessions) {
+    for (const SessionStep& step : s.steps) {
+      Result<QueryResult> r = RunQuery(data.table, step.query);
+      ASSERT_TRUE(r.ok());
+      EXPECT_GE(r->row_ids.size(), options.min_result_rows);
+    }
+  }
+}
+
+TEST(SessionGeneratorTest, FragmentsReferenceRealColumns) {
+  GeneratedDataset data = MakeCyber(1500, 6);
+  SessionGeneratorOptions options;
+  options.num_sessions = 10;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+  for (const Session& s : sessions) {
+    for (const SessionStep& step : s.steps) {
+      EXPECT_TRUE(data.table.schema().IndexOf(step.fragment.column).has_value());
+    }
+  }
+}
+
+TEST(SessionGeneratorTest, DeterministicForSeed) {
+  GeneratedDataset data = MakeCyber(1000, 7);
+  SessionGeneratorOptions options;
+  options.num_sessions = 5;
+  options.seed = 11;
+  std::vector<Session> a = GenerateSessions(data, options);
+  std::vector<Session> b = GenerateSessions(data, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].steps.size(), b[i].steps.size());
+    for (size_t j = 0; j < a[i].steps.size(); ++j) {
+      EXPECT_EQ(a[i].steps[j].query.ToString(), b[i].steps[j].query.ToString());
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Replay --
+
+TEST(ReplayTest, PerfectSelectorCapturesColumnFragments) {
+  // A selector that shows *all* rows and columns captures every fragment.
+  GeneratedDataset data = MakeCyber(1200, 8);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  SessionGeneratorOptions options;
+  options.num_sessions = 8;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+
+  SelectorFn show_all = [](const std::vector<size_t>& rows,
+                           const std::vector<size_t>& cols, size_t, size_t) {
+    return std::make_pair(rows, cols);
+  };
+  ReplayStats stats = ReplaySessions(data.table, binned, sessions, 10, 10, show_all);
+  EXPECT_GT(stats.steps_scored, 0u);
+  // Everything visible: value fragments drawn from visible rows must match.
+  EXPECT_GT(stats.capture_rate, 0.6);
+}
+
+TEST(ReplayTest, EmptySelectorCapturesNothing) {
+  GeneratedDataset data = MakeCyber(1000, 9);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  SessionGeneratorOptions options;
+  options.num_sessions = 6;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+  SelectorFn empty = [](const std::vector<size_t>&, const std::vector<size_t>&,
+                        size_t, size_t) {
+    return std::make_pair(std::vector<size_t>{}, std::vector<size_t>{});
+  };
+  ReplayStats stats = ReplaySessions(data.table, binned, sessions, 10, 10, empty);
+  EXPECT_EQ(stats.fragments_captured, 0u);
+  EXPECT_DOUBLE_EQ(stats.capture_rate, 0.0);
+}
+
+TEST(ReplayTest, WiderSubTablesCaptureMore) {
+  // The monotone trend of Fig. 6: more columns -> higher capture.
+  GeneratedDataset data = MakeCyber(1500, 10);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  SessionGeneratorOptions options;
+  options.num_sessions = 20;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+
+  Rng rng(13);
+  auto random_selector = [&rng](const std::vector<size_t>& rows,
+                                const std::vector<size_t>& cols, size_t k, size_t l) {
+    std::vector<size_t> r;
+    for (size_t pick :
+         rng.SampleWithoutReplacement(rows.size(), std::min(k, rows.size()))) {
+      r.push_back(rows[pick]);
+    }
+    std::vector<size_t> c;
+    for (size_t pick :
+         rng.SampleWithoutReplacement(cols.size(), std::min(l, cols.size()))) {
+      c.push_back(cols[pick]);
+    }
+    return std::make_pair(r, c);
+  };
+  ReplayStats narrow = ReplaySessions(data.table, binned, sessions, 10, 3,
+                                      random_selector);
+  ReplayStats wide = ReplaySessions(data.table, binned, sessions, 10, 12,
+                                    random_selector);
+  EXPECT_GE(wide.capture_rate, narrow.capture_rate);
+}
+
+// ---------------------------------------------------------------- Analyst --
+
+TEST(AnalystTest, FindsPlantedPatternAsCorrectInsight) {
+  // Display rows that all exhibit a genuine planted co-occurrence: the
+  // analyst must report it and the fact-check must confirm it.
+  GeneratedDataset data = MakeFlights(4000, 11);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  // Rows where the FL pattern "long AIR_TIME & long DISTANCE" holds.
+  const size_t air = data.ColumnIndex("AIR_TIME");
+  const size_t dist = data.ColumnIndex("DISTANCE");
+  const Column& air_col = data.table.column(air);
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < data.table.num_rows() && rows.size() < 6; ++r) {
+    if (!air_col.is_null(r) && air_col.num_value(r) > 280 &&
+        data.table.column(dist).num_value(r) > 2000) {
+      rows.push_back(r);
+    }
+  }
+  ASSERT_GE(rows.size(), 3u);
+  AnalystReport report =
+      SimulateAnalyst(binned, rows, {air, dist, data.ColumnIndex("CANCELLED")},
+                      AnalystOptions{});
+  EXPECT_GT(report.num_total, 0u);
+  EXPECT_GT(report.num_correct, 0u);
+}
+
+TEST(AnalystTest, SpuriousRepetitionIsIncorrect) {
+  // Hand-build a table where "x=1 with y=1" is rare globally, then show the
+  // analyst only the few coincidental rows: the insight must be rejected.
+  Rng rng(15);
+  std::vector<std::string> x;
+  std::vector<std::string> y;
+  const size_t n = 2000;
+  for (size_t i = 0; i < n; ++i) {
+    x.push_back(rng.Bernoulli(0.5) ? "1" : "0");
+    y.push_back(rng.Bernoulli(0.03) ? "1" : "0");  // y=1 is rare everywhere.
+  }
+  // Force three coincidences.
+  x[0] = x[1] = x[2] = "1";
+  y[0] = y[1] = y[2] = "1";
+  Result<Table> t =
+      Table::Make({Column::Categorical("x", x), Column::Categorical("y", y)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  AnalystReport report = SimulateAnalyst(binned, {0, 1, 2}, {0, 1}, AnalystOptions{});
+  ASSERT_GT(report.num_total, 0u);
+  bool saw_incorrect = false;
+  for (const Insight& insight : report.insights) {
+    const std::string la = binned.TokenLabel(insight.a);
+    const std::string lb = binned.TokenLabel(insight.b);
+    if ((la == "x=1" && lb == "y=1") || (la == "y=1" && lb == "x=1")) {
+      EXPECT_FALSE(insight.correct);
+      saw_incorrect = true;
+    }
+  }
+  EXPECT_TRUE(saw_incorrect);
+}
+
+TEST(AnalystTest, DiverseDisplayYieldsFewInsights) {
+  // A display with no repeated co-occurrences produces no insights at all
+  // (the "no insights" failure mode of Table 1).
+  Column a = Column::Categorical("a", {"p", "q", "r"});
+  Column b = Column::Categorical("b", {"x", "y", "z"});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  AnalystReport report = SimulateAnalyst(binned, {0, 1, 2}, {0, 1}, AnalystOptions{});
+  EXPECT_EQ(report.num_total, 0u);
+}
+
+TEST(AnalystTest, RespectsMaxInsights) {
+  // Ten identical rows create many repeated pairs; the report is capped.
+  std::vector<std::string> same(10, "v");
+  Result<Table> t = Table::Make({Column::Categorical("a", same),
+                                 Column::Categorical("b", same),
+                                 Column::Categorical("c", same),
+                                 Column::Categorical("d", same)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  AnalystOptions options;
+  options.max_insights = 3;
+  AnalystReport report = SimulateAnalyst(
+      binned, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 1, 2, 3}, options);
+  EXPECT_LE(report.num_total, 3u);
+}
+
+}  // namespace
+}  // namespace subtab

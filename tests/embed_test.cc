@@ -1,0 +1,351 @@
+// Tests for the embedding substrate: corpus construction, vocabulary /
+// negative sampling, SGNS training behaviour, the cell model, and the EmbDI
+// graph baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "subtab/embed/cell_model.h"
+#include "subtab/embed/embdi.h"
+#include "subtab/embed/vocab.h"
+#include "subtab/embed/word2vec.h"
+
+namespace subtab {
+namespace {
+
+/// Two strongly coupled columns (a<->x, b<->y) plus an independent one.
+Table CoupledTable(size_t n) {
+  std::vector<std::string> c1;
+  std::vector<std::string> c2;
+  std::vector<std::string> c3;
+  Rng rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    const bool flip = rng.Bernoulli(0.5);
+    c1.push_back(flip ? "a" : "b");
+    c2.push_back(flip ? "x" : "y");
+    c3.push_back(rng.Bernoulli(0.5) ? "p" : "q");
+  }
+  Result<Table> t = Table::Make({Column::Categorical("c1", c1),
+                                 Column::Categorical("c2", c2),
+                                 Column::Categorical("c3", c3)});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+// ---------------------------------------------------------------- Corpus --
+
+TEST(CorpusTest, RowAndColumnSentences) {
+  Table t = CoupledTable(10);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(1);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  // 10 tuple-sentences of length 3 + 3 column-sentences of length 10.
+  EXPECT_EQ(corpus.sentences().size(), 13u);
+  EXPECT_EQ(corpus.total_words(), 10u * 3 + 3u * 10);
+  EXPECT_EQ(corpus.vocab_size(), binned.total_bins());
+  size_t len3 = 0;
+  size_t len10 = 0;
+  for (const auto& s : corpus.sentences()) {
+    len3 += (s.size() == 3);
+    len10 += (s.size() == 10);
+  }
+  EXPECT_EQ(len3, 10u);
+  EXPECT_EQ(len10, 3u);
+}
+
+TEST(CorpusTest, CapSamplesUniformly) {
+  Table t = CoupledTable(100);
+  BinnedTable binned = BinnedTable::Compute(t);
+  CorpusOptions options;
+  options.max_sentences = 20;
+  Rng rng(2);
+  Corpus corpus = Corpus::Build(binned, options, &rng);
+  EXPECT_EQ(corpus.sentences().size(), 20u);
+}
+
+TEST(CorpusTest, RowSentencesOnly) {
+  Table t = CoupledTable(5);
+  BinnedTable binned = BinnedTable::Compute(t);
+  CorpusOptions options;
+  options.column_sentences = false;
+  Rng rng(3);
+  Corpus corpus = Corpus::Build(binned, options, &rng);
+  EXPECT_EQ(corpus.sentences().size(), 5u);
+  for (const auto& s : corpus.sentences()) EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(CorpusTest, FromSentencesWrapsVerbatim) {
+  std::vector<Sentence> sentences = {{0, 1}, {2}};
+  Corpus corpus = Corpus::FromSentences(sentences, 3);
+  EXPECT_EQ(corpus.sentences().size(), 2u);
+  EXPECT_EQ(corpus.total_words(), 3u);
+  EXPECT_EQ(corpus.vocab_size(), 3u);
+}
+
+// ----------------------------------------------------------------- Vocab --
+
+TEST(VocabTest, CountsWords) {
+  Corpus corpus = Corpus::FromSentences({{0, 0, 1}, {1, 2}}, 4);
+  Vocabulary vocab(corpus, 4);
+  EXPECT_EQ(vocab.count(0), 2u);
+  EXPECT_EQ(vocab.count(1), 2u);
+  EXPECT_EQ(vocab.count(2), 1u);
+  EXPECT_EQ(vocab.count(3), 0u);
+  EXPECT_EQ(vocab.total_count(), 5u);
+}
+
+TEST(VocabTest, NegativeSamplingNeverPicksZeroCount) {
+  Corpus corpus = Corpus::FromSentences({{0, 1, 1}}, 3);
+  Vocabulary vocab(corpus, 3);
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) EXPECT_NE(vocab.SampleNegative(&rng), 2u);
+}
+
+TEST(VocabTest, NegativeSamplingFollowsPower) {
+  // Word 1 occurs 8x as often as word 0; with the 0.75 power its sampling
+  // ratio should be 8^0.75 ≈ 4.76, not 8.
+  std::vector<Sentence> sentences;
+  sentences.push_back(Sentence(8, 1));
+  sentences.push_back(Sentence{0});
+  Vocabulary vocab(Corpus::FromSentences(sentences, 2), 2);
+  Rng rng(5);
+  int ones = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ones += (vocab.SampleNegative(&rng) == 1);
+  const double ratio = static_cast<double>(ones) / (n - ones);
+  EXPECT_NEAR(ratio, std::pow(8.0, 0.75), 0.6);
+}
+
+// -------------------------------------------------------------- Word2Vec --
+
+TEST(Word2VecTest, DeterministicWithSeedSingleThread) {
+  Table t = CoupledTable(50);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(6);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = 16;
+  options.epochs = 2;
+  options.num_threads = 1;
+  options.seed = 9;
+  Word2VecModel a = Word2VecModel::Train(corpus, options);
+  Word2VecModel b = Word2VecModel::Train(corpus, options);
+  for (size_t w = 0; w < a.vocab_size(); ++w) {
+    const auto va = a.vector(w);
+    const auto vb = b.vector(w);
+    for (size_t d = 0; d < a.dim(); ++d) EXPECT_EQ(va[d], vb[d]);
+  }
+}
+
+TEST(Word2VecTest, CoOccurringTokensEndUpCloser) {
+  // Three fully coupled columns: rows are either (a, x, p) or (b, y, q).
+  // Tokens of the same coupled block share their entire row-context
+  // distribution, so after SGNS training sim(a, x) must exceed sim(a, y)
+  // (a and y never share a context). Column-sentences are disabled here:
+  // they would make a co-occur with b (same column), diluting the signal
+  // this test isolates.
+  std::vector<std::string> c1;
+  std::vector<std::string> c2;
+  std::vector<std::string> c3;
+  Rng data_rng(42);
+  for (size_t i = 0; i < 300; ++i) {
+    const bool flip = data_rng.Bernoulli(0.5);
+    c1.push_back(flip ? "a" : "b");
+    c2.push_back(flip ? "x" : "y");
+    c3.push_back(flip ? "p" : "q");
+  }
+  Result<Table> made = Table::Make({Column::Categorical("c1", c1),
+                                    Column::Categorical("c2", c2),
+                                    Column::Categorical("c3", c3)});
+  ASSERT_TRUE(made.ok());
+  Table t = std::move(made).value();
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(7);
+  CorpusOptions corpus_options;
+  corpus_options.column_sentences = false;
+  Corpus corpus = Corpus::Build(binned, corpus_options, &rng);
+  Word2VecOptions options;
+  options.dim = 24;
+  options.epochs = 10;
+  options.seed = 21;
+  Word2VecModel model = Word2VecModel::Train(corpus, options);
+
+  auto dense = [&binned, &t](const char* col, const char* value) {
+    const Column& c = t.column(col);
+    for (size_t r = 0; r < c.size(); ++r) {
+      if (!c.is_null(r) && c.cat_value(r) == value) {
+        return binned.DenseIndex(binned.token(r, *t.schema().IndexOf(col)));
+      }
+    }
+    ADD_FAILURE() << "value not found";
+    return size_t{0};
+  };
+  const double sim_ax = model.CosineSimilarity(dense("c1", "a"), dense("c2", "x"));
+  const double sim_ay = model.CosineSimilarity(dense("c1", "a"), dense("c2", "y"));
+  EXPECT_GT(sim_ax, sim_ay);
+}
+
+TEST(Word2VecTest, ShapeAndFromVectors) {
+  Word2VecModel m = Word2VecModel::FromVectors(2, {1.0f, 0.0f, 0.0f, 1.0f});
+  EXPECT_EQ(m.vocab_size(), 2u);
+  EXPECT_EQ(m.dim(), 2u);
+  EXPECT_NEAR(m.CosineSimilarity(0, 1), 0.0, 1e-6);
+  EXPECT_NEAR(m.CosineSimilarity(0, 0), 1.0, 1e-6);
+}
+
+TEST(Word2VecTest, EmptyCorpusYieldsInitVectors) {
+  Corpus corpus = Corpus::FromSentences({}, 4);
+  Word2VecOptions options;
+  options.dim = 8;
+  Word2VecModel model = Word2VecModel::Train(corpus, options);
+  EXPECT_EQ(model.vocab_size(), 4u);
+  EXPECT_EQ(model.dim(), 8u);
+}
+
+TEST(Word2VecTest, MultiThreadTrainingRuns) {
+  Table t = CoupledTable(100);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(8);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 2;
+  options.num_threads = 4;
+  Word2VecModel model = Word2VecModel::Train(corpus, options);
+  EXPECT_EQ(model.vocab_size(), binned.total_bins());
+}
+
+// -------------------------------------------------------------- CellModel --
+
+TEST(CellModelTest, RowVectorIsAverageOfCellVectors) {
+  Table t = CoupledTable(10);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(9);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  CellModel model(&binned, Word2VecModel::Train(corpus, options));
+
+  const std::vector<size_t> cols = {0, 1, 2};
+  const std::vector<float> rv = model.RowVector(0, cols);
+  for (size_t d = 0; d < model.dim(); ++d) {
+    float expected = 0.0f;
+    for (size_t c : cols) expected += model.CellVector(0, c)[d];
+    expected /= 3.0f;
+    EXPECT_NEAR(rv[d], expected, 1e-6);
+  }
+}
+
+TEST(CellModelTest, ColumnVectorAveragesRows) {
+  Table t = CoupledTable(10);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(10);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = 8;
+  options.epochs = 1;
+  CellModel model(&binned, Word2VecModel::Train(corpus, options));
+
+  const std::vector<size_t> rows = {0, 1, 2};
+  const std::vector<float> cv = model.ColumnVector(1, rows);
+  for (size_t d = 0; d < model.dim(); ++d) {
+    float expected = 0.0f;
+    for (size_t r : rows) expected += model.CellVector(r, 1)[d];
+    expected /= 3.0f;
+    EXPECT_NEAR(cv[d], expected, 1e-6);
+  }
+}
+
+TEST(CellModelTest, RowMatrixStacksRows) {
+  Table t = CoupledTable(6);
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rng rng(11);
+  Corpus corpus = Corpus::Build(binned, CorpusOptions{}, &rng);
+  Word2VecOptions options;
+  options.dim = 4;
+  options.epochs = 1;
+  CellModel model(&binned, Word2VecModel::Train(corpus, options));
+  const std::vector<size_t> rows = {1, 3};
+  const std::vector<size_t> cols = {0, 1, 2};
+  const std::vector<float> matrix = model.RowMatrix(rows, cols);
+  ASSERT_EQ(matrix.size(), 2 * model.dim());
+  const std::vector<float> r1 = model.RowVector(1, cols);
+  for (size_t d = 0; d < model.dim(); ++d) EXPECT_EQ(matrix[d], r1[d]);
+}
+
+// ----------------------------------------------------------------- EmbDI --
+
+TEST(EmbDiTest, CorpusCoversAllNodeKinds) {
+  Table t = CoupledTable(20);
+  BinnedTable binned = BinnedTable::Compute(t);
+  EmbDiOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 5;
+  Rng rng(12);
+  Corpus corpus = BuildEmbDiCorpus(binned, options, &rng);
+  const size_t nodes = binned.total_bins() + binned.num_rows() + binned.num_columns();
+  EXPECT_EQ(corpus.vocab_size(), nodes);
+  EXPECT_EQ(corpus.sentences().size(), nodes * options.walks_per_node);
+  for (const auto& s : corpus.sentences()) {
+    EXPECT_EQ(s.size(), options.walk_length);
+    for (uint32_t w : s) EXPECT_LT(w, nodes);
+  }
+}
+
+TEST(EmbDiTest, WalksAlternateAdjacentNodes) {
+  // A row node must step to a token of that row; a token node to its column
+  // node or to a row containing it.
+  Table t = CoupledTable(15);
+  BinnedTable binned = BinnedTable::Compute(t);
+  EmbDiOptions options;
+  options.walks_per_node = 1;
+  options.walk_length = 8;
+  Rng rng(13);
+  Corpus corpus = BuildEmbDiCorpus(binned, options, &rng);
+  const size_t B = binned.total_bins();
+  const size_t n = binned.num_rows();
+  for (const auto& walk : corpus.sentences()) {
+    for (size_t i = 0; i + 1 < walk.size(); ++i) {
+      const uint32_t from = walk[i];
+      const uint32_t to = walk[i + 1];
+      if (from >= B && from < B + n) {
+        // Row -> one of its tokens.
+        const size_t row = from - B;
+        bool token_of_row = false;
+        for (size_t c = 0; c < binned.num_columns(); ++c) {
+          token_of_row |= (binned.DenseIndex(binned.token(row, c)) == to);
+        }
+        EXPECT_TRUE(token_of_row);
+      } else if (from < B) {
+        // Token -> its column node or a row containing it.
+        const Token token = binned.TokenOfDense(from);
+        if (to >= B + n) {
+          EXPECT_EQ(to - B - n, TokenColumn(token));
+        } else {
+          ASSERT_GE(to, B);
+          const size_t row = to - B;
+          EXPECT_EQ(binned.token(row, TokenColumn(token)), token);
+        }
+      }
+    }
+  }
+}
+
+TEST(EmbDiTest, TrainReturnsTokenSpaceModel) {
+  Table t = CoupledTable(20);
+  BinnedTable binned = BinnedTable::Compute(t);
+  EmbDiOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 6;
+  options.word2vec.dim = 8;
+  options.word2vec.epochs = 1;
+  Word2VecModel model = TrainEmbDi(binned, options);
+  EXPECT_EQ(model.vocab_size(), binned.total_bins());
+  EXPECT_EQ(model.dim(), 8u);
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,292 @@
+// Extended coverage: the second-wave features — analyst task filters, the
+// coverage evaluator's token-set class deduplication, NC row subsampling,
+// latent row profiles, and targeted session-fragment generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "subtab/baselines/naive_clustering.h"
+#include "subtab/data/datasets.h"
+#include "subtab/eda/analyst.h"
+#include "subtab/eda/session_generator.h"
+#include "subtab/metrics/combined.h"
+#include "subtab/rules/miner.h"
+
+namespace subtab {
+namespace {
+
+// ----------------------------------------------------- Evaluator classes --
+
+TEST(CoverageClassTest, SplitsOfOneItemsetShareOneClass) {
+  // Three rules with the same token set (different lhs/rhs splits) must
+  // collapse into a single class with identical T_R and U_R.
+  Column a = Column::Categorical("a", {"x", "x", "x", "y"});
+  Column b = Column::Categorical("b", {"p", "p", "p", "q"});
+  Column c = Column::Categorical("c", {"1", "1", "1", "0"});
+  Result<Table> t = Table::Make({std::move(a), std::move(b), std::move(c)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+
+  const Token ta = binned.token(0, 0);
+  const Token tb = binned.token(0, 1);
+  const Token tc = binned.token(0, 2);
+  RuleSet rules;
+  Rule r1;
+  r1.lhs = {ta, tb};
+  r1.rhs = {tc};
+  Rule r2;
+  r2.lhs = {ta, tc};
+  r2.rhs = {tb};
+  Rule r3;
+  r3.lhs = {tb, tc};
+  r3.rhs = {ta};
+  for (Rule* r : {&r1, &r2, &r3}) std::sort(r->lhs.begin(), r->lhs.end());
+  rules.rules = {r1, r2, r3};
+
+  CoverageEvaluator evaluator(binned, rules);
+  EXPECT_EQ(evaluator.num_rules(), 3u);
+  EXPECT_EQ(evaluator.num_classes(), 1u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(evaluator.rule_rows(i).Count(), 3u);
+    EXPECT_EQ(evaluator.rule_columns(i), (std::vector<uint32_t>{0, 1, 2}));
+  }
+  // Covering any one split covers all three rules (same cells).
+  const std::vector<size_t> covered = evaluator.CoveredRules({0}, {0, 1, 2});
+  EXPECT_EQ(covered.size(), 3u);
+  EXPECT_EQ(evaluator.CoveredCellCount({0}, {0, 1, 2}), 9u);  // 3 rows x 3 cols.
+}
+
+TEST(CoverageClassTest, ClassCountNeverExceedsRuleCount) {
+  GeneratedDataset data = MakeCyber(1500, 21);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.1;
+  mining.min_confidence = 0.5;
+  mining.min_rule_size = 3;
+  RuleSet rules = MineRules(binned, mining);
+  CoverageEvaluator evaluator(binned, rules);
+  EXPECT_LE(evaluator.num_classes(), evaluator.num_rules());
+  EXPECT_GT(evaluator.num_classes(), 0u);
+}
+
+// ------------------------------------------------------------- NC subsample --
+
+TEST(NaiveClusteringTest, MaxRowsSubsampleStillReturnsKDistinctRows) {
+  GeneratedDataset data = MakeSpotify(3000, 22);
+  BinnedTable binned = BinnedTable::Compute(data.table);
+  RuleSet rules;  // Empty rules: scores are diversity-only; fine for shape.
+  CoverageEvaluator evaluator(binned, rules);
+  NaiveClusteringOptions options;
+  options.k = 8;
+  options.l = 5;
+  options.max_rows = 200;
+  BaselineResult result = NaiveClustering(evaluator, options);
+  EXPECT_EQ(result.row_ids.size(), 8u);
+  std::set<size_t> unique(result.row_ids.begin(), result.row_ids.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (size_t r : result.row_ids) EXPECT_LT(r, 3000u);
+}
+
+// ------------------------------------------------------------ Analyst filters --
+
+Table TwoByTwo(size_t n, double p_joint, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (size_t i = 0; i < n; ++i) {
+    const bool joint = rng.Bernoulli(p_joint);
+    a.push_back(joint ? "hi" : (rng.Bernoulli(0.5) ? "hi" : "lo"));
+    b.push_back(joint ? "yes" : (rng.Bernoulli(0.5) ? "yes" : "no"));
+  }
+  Result<Table> t =
+      Table::Make({Column::Categorical("a", a), Column::Categorical("b", b),
+                   Column::Categorical("c", std::vector<std::string>(n, "const"))});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(AnalystFilterTest, FocusColumnRestrictsInsights) {
+  Table t = TwoByTwo(500, 0.5, 31);
+  BinnedTable binned = BinnedTable::Compute(t);
+  AnalystOptions options;
+  options.focus_column = 1;  // Only pairs touching column "b".
+  options.max_token_support = 1.1;  // Disable the triviality filter here.
+  AnalystReport report =
+      SimulateAnalyst(binned, {0, 1, 2, 3, 4}, {0, 1, 2}, options);
+  for (const Insight& insight : report.insights) {
+    EXPECT_TRUE(TokenColumn(insight.a) == 1 || TokenColumn(insight.b) == 1)
+        << insight.text;
+  }
+}
+
+TEST(AnalystFilterTest, TrivialTokensAreDropped) {
+  // Column "c" is constant => support 1.0 > threshold: no insight may use it.
+  Table t = TwoByTwo(500, 0.5, 32);
+  BinnedTable binned = BinnedTable::Compute(t);
+  AnalystOptions options;
+  options.max_token_support = 0.9;
+  AnalystReport report =
+      SimulateAnalyst(binned, {0, 1, 2, 3, 4, 5}, {0, 1, 2}, options);
+  for (const Insight& insight : report.insights) {
+    EXPECT_NE(TokenColumn(insight.a), 2u) << insight.text;
+    EXPECT_NE(TokenColumn(insight.b), 2u) << insight.text;
+  }
+}
+
+TEST(AnalystFilterTest, DefaultKeepsLegacyBehaviour) {
+  Table t = TwoByTwo(300, 0.6, 33);
+  BinnedTable binned = BinnedTable::Compute(t);
+  AnalystReport report =
+      SimulateAnalyst(binned, {0, 1, 2, 3}, {0, 1}, AnalystOptions{});
+  EXPECT_GT(report.num_total, 0u);
+}
+
+// ------------------------------------------------------------- Profiles --
+
+TEST(ProfileTest, PreferredGroupIsDeterministicAndInRange) {
+  GeneratedDataset data = MakeFlights(200, 77);
+  const DatasetSpec& spec = data.spec;
+  ASSERT_GT(spec.num_profiles, 0u);
+  for (size_t p = 0; p < spec.num_profiles; ++p) {
+    for (size_t c = 0; c < spec.columns.size(); ++c) {
+      const size_t g = spec.PreferredGroup(p, c);
+      EXPECT_LT(g, spec.columns[c].num_groups());
+      EXPECT_EQ(g, spec.PreferredGroup(p, c));  // Stable.
+    }
+  }
+}
+
+TEST(ProfileTest, AffineColumnsCorrelateAcrossRows) {
+  // Two strongly affine columns must agree (via the shared profile) far
+  // more often than independence predicts.
+  DatasetSpec spec;
+  spec.name = "toy";
+  spec.num_rows = 6000;
+  spec.seed = 5;
+  spec.columns = {ColumnSpec::Numeric("x", {0, 100, 200, 300}, 1.0),
+                  ColumnSpec::Numeric("y", {0, 100, 200, 300}, 1.0)};
+  spec.columns[0].profile_affinity = 0.9;
+  spec.columns[1].profile_affinity = 0.9;
+  spec.num_profiles = 4;
+  GeneratedDataset data = GenerateDataset(spec);
+
+  // Mutual agreement on the (group of the) two columns.
+  size_t joint_match = 0;
+  size_t checked = 0;
+  const Column& x = data.table.column(0);
+  const Column& y = data.table.column(1);
+  auto group_of = [](double v) { return static_cast<size_t>((v + 50) / 100); };
+  for (size_t r = 0; r < data.table.num_rows(); ++r) {
+    ++checked;
+    const bool x_pref =
+        group_of(x.num_value(r)) == data.spec.PreferredGroup(0, 0);
+    const bool y_pref =
+        group_of(y.num_value(r)) == data.spec.PreferredGroup(0, 1);
+    joint_match += (x_pref && y_pref);
+  }
+  // Under independence the joint rate would be ~ (1/4)^2 plus noise; the
+  // profile model must push it far above that for profile-0 rows (~1/4 of
+  // rows at 0.9^2 adherence ≈ 0.2).
+  EXPECT_GT(static_cast<double>(joint_match) / checked, 0.12);
+}
+
+TEST(ProfileTest, NoHarmfulProfileCollisionWithPlantedPatterns) {
+  // The collision-avoidance fixup guarantees pattern confidence is not
+  // destroyed: no profile may prefer the entire antecedent while preferring
+  // a *different* consequent group. (A full antecedent match with the SAME
+  // consequent is harmless — it reinforces the pattern — and unavoidable
+  // for binary-column antecedents with many profiles.)
+  for (const GeneratedDataset& data :
+       {MakeFlights(100), MakeCyber(100), MakeSpotify(100), MakeCreditCard(100),
+        MakeUsFunds(100), MakeBankLoans(100)}) {
+    size_t harmful_pairs = 0;
+    for (const PlantedPattern& pattern : data.spec.patterns) {
+      for (size_t p = 0; p < data.spec.num_profiles; ++p) {
+        bool full_lhs_match = true;
+        for (const auto& [name, group] : pattern.lhs) {
+          if (data.spec.PreferredGroup(p, data.ColumnIndex(name)) != group) {
+            full_lhs_match = false;
+            break;
+          }
+        }
+        const bool rhs_differs =
+            data.spec.PreferredGroup(p, data.ColumnIndex(pattern.rhs.first)) !=
+            pattern.rhs.second;
+        if (full_lhs_match && rhs_differs) {
+          ++harmful_pairs;
+          // Single-conjunct antecedents over few-group columns cannot always
+          // escape (pigeonhole); the fixup must at least route the conflict
+          // away from the two most popular profiles.
+          EXPECT_GE(p, 2u) << data.spec.name << ": " << pattern.description;
+        }
+      }
+    }
+    EXPECT_LE(harmful_pairs, 1u) << data.spec.name;
+  }
+}
+
+// ------------------------------------------------ Session pattern values --
+
+TEST(SessionFragmentTest, PatternFragmentsCarryPatternValues) {
+  // With full pattern bias, every valued fragment must sit in the group of
+  // some planted-pattern conjunct of its column.
+  GeneratedDataset data = MakeCyber(3000, 41);
+  SessionGeneratorOptions options;
+  options.num_sessions = 10;
+  options.pattern_bias = 1.0;
+  options.seed = 3;
+  std::vector<Session> sessions = GenerateSessions(data, options);
+  size_t valued = 0;
+  for (const Session& s : sessions) {
+    for (const SessionStep& step : s.steps) {
+      if (!step.fragment.has_value) continue;
+      ++valued;
+      // The fragment column must appear in some pattern conjunct.
+      bool in_pattern = false;
+      for (const PlantedPattern& pattern : data.spec.patterns) {
+        for (const auto& [name, group] : pattern.lhs) {
+          in_pattern |= (name == step.fragment.column);
+        }
+        in_pattern |= (pattern.rhs.first == step.fragment.column);
+      }
+      EXPECT_TRUE(in_pattern) << step.fragment.column;
+    }
+  }
+  EXPECT_GT(valued, 0u);
+}
+
+// ----------------------------------------------------- End-to-end sanity --
+
+TEST(ExtendedIntegrationTest, SubTabBeatsNaiveClusteringOnCombined) {
+  GeneratedDataset data = MakeFlights(3000, 55);
+  SubTabConfig config;
+  config.k = 10;
+  config.l = 10;
+  config.embedding.dim = 32;
+  config.embedding.epochs = 3;
+  config.embedding.num_threads = 1;
+  config.seed = 11;
+  Result<SubTab> st = SubTab::Fit(data.table, config);
+  ASSERT_TRUE(st.ok());
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.1;
+  mining.min_confidence = 0.6;
+  mining.min_rule_size = 3;
+  RuleSet rules = MineRules(st->preprocessed().binned(), mining);
+  CoverageEvaluator evaluator(st->preprocessed().binned(), rules);
+
+  SubTabView view = st->Select();
+  const SubTableScore subtab =
+      ScoreSubTable(evaluator, view.row_ids, view.col_ids, 0.5);
+  NaiveClusteringOptions nc;
+  nc.k = 10;
+  nc.l = 10;
+  nc.max_rows = 2000;
+  const BaselineResult naive = NaiveClustering(evaluator, nc);
+  EXPECT_GT(subtab.combined, naive.score.combined);
+}
+
+}  // namespace
+}  // namespace subtab

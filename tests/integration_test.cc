@@ -1,0 +1,176 @@
+// End-to-end integration tests: the full SubTab pipeline against the
+// baselines on planted-pattern data — miniature versions of the paper's
+// headline comparisons (SubTab's combined score beats RAN/NC; query
+// selection reuses pre-processing; target-focused mining works end to end).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "subtab/baselines/naive_clustering.h"
+#include "subtab/baselines/random_baseline.h"
+#include "subtab/core/highlight.h"
+#include "subtab/core/subtab.h"
+#include "subtab/data/datasets.h"
+#include "subtab/eda/analyst.h"
+#include "subtab/rules/miner.h"
+
+namespace subtab {
+namespace {
+
+struct Pipeline {
+  GeneratedDataset data;
+  SubTabConfig config;
+  SubTab subtab;
+  RuleSet rules;
+
+  static Pipeline Build(GeneratedDataset dataset, std::string target = "") {
+    SubTabConfig config;
+    config.k = 10;
+    config.l = 8;
+    config.embedding.dim = 32;
+    config.embedding.epochs = 3;
+    config.embedding.num_threads = 1;
+    config.seed = 123;
+    if (!target.empty()) config.target_columns = {std::move(target)};
+    Result<SubTab> st = SubTab::Fit(dataset.table, config);
+    SUBTAB_CHECK(st.ok());
+
+    RuleMiningOptions mining;
+    mining.apriori.min_support = 0.08;
+    mining.min_confidence = 0.6;
+    mining.min_rule_size = 2;
+    RuleSet rules = MineRules(st->preprocessed().binned(), mining);
+    return Pipeline{std::move(dataset), std::move(config), std::move(*st),
+                    std::move(rules)};
+  }
+};
+
+TEST(IntegrationTest, SubTabBeatsSingleRandomDrawOnCombinedScore) {
+  Pipeline p = Pipeline::Build(MakeFlights(4000, 31));
+  ASSERT_FALSE(p.rules.empty());
+  CoverageEvaluator evaluator(p.subtab.preprocessed().binned(), p.rules);
+
+  SubTabView view = p.subtab.Select();
+  const SubTableScore subtab_score =
+      ScoreSubTable(evaluator, view.row_ids, view.col_ids, 0.5);
+
+  RandomBaselineOptions ran;
+  ran.k = 10;
+  ran.l = 8;
+  ran.max_iterations = 1;  // A single arbitrary display, like Pandas head().
+  ran.time_budget_seconds = 5.0;
+  ran.seed = 7;
+  const BaselineResult single = RandomBaseline(evaluator, ran);
+
+  EXPECT_GT(subtab_score.combined, single.score.combined);
+}
+
+TEST(IntegrationTest, SubTabCoverageBeatsNaiveClustering) {
+  Pipeline p = Pipeline::Build(MakeSpotify(4000, 32));
+  ASSERT_FALSE(p.rules.empty());
+  CoverageEvaluator evaluator(p.subtab.preprocessed().binned(), p.rules);
+
+  SubTabView view = p.subtab.Select();
+  const SubTableScore subtab_score =
+      ScoreSubTable(evaluator, view.row_ids, view.col_ids, 0.5);
+
+  NaiveClusteringOptions nc;
+  nc.k = 10;
+  nc.l = 8;
+  nc.seed = 3;
+  const BaselineResult naive = NaiveClustering(evaluator, nc);
+
+  // The paper's central claim (Fig. 8): the embedding-based selection
+  // captures rule structure that one-hot clustering misses.
+  EXPECT_GE(subtab_score.cell_coverage, naive.score.cell_coverage);
+}
+
+TEST(IntegrationTest, TargetedPipelineCoversTargetRules) {
+  Pipeline p = Pipeline::Build(MakeFlights(4000, 33), "CANCELLED");
+  const BinnedTable& binned = p.subtab.preprocessed().binned();
+  const size_t cancelled = p.data.ColumnIndex("CANCELLED");
+
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.05;
+  mining.min_confidence = 0.6;
+  mining.min_rule_size = 2;
+  RuleSet targeted =
+      MineRulesForTargets(binned, mining, {static_cast<uint32_t>(cancelled)});
+  ASSERT_FALSE(targeted.empty());
+
+  CoverageEvaluator evaluator(binned, targeted);
+  SubTabView view = p.subtab.Select();
+  // The target column is present, so target rules are coverable; the
+  // selection should cover at least one.
+  EXPECT_NE(std::find(view.col_ids.begin(), view.col_ids.end(), cancelled),
+            view.col_ids.end());
+  EXPECT_FALSE(evaluator.CoveredRules(view.row_ids, view.col_ids).empty());
+}
+
+TEST(IntegrationTest, QueryPathProducesScoredSubTables) {
+  Pipeline p = Pipeline::Build(MakeBankLoans(3000, 34));
+  CoverageEvaluator evaluator(p.subtab.preprocessed().binned(), p.rules);
+
+  SpQuery q;
+  q.filters = {Predicate::Str("term", CmpOp::kEq, "Long Term")};
+  Result<SubTabView> view = p.subtab.SelectForQuery(q);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->row_ids.size(), 10u);
+
+  const SubTableScore score =
+      ScoreSubTable(evaluator, view->row_ids, view->col_ids, 0.5);
+  EXPECT_GE(score.diversity, 0.0);
+  EXPECT_LE(score.combined, 1.0);
+}
+
+TEST(IntegrationTest, HighlightedSubTableSupportsAnalystInsights) {
+  // End-to-end Table 1 mechanics: SubTab display -> simulated analyst ->
+  // at least one correct insight on planted data.
+  Pipeline p = Pipeline::Build(MakeFlights(5000, 35), "CANCELLED");
+  SubTabView view = p.subtab.Select();
+  AnalystReport report = SimulateAnalyst(p.subtab.preprocessed().binned(),
+                                         view.row_ids, view.col_ids,
+                                         AnalystOptions{});
+  EXPECT_GT(report.num_total, 0u);
+}
+
+TEST(IntegrationTest, RepeatedQueriesReuseEmbedding) {
+  Pipeline p = Pipeline::Build(MakeCyber(3000, 36));
+  const double preprocess_seconds =
+      p.subtab.preprocessed().timings().total_seconds;
+  double selection_total = 0.0;
+  const char* protocols[] = {"tcp", "udp"};
+  for (const char* proto : protocols) {
+    SpQuery q;
+    q.filters = {Predicate::Str("protocol", CmpOp::kEq, proto)};
+    Result<SubTabView> view = p.subtab.SelectForQuery(q);
+    ASSERT_TRUE(view.ok());
+    selection_total += view->selection_seconds;
+  }
+  // Selection reuses the embedding: two query displays must not cost more
+  // than pre-processing itself (Fig. 9's architectural point).
+  EXPECT_LT(selection_total, preprocess_seconds * 2.0 + 0.5);
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+  GeneratedDataset a = MakeSpotify(1500, 40);
+  GeneratedDataset b = MakeSpotify(1500, 40);
+  SubTabConfig config;
+  config.k = 6;
+  config.l = 5;
+  config.embedding.dim = 16;
+  config.embedding.epochs = 2;
+  config.embedding.num_threads = 1;
+  config.seed = 9;
+  Result<SubTab> sa = SubTab::Fit(a.table, config);
+  Result<SubTab> sb = SubTab::Fit(b.table, config);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  SubTabView va = sa->Select();
+  SubTabView vb = sb->Select();
+  EXPECT_EQ(va.row_ids, vb.row_ids);
+  EXPECT_EQ(va.col_ids, vb.col_ids);
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,263 @@
+// Tests for the informativeness metrics (Sec. 3.2), anchored on the exact
+// numbers the paper derives from the Fig. 3 worked example: upcov = 36
+// cells, sub-tables describing 28 / 26 / 24 cells, diversity 0.83 / 0.92,
+// combined 0.80 / 0.79, and T̂(1)_sub optimal.
+
+#include <gtest/gtest.h>
+
+#include "subtab/baselines/brute_force.h"
+#include "subtab/data/example_fixture.h"
+#include "subtab/metrics/combined.h"
+#include "subtab/util/rng.h"
+
+namespace subtab {
+namespace {
+
+struct Fixture {
+  Table table;
+  BinnedTable binned;
+  RuleSet rules;
+
+  Fixture()
+      : table(MakeExampleTable()),
+        binned(BinnedTable::Compute(table)),
+        rules(EnumerateRuleFamily(binned, kExampleCancelled)) {}
+};
+
+// ----------------------------------------------------------- Cell coverage --
+
+TEST(CellCoverageTest, UpcovIs36OnExample) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  EXPECT_EQ(evaluator.upcov(), 36u);
+}
+
+TEST(CellCoverageTest, SubTable1Describes28Cells) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const size_t cells =
+      evaluator.CoveredCellCount(ExampleSubTableRows(), ExampleSubTable1Cols());
+  EXPECT_EQ(cells, 28u);
+  EXPECT_NEAR(evaluator.CellCoverage(ExampleSubTableRows(), ExampleSubTable1Cols()),
+              28.0 / 36.0, 1e-12);
+}
+
+TEST(CellCoverageTest, SubTable2Describes26Cells) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  EXPECT_EQ(evaluator.CoveredCellCount(ExampleSubTableRows(), ExampleSubTable2Cols()),
+            26u);
+}
+
+TEST(CellCoverageTest, SubTable3Describes24Cells) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  EXPECT_EQ(evaluator.CoveredCellCount(ExampleSubTableRows(), ExampleSubTable3Cols()),
+            24u);
+}
+
+TEST(CellCoverageTest, CoveredRuleNeedsColumnsAndRow) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  // With only the CANCELLED column visible, no rule has U_R ⊆ U_sub.
+  EXPECT_TRUE(evaluator.CoveredRules({0, 4, 6}, {kExampleCancelled}).empty());
+  // With all columns but no rows, nothing is covered either.
+  EXPECT_TRUE(evaluator.CoveredRules({}, {0, 1, 2, 3, 4}).empty());
+}
+
+TEST(CellCoverageTest, FullTableSelectionCoversEverything) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const std::vector<size_t> all_rows = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<size_t> all_cols = {0, 1, 2, 3, 4};
+  EXPECT_EQ(evaluator.CoveredCellCount(all_rows, all_cols), evaluator.upcov());
+  EXPECT_NEAR(evaluator.CellCoverage(all_rows, all_cols), 1.0, 1e-12);
+}
+
+TEST(CellCoverageTest, EmptyRuleSetGivesZero) {
+  Fixture f;
+  RuleSet empty;
+  CoverageEvaluator evaluator(f.binned, empty);
+  EXPECT_EQ(evaluator.upcov(), 0u);
+  EXPECT_DOUBLE_EQ(evaluator.CellCoverage({0}, {0, 1}), 0.0);
+}
+
+TEST(CellCoverageTest, MonotoneInRows) {
+  // cellCov is monotone under row addition (the submodularity argument of
+  // Prop. 4.3 relies on this).
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const std::vector<size_t> cols = {0, 1, 2, 3, 4};
+  double prev = 0.0;
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < 8; ++r) {
+    rows.push_back(r);
+    const double cov = evaluator.CellCoverage(rows, cols);
+    EXPECT_GE(cov, prev - 1e-12);
+    prev = cov;
+  }
+}
+
+TEST(CellCoverageTest, SubmodularMarginalGains) {
+  // Marginal gain of a fixed row never increases as the base set grows.
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const std::vector<size_t> cols = {0, 1, 2, 3, 4};
+  for (size_t probe = 0; probe < 8; ++probe) {
+    double prev_gain = 1e18;
+    std::vector<size_t> base;
+    for (size_t r = 0; r < 8; ++r) {
+      if (r == probe) continue;
+      std::vector<size_t> with = base;
+      with.push_back(probe);
+      const double gain = evaluator.CellCoverage(with, cols) -
+                          evaluator.CellCoverage(base, cols);
+      EXPECT_LE(gain, prev_gain + 1e-12);
+      prev_gain = gain;
+      base.push_back(r);
+    }
+  }
+}
+
+TEST(CoverageAccumulatorTest, MatchesBatchEvaluation) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const std::vector<size_t> cols = ExampleSubTable1Cols();
+  CoverageAccumulator acc(evaluator, cols);
+  std::vector<size_t> rows;
+  for (size_t r : {0u, 4u, 6u}) {
+    const size_t gain = acc.GainOfRow(r);
+    const size_t before = acc.covered_cells();
+    acc.AddRow(r);
+    EXPECT_EQ(acc.covered_cells(), before + gain);
+    rows.push_back(r);
+    EXPECT_EQ(acc.covered_cells(), evaluator.CoveredCellCount(rows, cols));
+  }
+  EXPECT_EQ(acc.covered_cells(), 28u);
+}
+
+TEST(CoverageAccumulatorTest, GainOfAlreadyCoveredRowCanBeZero) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  CoverageAccumulator acc(evaluator, {0, 1, 2, 3, 4});
+  acc.AddRow(0);
+  // Row 0 activates all its rules; re-probing it gains nothing.
+  EXPECT_EQ(acc.GainOfRow(0), 0u);
+}
+
+TEST(CellCoverageTest, RuleCellCountIsRowsTimesColumns) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  for (size_t i = 0; i < evaluator.num_rules(); ++i) {
+    EXPECT_EQ(evaluator.RuleCellCount(i),
+              evaluator.rule_rows(i).Count() * evaluator.rule_columns(i).size());
+  }
+}
+
+// -------------------------------------------------------------- Diversity --
+
+TEST(DiversityTest, Example38Values) {
+  // divers(T̂(1)_sub) = 1 - avg(0, 0.25, 0.25) = 5/6 ≈ 0.83.
+  Fixture f;
+  const double d1 = Diversity(f.binned, ExampleSubTableRows(), ExampleSubTable1Cols());
+  EXPECT_NEAR(d1, 1.0 - (0.0 + 0.25 + 0.25) / 3.0, 1e-12);
+  // divers(T̂(3)_sub) = 1 - avg(0, 0, 0.25) = 11/12 ≈ 0.92 (Fig. 4).
+  const double d3 = Diversity(f.binned, ExampleSubTableRows(), ExampleSubTable3Cols());
+  EXPECT_NEAR(d3, 1.0 - 0.25 / 3.0, 1e-12);
+}
+
+TEST(DiversityTest, RowSimilarityCountsSharedBins) {
+  Fixture f;
+  // Rows 0 and 1 share CANCELLED=1, DEP=NaN, YEAR=2015, SCHED=afternoon.
+  EXPECT_NEAR(RowSimilarity(f.binned, 0, 1, {0, 1, 2, 3, 4}), 4.0 / 5.0, 1e-12);
+  // A row is fully similar to itself.
+  EXPECT_DOUBLE_EQ(RowSimilarity(f.binned, 2, 2, {0, 1, 2, 3, 4}), 1.0);
+}
+
+TEST(DiversityTest, NullsCompareEqual) {
+  Fixture f;
+  // Rows 0 and 3 both have DEP._TIME = NaN.
+  EXPECT_DOUBLE_EQ(RowSimilarity(f.binned, 0, 3, {kExampleDepTime}), 1.0);
+}
+
+TEST(DiversityTest, SingleRowIsMaximallyDiverse) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(Diversity(f.binned, {2}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Diversity(f.binned, {}, {0, 1}), 1.0);
+}
+
+TEST(DiversityTest, IdenticalRowsGiveZero) {
+  Column a = Column::Categorical("a", {"x", "x"});
+  Column b = Column::Categorical("b", {"y", "y"});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  EXPECT_DOUBLE_EQ(Diversity(binned, {0, 1}, {0, 1}), 0.0);
+}
+
+TEST(DiversityTest, BoundedInUnitInterval) {
+  Fixture f;
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> rows = rng.SampleWithoutReplacement(8, 1 + rng.Uniform(4));
+    std::vector<size_t> cols = rng.SampleWithoutReplacement(5, 1 + rng.Uniform(5));
+    const double d = Diversity(f.binned, rows, cols);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+// --------------------------------------------------------------- Combined --
+
+TEST(CombinedTest, Example39Scores) {
+  // combined(T̂(1)) = 0.5·28/36 + 0.5·(5/6) ≈ 0.806;
+  // combined(T̂(3)) = 0.5·24/36 + 0.5·(11/12) ≈ 0.792.
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const SubTableScore s1 =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable1Cols(), 0.5);
+  EXPECT_NEAR(s1.combined, 0.5 * 28.0 / 36.0 + 0.5 * 5.0 / 6.0, 1e-12);
+  const SubTableScore s3 =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable3Cols(), 0.5);
+  EXPECT_NEAR(s3.combined, 0.5 * 24.0 / 36.0 + 0.5 * 11.0 / 12.0, 1e-12);
+  EXPECT_GT(s1.combined, s3.combined);  // The paper's trade-off conclusion.
+}
+
+TEST(CombinedTest, AlphaExtremes) {
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const SubTableScore cov_only =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable1Cols(), 1.0);
+  EXPECT_DOUBLE_EQ(cov_only.combined, cov_only.cell_coverage);
+  const SubTableScore div_only =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable1Cols(), 0.0);
+  EXPECT_DOUBLE_EQ(div_only.combined, div_only.diversity);
+}
+
+TEST(CombinedTest, OneShotWrapperMatchesEvaluator) {
+  Fixture f;
+  const SubTableScore a = ScoreSubTable(f.binned, f.rules, ExampleSubTableRows(),
+                                        ExampleSubTable1Cols(), 0.5);
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  const SubTableScore b =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable1Cols(), 0.5);
+  EXPECT_DOUBLE_EQ(a.combined, b.combined);
+}
+
+TEST(CombinedTest, ExampleSubTable1IsOptimal) {
+  // "In fact, T̂(1)_sub is the optimal sub-table for this example."
+  Fixture f;
+  CoverageEvaluator evaluator(f.binned, f.rules);
+  BruteForceOptions options;
+  options.k = 3;
+  options.l = 4;
+  options.target_cols = {kExampleCancelled};
+  options.alpha = 0.5;
+  const BaselineResult opt = BruteForceOptimal(evaluator, options);
+  const SubTableScore paper =
+      ScoreSubTable(evaluator, ExampleSubTableRows(), ExampleSubTable1Cols(), 0.5);
+  EXPECT_NEAR(opt.score.combined, paper.combined, 1e-9);
+}
+
+}  // namespace
+}  // namespace subtab

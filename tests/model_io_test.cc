@@ -1,0 +1,153 @@
+// Tests for model persistence: save/load round-trips of the pre-processing
+// artifact, schema validation, and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "subtab/core/model_io.h"
+#include "subtab/core/subtab.h"
+#include "subtab/core/select.h"
+#include "subtab/data/datasets.h"
+
+namespace subtab {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SubTabConfig FastConfig() {
+  SubTabConfig config;
+  config.embedding.dim = 16;
+  config.embedding.epochs = 2;
+  config.embedding.num_threads = 1;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ModelIoTest, RoundTripPreservesBinningAndVectors) {
+  GeneratedDataset data = MakeSpotify(600, 61);
+  PreprocessedTable pre = Preprocess(data.table, FastConfig());
+  const std::string path = TempPath("model_roundtrip.stab");
+  ASSERT_TRUE(SaveModel(pre, data.table, path).ok());
+
+  Result<PreprocessedTable> loaded = LoadModel(data.table, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Token matrices identical.
+  const BinnedTable& a = pre.binned();
+  const BinnedTable& b = loaded->binned();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  ASSERT_EQ(a.total_bins(), b.total_bins());
+  for (size_t r = 0; r < a.num_rows(); r += 7) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.token(r, c), b.token(r, c));
+    }
+  }
+  // Embedding vectors identical.
+  const Word2VecModel& ma = pre.cell_model().word2vec();
+  const Word2VecModel& mb = loaded->cell_model().word2vec();
+  ASSERT_EQ(ma.vocab_size(), mb.vocab_size());
+  ASSERT_EQ(ma.dim(), mb.dim());
+  for (size_t w = 0; w < ma.vocab_size(); ++w) {
+    const auto va = ma.vector(w);
+    const auto vb = mb.vector(w);
+    for (size_t d = 0; d < ma.dim(); ++d) ASSERT_EQ(va[d], vb[d]);
+  }
+  // Labels survive.
+  EXPECT_EQ(a.TokenLabel(a.token(0, 0)), b.TokenLabel(b.token(0, 0)));
+}
+
+TEST(ModelIoTest, SelectionFromLoadedModelMatchesOriginal) {
+  GeneratedDataset data = MakeCyber(800, 62);
+  PreprocessedTable pre = Preprocess(data.table, FastConfig());
+  const std::string path = TempPath("model_select.stab");
+  ASSERT_TRUE(SaveModel(pre, data.table, path).ok());
+  Result<PreprocessedTable> loaded = LoadModel(data.table, path);
+  ASSERT_TRUE(loaded.ok());
+
+  SelectionScope scope;
+  const Selection original = SelectSubTable(pre, 6, 5, scope, 99);
+  const Selection reloaded = SelectSubTable(*loaded, 6, 5, scope, 99);
+  EXPECT_EQ(original.row_ids, reloaded.row_ids);
+  EXPECT_EQ(original.col_ids, reloaded.col_ids);
+}
+
+TEST(ModelIoTest, RejectsSchemaMismatch) {
+  GeneratedDataset data = MakeSpotify(300, 63);
+  PreprocessedTable pre = Preprocess(data.table, FastConfig());
+  const std::string path = TempPath("model_schema.stab");
+  ASSERT_TRUE(SaveModel(pre, data.table, path).ok());
+
+  // Different column count.
+  GeneratedDataset other = MakeCyber(300, 64);
+  Result<PreprocessedTable> wrong = LoadModel(other.table, path);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+
+  // Same column count, different names: SP has 15 columns like CY.
+  EXPECT_EQ(data.table.num_columns(), other.table.num_columns());
+}
+
+TEST(ModelIoTest, RejectsGarbageAndTruncation) {
+  const std::string garbage = TempPath("model_garbage.stab");
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "definitely not a model";
+  }
+  GeneratedDataset data = MakeSpotify(200, 65);
+  Result<PreprocessedTable> r = LoadModel(data.table, garbage);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Truncate a valid file.
+  PreprocessedTable pre = Preprocess(data.table, FastConfig());
+  const std::string path = TempPath("model_trunc.stab");
+  ASSERT_TRUE(SaveModel(pre, data.table, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::string trunc_path = TempPath("model_trunc2.stab");
+  {
+    std::ofstream out(trunc_path, std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  }
+  Result<PreprocessedTable> t = LoadModel(data.table, trunc_path);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  GeneratedDataset data = MakeSpotify(100, 66);
+  Result<PreprocessedTable> r = LoadModel(data.table, "/nonexistent/model.stab");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+
+TEST(ModelIoTest, FitCachedRoundTrip) {
+  GeneratedDataset data = MakeSpotify(500, 67);
+  const std::string path = TempPath("model_fitcached.stab");
+  std::remove(path.c_str());
+
+  // First fit: cache miss, trains and saves.
+  Result<SubTab> first = SubTab::FitCached(data.table, FastConfig(), path);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->preprocessed().timings().total_seconds, 0.0);
+
+  // Second fit: cache hit, no training time recorded.
+  Result<SubTab> second = SubTab::FitCached(data.table, FastConfig(), path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->preprocessed().timings().training_seconds, 0.0);
+
+  // Identical selections either way.
+  SubTabView a = first->Select(5, 5);
+  SubTabView b = second->Select(5, 5);
+  EXPECT_EQ(a.row_ids, b.row_ids);
+  EXPECT_EQ(a.col_ids, b.col_ids);
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,259 @@
+// Unit tests for the SP query engine and group-by aggregates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subtab/table/query.h"
+
+namespace subtab {
+namespace {
+
+Table FlightsMini() {
+  Column airline = Column::Categorical(
+      "airline", {"AA", "DL", "AA", "UA", "DL", ""});
+  Column delay = Column::Numeric(
+      "delay", {5.0, -2.0, std::nan(""), 30.0, 12.0, 0.0});
+  Column distance = Column::Numeric(
+      "distance", {100, 900, 300, 2500, 900, 450});
+  Result<Table> t =
+      Table::Make({std::move(airline), std::move(delay), std::move(distance)});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+TEST(PredicateTest, ToStringFormats) {
+  EXPECT_EQ(Predicate::Num("d", CmpOp::kLe, 3.5).ToString(), "d <= 3.5");
+  EXPECT_EQ(Predicate::Str("a", CmpOp::kEq, "AA").ToString(), "a == 'AA'");
+  EXPECT_EQ(Predicate::IsNull("x").ToString(), "x is null");
+}
+
+TEST(QueryTest, NoFiltersReturnsAll) {
+  Table t = FlightsMini();
+  Result<QueryResult> r = RunQuery(t, SpQuery{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 6u);
+  EXPECT_EQ(r->col_ids, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(QueryTest, NumericComparisons) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Num("delay", CmpOp::kGt, 0.0)};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  // Rows 0 (5.0), 3 (30.0), 4 (12.0); NaN row 2 excluded.
+  EXPECT_EQ(r->row_ids, (std::vector<size_t>{0, 3, 4}));
+}
+
+TEST(QueryTest, EachNumericOperator) {
+  Table t = FlightsMini();
+  auto count = [&t](CmpOp op, double v) {
+    SpQuery q;
+    q.filters = {Predicate::Num("distance", op, v)};
+    Result<QueryResult> r = RunQuery(t, q);
+    EXPECT_TRUE(r.ok());
+    return r->row_ids.size();
+  };
+  EXPECT_EQ(count(CmpOp::kEq, 900), 2u);
+  EXPECT_EQ(count(CmpOp::kNe, 900), 4u);
+  EXPECT_EQ(count(CmpOp::kLt, 450), 2u);
+  EXPECT_EQ(count(CmpOp::kLe, 450), 3u);
+  EXPECT_EQ(count(CmpOp::kGt, 900), 1u);
+  EXPECT_EQ(count(CmpOp::kGe, 900), 3u);
+}
+
+TEST(QueryTest, StringEquality) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Str("airline", CmpOp::kEq, "AA")};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids, (std::vector<size_t>{0, 2}));
+}
+
+TEST(QueryTest, NullPredicates) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::IsNull("delay")};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids, (std::vector<size_t>{2}));
+
+  q.filters = {Predicate::NotNull("airline")};
+  r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 5u);
+}
+
+TEST(QueryTest, ConjunctionOfFilters) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Str("airline", CmpOp::kEq, "DL"),
+               Predicate::Num("distance", CmpOp::kEq, 900)};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids, (std::vector<size_t>{1, 4}));
+}
+
+TEST(QueryTest, ProjectionMapsColumnIds) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.projection = {"distance", "airline"};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col_ids, (std::vector<size_t>{2, 0}));
+  EXPECT_EQ(r->table.column(0).name(), "distance");
+}
+
+TEST(QueryTest, SortAscendingNullsLast) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.order_by = "delay";
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids, (std::vector<size_t>{1, 5, 0, 4, 3, 2}));
+}
+
+TEST(QueryTest, SortDescending) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.order_by = "delay";
+  q.descending = true;
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.front(), 2u);  // Reversed order puts the null first.
+  EXPECT_EQ(r->row_ids[1], 3u);
+}
+
+TEST(QueryTest, SortByStringColumn) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.order_by = "airline";
+  q.filters = {Predicate::NotNull("airline")};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.column("airline").cat_value(0), "AA");
+  EXPECT_EQ(r->table.column("airline").cat_value(4), "UA");
+}
+
+TEST(QueryTest, LimitTruncates) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.limit = 2;
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 2u);
+}
+
+TEST(QueryTest, UnknownColumnErrors) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Num("nope", CmpOp::kEq, 1)};
+  EXPECT_FALSE(RunQuery(t, q).ok());
+  q = SpQuery{};
+  q.projection = {"nope"};
+  EXPECT_FALSE(RunQuery(t, q).ok());
+  q = SpQuery{};
+  q.order_by = "nope";
+  EXPECT_FALSE(RunQuery(t, q).ok());
+}
+
+TEST(QueryTest, TypeMismatchErrors) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Str("delay", CmpOp::kEq, "x")};
+  Result<QueryResult> r = RunQuery(t, q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ToStringReadable) {
+  SpQuery q;
+  q.filters = {Predicate::Num("delay", CmpOp::kGe, 10)};
+  q.projection = {"a", "b"};
+  q.order_by = "delay";
+  q.limit = 5;
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("SELECT a, b"), std::string::npos);
+  EXPECT_NE(s.find("WHERE delay >= 10"), std::string::npos);
+  EXPECT_NE(s.find("ORDER BY delay ASC"), std::string::npos);
+  EXPECT_NE(s.find("LIMIT 5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- GroupBy --
+
+TEST(GroupByTest, CountPerKey) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "airline";
+  g.fn = AggFn::kCount;
+  Result<Table> r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  // Keys in deterministic (sorted) order: AA, DL, UA; null key skipped.
+  EXPECT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->column(0).cat_value(0), "AA");
+  EXPECT_DOUBLE_EQ(r->column(1).num_value(0), 2.0);
+}
+
+TEST(GroupByTest, MeanSkipsNullAggregates) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "airline";
+  g.agg_column = "delay";
+  g.fn = AggFn::kMean;
+  Result<Table> r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  // AA rows: delay 5.0 and NaN -> mean 5.0 over one value.
+  EXPECT_DOUBLE_EQ(r->column(1).num_value(0), 5.0);
+}
+
+TEST(GroupByTest, MinMaxSum) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "airline";
+  g.agg_column = "distance";
+  g.fn = AggFn::kMin;
+  Result<Table> r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->column(1).num_value(0), 100.0);  // AA: min(100, 300).
+
+  g.fn = AggFn::kMax;
+  r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->column(1).num_value(0), 300.0);
+
+  g.fn = AggFn::kSum;
+  r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->column(1).num_value(0), 400.0);
+}
+
+TEST(GroupByTest, NumericKeyStaysNumeric) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "distance";
+  g.fn = AggFn::kCount;
+  Result<Table> r = RunGroupBy(t, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->column(0).type(), ColumnType::kNumeric);
+}
+
+TEST(GroupByTest, NonNumericAggregateErrors) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "distance";
+  g.agg_column = "airline";
+  g.fn = AggFn::kMean;
+  EXPECT_FALSE(RunGroupBy(t, g).ok());
+}
+
+TEST(GroupByTest, UnknownColumnsError) {
+  Table t = FlightsMini();
+  GroupByQuery g;
+  g.key_column = "nope";
+  EXPECT_FALSE(RunGroupBy(t, g).ok());
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,213 @@
+// Robustness tests: degenerate and pathological inputs through the whole
+// pipeline — all-null columns, constant tables, single rows/columns,
+// extreme values, k/l larger than the table — must not crash and must
+// produce well-formed results.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "subtab/baselines/brute_force.h"
+#include "subtab/baselines/random_baseline.h"
+#include "subtab/core/subtab.h"
+#include "subtab/rules/miner.h"
+
+namespace subtab {
+namespace {
+
+SubTabConfig TinyConfig() {
+  SubTabConfig config;
+  config.k = 3;
+  config.l = 2;
+  config.embedding.dim = 8;
+  config.embedding.epochs = 1;
+  config.embedding.num_threads = 1;
+  return config;
+}
+
+Table MakeAllNullTable(size_t n) {
+  Column a("a", ColumnType::kNumeric);
+  Column b("b", ColumnType::kCategorical);
+  for (size_t i = 0; i < n; ++i) {
+    a.AppendNull();
+    b.AppendNull();
+  }
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  SUBTAB_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+TEST(RobustnessTest, AllNullTableSurvivesPipeline) {
+  Table t = MakeAllNullTable(20);
+  Result<SubTab> st = SubTab::Fit(t, TinyConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.table.num_rows(), 3u);
+  EXPECT_EQ(view.table.num_columns(), 2u);
+  for (size_t c = 0; c < view.table.num_columns(); ++c) {
+    for (size_t r = 0; r < view.table.num_rows(); ++r) {
+      EXPECT_TRUE(view.table.column(c).is_null(r));
+    }
+  }
+}
+
+TEST(RobustnessTest, ConstantTable) {
+  Column a = Column::Numeric("a", std::vector<double>(30, 5.0));
+  Column b = Column::Categorical("b", std::vector<std::string>(30, "same"));
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  Result<SubTab> st = SubTab::Fit(*t, TinyConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.row_ids.size(), 3u);
+
+  // Metrics degrade gracefully: identical rows => zero diversity.
+  BinnedTable binned = BinnedTable::Compute(*t);
+  EXPECT_DOUBLE_EQ(Diversity(binned, view.row_ids, view.col_ids), 0.0);
+}
+
+TEST(RobustnessTest, SingleRowTable) {
+  Column a = Column::Numeric("a", {1.0});
+  Column b = Column::Numeric("b", {2.0});
+  Column c = Column::Categorical("c", {"x"});
+  Result<Table> t = Table::Make({std::move(a), std::move(b), std::move(c)});
+  ASSERT_TRUE(t.ok());
+  Result<SubTab> st = SubTab::Fit(*t, TinyConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.table.num_rows(), 1u);
+  EXPECT_EQ(view.table.num_columns(), 2u);
+}
+
+TEST(RobustnessTest, SingleColumnTable) {
+  Column a = Column::Numeric("only", {1, 2, 3, 4, 5, 6, 7, 8});
+  Result<Table> t = Table::Make({std::move(a)});
+  ASSERT_TRUE(t.ok());
+  Result<SubTab> st = SubTab::Fit(*t, TinyConfig());
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.table.num_columns(), 1u);
+  EXPECT_EQ(view.table.num_rows(), 3u);
+}
+
+TEST(RobustnessTest, KAndLLargerThanTable) {
+  Column a = Column::Numeric("a", {1, 2});
+  Column b = Column::Numeric("b", {3, 4});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  SubTabConfig config = TinyConfig();
+  config.k = 100;
+  config.l = 100;
+  Result<SubTab> st = SubTab::Fit(*t, config);
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.table.num_rows(), 2u);
+  EXPECT_EQ(view.table.num_columns(), 2u);
+}
+
+TEST(RobustnessTest, ExtremeNumericValues) {
+  Column a = Column::Numeric(
+      "a", {1e300, -1e300, 0.0, std::numeric_limits<double>::denorm_min(), 42.0,
+            -42.0, 1e-300, 7.0});
+  Column b = Column::Numeric("b", {1, 2, 3, 4, 5, 6, 7, 8});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  for (size_t r = 0; r < binned.num_rows(); ++r) {
+    for (size_t c = 0; c < binned.num_columns(); ++c) {
+      EXPECT_LT(TokenBin(binned.token(r, c)),
+                binned.binning().column(c).num_bins());
+    }
+  }
+  Result<SubTab> st = SubTab::Fit(*t, TinyConfig());
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(RobustnessTest, ManyCategoriesCollapseWithoutCrash) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 500; ++i) values.push_back("cat_" + std::to_string(i % 200));
+  Column a = Column::Categorical("a", values);
+  Column b = Column::Numeric("b", std::vector<double>(500, 1.0));
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  // 200 categories collapse to max_cat_bins value bins + null bin.
+  EXPECT_LE(binned.bins_in_column(0), 6u);
+  Result<SubTab> st = SubTab::Fit(*t, TinyConfig());
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(RobustnessTest, MiningOnTinyTables) {
+  Column a = Column::Categorical("a", {"x"});
+  Result<Table> t = Table::Make({std::move(a)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  RuleMiningOptions mining;
+  mining.min_rule_size = 2;
+  RuleSet rules = MineRules(binned, mining);
+  EXPECT_TRUE(rules.empty());  // A 1x1 table has no multi-column rules.
+
+  CoverageEvaluator evaluator(binned, rules);
+  EXPECT_EQ(evaluator.upcov(), 0u);
+  EXPECT_DOUBLE_EQ(evaluator.CellCoverage({0}, {0}), 0.0);
+}
+
+TEST(RobustnessTest, BaselinesOnDegenerateInstances) {
+  Column a = Column::Categorical("a", {"x", "x", "y"});
+  Column b = Column::Categorical("b", {"p", "p", "q"});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  BinnedTable binned = BinnedTable::Compute(*t);
+  RuleMiningOptions mining;
+  mining.min_rule_size = 2;
+  mining.apriori.min_support = 0.5;
+  mining.min_confidence = 0.5;
+  RuleSet rules = MineRules(binned, mining);
+  CoverageEvaluator evaluator(binned, rules);
+
+  RandomBaselineOptions ran;
+  ran.k = 5;  // > n.
+  ran.l = 5;  // > m.
+  ran.max_iterations = 3;
+  ran.time_budget_seconds = 5.0;
+  BaselineResult r = RandomBaseline(evaluator, ran);
+  EXPECT_EQ(r.row_ids.size(), 3u);
+  EXPECT_EQ(r.col_ids.size(), 2u);
+
+  BruteForceOptions bf;
+  bf.k = 5;
+  bf.l = 5;
+  BaselineResult best = BruteForceOptimal(evaluator, bf);
+  EXPECT_EQ(best.row_ids.size(), 3u);
+}
+
+TEST(RobustnessTest, QueryOverAllNullColumn) {
+  Table t = MakeAllNullTable(10);
+  SpQuery q;
+  q.filters = {Predicate::IsNull("a")};
+  Result<QueryResult> r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_ids.size(), 10u);
+  q.filters = {Predicate::Num("a", CmpOp::kGt, 0.0)};
+  r = RunQuery(t, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->row_ids.empty());
+}
+
+TEST(RobustnessTest, SelectionWithAllTargetColumns) {
+  Column a = Column::Numeric("a", {1, 2, 3, 4});
+  Column b = Column::Numeric("b", {5, 6, 7, 8});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  ASSERT_TRUE(t.ok());
+  SubTabConfig config = TinyConfig();
+  config.l = 2;
+  config.target_columns = {"a", "b"};  // |U*| == l: no column clustering.
+  Result<SubTab> st = SubTab::Fit(*t, config);
+  ASSERT_TRUE(st.ok());
+  SubTabView view = st->Select();
+  EXPECT_EQ(view.col_ids, (std::vector<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace subtab

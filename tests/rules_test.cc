@@ -1,0 +1,385 @@
+// Unit + property tests for the association-rule substrate: Apriori itemset
+// mining (vs. a brute-force reference) and rule generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "subtab/data/example_fixture.h"
+#include "subtab/rules/miner.h"
+#include "subtab/util/rng.h"
+
+namespace subtab {
+namespace {
+
+/// A tiny categorical table where every cell is its own bin.
+Table TinyTable(const std::vector<std::vector<std::string>>& rows,
+                const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  for (size_t c = 0; c < names.size(); ++c) {
+    std::vector<std::string> values;
+    for (const auto& row : rows) values.push_back(row[c]);
+    cols.push_back(Column::Categorical(names[c], values));
+  }
+  Result<Table> t = Table::Make(std::move(cols));
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+/// Brute-force frequent itemsets for verification: enumerates all token
+/// subsets (one per column at most) up to max_size.
+std::map<std::vector<Token>, size_t> BruteForceItemsets(const BinnedTable& binned,
+                                                        double min_support,
+                                                        size_t max_size) {
+  const size_t n = binned.num_rows();
+  const size_t min_count =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(min_support * n)));
+  std::map<std::vector<Token>, size_t> counts;
+  // For each row, enumerate all subsets of its tokens up to max_size.
+  const size_t m = binned.num_columns();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t mask = 1; mask < (size_t{1} << m); ++mask) {
+      const size_t size = static_cast<size_t>(__builtin_popcountll(mask));
+      if (size > max_size) continue;
+      std::vector<Token> items;
+      for (size_t c = 0; c < m; ++c) {
+        if (mask & (size_t{1} << c)) items.push_back(binned.token(r, c));
+      }
+      std::sort(items.begin(), items.end());
+      ++counts[items];
+    }
+  }
+  std::map<std::vector<Token>, size_t> frequent;
+  for (const auto& [items, count] : counts) {
+    if (count >= min_count) frequent[items] = count;
+  }
+  return frequent;
+}
+
+TEST(AprioriTest, SingletonsCountedCorrectly) {
+  Table t = TinyTable({{"a", "x"}, {"a", "y"}, {"b", "x"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  AprioriOptions opt;
+  opt.min_support = 0.0;
+  opt.max_itemset_size = 1;
+  auto itemsets = MineFrequentItemsets(binned, opt);
+  EXPECT_EQ(itemsets.size(), 4u);  // a, b, x, y.
+  for (const auto& fi : itemsets) {
+    const std::string label = binned.TokenLabel(fi.items[0]);
+    if (label == "c1=a") {
+      EXPECT_EQ(fi.count, 2u);
+    } else if (label == "c2=x") {
+      EXPECT_EQ(fi.count, 2u);
+    } else if (label == "c1=b") {
+      EXPECT_EQ(fi.count, 1u);
+    }
+  }
+}
+
+TEST(AprioriTest, PairSupport) {
+  Table t = TinyTable({{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "x"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  AprioriOptions opt;
+  opt.min_support = 0.5;  // Pairs need >= 2 of 4 rows.
+  auto itemsets = MineFrequentItemsets(binned, opt);
+  // Frequent: {a}(3), {x}(3), {a,x}(2). {y},{b} infrequent.
+  ASSERT_EQ(itemsets.size(), 3u);
+  bool found_pair = false;
+  for (const auto& fi : itemsets) {
+    if (fi.items.size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(fi.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(AprioriTest, MinSupportPrunes) {
+  Table t = TinyTable({{"a"}, {"a"}, {"a"}, {"b"}}, {"c"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  AprioriOptions opt;
+  opt.min_support = 0.5;
+  auto itemsets = MineFrequentItemsets(binned, opt);
+  ASSERT_EQ(itemsets.size(), 1u);
+  EXPECT_EQ(binned.TokenLabel(itemsets[0].items[0]), "c=a");
+}
+
+TEST(AprioriTest, TidsMatchActualRows) {
+  Table t = TinyTable({{"a", "x"}, {"b", "x"}, {"a", "y"}, {"a", "x"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  AprioriOptions opt;
+  opt.min_support = 0.4;
+  auto itemsets = MineFrequentItemsets(binned, opt);
+  for (const auto& fi : itemsets) {
+    for (uint32_t r : fi.tids.ToIndices()) {
+      for (Token item : fi.items) {
+        EXPECT_EQ(binned.token(r, TokenColumn(item)), item);
+      }
+    }
+    EXPECT_EQ(fi.count, fi.tids.Count());
+  }
+}
+
+TEST(AprioriTest, RowSubsetRestrictsUniverse) {
+  Table t = TinyTable({{"a"}, {"a"}, {"b"}, {"b"}}, {"c"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  std::vector<uint32_t> subset = {0, 1};
+  AprioriOptions opt;
+  opt.min_support = 0.9;
+  auto itemsets = MineFrequentItemsets(binned, opt, &subset);
+  ASSERT_EQ(itemsets.size(), 1u);
+  EXPECT_EQ(binned.TokenLabel(itemsets[0].items[0]), "c=a");
+  EXPECT_EQ(itemsets[0].count, 2u);
+}
+
+class AprioriRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AprioriRandomTest, MatchesBruteForceOnRandomTables) {
+  // Property: Apriori finds exactly the brute-force frequent itemsets.
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  const size_t n = 20 + rng.Uniform(20);
+  const size_t m = 3 + rng.Uniform(3);
+  std::vector<std::vector<std::string>> rows(n, std::vector<std::string>(m));
+  std::vector<std::string> names;
+  for (size_t c = 0; c < m; ++c) names.push_back("col" + std::to_string(c));
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < m; ++c) {
+      rows[r][c] = std::string(1, static_cast<char>('a' + rng.Uniform(3)));
+    }
+  }
+  Table t = TinyTable(rows, names);
+  BinnedTable binned = BinnedTable::Compute(t);
+
+  AprioriOptions opt;
+  opt.min_support = 0.25;
+  opt.max_itemset_size = 3;
+  auto mined = MineFrequentItemsets(binned, opt);
+  auto expected = BruteForceItemsets(binned, opt.min_support, opt.max_itemset_size);
+
+  ASSERT_EQ(mined.size(), expected.size());
+  for (const auto& fi : mined) {
+    auto it = expected.find(fi.items);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(fi.count, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AprioriRandomTest, ::testing::Range(0, 8));
+
+// ------------------------------------------------------------------ Rules --
+
+TEST(RuleTest, HoldsForRow) {
+  Table t = TinyTable({{"a", "x"}, {"b", "x"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  Rule rule;
+  rule.lhs = {binned.token(0, 0)};
+  rule.rhs = {binned.token(0, 1)};
+  EXPECT_TRUE(rule.HoldsForRow(binned, 0));
+  EXPECT_FALSE(rule.HoldsForRow(binned, 1));
+}
+
+TEST(RuleTest, ColumnsAndTokens) {
+  Rule rule;
+  rule.lhs = {MakeToken(2, 1), MakeToken(0, 3)};
+  rule.rhs = {MakeToken(5, 0)};
+  std::sort(rule.lhs.begin(), rule.lhs.end());
+  EXPECT_EQ(rule.size(), 3u);
+  EXPECT_EQ(rule.Columns(), (std::vector<uint32_t>{0, 2, 5}));
+  EXPECT_EQ(rule.AllTokens().size(), 3u);
+  EXPECT_TRUE(rule.TouchesAnyColumn({5}));
+  EXPECT_FALSE(rule.TouchesAnyColumn({1, 3}));
+}
+
+TEST(RuleSetTest, FilterByTargets) {
+  RuleSet rules;
+  Rule r1;
+  r1.lhs = {MakeToken(0, 0)};
+  r1.rhs = {MakeToken(1, 0)};
+  Rule r2;
+  r2.lhs = {MakeToken(2, 0)};
+  r2.rhs = {MakeToken(3, 0)};
+  rules.rules = {r1, r2};
+  RuleSet filtered = rules.FilterByTargets({1});
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered.rules[0].rhs[0], MakeToken(1, 0));
+  // Empty targets = keep everything (paper's convention).
+  EXPECT_EQ(rules.FilterByTargets({}).size(), 2u);
+}
+
+TEST(MinerTest, ConfidenceComputedCorrectly) {
+  // a -> x holds 2/3 of the times a appears.
+  Table t = TinyTable({{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "y"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.4;
+  opt.min_confidence = 0.6;
+  opt.min_rule_size = 2;
+  RuleSet rules = MineRules(binned, opt);
+  bool found = false;
+  for (const Rule& r : rules.rules) {
+    if (r.lhs.size() == 1 && binned.TokenLabel(r.lhs[0]) == "c1=a" &&
+        r.rhs.size() == 1 && binned.TokenLabel(r.rhs[0]) == "c2=x") {
+      found = true;
+      EXPECT_NEAR(r.confidence, 2.0 / 3.0, 1e-12);
+      EXPECT_NEAR(r.support, 0.5, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, MinConfidenceFilters) {
+  Table t = TinyTable({{"a", "x"}, {"a", "y"}, {"a", "z"}, {"a", "w"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.2;
+  opt.min_confidence = 0.5;
+  opt.min_rule_size = 2;
+  RuleSet rules = MineRules(binned, opt);
+  // No c1=a -> c2=? rule can reach confidence 0.5 (each rhs holds 1/4).
+  for (const Rule& r : rules.rules) {
+    if (r.lhs.size() == 1 && TokenColumn(r.lhs[0]) == 0) {
+      EXPECT_NE(TokenColumn(r.rhs[0]), 1u);
+    }
+  }
+}
+
+TEST(MinerTest, MinRuleSizeRespected) {
+  Table t = TinyTable({{"a", "x", "p"}, {"a", "x", "p"}, {"a", "x", "q"}},
+                      {"c1", "c2", "c3"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.5;
+  opt.min_rule_size = 3;
+  RuleSet rules = MineRules(binned, opt);
+  for (const Rule& r : rules.rules) EXPECT_GE(r.size(), 3u);
+  EXPECT_FALSE(rules.empty());
+}
+
+TEST(MinerTest, SupportAndConfidenceBoundsHold) {
+  Rng rng(7);
+  std::vector<std::vector<std::string>> rows(60, std::vector<std::string>(4));
+  for (auto& row : rows) {
+    for (auto& cell : row) cell = std::string(1, static_cast<char>('a' + rng.Uniform(2)));
+  }
+  Table t = TinyTable(rows, {"w", "x", "y", "z"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.15;
+  opt.min_confidence = 0.55;
+  opt.min_rule_size = 2;
+  RuleSet rules = MineRules(binned, opt);
+  for (const Rule& r : rules.rules) {
+    EXPECT_GE(r.support, 0.15);
+    EXPECT_GE(r.confidence, 0.55);
+    EXPECT_LE(r.confidence, 1.0 + 1e-12);
+    // Verify support by direct counting.
+    size_t count = 0;
+    for (size_t row = 0; row < binned.num_rows(); ++row) {
+      count += r.HoldsForRow(binned, row);
+    }
+    EXPECT_NEAR(r.support, static_cast<double>(count) / binned.num_rows(), 1e-12);
+  }
+}
+
+TEST(MinerTest, TargetedMiningPutsTargetInRhs) {
+  Table t = TinyTable({{"a", "x", "1"},
+                       {"a", "x", "1"},
+                       {"a", "x", "1"},
+                       {"b", "y", "0"},
+                       {"b", "y", "0"},
+                       {"a", "y", "0"}},
+                      {"c1", "c2", "target"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.3;
+  opt.min_confidence = 0.6;
+  opt.min_rule_size = 2;
+  RuleSet rules = MineRulesForTargets(binned, opt, {2});
+  ASSERT_FALSE(rules.empty());
+  for (const Rule& r : rules.rules) {
+    ASSERT_EQ(r.rhs.size(), 1u);
+    EXPECT_EQ(TokenColumn(r.rhs[0]), 2u);
+    for (Token lt : r.lhs) EXPECT_NE(TokenColumn(lt), 2u);
+  }
+  // The planted {a,x} -> 1 rule must be found with full confidence.
+  bool found = false;
+  for (const Rule& r : rules.rules) {
+    if (r.lhs.size() == 2 && binned.TokenLabel(r.rhs[0]) == "target=1") {
+      found = true;
+      EXPECT_NEAR(r.confidence, 1.0, 1e-12);
+      EXPECT_NEAR(r.support, 0.5, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerTest, RulesToStringReadable) {
+  Table t = TinyTable({{"a", "x"}, {"a", "x"}}, {"c1", "c2"});
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleMiningOptions opt;
+  opt.apriori.min_support = 0.5;
+  opt.min_rule_size = 2;
+  RuleSet rules = MineRules(binned, opt);
+  ASSERT_FALSE(rules.empty());
+  const std::string s = rules.rules[0].ToString(binned);
+  EXPECT_NE(s.find("->"), std::string::npos);
+  EXPECT_NE(s.find("supp="), std::string::npos);
+}
+
+// --------------------------------------------- Fig. 3 rule-family fixture --
+
+TEST(ExampleFixtureTest, RuleFamilyHas21Rules) {
+  // The paper: 13 rules hold for the CANCELLED=1 rows and 8 for the
+  // CANCELLED=0 rows.
+  Table t = MakeExampleTable();
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleSet rules = EnumerateRuleFamily(binned, kExampleCancelled);
+  EXPECT_EQ(rules.size(), 21u);
+
+  size_t cancelled_1 = 0;
+  size_t cancelled_0 = 0;
+  for (const Rule& r : rules.rules) {
+    const std::string rhs = binned.TokenLabel(r.rhs[0]);
+    if (rhs == "CANCELLED=1") ++cancelled_1;
+    if (rhs == "CANCELLED=0") ++cancelled_0;
+  }
+  EXPECT_EQ(cancelled_1, 13u);
+  EXPECT_EQ(cancelled_0, 8u);
+}
+
+TEST(ExampleFixtureTest, EveryRuleHoldsForAtLeastTwoRows) {
+  Table t = MakeExampleTable();
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleSet rules = EnumerateRuleFamily(binned, kExampleCancelled);
+  for (const Rule& r : rules.rules) {
+    size_t holds = 0;
+    for (size_t row = 0; row < 8; ++row) holds += r.HoldsForRow(binned, row);
+    EXPECT_GE(holds, 2u);
+    EXPECT_GE(r.lhs.size(), 2u);
+  }
+}
+
+TEST(ExampleFixtureTest, PaperExampleRulePresent) {
+  // "DEP._TIME=NaN, YEAR=2015 -> CANCELLED=1 applies to rows 1-4".
+  Table t = MakeExampleTable();
+  BinnedTable binned = BinnedTable::Compute(t);
+  RuleSet rules = EnumerateRuleFamily(binned, kExampleCancelled);
+  bool found = false;
+  for (const Rule& r : rules.rules) {
+    if (r.lhs.size() != 2) continue;
+    std::vector<std::string> labels;
+    for (Token tok : r.lhs) labels.push_back(binned.TokenLabel(tok));
+    std::sort(labels.begin(), labels.end());
+    if (labels[0] == "DEP._TIME=NaN" && labels[1] == "YEAR=2015" &&
+        binned.TokenLabel(r.rhs[0]) == "CANCELLED=1") {
+      found = true;
+      EXPECT_NEAR(r.support, 0.5, 1e-12);  // 4 of 8 rows.
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace subtab

@@ -1,0 +1,259 @@
+// Unit tests for the dataframe substrate: Column, Schema, Table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "subtab/table/table.h"
+
+namespace subtab {
+namespace {
+
+Table SmallTable() {
+  Column num = Column::Numeric("x", {1.0, 2.0, std::nan(""), 4.0});
+  Column cat = Column::Categorical("c", {"a", "b", "a", ""});
+  Result<Table> t = Table::Make({std::move(num), std::move(cat)});
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+// ---------------------------------------------------------------- Column --
+
+TEST(ColumnTest, NumericBasics) {
+  Column col = Column::Numeric("x", {1.5, 2.5});
+  EXPECT_EQ(col.name(), "x");
+  EXPECT_EQ(col.type(), ColumnType::kNumeric);
+  EXPECT_TRUE(col.is_numeric());
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col.num_value(0), 1.5);
+  EXPECT_EQ(col.null_count(), 0u);
+}
+
+TEST(ColumnTest, NanBecomesNull) {
+  Column col = Column::Numeric("x", {1.0, std::nan("")});
+  EXPECT_TRUE(col.is_null(1));
+  EXPECT_FALSE(col.is_null(0));
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_TRUE(std::isnan(col.num_value(1)));
+}
+
+TEST(ColumnTest, CategoricalDictionaryEncoding) {
+  Column col = Column::Categorical("c", {"x", "y", "x", "z", "y"});
+  EXPECT_EQ(col.dictionary().size(), 3u);
+  EXPECT_EQ(col.cat_code(0), col.cat_code(2));
+  EXPECT_NE(col.cat_code(0), col.cat_code(1));
+  EXPECT_EQ(col.cat_value(3), "z");
+  EXPECT_EQ(col.distinct_count(), 3u);
+}
+
+TEST(ColumnTest, EmptyStringIsNullInFactory) {
+  Column col = Column::Categorical("c", {"a", "", "b"});
+  EXPECT_TRUE(col.is_null(1));
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(ColumnTest, AppendNullBothTypes) {
+  Column num("n", ColumnType::kNumeric);
+  num.AppendNull();
+  num.AppendNumeric(7);
+  EXPECT_TRUE(num.is_null(0));
+  EXPECT_DOUBLE_EQ(num.num_value(1), 7.0);
+
+  Column cat("c", ColumnType::kCategorical);
+  cat.AppendCategorical("v");
+  cat.AppendNull();
+  EXPECT_TRUE(cat.is_null(1));
+  EXPECT_EQ(cat.cat_value(0), "v");
+}
+
+TEST(ColumnTest, ToDisplay) {
+  Column num = Column::Numeric("n", {2.5, std::nan("")});
+  EXPECT_EQ(num.ToDisplay(0), "2.5");
+  EXPECT_EQ(num.ToDisplay(1), "NaN");
+  Column cat = Column::Categorical("c", {"hello"});
+  EXPECT_EQ(cat.ToDisplay(0), "hello");
+}
+
+TEST(ColumnTest, TakeReordersAndDuplicates) {
+  Column col = Column::Numeric("x", {10, 20, 30});
+  Column taken = col.Take({2, 0, 2});
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_DOUBLE_EQ(taken.num_value(0), 30.0);
+  EXPECT_DOUBLE_EQ(taken.num_value(1), 10.0);
+  EXPECT_DOUBLE_EQ(taken.num_value(2), 30.0);
+}
+
+TEST(ColumnTest, TakePreservesNulls) {
+  Column col = Column::Categorical("c", {"a", "", "b"});
+  Column taken = col.Take({1, 2});
+  EXPECT_TRUE(taken.is_null(0));
+  EXPECT_EQ(taken.cat_value(1), "b");
+}
+
+TEST(ColumnTest, NumericRangeSkipsNulls) {
+  Column col = Column::Numeric("x", {std::nan(""), 5.0, -2.0, 9.0});
+  double mn = 0;
+  double mx = 0;
+  ASSERT_TRUE(col.NumericRange(&mn, &mx));
+  EXPECT_DOUBLE_EQ(mn, -2.0);
+  EXPECT_DOUBLE_EQ(mx, 9.0);
+}
+
+TEST(ColumnTest, NumericRangeAllNull) {
+  Column col = Column::Numeric("x", {std::nan("")});
+  double mn = 0;
+  double mx = 0;
+  EXPECT_FALSE(col.NumericRange(&mn, &mx));
+}
+
+TEST(ColumnTest, DistinctCountNumeric) {
+  Column col = Column::Numeric("x", {1, 1, 2, std::nan("")});
+  EXPECT_EQ(col.distinct_count(), 2u);
+}
+
+// ---------------------------------------------------------------- Schema --
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({{"a", ColumnType::kNumeric}, {"b", ColumnType::kCategorical}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.IndexOf("b"), std::optional<size_t>(1));
+  EXPECT_FALSE(s.IndexOf("zzz").has_value());
+}
+
+TEST(SchemaTest, SelectSubset) {
+  Schema s({{"a", ColumnType::kNumeric},
+            {"b", ColumnType::kCategorical},
+            {"c", ColumnType::kNumeric}});
+  Schema sub = s.Select({2, 0});
+  EXPECT_EQ(sub.num_fields(), 2u);
+  EXPECT_EQ(sub.field(0).name, "c");
+  EXPECT_EQ(sub.field(1).name, "a");
+}
+
+TEST(SchemaTest, ToStringMentionsTypes) {
+  Schema s({{"a", ColumnType::kNumeric}});
+  EXPECT_EQ(s.ToString(), "a:numeric");
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", ColumnType::kNumeric}});
+  Schema b({{"x", ColumnType::kNumeric}});
+  Schema c({{"x", ColumnType::kCategorical}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, MakeChecksLengths) {
+  Column a = Column::Numeric("a", {1, 2});
+  Column b = Column::Numeric("b", {1, 2, 3});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, MakeRejectsDuplicateNames) {
+  Column a = Column::Numeric("a", {1});
+  Column b = Column::Numeric("a", {2});
+  Result<Table> t = Table::Make({std::move(a), std::move(b)});
+  EXPECT_FALSE(t.ok());
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.column("x").name(), "x");
+  EXPECT_EQ(t.column(1).name(), "c");
+  EXPECT_TRUE(t.ColumnIndex("c").ok());
+  EXPECT_EQ(*t.ColumnIndex("c"), 1u);
+  EXPECT_FALSE(t.ColumnIndex("nope").ok());
+}
+
+TEST(TableTest, TakeRows) {
+  Table t = SmallTable();
+  Table sub = t.TakeRows({3, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(sub.column("x").num_value(1), 1.0);
+  EXPECT_TRUE(sub.column("c").is_null(0));
+}
+
+TEST(TableTest, SelectColumns) {
+  Table t = SmallTable();
+  Table sub = t.SelectColumns({1});
+  EXPECT_EQ(sub.num_columns(), 1u);
+  EXPECT_EQ(sub.column(0).name(), "c");
+  EXPECT_EQ(sub.num_rows(), 4u);
+}
+
+TEST(TableTest, SubTableMatchesDefinition) {
+  // Def. 3.1: rows of T projected over a column subset.
+  Table t = SmallTable();
+  Table sub = t.SubTable({1, 2}, {0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.num_columns(), 1u);
+  EXPECT_DOUBLE_EQ(sub.column(0).num_value(0), 2.0);
+  EXPECT_TRUE(sub.column(0).is_null(1));
+}
+
+TEST(TableTest, HeadClampsToRows) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.Head(2).num_rows(), 2u);
+  EXPECT_EQ(t.Head(99).num_rows(), 4u);
+}
+
+TEST(TableTest, TotalNullCount) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.TotalNullCount(), 2u);
+}
+
+TEST(TableTest, ToStringContainsHeaderAndValues) {
+  Table t = SmallTable();
+  const std::string s = t.ToString(2);
+  EXPECT_NE(s.find("x"), std::string::npos);
+  EXPECT_NE(s.find("c"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("2 of 4 rows"), std::string::npos);
+}
+
+TEST(TableTest, AddColumnToEmptyTableSetsRowCount) {
+  Table t;
+  EXPECT_TRUE(t.AddColumn(Column::Numeric("a", {1, 2, 3})).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(t.AddColumn(Column::Numeric("b", {1})).ok());
+}
+
+
+TEST(TableTest, DescribeSummarizesColumns) {
+  Table t = SmallTable();
+  Table d = t.Describe();
+  ASSERT_EQ(d.num_rows(), 2u);   // One row per source column.
+  ASSERT_EQ(d.num_columns(), 8u);
+  // Numeric column "x": values {1, 2, NaN, 4}.
+  EXPECT_EQ(d.column("column").cat_value(0), "x");
+  EXPECT_EQ(d.column("type").cat_value(0), "numeric");
+  EXPECT_DOUBLE_EQ(d.column("count").num_value(0), 3.0);
+  EXPECT_DOUBLE_EQ(d.column("nulls").num_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.column("min").num_value(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.column("max").num_value(0), 4.0);
+  EXPECT_NEAR(d.column("mean").num_value(0), 7.0 / 3.0, 1e-12);
+  // Categorical column "c": min/max/mean are null.
+  EXPECT_EQ(d.column("type").cat_value(1), "categorical");
+  EXPECT_TRUE(d.column("min").is_null(1));
+  EXPECT_DOUBLE_EQ(d.column("distinct").num_value(1), 2.0);
+}
+
+TEST(TableTest, DescribeAllNullNumericColumn) {
+  Column a = Column::Numeric("a", {std::nan(""), std::nan("")});
+  Result<Table> t = Table::Make({std::move(a)});
+  ASSERT_TRUE(t.ok());
+  Table d = t->Describe();
+  EXPECT_DOUBLE_EQ(d.column("count").num_value(0), 0.0);
+  EXPECT_TRUE(d.column("min").is_null(0));
+  EXPECT_TRUE(d.column("mean").is_null(0));
+}
+
+}  // namespace
+}  // namespace subtab
