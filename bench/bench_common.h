@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "subtab/baselines/naive_clustering.h"
@@ -77,6 +78,43 @@ inline void PaperRef(const std::string& text) {
 inline void Measured(const std::string& text) {
   std::printf("measured | %s\n", text.c_str());
 }
+
+/// The repo's standard machine-readable bench record: one JSON object per
+/// line, prefixed "json | " so downstream tooling can grep it out of the
+/// human-readable report:
+///
+///   JsonLine("serving_throughput").Field("threads", 4).Field("rps", r).Emit();
+///
+/// Keys are emitted in insertion order; strings are assumed not to need
+/// escaping (bench names and phases only).
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + bench + "\"";
+  }
+  JsonLine& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  /// Any integer type (the template avoids int-literal overload ambiguity
+  /// between the double and a fixed-width integer overload).
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  JsonLine& Field(const std::string& key, T value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonLine& Field(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");
+  }
+  void Emit() { std::printf("json | %s}\n", body_.c_str()); }
+
+ private:
+  JsonLine& Raw(const std::string& key, const std::string& value) {
+    body_ += ",\"" + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
 
 /// One fitted pipeline: dataset + SubTab model + mined rules + evaluator.
 /// Heap-allocated so every member's address is stable (the evaluator keeps

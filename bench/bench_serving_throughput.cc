@@ -1,0 +1,172 @@
+// Serving-engine throughput — not a paper figure, but the number the ROADMAP
+// north star cares about: how many display requests per second can one
+// process answer, and at what tail latency, as worker threads scale 1/4/16?
+//
+// Workload: synthetic analyst sessions over the cyber-security dataset
+// (Sec. 6.2.2's replay study), every step query issued as a SelectRequest by
+// closed-loop client threads (one client per engine worker). Two phases per
+// thread count:
+//   cold — clients partition the query list: mostly cache misses, measures
+//          raw selection throughput under concurrency;
+//   warm — every client replays the full list: mostly selection-cache hits,
+//          measures the served-from-cache fast path.
+// Emits the repo's standard "json |" records for downstream tooling.
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "subtab/eda/session_generator.h"
+#include "subtab/service/engine.h"
+#include "subtab/util/stopwatch.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab::bench {
+namespace {
+
+std::vector<SpQuery> StepQueries(const std::vector<Session>& sessions) {
+  std::vector<SpQuery> queries;
+  for (const Session& session : sessions) {
+    for (const SessionStep& step : session.steps) queries.push_back(step.query);
+  }
+  return queries;
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample, in ms.
+double PercentileMs(const std::vector<double>& sorted_seconds, double p) {
+  SUBTAB_CHECK(!sorted_seconds.empty());
+  const size_t rank = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(p * static_cast<double>(sorted_seconds.size()))),
+      1, sorted_seconds.size());
+  return sorted_seconds[rank - 1] * 1e3;
+}
+
+struct PhaseResult {
+  size_t requests = 0;
+  double seconds = 0.0;
+  std::vector<double> latencies;
+};
+
+/// Each client thread runs a closed loop over its assigned queries.
+PhaseResult RunClients(service::ServingEngine& engine, size_t num_clients,
+                       const std::vector<std::vector<SpQuery>>& per_client) {
+  std::vector<PhaseResult> partial(num_clients);
+  std::vector<std::thread> clients;
+  Stopwatch wall;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&engine, &partial, &per_client, c] {
+      for (const SpQuery& query : per_client[c]) {
+        service::SelectRequest request;
+        request.table_id = "cyber";
+        request.query = query;
+        Stopwatch watch;
+        service::SelectResponse response = engine.Select(request);
+        partial[c].latencies.push_back(watch.ElapsedSeconds());
+        // Empty query results are valid outcomes of session replay.
+        SUBTAB_CHECK(response.status.ok() ||
+                     response.status.code() == StatusCode::kInvalidArgument);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  PhaseResult merged;
+  merged.seconds = wall.ElapsedSeconds();
+  for (PhaseResult& p : partial) {
+    merged.requests += p.latencies.size();
+    merged.latencies.insert(merged.latencies.end(), p.latencies.begin(),
+                            p.latencies.end());
+  }
+  return merged;
+}
+
+/// Reports one phase; cache/coalescing rates are per-phase deltas.
+void Report(const std::string& phase, size_t threads, const PhaseResult& result,
+            const service::EngineStats& before,
+            const service::EngineStats& after) {
+  std::vector<double> sorted = result.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rps = static_cast<double>(result.requests) / result.seconds;
+  const double p50 = PercentileMs(sorted, 0.50);
+  const double p99 = PercentileMs(sorted, 0.99);
+  const uint64_t hits = after.selection_cache.hits - before.selection_cache.hits;
+  const uint64_t misses =
+      after.selection_cache.misses - before.selection_cache.misses;
+  const uint64_t coalesced = after.requests_coalesced - before.requests_coalesced;
+  const double hit_rate = static_cast<double>(hits) /
+                          static_cast<double>(std::max<uint64_t>(1, hits + misses));
+  Measured(StrFormat("%-4s %2zu threads  %5zu req in %6.2fs  %8.1f req/s  "
+                     "p50 %7.3fms  p99 %7.3fms  cache-hit %4.1f%%",
+                     phase.c_str(), threads, result.requests, result.seconds,
+                     rps, p50, p99, hit_rate * 100.0));
+  JsonLine("serving_throughput")
+      .Field("phase", phase)
+      .Field("threads", static_cast<uint64_t>(threads))
+      .Field("requests", static_cast<uint64_t>(result.requests))
+      .Field("seconds", result.seconds)
+      .Field("rps", rps)
+      .Field("p50_ms", p50)
+      .Field("p99_ms", p99)
+      .Field("cache_hit_rate", hit_rate)
+      .Field("coalesced", coalesced)
+      .Emit();
+}
+
+void RunOne(size_t threads, const GeneratedDataset& data,
+            const std::vector<SpQuery>& queries, const std::string& model_dir) {
+  service::EngineOptions options;
+  options.num_threads = threads;
+  options.persist_dir = model_dir;  // Fit once, load on later thread counts.
+  service::ServingEngine engine(options);
+  SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+
+  // Cold: clients partition the distinct work.
+  std::vector<std::vector<SpQuery>> shards(threads);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    shards[i % threads].push_back(queries[i]);
+  }
+  service::EngineStats before = engine.Stats();
+  PhaseResult cold = RunClients(engine, threads, shards);
+  service::EngineStats after = engine.Stats();
+  Report("cold", threads, cold, before, after);
+
+  // Warm: every client replays everything; the cache absorbs the load.
+  std::vector<std::vector<SpQuery>> full(threads, queries);
+  before = after;
+  PhaseResult warm = RunClients(engine, threads, full);
+  after = engine.Stats();
+  Report("warm", threads, warm, before, after);
+}
+
+}  // namespace
+}  // namespace subtab::bench
+
+int main() {
+  using namespace subtab::bench;
+  using namespace subtab;
+
+  Header("Serving throughput: requests/sec and latency vs worker threads");
+  PaperRef("(no paper figure; ROADMAP north-star metric. Paper reports 1-5s");
+  PaperRef("per serial selection, Fig. 9 — the engine must beat that at p99");
+  PaperRef("while scaling with threads and serving repeats from cache.)");
+
+  GeneratedDataset data = LoadDataset("CY", 8000);
+  SessionGeneratorOptions session_options;
+  session_options.num_sessions = 40;
+  session_options.seed = 9;
+  std::vector<Session> sessions = GenerateSessions(data, session_options);
+  const std::vector<SpQuery> queries = StepQueries(sessions);
+  std::printf("\n%zu sessions -> %zu step queries, %zu hardware threads\n\n",
+              sessions.size(), queries.size(), HardwareThreads());
+
+  const std::string model_dir =
+      (std::filesystem::temp_directory_path() / "subtab_bench_models").string();
+  std::filesystem::create_directories(model_dir);
+
+  for (size_t threads : {1, 4, 16}) {
+    RunOne(threads, data, queries, model_dir);
+  }
+  return 0;
+}

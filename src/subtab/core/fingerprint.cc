@@ -1,0 +1,97 @@
+#include "subtab/core/fingerprint.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "subtab/util/hash.h"
+
+namespace subtab {
+namespace {
+
+uint64_t HashDoubleBits(uint64_t h, double v) {
+  // Canonicalize NaNs and -0.0 so equal-valued tables hash equally.
+  if (std::isnan(v)) return HashCombine(h, 0x7ff8000000000000ULL);
+  if (v == 0.0) v = 0.0;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashCombine(h, bits);
+}
+
+uint64_t HashColumn(uint64_t h, const Column& col) {
+  h = HashCombine(h, HashString(col.name()));
+  h = HashCombine(h, static_cast<uint64_t>(col.type()));
+  const size_t n = col.size();
+  h = HashCombine(h, n);
+  if (col.is_numeric()) {
+    for (size_t r = 0; r < n; ++r) {
+      // The presence flag disambiguates null from any value whose canonical
+      // bit pattern is 0 (i.e. 0.0).
+      if (col.is_null(r)) {
+        h = HashCombine(h, 0);
+      } else {
+        h = HashDoubleBits(HashCombine(h, 1), col.num_value(r));
+      }
+    }
+  } else {
+    // Hash the dictionary once, then the cheap per-cell codes. Dictionary
+    // codes are first-seen order, so equal column contents (values + order)
+    // produce equal hashes.
+    for (const std::string& word : col.dictionary()) {
+      h = HashCombine(h, HashString(word));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      h = col.is_null(r)
+              ? HashCombine(h, 0)
+              : HashCombine(h, static_cast<uint64_t>(col.cat_code(r)) + 1);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t h = HashString("subtab.table.v1");
+  h = HashCombine(h, table.num_rows());
+  h = HashCombine(h, table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    h = HashColumn(h, table.column(c));
+  }
+  return h;
+}
+
+uint64_t ConfigFingerprint(const SubTabConfig& config) {
+  uint64_t h = HashString("subtab.config.v1");
+  h = HashCombine(h, config.k);
+  h = HashCombine(h, config.l);
+  h = HashDoubleBits(h, config.alpha);
+  h = HashCombine(h, config.target_columns.size());
+  for (const std::string& name : config.target_columns) {
+    h = HashCombine(h, HashString(name));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(config.binning.strategy));
+  h = HashCombine(h, config.binning.num_bins);
+  h = HashCombine(h, config.binning.max_cat_bins);
+  h = HashCombine(h, config.corpus.max_sentences);
+  h = HashCombine(h, config.corpus.tuple_sentences);
+  h = HashCombine(h, config.corpus.column_sentences);
+  h = HashCombine(h, config.embedding.dim);
+  h = HashCombine(h, config.embedding.epochs);
+  h = HashCombine(h, config.embedding.negative);
+  h = HashDoubleBits(h, config.embedding.initial_lr);
+  h = HashDoubleBits(h, config.embedding.min_lr);
+  h = HashCombine(h, config.embedding.window);
+  h = HashCombine(h, config.embedding.max_pairs_per_token);
+  h = HashCombine(h, config.embedding.num_threads);
+  h = HashCombine(h, config.embedding.seed);
+  h = HashCombine(h, config.seed);
+  return h;
+}
+
+uint64_t ModelKey::Digest() const { return HashCombine(table_fp, config_fp); }
+
+ModelKey MakeModelKey(const Table& table, const SubTabConfig& config) {
+  return ModelKey{TableFingerprint(table), ConfigFingerprint(config)};
+}
+
+}  // namespace subtab

@@ -1,0 +1,45 @@
+#ifndef SUBTAB_CORE_FINGERPRINT_H_
+#define SUBTAB_CORE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "subtab/core/config.h"
+#include "subtab/table/table.h"
+
+/// \file fingerprint.h
+/// Stable identity for the serving layer (service/). Two sessions that open
+/// the same table with the same configuration must share one pre-processing
+/// pass, so the model registry keys fitted models by
+/// (TableFingerprint, ConfigFingerprint). Both hashes are content-based and
+/// persistent: they also name on-disk model-cache artifacts, so they must be
+/// identical across processes and versions (see util/hash.h).
+
+namespace subtab {
+
+/// Content hash of a table: schema (names + types, order-sensitive), row
+/// count, and every cell (value bits, null flags, dictionary strings).
+/// Computed in one pass; O(rows * cols) but branch-light — far cheaper than
+/// the pre-processing it deduplicates.
+uint64_t TableFingerprint(const Table& table);
+
+/// Hash of every field of the config that influences a fitted SubTab:
+/// dimensions, alpha, target columns, binning/corpus/embedding options, seed.
+uint64_t ConfigFingerprint(const SubTabConfig& config);
+
+/// Combined model identity used by the registry and model-cache file names.
+struct ModelKey {
+  uint64_t table_fp = 0;
+  uint64_t config_fp = 0;
+
+  bool operator==(const ModelKey& other) const {
+    return table_fp == other.table_fp && config_fp == other.config_fp;
+  }
+  /// Single 64-bit digest (cache-shard index, file names).
+  uint64_t Digest() const;
+};
+
+ModelKey MakeModelKey(const Table& table, const SubTabConfig& config);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_CORE_FINGERPRINT_H_

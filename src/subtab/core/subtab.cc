@@ -63,6 +63,15 @@ Result<SubTab> SubTab::FitCached(Table table, SubTabConfig config,
                 std::move(pre));
 }
 
+Result<SubTab> SubTab::FromPreprocessed(Table table, SubTabConfig config,
+                                        PreprocessedTable pre) {
+  SUBTAB_RETURN_IF_ERROR(config.Validate());
+  SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
+                          ResolveTargets(table, config));
+  return SubTab(std::move(table), std::move(config), std::move(target_ids),
+                std::move(pre));
+}
+
 SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) const {
   SelectionScope scope;
   scope.target_cols = target_ids_;
@@ -71,7 +80,8 @@ SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) cons
 
 Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
                                           std::optional<size_t> k,
-                                          std::optional<size_t> l) const {
+                                          std::optional<size_t> l,
+                                          std::optional<uint64_t> seed) const {
   SUBTAB_ASSIGN_OR_RETURN(QueryResult result, RunQuery(table_, query));
   if (result.row_ids.empty()) {
     return Status::InvalidArgument("query returned no rows: " + query.ToString());
@@ -80,11 +90,13 @@ Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
   scope.rows = std::move(result.row_ids);
   scope.cols = std::move(result.col_ids);
   scope.target_cols = target_ids_;
-  return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l));
+  return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l), seed);
 }
 
-SubTabView SubTab::SelectScoped(const SelectionScope& scope, size_t k, size_t l) const {
-  const Selection sel = SelectSubTable(pre_, k, l, scope, config_.seed);
+SubTabView SubTab::SelectScoped(const SelectionScope& scope, size_t k, size_t l,
+                                std::optional<uint64_t> seed) const {
+  const Selection sel =
+      SelectSubTable(pre_, k, l, scope, seed.value_or(config_.seed));
   SubTabView view;
   view.table = table_.SubTable(sel.row_ids, sel.col_ids);
   view.row_ids = sel.row_ids;

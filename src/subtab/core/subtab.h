@@ -33,6 +33,11 @@ struct SubTabView {
 };
 
 /// A fitted SubTab instance bound to one table.
+///
+/// Thread-safety: a fitted instance is immutable; Select / SelectForQuery /
+/// SelectScoped are const, keep all per-call state on the stack, and may be
+/// invoked concurrently from any number of threads on one shared instance.
+/// The serving engine (service/engine.h) relies on this contract.
 class SubTab {
  public:
   /// Validates the config, resolves target columns, and runs pre-processing.
@@ -45,6 +50,12 @@ class SubTab {
   static Result<SubTab> FitCached(Table table, SubTabConfig config,
                                   const std::string& model_path);
 
+  /// Wraps an already-computed pre-processing artifact. Used by the serving
+  /// layer's model registry, which restores artifacts via core/model_io and
+  /// rebinds them to the caller's table without re-training.
+  static Result<SubTab> FromPreprocessed(Table table, SubTabConfig config,
+                                         PreprocessedTable pre);
+
   const Table& table() const { return table_; }
   const SubTabConfig& config() const { return config_; }
   const PreprocessedTable& preprocessed() const { return pre_; }
@@ -56,12 +67,18 @@ class SubTab {
                     std::optional<size_t> l = std::nullopt) const;
 
   /// Sub-table of an SP query's result (re-runs only the selection phase).
+  /// `seed` as in SelectScoped.
   Result<SubTabView> SelectForQuery(const SpQuery& query,
                                     std::optional<size_t> k = std::nullopt,
-                                    std::optional<size_t> l = std::nullopt) const;
+                                    std::optional<size_t> l = std::nullopt,
+                                    std::optional<uint64_t> seed = std::nullopt) const;
 
-  /// Selection over an explicit scope (used by baselines and benches).
-  SubTabView SelectScoped(const SelectionScope& scope, size_t k, size_t l) const;
+  /// Selection over an explicit scope (used by baselines, benches, and the
+  /// serving engine). `seed` overrides the config's master seed for this one
+  /// selection (nullopt = config seed), letting callers re-randomize a
+  /// display without refitting.
+  SubTabView SelectScoped(const SelectionScope& scope, size_t k, size_t l,
+                          std::optional<uint64_t> seed = std::nullopt) const;
 
  private:
   SubTab(Table table, SubTabConfig config, std::vector<size_t> target_ids,

@@ -1,0 +1,67 @@
+#include "subtab/eda/engine_replay.h"
+
+#include <unordered_set>
+
+namespace subtab {
+
+EngineReplayResult ReplayThroughEngine(service::ServingEngine& engine,
+                                       const std::string& table_id,
+                                       const std::vector<Session>& sessions,
+                                       size_t k, size_t l,
+                                       std::optional<uint64_t> seed) {
+  std::shared_ptr<const SubTab> model = engine.GetModel(table_id);
+  SUBTAB_CHECK(model != nullptr);
+  const BinnedTable& binned = model->preprocessed().binned();
+
+  // Submit every scoreable step up front; the engine's pool provides the
+  // concurrency and its caches absorb revisited drill-downs.
+  struct Pending {
+    const SessionStep* next;  // Successor whose fragment is scored.
+    std::shared_future<service::SelectResponse> future;
+  };
+  std::vector<Pending> pending;
+  for (const Session& session : sessions) {
+    for (size_t i = 0; i + 1 < session.steps.size(); ++i) {
+      service::SelectRequest request;
+      request.table_id = table_id;
+      request.query = session.steps[i].query;
+      request.k = k;
+      request.l = l;
+      request.seed = seed;
+      pending.push_back(
+          Pending{&session.steps[i + 1], engine.SubmitSelect(request)});
+    }
+  }
+
+  EngineReplayResult result;
+  result.queries = pending.size();
+  std::unordered_set<const SubTabView*> counted_views;
+  for (Pending& p : pending) {
+    const service::SelectResponse& response = p.future.get();
+    if (!response.status.ok()) {
+      // Mirrors ReplaySessions: steps whose query yields no rows are skipped.
+      ++result.failures;
+      continue;
+    }
+    if (response.from_cache) {
+      ++result.cache_hits;
+    } else if (counted_views.insert(response.view.get()).second) {
+      // Count each selection's work once: cache hits did none, and
+      // coalesced duplicates share one execution (and one stored view).
+      result.stats.total_selection_seconds += response.view->selection_seconds;
+    }
+    ++result.stats.steps_scored;
+    if (FragmentCaptured(p.next->fragment, binned, response.view->row_ids,
+                         response.view->col_ids)) {
+      ++result.stats.fragments_captured;
+    }
+  }
+  if (result.stats.steps_scored > 0) {
+    result.stats.capture_rate =
+        static_cast<double>(result.stats.fragments_captured) /
+        static_cast<double>(result.stats.steps_scored);
+  }
+  return result;
+}
+
+}  // namespace subtab

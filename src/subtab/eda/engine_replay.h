@@ -1,0 +1,41 @@
+#ifndef SUBTAB_EDA_ENGINE_REPLAY_H_
+#define SUBTAB_EDA_ENGINE_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "subtab/eda/replay.h"
+#include "subtab/eda/session.h"
+#include "subtab/service/engine.h"
+
+/// \file engine_replay.h
+/// Replays EDA sessions *through the serving engine* instead of the serial
+/// selector loop of replay.h: every step's cumulative query becomes a
+/// SelectRequest, all requests are submitted up front (so the engine's
+/// worker pool, selection cache, and in-flight dedup carry the load —
+/// sessions frequently revisit the same drill-down), and fragment capture is
+/// scored from the resolved futures with the same semantics as
+/// ReplaySessions. This is the serving analogue of the Sec. 6.2.2 study and
+/// the workload driver for serving_demo / bench_serving_throughput.
+
+namespace subtab {
+
+struct EngineReplayResult {
+  ReplayStats stats;     ///< Capture stats, comparable to ReplaySessions.
+  size_t queries = 0;    ///< Step queries submitted to the engine.
+  size_t failures = 0;   ///< Non-OK responses (e.g. empty query results).
+  size_t cache_hits = 0; ///< Responses served from the selection cache.
+};
+
+/// Submits every step of every session against `table_id` and scores
+/// next-step fragment capture. The table must already be registered on the
+/// engine. `seed` is forwarded to every request (nullopt = model default).
+EngineReplayResult ReplayThroughEngine(service::ServingEngine& engine,
+                                       const std::string& table_id,
+                                       const std::vector<Session>& sessions,
+                                       size_t k, size_t l,
+                                       std::optional<uint64_t> seed = std::nullopt);
+
+}  // namespace subtab
+
+#endif  // SUBTAB_EDA_ENGINE_REPLAY_H_

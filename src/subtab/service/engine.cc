@@ -1,0 +1,181 @@
+#include "subtab/service/engine.h"
+
+#include <algorithm>
+
+namespace subtab::service {
+namespace {
+
+/// A future that is already resolved (table miss, cache hit).
+std::shared_future<SelectResponse> ReadyFuture(SelectResponse response) {
+  std::promise<SelectResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(EngineOptions options)
+    : options_(options),
+      registry_(ModelRegistryOptions{options.model_capacity,
+                                     std::max<size_t>(1, options.cache_shards / 2),
+                                     options.persist_dir}),
+      selection_cache_(options.selection_cache_capacity, options.cache_shards),
+      pool_(options.num_threads) {}
+
+ServingEngine::~ServingEngine() { Drain(); }
+
+Status ServingEngine::RegisterTable(const std::string& table_id,
+                                    const Table& table, SubTabConfig config) {
+  const ModelKey key = MakeModelKey(table, config);
+  Result<std::shared_ptr<const SubTab>> model =
+      registry_.GetOrFitKeyed(key, table, config);
+  if (!model.ok()) return model.status();
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  tables_[table_id] = TableEntry{*model, key.Digest()};
+  return Status::Ok();
+}
+
+std::shared_ptr<const SubTab> ServingEngine::GetModel(
+    const std::string& table_id) const {
+  std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.model;
+}
+
+SelectionKey ServingEngine::KeyFor(const TableEntry& entry,
+                                   const SelectRequest& request) const {
+  const SubTabConfig& config = entry.model->config();
+  SelectionKey key;
+  key.model_digest = entry.model_digest;
+  key.query = NormalizedQueryKey(request.query);
+  key.k = request.k.value_or(config.k);
+  key.l = request.l.value_or(config.l);
+  key.seed = request.seed.value_or(config.seed);
+  return key;
+}
+
+std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
+    const SelectRequest& request) {
+  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  TableEntry entry;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    auto it = tables_.find(request.table_id);
+    if (it == tables_.end()) {
+      requests_completed_.fetch_add(1, std::memory_order_relaxed);
+      requests_failed_.fetch_add(1, std::memory_order_relaxed);
+      SelectResponse response;
+      response.status =
+          Status::NotFound("table not registered: " + request.table_id);
+      return ReadyFuture(std::move(response));
+    }
+    entry = it->second;
+  }
+
+  const SelectionKey key = KeyFor(entry, request);
+  if (std::shared_ptr<const CachedSelection> cached = selection_cache_.Get(key)) {
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!cached->status.ok()) {
+      requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    SelectResponse response;
+    response.status = cached->status;
+    response.view = cached->view;
+    response.from_cache = true;
+    return ReadyFuture(std::move(response));
+  }
+
+  // Dedup by key digest: an identical request already being computed gets
+  // the same future. (A 64-bit digest collision would share the wrong
+  // result; with in-flight populations of at most thousands the probability
+  // is ~n^2/2^64 — ignored, as with the fingerprint-keyed registry.)
+  const uint64_t digest = SelectionKeyHasher{}(key);
+  std::shared_future<SelectResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(digest);
+    if (it != inflight_.end()) {
+      requests_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      ++it->second.coalesced_waiters;
+      return it->second.future;
+    }
+    auto promise = std::make_shared<std::promise<SelectResponse>>();
+    future = promise->get_future().share();
+    inflight_[digest] = InFlight{std::move(promise), future};
+  }
+
+  pool_.Submit([this, key, model = entry.model, request] {
+    Execute(key, model, request);
+  });
+  return future;
+}
+
+void ServingEngine::Execute(const SelectionKey& key,
+                            std::shared_ptr<const SubTab> model,
+                            const SelectRequest& request) {
+  Result<SubTabView> view =
+      model->SelectForQuery(request.query, request.k, request.l, request.seed);
+  CachedSelection outcome;
+  if (view.ok()) {
+    outcome.view = std::make_shared<const SubTabView>(std::move(*view));
+  } else {
+    outcome.status = view.status();
+  }
+  // Both outcomes are deterministic functions of the key, so errors are
+  // memoized too — a repeated empty-result query must not rescan the table.
+  selection_cache_.Put(key,
+                       std::make_shared<const CachedSelection>(outcome));
+  SelectResponse response;
+  response.status = outcome.status;
+  response.view = outcome.view;
+
+  std::shared_ptr<std::promise<SelectResponse>> promise;
+  uint64_t resolved = 1;
+  {
+    // Erase before resolving: a submitter that misses the in-flight map from
+    // here on finds the result in the selection cache instead.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(SelectionKeyHasher{}(key));
+    SUBTAB_CHECK(it != inflight_.end());
+    promise = std::move(it->second.promise);
+    resolved += it->second.coalesced_waiters;
+    inflight_.erase(it);
+  }
+  // The computation and every coalesced waiter complete together — and fail
+  // together — keeping submitted/completed/failed consistent per response.
+  requests_completed_.fetch_add(resolved, std::memory_order_relaxed);
+  if (!response.status.ok()) {
+    requests_failed_.fetch_add(resolved, std::memory_order_relaxed);
+  }
+  promise->set_value(std::move(response));
+}
+
+SelectResponse ServingEngine::Select(const SelectRequest& request) {
+  return SubmitSelect(request).get();
+}
+
+void ServingEngine::Drain() { pool_.Wait(); }
+
+void ServingEngine::SubmitBarrierTaskForTesting(std::function<void()> task) {
+  pool_.Submit(std::move(task));
+}
+
+EngineStats ServingEngine::Stats() const {
+  EngineStats stats;
+  stats.registry = registry_.Stats();
+  stats.selection_cache = selection_cache_.Stats();
+  stats.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  stats.requests_completed = requests_completed_.load(std::memory_order_relaxed);
+  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  stats.requests_coalesced = requests_coalesced_.load(std::memory_order_relaxed);
+  stats.num_threads = pool_.num_threads();
+  stats.queue_depth = pool_.queue_depth();
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    stats.tables = tables_.size();
+  }
+  return stats;
+}
+
+}  // namespace subtab::service

@@ -1,0 +1,167 @@
+#ifndef SUBTAB_SERVICE_ENGINE_H_
+#define SUBTAB_SERVICE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "subtab/core/fingerprint.h"
+#include "subtab/core/subtab.h"
+#include "subtab/service/model_registry.h"
+#include "subtab/service/selection_cache.h"
+#include "subtab/util/thread_pool.h"
+
+/// \file engine.h
+/// The concurrent sub-table serving engine — the multi-tenant front door of
+/// the library. The paper splits SubTab into a one-off pre-processing phase
+/// and a cheap per-display selection phase (Sec. 5.1, Fig. 9); the engine
+/// turns that split into a server architecture:
+///
+///   RegisterTable ── ModelRegistry ── one shared fit per (table, config),
+///                                     LRU-evicted, optionally disk-backed
+///   SubmitSelect ─── SelectionCache ── repeated displays are cache hits
+///                └── in-flight dedup ── identical concurrent requests run once
+///                └── ThreadPool ─────── everything else fans out to workers
+///
+/// Results are bit-identical to the serial SubTab::SelectForQuery path: the
+/// workers call exactly that method on the shared immutable model (see the
+/// thread-safety contract in core/subtab.h), and caching only memoizes a
+/// deterministic function of (model, query, k, l, seed).
+///
+/// Future scaling seams (see ROADMAP.md): the registry generalizes to a
+/// shard-per-node map, SubmitSelect to an async RPC, the pool to per-tenant
+/// queues with admission control.
+
+namespace subtab::service {
+
+/// One display request against a registered table. Empty query = whole
+/// table; k/l/seed default to the registered config.
+struct SelectRequest {
+  std::string table_id;
+  SpQuery query;
+  std::optional<size_t> k;
+  std::optional<size_t> l;
+  std::optional<uint64_t> seed;
+};
+
+/// Outcome of one request. `view` is set iff `status.ok()`; it is shared
+/// with the selection cache, so treat it as immutable.
+struct SelectResponse {
+  Status status;
+  std::shared_ptr<const SubTabView> view;
+  bool from_cache = false;
+};
+
+struct EngineOptions {
+  /// Worker threads executing selections (0 = HardwareThreads()).
+  size_t num_threads = 0;
+  /// Resident fitted models (one per distinct table x config).
+  size_t model_capacity = 16;
+  /// Cached selection results across all tables.
+  size_t selection_cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// Forwarded to ModelRegistryOptions::persist_dir.
+  std::string persist_dir;
+};
+
+/// Counter snapshot for introspection / load-shedding decisions.
+struct EngineStats {
+  ModelRegistryStats registry;
+  CacheCounters selection_cache;
+  uint64_t requests_submitted = 0;
+  uint64_t requests_completed = 0;
+  uint64_t requests_failed = 0;
+  /// Requests that attached to an identical in-flight computation.
+  uint64_t requests_coalesced = 0;
+  size_t num_threads = 0;
+  size_t queue_depth = 0;
+  size_t tables = 0;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(EngineOptions options = {});
+  /// Completes all outstanding requests, then stops the workers.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Binds `table_id` to a fitted model, fitting (or fetching from the
+  /// registry / disk) as needed; the table is only copied when a fit/load
+  /// actually happens. Blocking; typically called at session start.
+  /// Re-registering an id atomically swaps the binding.
+  Status RegisterTable(const std::string& table_id, const Table& table,
+                       SubTabConfig config);
+
+  /// The model behind an id (nullptr if unregistered). Shared and immutable.
+  std::shared_ptr<const SubTab> GetModel(const std::string& table_id) const;
+
+  /// Enqueues a request; the future resolves when a worker (or the cache)
+  /// has produced the response. Identical in-flight requests are deduped
+  /// onto one computation; repeated requests hit the selection cache.
+  std::shared_future<SelectResponse> SubmitSelect(const SelectRequest& request);
+
+  /// Convenience: SubmitSelect + wait. Do not call from a worker task.
+  SelectResponse Select(const SelectRequest& request);
+
+  /// Blocks until every submitted request has completed.
+  void Drain();
+
+  EngineStats Stats() const;
+
+  /// Test-only: enqueues an opaque task on the worker pool, letting tests
+  /// hold workers busy deterministically (e.g. to pin requests in flight).
+  void SubmitBarrierTaskForTesting(std::function<void()> task);
+
+ private:
+  struct TableEntry {
+    std::shared_ptr<const SubTab> model;
+    uint64_t model_digest = 0;
+  };
+
+  /// Cache/dedup identity of a request against a resolved table entry.
+  SelectionKey KeyFor(const TableEntry& entry, const SelectRequest& request) const;
+
+  /// Runs on a worker: query + selection, fills the cache, resolves waiters.
+  void Execute(const SelectionKey& key, std::shared_ptr<const SubTab> model,
+               const SelectRequest& request);
+
+  const EngineOptions options_;
+  ModelRegistry registry_;
+  SelectionCache selection_cache_;
+
+  mutable std::shared_mutex tables_mu_;
+  std::unordered_map<std::string, TableEntry> tables_;
+
+  /// One in-flight computation: the promise its worker resolves, the shared
+  /// future every duplicate submitter receives, and how many duplicates
+  /// attached (their completion is accounted when the computation resolves).
+  struct InFlight {
+    std::shared_ptr<std::promise<SelectResponse>> promise;
+    std::shared_future<SelectResponse> future;
+    uint64_t coalesced_waiters = 0;
+  };
+
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, InFlight> inflight_;
+
+  std::atomic<uint64_t> requests_submitted_{0};
+  std::atomic<uint64_t> requests_completed_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> requests_coalesced_{0};
+
+  /// Declared last: destroyed first, so workers drain while the caches and
+  /// tables above are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace subtab::service
+
+#endif  // SUBTAB_SERVICE_ENGINE_H_

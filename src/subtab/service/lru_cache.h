@@ -1,0 +1,149 @@
+#ifndef SUBTAB_SERVICE_LRU_CACHE_H_
+#define SUBTAB_SERVICE_LRU_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "subtab/util/check.h"
+#include "subtab/util/hash.h"
+
+/// \file lru_cache.h
+/// Sharded, thread-safe LRU cache — the storage primitive behind both the
+/// model registry and the selection cache. Keys hash to one of `num_shards`
+/// independent shards, each guarded by its own mutex, so concurrent lookups
+/// of unrelated keys never contend. Values are shared_ptr so a hit stays
+/// valid after a concurrent eviction. Counters (hits / misses / evictions)
+/// are process-lifetime atomics, aggregated across shards.
+
+namespace subtab::service {
+
+/// Running counters of one cache. Snapshot via Stats().
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// K must be equality-comparable; KeyHash must be a stable 64-bit hasher
+/// (struct with `uint64_t operator()(const K&) const`).
+template <typename K, typename V, typename KeyHash>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly over `num_shards`
+  /// (each shard holds at least one entry).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : per_shard_capacity_(
+            std::max<size_t>(1, capacity / std::max<size_t>(1, num_shards))),
+        shards_(std::max<size_t>(1, num_shards)) {
+    SUBTAB_CHECK(capacity >= 1);
+  }
+
+  /// Returns the cached value and refreshes recency, or nullptr on miss.
+  std::shared_ptr<const V> Get(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Inserts (or replaces) a value, evicting the least-recent entry of the
+  /// key's shard when over budget. Returns the stored pointer.
+  std::shared_ptr<const V> Put(const K& key, std::shared_ptr<const V> value) {
+    SUBTAB_CHECK(value != nullptr);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->second;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.order.size() > per_shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return shard.order.front().second;
+  }
+
+  /// True iff the key is resident (does not touch recency or counters).
+  bool Contains(const K& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.index.count(key) > 0;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.order.size();
+    }
+    return n;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.order.clear();
+      shard.index.clear();
+    }
+  }
+
+  CacheCounters Stats() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.insertions = insertions_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    c.entries = size();
+    return c;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recent. Stable iterators, so index can point into it.
+    std::list<std::pair<K, std::shared_ptr<const V>>> order;
+    std::unordered_map<K, typename decltype(order)::iterator, KeyHash> index;
+  };
+
+  Shard& ShardFor(const K& key) {
+    return shards_[KeyHash{}(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const K& key) const {
+    return shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  const size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace subtab::service
+
+#endif  // SUBTAB_SERVICE_LRU_CACHE_H_

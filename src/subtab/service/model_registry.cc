@@ -1,0 +1,136 @@
+#include "subtab/service/model_registry.h"
+
+#include <condition_variable>
+#include <filesystem>
+
+#include "subtab/core/model_io.h"
+#include "subtab/util/logging.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab::service {
+
+/// One in-flight fit that late arrivals block on (single-flight).
+struct ModelRegistry::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::shared_ptr<const SubTab> model;
+};
+
+ModelRegistry::ModelRegistry(ModelRegistryOptions options)
+    : options_(std::move(options)),
+      cache_(options_.capacity, options_.num_shards) {}
+
+Result<std::shared_ptr<const SubTab>> ModelRegistry::GetOrFit(
+    const Table& table, const SubTabConfig& config) {
+  return GetOrFitKeyed(MakeModelKey(table, config), table, config);
+}
+
+Result<std::shared_ptr<const SubTab>> ModelRegistry::GetOrFitKeyed(
+    const ModelKey& key, const Table& table, const SubTabConfig& config) {
+  if (std::shared_ptr<const SubTab> model = cache_.Get(key)) {
+    return model;
+  }
+
+  std::shared_ptr<InFlight> slot;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key.Digest());
+    if (it != inflight_.end()) {
+      slot = it->second;
+    } else {
+      slot = std::make_shared<InFlight>();
+      inflight_.emplace(key.Digest(), slot);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(slot->mu);
+    slot->cv.wait(lock, [&slot] { return slot->done; });
+    if (!slot->status.ok()) return slot->status;
+    return slot->model;
+  }
+
+  // Re-check the cache after winning ownership: another owner may have
+  // finished (Put + slot erase) between our cache miss and our insert, and
+  // re-running Build would duplicate the whole pre-processing pass.
+  Result<std::shared_ptr<const SubTab>> built = [&] {
+    if (std::shared_ptr<const SubTab> cached = cache_.Get(key)) {
+      return Result<std::shared_ptr<const SubTab>>(std::move(cached));
+    }
+    return Build(key, table, config);
+  }();
+  if (built.ok()) cache_.Put(key, *built);
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->done = true;
+    if (built.ok()) {
+      slot->model = *built;
+    } else {
+      slot->status = built.status();
+    }
+  }
+  slot->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key.Digest());
+  }
+  return built;
+}
+
+std::shared_ptr<const SubTab> ModelRegistry::Peek(const ModelKey& key) {
+  return cache_.Get(key);
+}
+
+ModelRegistryStats ModelRegistry::Stats() const {
+  ModelRegistryStats stats;
+  stats.cache = cache_.Stats();
+  stats.loads = loads_.load(std::memory_order_relaxed);
+  stats.fits = fits_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Result<std::shared_ptr<const SubTab>> ModelRegistry::Build(
+    const ModelKey& key, const Table& table, const SubTabConfig& config) {
+  const std::string path = ArtifactPath(key);
+  if (!path.empty() && std::filesystem::exists(path)) {
+    Result<PreprocessedTable> pre = LoadModel(table, path);
+    if (pre.ok()) {
+      Result<SubTab> model =
+          SubTab::FromPreprocessed(table, config, std::move(*pre));
+      if (model.ok()) {
+        loads_.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const SubTab>(std::move(*model));
+      }
+    }
+    SUBTAB_LOG_STREAM(Warning)
+        << "stale model artifact " << path << "; re-fitting";
+  }
+
+  Result<SubTab> fitted = SubTab::Fit(table, config);
+  if (!fitted.ok()) return fitted.status();
+  fits_.fetch_add(1, std::memory_order_relaxed);
+  auto model = std::make_shared<const SubTab>(std::move(*fitted));
+  if (!path.empty()) {
+    const Status saved = SaveModel(model->preprocessed(), model->table(), path);
+    if (!saved.ok()) {
+      SUBTAB_LOG_STREAM(Warning)
+          << "could not persist model to " << path << ": " << saved.ToString();
+    }
+  }
+  return model;
+}
+
+std::string ModelRegistry::ArtifactPath(const ModelKey& key) const {
+  if (options_.persist_dir.empty()) return "";
+  return options_.persist_dir +
+         StrFormat("/subtab-%016llx.stm",
+                   static_cast<unsigned long long>(key.Digest()));
+}
+
+}  // namespace subtab::service

@@ -1,0 +1,99 @@
+#ifndef SUBTAB_SERVICE_MODEL_REGISTRY_H_
+#define SUBTAB_SERVICE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "subtab/core/fingerprint.h"
+#include "subtab/core/subtab.h"
+#include "subtab/service/lru_cache.h"
+
+/// \file model_registry.h
+/// Cross-session reuse of fitted models. The paper's architecture runs
+/// pre-processing once per table and serves every display from the cached
+/// artifact (Fig. 1); the registry extends that to a multi-tenant server:
+/// fitted SubTab instances live in a sharded LRU keyed by
+/// (table fingerprint, config fingerprint), so N concurrent sessions opening
+/// the same table share ONE pre-processing pass. An optional persistence
+/// directory plugs in core/model_io: a fingerprint-named artifact is loaded
+/// on a memory miss (milliseconds) and written after a fresh fit, extending
+/// the amortization across process restarts.
+///
+/// Concurrent GetOrFit calls for the same key are single-flighted: one
+/// caller fits, the rest block on the same in-flight slot and share the
+/// result instead of duplicating minutes of training.
+
+namespace subtab::service {
+
+struct ModelRegistryOptions {
+  /// Maximum resident fitted models (across all shards).
+  size_t capacity = 16;
+  size_t num_shards = 4;
+  /// When non-empty, models persist as <dir>/subtab-<digest>.stm via
+  /// core/model_io (created lazily; must already exist as a directory).
+  std::string persist_dir;
+};
+
+/// Counters of registry traffic. `hits`/`misses`/`evictions` describe the
+/// in-memory LRU; `loads` and `fits` split the misses into disk-restores and
+/// fresh pre-processing passes; `coalesced` counts callers that piggybacked
+/// on another caller's in-flight fit.
+struct ModelRegistryStats {
+  CacheCounters cache;
+  uint64_t loads = 0;
+  uint64_t fits = 0;
+  uint64_t coalesced = 0;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(ModelRegistryOptions options = {});
+
+  /// Returns the fitted model for (table, config), fitting (or loading from
+  /// the persistence dir) on first use. The returned instance is shared and
+  /// immutable; callers may Select on it concurrently. `table` is copied
+  /// into the model only when a fit/load actually happens.
+  Result<std::shared_ptr<const SubTab>> GetOrFit(const Table& table,
+                                                 const SubTabConfig& config);
+
+  /// As GetOrFit, but with a precomputed key (avoids re-fingerprinting when
+  /// the caller already knows it).
+  Result<std::shared_ptr<const SubTab>> GetOrFitKeyed(const ModelKey& key,
+                                                      const Table& table,
+                                                      const SubTabConfig& config);
+
+  /// Resident model lookup without fitting; nullptr when absent.
+  std::shared_ptr<const SubTab> Peek(const ModelKey& key);
+
+  ModelRegistryStats Stats() const;
+
+ private:
+  struct KeyHasher {
+    uint64_t operator()(const ModelKey& key) const { return key.Digest(); }
+  };
+  struct InFlight;
+
+  /// Fit or disk-load outside any lock; returns the finished model.
+  Result<std::shared_ptr<const SubTab>> Build(const ModelKey& key,
+                                              const Table& table,
+                                              const SubTabConfig& config);
+
+  std::string ArtifactPath(const ModelKey& key) const;
+
+  const ModelRegistryOptions options_;
+  ShardedLruCache<ModelKey, SubTab, KeyHasher> cache_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
+
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> fits_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace subtab::service
+
+#endif  // SUBTAB_SERVICE_MODEL_REGISTRY_H_

@@ -1,0 +1,71 @@
+#include "subtab/service/selection_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "subtab/util/hash.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab::service {
+
+namespace {
+
+// Length-prefixed string: immune to delimiter/quote characters appearing in
+// column names or (user-data) literals.
+void AppendString(std::string* out, const std::string& s) {
+  *out += StrFormat("%zu:", s.size());
+  *out += s;
+}
+
+// One predicate, losslessly: numeric literals are encoded as their exact
+// bit pattern (Predicate::ToString rounds for display, which would collide
+// distinct thresholds onto one cache key).
+std::string EncodePredicate(const Predicate& p) {
+  std::string out;
+  AppendString(&out, p.column);
+  out += StrFormat("|%d|", static_cast<int>(p.op));
+  if (p.literal_is_numeric) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p.num_literal));
+    std::memcpy(&bits, &p.num_literal, sizeof(bits));
+    out += StrFormat("n%016llx", static_cast<unsigned long long>(bits));
+  } else {
+    out += 's';
+    AppendString(&out, p.str_literal);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizedQueryKey(const SpQuery& query) {
+  std::vector<std::string> conjuncts;
+  conjuncts.reserve(query.filters.size());
+  for (const Predicate& p : query.filters) conjuncts.push_back(EncodePredicate(p));
+  std::sort(conjuncts.begin(), conjuncts.end());
+
+  std::string key = "where{";
+  for (const std::string& c : conjuncts) AppendString(&key, c);
+  key += "} project{";
+  for (const std::string& p : query.projection) AppendString(&key, p);
+  key += '}';
+  if (!query.order_by.empty()) {
+    key += query.descending ? " order_desc{" : " order_asc{";
+    AppendString(&key, query.order_by);
+    key += '}';
+  }
+  if (query.limit > 0) key += StrFormat(" limit{%zu}", query.limit);
+  return key;
+}
+
+uint64_t SelectionKeyHasher::operator()(const SelectionKey& key) const {
+  uint64_t h = HashString(key.query);
+  h = HashCombine(h, key.model_digest);
+  h = HashCombine(h, key.k);
+  h = HashCombine(h, key.l);
+  h = HashCombine(h, key.seed);
+  return h;
+}
+
+}  // namespace subtab::service

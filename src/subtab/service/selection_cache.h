@@ -1,0 +1,79 @@
+#ifndef SUBTAB_SERVICE_SELECTION_CACHE_H_
+#define SUBTAB_SERVICE_SELECTION_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "subtab/core/subtab.h"
+#include "subtab/service/lru_cache.h"
+#include "subtab/table/query.h"
+
+/// \file selection_cache.h
+/// Memoization of the selection phase. Selection is deterministic for a
+/// fixed (model, scope, k, l, seed) — see SubTab's thread-safety contract —
+/// so a repeated display request (the common case in dashboards and shared
+/// EDA sessions: many analysts looking at the same drill-down) can be served
+/// straight from cache, skipping clustering AND query execution entirely.
+///
+/// Keys are (model digest, normalized query, k, l, seed). Normalization
+/// sorts the filter conjuncts — conjunction is commutative and RunQuery
+/// preserves input row order regardless of predicate order — while
+/// projection, ordering and limit stay verbatim since they affect the
+/// visible scope.
+
+namespace subtab::service {
+
+/// Cache key for one selection request.
+struct SelectionKey {
+  uint64_t model_digest = 0;
+  std::string query;  ///< NormalizedQueryKey(query).
+  size_t k = 0;
+  size_t l = 0;
+  uint64_t seed = 0;
+
+  bool operator==(const SelectionKey& other) const {
+    return model_digest == other.model_digest && k == other.k && l == other.l &&
+           seed == other.seed && query == other.query;
+  }
+};
+
+/// Canonical string form of an SP query for cache keying: filter conjuncts
+/// sorted lexicographically, projection/order/limit verbatim.
+std::string NormalizedQueryKey(const SpQuery& query);
+
+struct SelectionKeyHasher {
+  uint64_t operator()(const SelectionKey& key) const;
+};
+
+/// One memoized outcome. Deterministic errors (e.g. "query returned no
+/// rows") are as cacheable as views: both are pure functions of the key.
+struct CachedSelection {
+  Status status;
+  std::shared_ptr<const SubTabView> view;  ///< Set iff status.ok().
+};
+
+/// Sharded LRU over selection outcomes.
+class SelectionCache {
+ public:
+  explicit SelectionCache(size_t capacity, size_t num_shards = 8)
+      : cache_(capacity, num_shards) {}
+
+  std::shared_ptr<const CachedSelection> Get(const SelectionKey& key) {
+    return cache_.Get(key);
+  }
+  std::shared_ptr<const CachedSelection> Put(
+      const SelectionKey& key, std::shared_ptr<const CachedSelection> outcome) {
+    return cache_.Put(key, std::move(outcome));
+  }
+
+  void Clear() { cache_.Clear(); }
+  CacheCounters Stats() const { return cache_.Stats(); }
+
+ private:
+  ShardedLruCache<SelectionKey, CachedSelection, SelectionKeyHasher> cache_;
+};
+
+}  // namespace subtab::service
+
+#endif  // SUBTAB_SERVICE_SELECTION_CACHE_H_

@@ -1,0 +1,51 @@
+#ifndef SUBTAB_UTIL_HASH_H_
+#define SUBTAB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file hash.h
+/// Stable 64-bit hashing for fingerprints and cache keys. FNV-1a over bytes
+/// plus a SplitMix64-based combiner. These hashes are *persistent* — the
+/// serving layer stores them in model-cache file names — so the functions
+/// here must never change behaviour across versions (unlike std::hash, which
+/// is free to differ per platform/process).
+
+namespace subtab {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, continuing from `seed`.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffsetBasis) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// SplitMix64 finalizer: diffuses a 64-bit value.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combiner: fold `value` into running hash `h`.
+inline uint64_t HashCombine(uint64_t h, uint64_t value) {
+  return HashMix(h ^ HashMix(value));
+}
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_HASH_H_

@@ -1,0 +1,58 @@
+#ifndef SUBTAB_UTIL_THREAD_POOL_H_
+#define SUBTAB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A fixed-size worker pool with a FIFO task queue — the general-purpose
+/// sibling of ParallelFor (parallel.h). ParallelFor spawns threads per call
+/// for static, evenly sharded work inside one algorithm; the pool amortizes
+/// thread creation across many small independent jobs, which is what a
+/// request-serving path needs (see service/engine.h). Tasks must not throw.
+
+namespace subtab {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 means HardwareThreads()).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue). Must not be called
+  /// after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently queued (excludes running ones); for stats/introspection.
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: task ready / stop.
+  std::condition_variable idle_cv_;   // Signals Wait(): everything drained.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // Tasks currently executing.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_THREAD_POOL_H_

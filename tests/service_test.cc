@@ -1,0 +1,439 @@
+// Tests for the serving subsystem (service/): the sharded LRU primitive,
+// the thread pool, fingerprints, the model registry (eviction, single
+// fit sharing, disk persistence), and the engine (concurrent results
+// bit-identical to the serial path, in-flight dedup, cache counters).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "subtab/core/fingerprint.h"
+#include "subtab/eda/engine_replay.h"
+#include "subtab/eda/session_generator.h"
+#include "subtab/data/datasets.h"
+#include "subtab/service/engine.h"
+#include "subtab/service/lru_cache.h"
+#include "subtab/service/model_registry.h"
+#include "subtab/service/selection_cache.h"
+#include "subtab/util/thread_pool.h"
+
+namespace subtab {
+namespace {
+
+using service::CacheCounters;
+using service::EngineOptions;
+using service::ModelRegistry;
+using service::ModelRegistryOptions;
+using service::NormalizedQueryKey;
+using service::SelectRequest;
+using service::SelectResponse;
+using service::ServingEngine;
+using service::ShardedLruCache;
+
+/// A small table whose contents vary with `shift`, so distinct shifts give
+/// distinct fingerprints. Fits in milliseconds with TinyConfig.
+Table TinyTable(double shift = 0.0) {
+  std::vector<double> a, b;
+  std::vector<std::string> c;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(static_cast<double>(i) + shift);
+    b.push_back(static_cast<double>(i % 7) * 2.5 - shift);
+    c.push_back(i % 3 == 0 ? "x" : i % 3 == 1 ? "y" : "z");
+  }
+  Result<Table> table = Table::Make({Column::Numeric("a", a),
+                                     Column::Numeric("b", b),
+                                     Column::Categorical("c", c)});
+  SUBTAB_CHECK(table.ok());
+  return std::move(*table);
+}
+
+SubTabConfig TinyConfig(uint64_t seed = 7) {
+  SubTabConfig config;
+  config.k = 4;
+  config.l = 3;
+  config.embedding.dim = 8;
+  config.embedding.epochs = 1;
+  config.seed = seed;
+  return config;
+}
+
+SpQuery FilterQuery(double threshold) {
+  SpQuery query;
+  query.filters = {Predicate::Num("a", CmpOp::kGe, threshold)};
+  return query;
+}
+
+// ------------------------------------------------------------- LRU cache --
+
+struct IntHasher {
+  uint64_t operator()(int key) const { return HashMix(static_cast<uint64_t>(key)); }
+};
+
+TEST(LruCacheTest, HitMissAndRecencyEviction) {
+  ShardedLruCache<int, int, IntHasher> cache(2, /*num_shards=*/1);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(2, std::make_shared<const int>(20));
+  ASSERT_NE(cache.Get(1), nullptr);  // Refreshes 1; 2 is now LRU.
+  EXPECT_EQ(*cache.Get(1), 10);
+  cache.Put(3, std::make_shared<const int>(30));
+  EXPECT_FALSE(cache.Contains(2));  // Evicted as least-recent.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+
+  CacheCounters counters = cache.Stats();
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.insertions, 3u);
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+}
+
+TEST(LruCacheTest, PutReplacesValueWithoutEviction) {
+  ShardedLruCache<int, int, IntHasher> cache(2, 1);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(1, std::make_shared<const int>(11));
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ----------------------------------------------------------- Thread pool --
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not block.
+}
+
+// ----------------------------------------------------------- Fingerprints --
+
+TEST(FingerprintTest, StableAcrossIdenticalConstructions) {
+  EXPECT_EQ(TableFingerprint(TinyTable(1.0)), TableFingerprint(TinyTable(1.0)));
+  EXPECT_EQ(ConfigFingerprint(TinyConfig()), ConfigFingerprint(TinyConfig()));
+}
+
+TEST(FingerprintTest, DistinguishesNullFromZero) {
+  // NaN input cells become nulls; they must not collide with literal 0.0.
+  Result<Table> with_null =
+      Table::Make({Column::Numeric("a", {1.0, std::nan(""), 3.0})});
+  Result<Table> with_zero = Table::Make({Column::Numeric("a", {1.0, 0.0, 3.0})});
+  ASSERT_TRUE(with_null.ok());
+  ASSERT_TRUE(with_zero.ok());
+  EXPECT_NE(TableFingerprint(*with_null), TableFingerprint(*with_zero));
+}
+
+TEST(FingerprintTest, SensitiveToContentAndConfig) {
+  EXPECT_NE(TableFingerprint(TinyTable(1.0)), TableFingerprint(TinyTable(2.0)));
+  SubTabConfig config = TinyConfig();
+  SubTabConfig changed = TinyConfig();
+  changed.seed = config.seed + 1;
+  EXPECT_NE(ConfigFingerprint(config), ConfigFingerprint(changed));
+  changed = TinyConfig();
+  changed.binning.num_bins += 1;
+  EXPECT_NE(ConfigFingerprint(config), ConfigFingerprint(changed));
+}
+
+TEST(FingerprintTest, NormalizedQueryKeyIgnoresFilterOrder) {
+  SpQuery ab;
+  ab.filters = {Predicate::Num("a", CmpOp::kGe, 1.0),
+                Predicate::Str("c", CmpOp::kEq, "x")};
+  SpQuery ba;
+  ba.filters = {Predicate::Str("c", CmpOp::kEq, "x"),
+                Predicate::Num("a", CmpOp::kGe, 1.0)};
+  EXPECT_EQ(NormalizedQueryKey(ab), NormalizedQueryKey(ba));
+
+  SpQuery limited = ab;
+  limited.limit = 5;
+  EXPECT_NE(NormalizedQueryKey(ab), NormalizedQueryKey(limited));
+  SpQuery ordered = ab;
+  ordered.order_by = "a";
+  EXPECT_NE(NormalizedQueryKey(ab), NormalizedQueryKey(ordered));
+}
+
+TEST(FingerprintTest, NormalizedQueryKeyIsLossless) {
+  // Thresholds that render identically at display precision must not share
+  // a cache key.
+  EXPECT_NE(NormalizedQueryKey(FilterQuery(0.1231)),
+            NormalizedQueryKey(FilterQuery(0.1234)));
+  // A string literal containing quote/'&&' sequences must not collide with
+  // the multi-predicate query it mimics.
+  SpQuery crafted;
+  crafted.filters = {Predicate::Str("c", CmpOp::kEq, "x' && d == 'y")};
+  SpQuery two;
+  two.filters = {Predicate::Str("c", CmpOp::kEq, "x"),
+                 Predicate::Str("d", CmpOp::kEq, "y")};
+  EXPECT_NE(NormalizedQueryKey(crafted), NormalizedQueryKey(two));
+}
+
+// --------------------------------------------------------- Model registry --
+
+TEST(ModelRegistryTest, SecondSessionSharesOneFit) {
+  ModelRegistry registry;
+  Table table = TinyTable();
+  SubTabConfig config = TinyConfig();
+  auto first = registry.GetOrFit(table, config);
+  ASSERT_TRUE(first.ok());
+  auto second = registry.GetOrFit(table, config);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // Same instance, one fit.
+  EXPECT_EQ(registry.Stats().fits, 1u);
+  EXPECT_EQ(registry.Stats().cache.hits, 1u);
+}
+
+TEST(ModelRegistryTest, LruEvictionAndRefit) {
+  ModelRegistryOptions options;
+  options.capacity = 2;
+  options.num_shards = 1;
+  ModelRegistry registry(options);
+  SubTabConfig config = TinyConfig();
+  ASSERT_TRUE(registry.GetOrFit(TinyTable(1.0), config).ok());
+  ASSERT_TRUE(registry.GetOrFit(TinyTable(2.0), config).ok());
+  ASSERT_TRUE(registry.GetOrFit(TinyTable(3.0), config).ok());  // Evicts 1.0.
+  EXPECT_EQ(registry.Stats().fits, 3u);
+  EXPECT_EQ(registry.Stats().cache.evictions, 1u);
+  EXPECT_EQ(registry.Peek(MakeModelKey(TinyTable(1.0), config)), nullptr);
+  // Re-opening the evicted table re-fits.
+  ASSERT_TRUE(registry.GetOrFit(TinyTable(1.0), config).ok());
+  EXPECT_EQ(registry.Stats().fits, 4u);
+}
+
+TEST(ModelRegistryTest, PersistsModelsAcrossRegistries) {
+  // Fresh per-run scratch dir: a leftover artifact from a previous run would
+  // turn the first registry's fit into a load.
+  const std::string dir = ::testing::TempDir() + "/subtab_registry_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ModelRegistryOptions options;
+  options.persist_dir = dir;
+  Table table = TinyTable(5.0);
+  SubTabConfig config = TinyConfig();
+
+  ModelRegistry first(options);
+  auto fitted = first.GetOrFit(table, config);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(first.Stats().fits, 1u);
+
+  ModelRegistry second(options);  // Fresh process, same disk cache.
+  auto loaded = second.GetOrFit(table, config);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(second.Stats().fits, 0u);
+  EXPECT_EQ(second.Stats().loads, 1u);
+  // The restored model selects identically.
+  SubTabView a = (*fitted)->Select();
+  SubTabView b = (*loaded)->Select();
+  EXPECT_EQ(a.row_ids, b.row_ids);
+  EXPECT_EQ(a.col_ids, b.col_ids);
+}
+
+// ----------------------------------------------------------------- Engine --
+
+TEST(EngineTest, UnknownTableIsNotFound) {
+  ServingEngine engine;
+  SelectRequest request;
+  request.table_id = "nope";
+  SelectResponse response = engine.Select(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Stats().requests_failed, 1u);
+}
+
+TEST(EngineTest, ConcurrentSelectsMatchSerialPath) {
+  EngineOptions options;
+  options.num_threads = 4;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+  std::shared_ptr<const SubTab> model = engine.GetModel("t");
+  ASSERT_NE(model, nullptr);
+
+  // 16 distinct queries (plus the whole table), all in flight at once.
+  std::vector<SelectRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    SelectRequest request;
+    request.table_id = "t";
+    request.query = FilterQuery(static_cast<double>(i));
+    requests.push_back(request);
+  }
+  SelectRequest whole;
+  whole.table_id = "t";
+  requests.push_back(whole);
+
+  std::vector<std::shared_future<SelectResponse>> futures;
+  for (const SelectRequest& request : requests) {
+    futures.push_back(engine.SubmitSelect(request));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SelectResponse response = futures[i].get();
+    Result<SubTabView> serial = model->SelectForQuery(requests[i].query);
+    ASSERT_TRUE(response.status.ok());
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(response.view->row_ids, serial->row_ids);
+    EXPECT_EQ(response.view->col_ids, serial->col_ids);
+  }
+}
+
+TEST(EngineTest, SeedOverrideMatchesSerialSeed) {
+  ServingEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+  std::shared_ptr<const SubTab> model = engine.GetModel("t");
+  SelectRequest request;
+  request.table_id = "t";
+  request.query = FilterQuery(3.0);
+  request.seed = 12345;
+  SelectResponse response = engine.Select(request);
+  ASSERT_TRUE(response.status.ok());
+  Result<SubTabView> serial =
+      model->SelectForQuery(request.query, std::nullopt, std::nullopt, 12345);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(response.view->row_ids, serial->row_ids);
+  EXPECT_EQ(response.view->col_ids, serial->col_ids);
+}
+
+TEST(EngineTest, IdenticalInFlightRequestsAreDeduplicated) {
+  EngineOptions options;
+  options.num_threads = 1;  // One worker, held busy by the barrier below, so
+                            // the identical burst stays in flight.
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  engine.SubmitBarrierTaskForTesting([opened] { opened.wait(); });
+
+  SelectRequest repeated;
+  repeated.table_id = "t";
+  repeated.query = FilterQuery(10.0);
+  std::vector<std::shared_future<SelectResponse>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine.SubmitSelect(repeated));
+  gate.set_value();  // Release the worker; one selection runs.
+
+  const SubTabView* view = futures[0].get().view.get();
+  ASSERT_NE(view, nullptr);
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().status.ok());
+    EXPECT_EQ(future.get().view.get(), view);  // One shared stored view.
+  }
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.requests_coalesced, 15u);       // All but the first.
+  EXPECT_EQ(stats.selection_cache.insertions, 1u);  // Exactly one execution.
+  // Coalesced waiters complete with the shared computation: the in-flight
+  // gauge (submitted - completed) returns to zero.
+  EXPECT_EQ(stats.requests_submitted, 16u);
+  EXPECT_EQ(stats.requests_completed, 16u);
+}
+
+TEST(EngineTest, SelectionCacheCountersAreAccurate) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.selection_cache_capacity = 2;
+  options.cache_shards = 1;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+
+  // Sequential sync selects: counters are exact.
+  engine.Select({.table_id = "t", .query = FilterQuery(1.0)});
+  engine.Select({.table_id = "t", .query = FilterQuery(2.0)});
+  CacheCounters counters = engine.Stats().selection_cache;
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.hits, 0u);
+
+  engine.Select({.table_id = "t", .query = FilterQuery(1.0)});  // Hit.
+  engine.Select({.table_id = "t", .query = FilterQuery(2.0)});  // Hit.
+  counters = engine.Stats().selection_cache;
+  EXPECT_EQ(counters.hits, 2u);
+
+  engine.Select({.table_id = "t", .query = FilterQuery(3.0)});  // Evicts 1.0.
+  counters = engine.Stats().selection_cache;
+  EXPECT_EQ(counters.evictions, 1u);
+  engine.Select({.table_id = "t", .query = FilterQuery(1.0)});  // Miss again.
+  counters = engine.Stats().selection_cache;
+  EXPECT_EQ(counters.misses, 4u);
+  EXPECT_EQ(counters.entries, 2u);
+
+  // Filter order does not defeat the cache.
+  SpQuery ab;
+  ab.filters = {Predicate::Num("a", CmpOp::kGe, 1.0),
+                Predicate::Num("b", CmpOp::kLe, 90.0)};
+  SpQuery ba;
+  ba.filters = {ab.filters[1], ab.filters[0]};
+  engine.Select({.table_id = "t", .query = ab});
+  SelectResponse reordered = engine.Select({.table_id = "t", .query = ba});
+  EXPECT_TRUE(reordered.from_cache);
+}
+
+TEST(EngineTest, DeterministicFailuresAreCachedAndCounted) {
+  ServingEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+  SpQuery none = FilterQuery(1e12);  // Matches no rows -> InvalidArgument.
+  SelectResponse first = engine.Select({.table_id = "t", .query = none});
+  EXPECT_EQ(first.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(first.from_cache);
+  SelectResponse repeat = engine.Select({.table_id = "t", .query = none});
+  EXPECT_EQ(repeat.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(repeat.from_cache);  // No second table scan.
+  EXPECT_EQ(engine.Stats().requests_failed, 2u);
+  EXPECT_EQ(engine.Stats().requests_completed, 2u);
+}
+
+TEST(EngineTest, RegistryReusedAcrossTableIds) {
+  ServingEngine engine;
+  Table table = TinyTable();
+  SubTabConfig config = TinyConfig();
+  ASSERT_TRUE(engine.RegisterTable("alice", table, config).ok());
+  ASSERT_TRUE(engine.RegisterTable("bob", table, config).ok());
+  EXPECT_EQ(engine.GetModel("alice").get(), engine.GetModel("bob").get());
+  EXPECT_EQ(engine.Stats().registry.fits, 1u);
+  EXPECT_EQ(engine.Stats().tables, 2u);
+}
+
+// Engine replay produces the same capture statistics as the serial replay
+// loop — the serving path changes latency, not results.
+TEST(EngineTest, ReplayThroughEngineMatchesSerialReplay) {
+  GeneratedDataset data = MakeCyber(2000);
+  SubTabConfig config = TinyConfig();
+  EngineOptions options;
+  options.num_threads = 4;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("cyber", data.table, config).ok());
+  std::shared_ptr<const SubTab> model = engine.GetModel("cyber");
+
+  SessionGeneratorOptions session_options;
+  session_options.num_sessions = 8;
+  session_options.seed = 11;
+  std::vector<Session> sessions = GenerateSessions(data, session_options);
+
+  EngineReplayResult through_engine =
+      ReplayThroughEngine(engine, "cyber", sessions, 6, 4);
+
+  SelectorFn serial_selector = [&model](const std::vector<size_t>& rows,
+                                        const std::vector<size_t>& cols,
+                                        size_t k, size_t l) {
+    SelectionScope scope;
+    scope.rows = rows;
+    scope.cols = cols;
+    scope.target_cols = model->target_column_ids();
+    SubTabView view = model->SelectScoped(scope, k, l);
+    return std::make_pair(view.row_ids, view.col_ids);
+  };
+  ReplayStats serial = ReplaySessions(data.table, model->preprocessed().binned(),
+                                      sessions, 6, 4, serial_selector);
+
+  EXPECT_EQ(through_engine.stats.steps_scored, serial.steps_scored);
+  EXPECT_EQ(through_engine.stats.fragments_captured, serial.fragments_captured);
+}
+
+}  // namespace
+}  // namespace subtab
