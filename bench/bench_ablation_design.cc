@@ -28,12 +28,13 @@ double ScoreConfig(const GeneratedDataset& data, const CoverageEvaluator& evalua
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Ablations: corpus composition, pair cap, dimension, binning (FL)");
 
-  const size_t rows = 8000;
+  const size_t rows = Sized(args, 8000, 2000);
   auto p = Pipeline::Build("FL", rows);
   const CoverageEvaluator& evaluator = p->eval();
   double seconds = 0.0;

@@ -2,7 +2,9 @@
 #define SUBTAB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "subtab/baselines/random_baseline.h"
 #include "subtab/core/subtab.h"
 #include "subtab/data/datasets.h"
+#include "subtab/eda/session.h"
 #include "subtab/rules/miner.h"
 #include "subtab/util/parallel.h"
 
@@ -21,8 +24,65 @@
 /// baselines get budgets scaled with the data (the paper's 60 s of RAN
 /// against 6M rows becomes a bounded draw count here); each harness states
 /// its scaling in its header line.
+///
+/// Every harness accepts `--quick` (ParseBenchArgs): CI-sized runs with the
+/// same shape at ~1/4 of the data, so a workflow can smoke every bench in
+/// minutes instead of hardcoding full-report sizes.
 
 namespace subtab::bench {
+
+/// Command-line options common to all harnesses.
+struct BenchArgs {
+  /// CI-sized run: datasets shrink (see Sized), variant sweeps may narrow.
+  bool quick = false;
+};
+
+/// Parses harness arguments; exits with a usage message on unknown flags so
+/// a typo never silently runs the full-size report.
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n  --quick  CI-sized run\n",
+                   argv[0]);
+      std::exit(arg == "--help" || arg == "-h" ? 0 : 2);
+    }
+  }
+  return args;
+}
+
+/// The full-report size, or the CI size under --quick.
+inline size_t Sized(const BenchArgs& args, size_t full, size_t quick) {
+  return args.quick ? quick : full;
+}
+
+/// Flattens generated analyst sessions into their step queries — the
+/// request stream the serving/streaming harnesses replay. Each session's
+/// final step has no next-step to capture, so harnesses that score capture
+/// pass include_final_step = false.
+inline std::vector<SpQuery> StepQueries(const std::vector<Session>& sessions,
+                                        bool include_final_step = true) {
+  std::vector<SpQuery> queries;
+  for (const Session& session : sessions) {
+    const size_t count = include_final_step || session.steps.empty()
+                             ? session.steps.size()
+                             : session.steps.size() - 1;
+    for (size_t i = 0; i < count; ++i) {
+      queries.push_back(session.steps[i].query);
+    }
+  }
+  return queries;
+}
+
+/// Indices [begin, end) — batch/base slicing in the streaming harnesses.
+inline std::vector<size_t> RowRange(size_t begin, size_t end) {
+  std::vector<size_t> rows(end - begin);
+  std::iota(rows.begin(), rows.end(), begin);
+  return rows;
+}
 
 /// Standard reproduction config (paper defaults; multithreaded training).
 inline SubTabConfig DefaultConfig(uint64_t seed = 42) {
@@ -105,6 +165,10 @@ class JsonLine {
   }
   JsonLine& Field(const std::string& key, const std::string& value) {
     return Raw(key, "\"" + value + "\"");
+  }
+  /// Embeds pre-rendered JSON verbatim (e.g. EngineStats::ToJson()).
+  JsonLine& RawField(const std::string& key, const std::string& json) {
+    return Raw(key, json);
   }
   void Emit() { std::printf("json | %s}\n", body_.c_str()); }
 

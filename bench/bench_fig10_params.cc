@@ -88,13 +88,14 @@ void RunDataset(const std::string& name, size_t rows) {
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 10: cell coverage under varying rule-mining parameters");
   PaperRef("SubTab >> RAN, NC in every setting; moderate decrease with more");
   PaperRef("bins; minor decrease with higher support/confidence thresholds;");
   PaperRef("ranking and relative gaps preserved (averaged over FL and SP).");
-  RunDataset("FL", 8000);
-  RunDataset("SP", 8000);
+  RunDataset("FL", Sized(args, 8000, 2000));
+  RunDataset("SP", Sized(args, 8000, 2000));
   return 0;
 }

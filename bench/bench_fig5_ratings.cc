@@ -54,15 +54,16 @@ Ratings Rate(const Pipeline& p, const std::vector<size_t>& rows,
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 5: questionnaire ratings (metric-derived proxies, 1..5)");
   PaperRef("human ratings: SubTab > 4 on all of Q1..Q4, far above RAN and NC;");
   PaperRef("Sec 6.2.3: intrinsic combined scores (0.56/0.32/0.15) rank the");
   PaperRef("baselines identically to the user ratings, justifying this proxy.");
 
-  auto p = Pipeline::Build("FL", 10000);
+  auto p = Pipeline::Build("FL", Sized(args, 10000, 2500));
 
   const SubTabView view = p->subtab.Select();
   const Ratings subtab = Rate(*p, view.row_ids, view.col_ids);

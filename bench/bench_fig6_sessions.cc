@@ -124,14 +124,15 @@ SelectorFn NcSelector(const Pipeline& p, uint64_t seed) {
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 6: % of next-query fragments captured vs sub-table width (CY)");
   PaperRef("SubTab: 14% (width 3) -> 38% (width 7), clearly above RAN and NC");
   PaperRef("at every width; capture grows with width for all methods.");
 
-  const size_t rows = 8000;
+  const size_t rows = Sized(args, 8000, 2000);
   auto p = Pipeline::Build("CY", rows);
 
   SessionGeneratorOptions session_options;

@@ -30,14 +30,15 @@ void Report(const char* name, const SubTableScore& score, double seconds,
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 7: quality and runtime, SubTab vs slow baselines (FL)");
   PaperRef("quality: Greedy 0.63 > SubTab 0.61 = EmbDI 0.61 > MAB 0.53;");
   PaperRef("time: SubTab 1.5min; EmbDI 26x slower; MAB >24h; Greedy 48h.");
 
-  const size_t rows = 8000;
+  const size_t rows = Sized(args, 8000, 2000);
   std::printf("\nFL at %zu rows; MAB/semi-greedy budget 30 s (scaled).\n", rows);
 
   // ---- SubTab (pre-processing + selection = its total cost). --------------
@@ -67,7 +68,7 @@ int main() {
   MabOptions mab_options;
   mab_options.k = 10;
   mab_options.l = 10;
-  mab_options.time_budget_seconds = 30.0;
+  mab_options.time_budget_seconds = args.quick ? 5.0 : 30.0;
   const BaselineResult mab = MabBaseline(p->eval(), mab_options);
 
   // ---- Semi-greedy Algorithm 1 (budgeted). ---------------------------------
@@ -75,7 +76,7 @@ int main() {
   greedy_options.k = 10;
   greedy_options.l = 10;
   greedy_options.randomize_column_order = true;
-  greedy_options.time_budget_seconds = 30.0;
+  greedy_options.time_budget_seconds = args.quick ? 5.0 : 30.0;
   const BaselineResult greedy = GreedySubTable(p->eval(), greedy_options);
 
   std::printf("\n");

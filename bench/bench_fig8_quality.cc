@@ -54,14 +54,15 @@ void RunDataset(const std::string& name, size_t rows) {
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 8: quality metrics for SubTab / RAN / NC on FL, SP, CY");
   PaperRef("SubTab wins cell coverage + combined on all three datasets;");
   PaperRef("diversity too on FL and CY (SP: RAN slightly more diverse,");
   PaperRef("but with very low coverage). SP combined: 0.68 / 0.47 / 0.51.");
-  RunDataset("FL", 12000);
-  RunDataset("SP", 10000);
-  RunDataset("CY", 8000);
+  RunDataset("FL", Sized(args, 12000, 3000));
+  RunDataset("SP", Sized(args, 10000, 2500));
+  RunDataset("CY", Sized(args, 8000, 2000));
   return 0;
 }

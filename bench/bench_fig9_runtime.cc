@@ -47,17 +47,18 @@ void RunDataset(const std::string& name, size_t rows) {
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   Header("Figure 9: pre-processing vs centroid-selection running time");
   PaperRef("FL(6M): ~60s pre / 4s sel; CC(250K): 90s pre (binning-heavy) /");
   PaperRef("5s sel; SP(42K): ~12s / 2s; CY(30K): ~8s / 1s. Selection is");
   PaperRef("interactive everywhere; pre-processing amortized per table load.");
   std::printf("\n(reproduction at ~1/100 row scale, %zu threads)\n",
               subtab::HardwareThreads());
-  RunDataset("FL", 60000);
-  RunDataset("CC", 50000);
-  RunDataset("SP", 42000);
-  RunDataset("CY", 30000);
+  RunDataset("FL", Sized(args, 60000, 8000));
+  RunDataset("CC", Sized(args, 50000, 6000));
+  RunDataset("SP", Sized(args, 42000, 6000));
+  RunDataset("CY", Sized(args, 30000, 5000));
   return 0;
 }

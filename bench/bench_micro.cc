@@ -1,8 +1,15 @@
 // Google-benchmark micro benchmarks for the substrates: query engine,
 // binning, Apriori, Word2Vec training, k-means, coverage evaluation. These
 // are throughput measurements of the building blocks behind Figs. 7 and 9.
+//
+// Like the figure harnesses, accepts --quick (CI-sized: only the smallest
+// size variant of each benchmark is registered); every other flag passes
+// through to the google-benchmark runner.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "subtab/binning/binned_table.h"
 #include "subtab/cluster/kmeans.h"
@@ -33,7 +40,6 @@ void BM_QueryFilter(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_QueryFilter)->Arg(10000)->Arg(40000);
 
 void BM_Binning(benchmark::State& state) {
   const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
@@ -43,7 +49,6 @@ void BM_Binning(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) * 31);
 }
-BENCHMARK(BM_Binning)->Arg(10000)->Arg(40000);
 
 void BM_Apriori(benchmark::State& state) {
   const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
@@ -56,7 +61,6 @@ void BM_Apriori(benchmark::State& state) {
     benchmark::DoNotOptimize(itemsets.size());
   }
 }
-BENCHMARK(BM_Apriori)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 void BM_Word2VecEpoch(benchmark::State& state) {
   const GeneratedDataset& data = Flights(10000);
@@ -74,7 +78,6 @@ void BM_Word2VecEpoch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(corpus.total_words()));
 }
-BENCHMARK(BM_Word2VecEpoch)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_KMeans(benchmark::State& state) {
   Rng rng(3);
@@ -90,7 +93,6 @@ void BM_KMeans(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_KMeans)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_CoverageScore(benchmark::State& state) {
   const GeneratedDataset& data = Flights(static_cast<size_t>(state.range(0)));
@@ -109,9 +111,52 @@ void BM_CoverageScore(benchmark::State& state) {
     benchmark::DoNotOptimize(score.combined);
   }
 }
-BENCHMARK(BM_CoverageScore)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+/// Registers every micro benchmark; under --quick only the smallest size
+/// variant runs (registration-time choice: google-benchmark has no
+/// post-registration filtering by Arg).
+void RegisterAll(bool quick) {
+  auto* query = benchmark::RegisterBenchmark("BM_QueryFilter", BM_QueryFilter);
+  query->Arg(10000);
+  if (!quick) query->Arg(40000);
+  auto* binning = benchmark::RegisterBenchmark("BM_Binning", BM_Binning);
+  binning->Arg(10000);
+  if (!quick) binning->Arg(40000);
+  auto* apriori = benchmark::RegisterBenchmark("BM_Apriori", BM_Apriori);
+  apriori->Arg(5000)->Unit(benchmark::kMillisecond);
+  if (!quick) apriori->Arg(20000);
+  auto* w2v = benchmark::RegisterBenchmark("BM_Word2VecEpoch", BM_Word2VecEpoch);
+  w2v->Arg(16)->Unit(benchmark::kMillisecond);
+  if (!quick) w2v->Arg(64);
+  auto* kmeans = benchmark::RegisterBenchmark("BM_KMeans", BM_KMeans);
+  kmeans->Arg(2000)->Unit(benchmark::kMillisecond);
+  if (!quick) kmeans->Arg(10000);
+  auto* coverage =
+      benchmark::RegisterBenchmark("BM_CoverageScore", BM_CoverageScore);
+  coverage->Arg(5000)->Unit(benchmark::kMillisecond);
+  if (!quick) coverage->Arg(20000);
+}
 
 }  // namespace
 }  // namespace subtab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  subtab::RegisterAll(quick);
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

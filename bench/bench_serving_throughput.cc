@@ -26,14 +26,6 @@
 namespace subtab::bench {
 namespace {
 
-std::vector<SpQuery> StepQueries(const std::vector<Session>& sessions) {
-  std::vector<SpQuery> queries;
-  for (const Session& session : sessions) {
-    for (const SessionStep& step : session.steps) queries.push_back(step.query);
-  }
-  return queries;
-}
-
 /// Nearest-rank percentile over an ascending-sorted sample, in ms.
 double PercentileMs(const std::vector<double>& sorted_seconds, double p) {
   SUBTAB_CHECK(!sorted_seconds.empty());
@@ -138,23 +130,28 @@ void RunOne(size_t threads, const GeneratedDataset& data,
   PhaseResult warm = RunClients(engine, threads, full);
   after = engine.Stats();
   Report("warm", threads, warm, before, after);
+  JsonLine("engine_stats")
+      .Field("threads", static_cast<uint64_t>(threads))
+      .RawField("stats", after.ToJson())
+      .Emit();
 }
 
 }  // namespace
 }  // namespace subtab::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
 
   Header("Serving throughput: requests/sec and latency vs worker threads");
   PaperRef("(no paper figure; ROADMAP north-star metric. Paper reports 1-5s");
   PaperRef("per serial selection, Fig. 9 — the engine must beat that at p99");
   PaperRef("while scaling with threads and serving repeats from cache.)");
 
-  GeneratedDataset data = LoadDataset("CY", 8000);
+  GeneratedDataset data = LoadDataset("CY", Sized(args, 8000, 2000));
   SessionGeneratorOptions session_options;
-  session_options.num_sessions = 40;
+  session_options.num_sessions = Sized(args, 40, 12);
   session_options.seed = 9;
   std::vector<Session> sessions = GenerateSessions(data, session_options);
   const std::vector<SpQuery> queries = StepQueries(sessions);
@@ -165,7 +162,9 @@ int main() {
       (std::filesystem::temp_directory_path() / "subtab_bench_models").string();
   std::filesystem::create_directories(model_dir);
 
-  for (size_t threads : {1, 4, 16}) {
+  const std::vector<size_t> thread_counts =
+      args.quick ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 16};
+  for (size_t threads : thread_counts) {
     RunOne(threads, data, queries, model_dir);
   }
   return 0;

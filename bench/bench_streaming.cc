@@ -1,0 +1,192 @@
+// Streaming ingestion bench — the workload ISSUE/ROADMAP call "incremental
+// / streaming tables": an append-mostly table ingests batches while analyst
+// selects keep flowing. The paper's architecture pays pre-processing once
+// (Fig. 9); without the streaming subsystem every appended batch would
+// re-pay it in full. This harness measures, per batch:
+//
+//   * which refresh the policy chose (fold-in / incremental / full refit)
+//     and what it cost,
+//   * select throughput against the freshly republished version,
+//
+// then compares the total refresh cost against the naive baseline (full
+// refit per batch) and sanity-checks fold-in selection quality against a
+// full refit of the final table (stated tolerance below).
+
+#include <vector>
+
+#include "bench_common.h"
+#include "subtab/eda/session_generator.h"
+#include "subtab/metrics/combined.h"
+#include "subtab/service/engine.h"
+#include "subtab/stream/stream_session.h"
+#include "subtab/util/stopwatch.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab::bench {
+namespace {
+
+/// Fold-in quality must stay within this fraction of the full-refit
+/// combined score (coverage + diversity, Eq. 3) on the final table.
+constexpr double kFoldInQualityTolerance = 0.7;
+/// Incremental maintenance must cost at most this fraction of refitting
+/// after every batch.
+constexpr double kRefreshCostTolerance = 0.5;
+
+}  // namespace
+}  // namespace subtab::bench
+
+int main(int argc, char** argv) {
+  using namespace subtab::bench;
+  using namespace subtab;
+
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  Header("Streaming ingestion: appends interleaved with selects (CY)");
+  PaperRef("(no paper figure; the paper's one-off pre-processing, Fig. 9,");
+  PaperRef("assumes frozen content. Target: selects stay interactive over");
+  PaperRef(">= 10 append batches at a small fraction of full-refit cost.)");
+
+  const size_t base_rows = Sized(args, 6000, 1500);
+  const size_t num_batches = 10;
+  const size_t batch_rows = base_rows / 10;
+  const size_t total_rows = base_rows + num_batches * batch_rows;
+
+  GeneratedDataset full = MakeCyber(total_rows);
+  const Table base = full.table.TakeRows(RowRange(0, base_rows));
+
+  SessionGeneratorOptions session_options;
+  session_options.num_sessions = 20;
+  session_options.seed = 13;
+  const std::vector<SpQuery> queries =
+      StepQueries(GenerateSessions(full, session_options),
+                  /*include_final_step=*/false);
+  std::printf("\nbase %zu rows + %zu batches x %zu rows; %zu step queries "
+              "between batches\n\n",
+              base_rows, num_batches, batch_rows, queries.size());
+
+  const SubTabConfig config = DefaultConfig();
+
+  // ---- Streaming path: policy-driven refresh, selects between batches. ----
+  stream::StreamSessionOptions stream_options;
+  stream_options.config = config;
+  Stopwatch open_watch;
+  Result<std::shared_ptr<stream::StreamSession>> session =
+      stream::StreamSession::Open(base, stream_options);
+  SUBTAB_CHECK(session.ok());
+  const double open_seconds = open_watch.ElapsedSeconds();
+
+  service::EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  service::ServingEngine engine(engine_options);
+  SUBTAB_CHECK(engine.RegisterStream("cy", *session).ok());
+
+  double stream_refresh_seconds = 0.0;
+  std::printf("%-6s %-12s %10s %10s %9s %9s\n", "batch", "refresh", "cost(s)",
+              "selects", "ok", "req/s");
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = base_rows + b * batch_rows;
+    const Table batch = full.table.TakeRows(RowRange(begin, begin + batch_rows));
+    Result<stream::RefreshEvent> event = engine.Append("cy", batch);
+    SUBTAB_CHECK(event.ok());
+    stream_refresh_seconds += event->seconds;
+
+    size_t ok = 0;
+    Stopwatch select_watch;
+    for (const SpQuery& query : queries) {
+      service::SelectRequest request;
+      request.table_id = "cy";
+      request.query = query;
+      if (engine.Select(request).status.ok()) ++ok;
+    }
+    const double select_seconds = select_watch.ElapsedSeconds();
+    const double rps = static_cast<double>(queries.size()) / select_seconds;
+    std::printf("%-6zu %-12s %10.3f %10zu %9zu %9.1f\n", b + 1,
+                stream::RefreshActionName(event->action), event->seconds,
+                queries.size(), ok, rps);
+    JsonLine("streaming")
+        .Field("batch", static_cast<uint64_t>(b + 1))
+        .Field("version", static_cast<uint64_t>(event->version))
+        .Field("action", stream::RefreshActionName(event->action))
+        .Field("refresh_seconds", event->seconds)
+        .Field("selects_ok", static_cast<uint64_t>(ok))
+        .Field("select_rps", rps)
+        .Emit();
+  }
+  const service::EngineStats stats = engine.Stats();
+  JsonLine("engine_stats").RawField("stats", stats.ToJson()).Emit();
+  SUBTAB_CHECK(stats.streaming.appends == num_batches);
+
+  // ---- Baseline: the pre-streaming architecture refits after every batch. --
+  double refit_baseline_seconds = 0.0;
+  double final_fit_seconds = 0.0;
+  Result<SubTab> refit_model = Status::Internal("unset");
+  for (size_t b = 0; b < num_batches; ++b) {
+    const Table upto =
+        full.table.TakeRows(RowRange(0, base_rows + (b + 1) * batch_rows));
+    Stopwatch fit_watch;
+    refit_model = SubTab::Fit(upto, config);
+    SUBTAB_CHECK(refit_model.ok());
+    final_fit_seconds = fit_watch.ElapsedSeconds();
+    refit_baseline_seconds += final_fit_seconds;
+  }
+
+  // ---- Quality: pure fold-in (no refresh ever) vs full refit. --------------
+  stream::StreamSessionOptions fold_in_only = stream_options;
+  fold_in_only.policy.max_out_of_range_rate = 1.0;
+  fold_in_only.policy.max_new_category_rate = 1.0;
+  fold_in_only.policy.staleness_budget = 1e9;
+  fold_in_only.policy.incremental_threshold = 1e9;
+  Result<std::shared_ptr<stream::StreamSession>> fold_in =
+      stream::StreamSession::Open(base, fold_in_only);
+  SUBTAB_CHECK(fold_in.ok());
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t begin = base_rows + b * batch_rows;
+    SUBTAB_CHECK((*fold_in)
+                     ->Append(full.table.TakeRows(
+                         RowRange(begin, begin + batch_rows)))
+                     .ok());
+  }
+  const BinnedTable& refit_binned = refit_model->preprocessed().binned();
+  const RuleSet rules = MineRules(refit_binned, DefaultMining());
+  const CoverageEvaluator evaluator(refit_binned, rules);
+  const SubTabView fold_in_view = (*fold_in)->model()->Select();
+  const SubTabView refit_view = refit_model->Select();
+  const SubTableScore fold_in_score =
+      ScoreSubTable(evaluator, fold_in_view.row_ids, fold_in_view.col_ids);
+  const SubTableScore refit_score =
+      ScoreSubTable(evaluator, refit_view.row_ids, refit_view.col_ids);
+  const double quality_ratio =
+      refit_score.combined > 0.0 ? fold_in_score.combined / refit_score.combined
+                                 : 1.0;
+
+  std::printf("\none-off fit of the base: %.2fs\n", open_seconds);
+  Measured(StrFormat("stream refresh total %.2fs (%llu fold-in, %llu "
+                     "incremental, %llu refit) vs refit-per-batch %.2fs "
+                     "(%.1f%%)",
+                     stream_refresh_seconds,
+                     (unsigned long long)stats.streaming.fold_ins,
+                     (unsigned long long)stats.streaming.incremental_refreshes,
+                     (unsigned long long)stats.streaming.full_refits,
+                     refit_baseline_seconds,
+                     100.0 * stream_refresh_seconds / refit_baseline_seconds));
+  Measured(StrFormat("fold-in combined %.3f vs full-refit %.3f (ratio %.2f, "
+                     "tolerance %.2f)",
+                     fold_in_score.combined, refit_score.combined,
+                     quality_ratio, kFoldInQualityTolerance));
+  JsonLine("streaming_summary")
+      .Field("refresh_seconds", stream_refresh_seconds)
+      .Field("refit_baseline_seconds", refit_baseline_seconds)
+      .Field("final_fit_seconds", final_fit_seconds)
+      .Field("fold_in_combined", fold_in_score.combined)
+      .Field("refit_combined", refit_score.combined)
+      .Field("quality_ratio", quality_ratio)
+      .Emit();
+
+  SUBTAB_CHECK(stream_refresh_seconds <
+               kRefreshCostTolerance * refit_baseline_seconds);
+  SUBTAB_CHECK(quality_ratio >= kFoldInQualityTolerance);
+  std::printf("\nOK: %zu batches sustained, refresh cost %.1f%% of "
+              "refit-per-batch, fold-in within tolerance\n",
+              num_batches,
+              100.0 * stream_refresh_seconds / refit_baseline_seconds);
+  return 0;
+}

@@ -109,21 +109,10 @@ int main() {
   stats = engine.Stats();
   SUBTAB_CHECK(stats.registry.fits == 1);  // Still only one fit.
 
+  // One machine-readable line with every counter (same "json |" convention
+  // as the bench harnesses), replacing per-counter ad-hoc formatting.
   std::printf("\n=== engine stats ===\n");
-  std::printf("tables registered      %zu\n", stats.tables);
-  std::printf("worker threads         %zu\n", stats.num_threads);
-  std::printf("requests completed     %llu (failed %llu, coalesced %llu)\n",
-              (unsigned long long)stats.requests_completed,
-              (unsigned long long)stats.requests_failed,
-              (unsigned long long)stats.requests_coalesced);
-  std::printf("selection cache        %llu hits / %llu misses / %llu evictions\n",
-              (unsigned long long)stats.selection_cache.hits,
-              (unsigned long long)stats.selection_cache.misses,
-              (unsigned long long)stats.selection_cache.evictions);
-  std::printf("model registry         %llu fits, %llu disk loads, %llu hits\n",
-              (unsigned long long)stats.registry.fits,
-              (unsigned long long)stats.registry.loads,
-              (unsigned long long)stats.registry.cache.hits);
+  std::printf("json | %s\n", stats.ToJson().c_str());
   std::printf("\nOK: >=100 queries, %zu workers, bit-identical, cache hits > 0\n",
               kWorkers);
   return 0;

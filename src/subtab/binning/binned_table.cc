@@ -44,6 +44,12 @@ BinnedTable BinnedTable::Compute(const Table& table, const BinningOptions& optio
   return FromTable(table, TableBinning::Compute(table, options));
 }
 
+void BinnedTable::AppendTokenRows(const Token* tokens, size_t count) {
+  SUBTAB_CHECK(num_columns_ > 0);
+  cells_.insert(cells_.end(), tokens, tokens + count * num_columns_);
+  num_rows_ += count;
+}
+
 Token BinnedTable::TokenOfDense(size_t dense) const {
   SUBTAB_CHECK(dense < total_bins_);
   // offsets_ is ascending; linear scan is fine at m <= a few hundred.

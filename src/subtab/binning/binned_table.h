@@ -37,6 +37,13 @@ class BinnedTable {
   /// Convenience: compute the binning and apply it in one step.
   static BinnedTable Compute(const Table& table, const BinningOptions& options = {});
 
+  /// Extends the matrix with `count` pre-tokenized rows (row-major,
+  /// count * num_columns() tokens). The binning spec stays frozen — this is
+  /// the streaming layer's incremental maintenance path (see
+  /// binning/incremental.h): appended rows are tokenized against the
+  /// existing spec, so the vocabulary (total_bins) never changes.
+  void AppendTokenRows(const Token* tokens, size_t count);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return num_columns_; }
 

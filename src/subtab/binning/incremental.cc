@@ -1,0 +1,106 @@
+#include "subtab/binning/incremental.h"
+
+namespace subtab {
+
+IncrementalBinner::IncrementalBinner(const Table& base, TableBinning frozen)
+    : frozen_(std::move(frozen)) {
+  SUBTAB_CHECK(frozen_.num_columns() == base.num_columns());
+  const size_t m = base.num_columns();
+  ranges_.resize(m);
+  fit_dict_size_.resize(m, 0);
+  drift_.resize(m);
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = base.column(c);
+    if (col.is_numeric()) {
+      ranges_[c].any = col.NumericRange(&ranges_[c].min, &ranges_[c].max);
+    } else {
+      fit_dict_size_[c] = col.dictionary().size();
+    }
+  }
+}
+
+void IncrementalBinner::AppendRows(const Table& full, size_t row_begin,
+                                   BinnedTable* binned) {
+  SUBTAB_CHECK(binned != nullptr);
+  SUBTAB_CHECK(full.num_columns() == frozen_.num_columns());
+  SUBTAB_CHECK(row_begin <= full.num_rows());
+  SUBTAB_CHECK(binned->num_rows() == row_begin);
+  const size_t m = full.num_columns();
+  const size_t count = full.num_rows() - row_begin;
+  if (count == 0) return;
+
+  std::vector<Token> tokens(count * m);
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = full.column(c);
+    const ColumnBinning& cb = frozen_.column(c);
+    ColumnDrift& drift = drift_[c];
+    // Unseen categories fall back to the shared tail bin when the fit
+    // grouped one (dictionary larger than the kept bins), else to the null
+    // bin — "category unknown to the model" and "value missing" coincide.
+    const bool has_other = cb.type == ColumnType::kCategorical &&
+                           fit_dict_size_[c] > cb.num_value_bins;
+    const uint32_t fallback_bin =
+        has_other ? cb.num_value_bins - 1 : cb.null_bin();
+    for (size_t i = 0; i < count; ++i) {
+      const size_t r = row_begin + i;
+      uint32_t bin;
+      if (col.is_null(r)) {
+        bin = cb.null_bin();
+        ++drift.nulls;
+      } else if (col.is_numeric()) {
+        const double v = col.num_value(r);
+        bin = cb.BinOfNumeric(v);
+        if (!ranges_[c].any || v < ranges_[c].min || v > ranges_[c].max) {
+          ++drift.out_of_range;
+        }
+      } else {
+        const int32_t code = col.cat_code(r);
+        if (static_cast<size_t>(code) < fit_dict_size_[c]) {
+          bin = cb.BinOfCode(code);
+        } else {
+          bin = fallback_bin;
+          ++drift.new_categories;
+        }
+      }
+      ++drift.appended;
+      tokens[i * m + c] = MakeToken(static_cast<uint32_t>(c), bin);
+    }
+  }
+  binned->AppendTokenRows(tokens.data(), count);
+  rows_appended_ += count;
+}
+
+double IncrementalBinner::OutOfRangeRate() const {
+  uint64_t out = 0;
+  uint64_t cells = 0;
+  for (size_t c = 0; c < drift_.size(); ++c) {
+    if (frozen_.column(c).type != ColumnType::kNumeric) continue;
+    out += drift_[c].out_of_range;
+    cells += drift_[c].appended - drift_[c].nulls;
+  }
+  return cells == 0 ? 0.0 : static_cast<double>(out) / static_cast<double>(cells);
+}
+
+double IncrementalBinner::NewCategoryRate() const {
+  uint64_t unseen = 0;
+  uint64_t cells = 0;
+  for (size_t c = 0; c < drift_.size(); ++c) {
+    if (frozen_.column(c).type != ColumnType::kCategorical) continue;
+    unseen += drift_[c].new_categories;
+    cells += drift_[c].appended - drift_[c].nulls;
+  }
+  return cells == 0 ? 0.0
+                    : static_cast<double>(unseen) / static_cast<double>(cells);
+}
+
+void IncrementalBinner::ResetDrift() {
+  for (ColumnDrift& drift : drift_) drift = ColumnDrift{};
+}
+
+void IncrementalBinner::RestoreState(DriftState state) {
+  SUBTAB_CHECK(state.drift.size() == drift_.size());
+  drift_ = std::move(state.drift);
+  rows_appended_ = state.rows_appended;
+}
+
+}  // namespace subtab

@@ -1,0 +1,101 @@
+#ifndef SUBTAB_BINNING_INCREMENTAL_H_
+#define SUBTAB_BINNING_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/table/table.h"
+
+/// \file incremental.h
+/// Incremental bin maintenance for append-mostly tables (stream/). The
+/// paper computes a binning once per table load (Algorithm 2 line 1); for a
+/// streaming table a full re-bin per batch would re-pay exactly the cost the
+/// two-phase split avoids. Instead the fit-time spec is *frozen* and
+/// appended rows are tokenized against it: every new cell still maps to an
+/// existing (column, bin) token, so the embedding vocabulary is unchanged
+/// and the fitted cell model remains valid (fold-in).
+///
+/// Freezing is only sound while new data resembles the data the spec was
+/// fitted on, so the binner doubles as a drift detector. Per column it
+/// counts appended cells that fall outside the fit-time numeric range
+/// (out-of-range) or carry a category unseen at fit time (new-category);
+/// the refresh policy (stream/refresh_policy.h) reads these rates to decide
+/// when the spec has gone stale and a full refit is due.
+
+namespace subtab {
+
+/// Drift counters of one column, accumulated since the last ResetDrift().
+struct ColumnDrift {
+  /// Appended cells, including nulls.
+  uint64_t appended = 0;
+  uint64_t nulls = 0;
+  /// Numeric cells outside the fit-time observed [min, max].
+  uint64_t out_of_range = 0;
+  /// Categorical cells whose value was not in the fit-time dictionary.
+  uint64_t new_categories = 0;
+};
+
+/// Tokenizes appended rows against a frozen binning spec and accumulates
+/// per-column drift counters. Not thread-safe; the owning StreamSession
+/// serializes appends.
+class IncrementalBinner {
+ public:
+  /// Captures the fit-time reference state: the frozen spec plus, per
+  /// column, the observed numeric range / dictionary size of `base` (the
+  /// table the spec was computed on).
+  IncrementalBinner(const Table& base, TableBinning frozen);
+
+  /// Tokenizes rows [row_begin, full.num_rows()) of `full` — the streaming
+  /// table *after* the batch was appended, so categorical codes are in the
+  /// master dictionary — against the frozen spec and appends them to
+  /// `binned`. Values outside the spec map conservatively: out-of-range
+  /// numerics land in the unbounded edge bins, unseen categories in the
+  /// "other" bin when the spec grouped a tail, else in the null bin; both
+  /// bump the drift counters.
+  void AppendRows(const Table& full, size_t row_begin, BinnedTable* binned);
+
+  const TableBinning& binning() const { return frozen_; }
+  const std::vector<ColumnDrift>& drift() const { return drift_; }
+  uint64_t rows_appended() const { return rows_appended_; }
+
+  /// Appended numeric cells outside the fit-time range, as a fraction of all
+  /// appended non-null numeric cells (0 when none were appended).
+  double OutOfRangeRate() const;
+  /// Appended unseen-category cells over all appended non-null categorical
+  /// cells (0 when none were appended).
+  double NewCategoryRate() const;
+
+  /// Clears the drift counters (after the spec was refreshed by a refit).
+  void ResetDrift();
+
+  /// Snapshot/restore of the accumulated counters, so a caller whose
+  /// fallible follow-up work (model refresh) failed can un-account an
+  /// already-tokenized batch.
+  struct DriftState {
+    std::vector<ColumnDrift> drift;
+    uint64_t rows_appended = 0;
+  };
+  DriftState SaveState() const { return DriftState{drift_, rows_appended_}; }
+  void RestoreState(DriftState state);
+
+ private:
+  TableBinning frozen_;
+  /// Fit-time observed numeric range per column (unset when the base column
+  /// had no non-null values).
+  struct FitRange {
+    double min = 0.0;
+    double max = 0.0;
+    bool any = false;
+  };
+  std::vector<FitRange> ranges_;
+  /// Fit-time dictionary size per categorical column; codes >= this are
+  /// categories first seen after the fit.
+  std::vector<size_t> fit_dict_size_;
+  std::vector<ColumnDrift> drift_;
+  uint64_t rows_appended_ = 0;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_BINNING_INCREMENTAL_H_

@@ -50,6 +50,41 @@ uint64_t HashColumn(uint64_t h, const Column& col) {
 
 }  // namespace
 
+uint64_t TableSliceFingerprint(const Table& table, size_t row_begin,
+                               size_t row_end) {
+  SUBTAB_CHECK(row_begin <= row_end && row_end <= table.num_rows());
+  uint64_t h = HashString("subtab.slice.v1");
+  h = HashCombine(h, row_end - row_begin);
+  h = HashCombine(h, table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    h = HashCombine(h, HashString(col.name()));
+    h = HashCombine(h, static_cast<uint64_t>(col.type()));
+    for (size_t r = row_begin; r < row_end; ++r) {
+      if (col.is_null(r)) {
+        h = HashCombine(h, 0);
+      } else if (col.is_numeric()) {
+        h = HashDoubleBits(HashCombine(h, 1), col.num_value(r));
+      } else {
+        // By value, not dictionary code: codes are first-seen order in the
+        // *containing* table, so they differ between a standalone batch and
+        // the same rows appended after a larger dictionary.
+        h = HashCombine(HashCombine(h, 1), HashString(col.cat_value(r)));
+      }
+    }
+  }
+  return h;
+}
+
+uint64_t ChainFingerprint(uint64_t parent_fp, uint64_t delta_fp,
+                          uint64_t version) {
+  uint64_t h = HashString("subtab.chain.v1");
+  h = HashCombine(h, parent_fp);
+  h = HashCombine(h, delta_fp);
+  h = HashCombine(h, version);
+  return h;
+}
+
 uint64_t TableFingerprint(const Table& table) {
   uint64_t h = HashString("subtab.table.v1");
   h = HashCombine(h, table.num_rows());
@@ -88,7 +123,12 @@ uint64_t ConfigFingerprint(const SubTabConfig& config) {
   return h;
 }
 
-uint64_t ModelKey::Digest() const { return HashCombine(table_fp, config_fp); }
+uint64_t ModelKey::Digest() const {
+  const uint64_t d = HashCombine(table_fp, config_fp);
+  // Version 0 (static tables) keeps the pre-streaming digest, so existing
+  // on-disk model artifacts stay addressable by name.
+  return version == 0 ? d : HashCombine(d, version);
+}
 
 ModelKey MakeModelKey(const Table& table, const SubTabConfig& config) {
   return ModelKey{TableFingerprint(table), ConfigFingerprint(config)};

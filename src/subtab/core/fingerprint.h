@@ -13,6 +13,15 @@
 /// (TableFingerprint, ConfigFingerprint). Both hashes are content-based and
 /// persistent: they also name on-disk model-cache artifacts, so they must be
 /// identical across processes and versions (see util/hash.h).
+///
+/// Streaming tables (stream/) need identity for *evolving* content. A full
+/// re-hash per appended batch would defeat incremental maintenance, so a
+/// stream's version-v fingerprint is a chain: the base table's fingerprint
+/// folded with each batch's slice fingerprint in append order
+/// (ChainFingerprint). Two streams that started from the same base and
+/// ingested the same batches in the same order agree on every version's
+/// fingerprint across processes — the property the (table fp, version)-keyed
+/// registry relies on.
 
 namespace subtab {
 
@@ -22,17 +31,37 @@ namespace subtab {
 /// the pre-processing it deduplicates.
 uint64_t TableFingerprint(const Table& table);
 
+/// Content hash of the rows [row_begin, row_end) only. Unlike
+/// TableFingerprint it hashes categorical cells by their string value (not
+/// dictionary code), so the hash of a batch equals the hash of the same rows
+/// after they were appended to a table with a larger dictionary. O(rows in
+/// slice); the streaming layer hashes each appended batch exactly once.
+uint64_t TableSliceFingerprint(const Table& table, size_t row_begin,
+                               size_t row_end);
+
+/// Folds one appended batch into a chained stream fingerprint:
+/// parent version fp x (delta fp, version index) -> child version fp.
+/// Order-sensitive, so reordered batches yield different chains.
+uint64_t ChainFingerprint(uint64_t parent_fp, uint64_t delta_fp,
+                          uint64_t version);
+
 /// Hash of every field of the config that influences a fitted SubTab:
 /// dimensions, alpha, target columns, binning/corpus/embedding options, seed.
 uint64_t ConfigFingerprint(const SubTabConfig& config);
 
 /// Combined model identity used by the registry and model-cache file names.
+/// Static tables have version 0; a streaming table's version-v model carries
+/// v plus the chained content fingerprint in `table_fp`. Version 0 digests
+/// are identical to the pre-streaming scheme, so persisted model artifacts
+/// keep their file names.
 struct ModelKey {
   uint64_t table_fp = 0;
   uint64_t config_fp = 0;
+  uint64_t version = 0;
 
   bool operator==(const ModelKey& other) const {
-    return table_fp == other.table_fp && config_fp == other.config_fp;
+    return table_fp == other.table_fp && config_fp == other.config_fp &&
+           version == other.version;
   }
   /// Single 64-bit digest (cache-shard index, file names).
   uint64_t Digest() const;

@@ -39,32 +39,16 @@ const SigmoidTable& Sigmoid() {
   return table;
 }
 
-}  // namespace
-
-Word2VecModel Word2VecModel::Train(const Corpus& corpus,
-                                   const Word2VecOptions& options) {
-  Word2VecModel model;
-  model.dim_ = options.dim;
-  model.vocab_size_ = corpus.vocab_size();
-  const size_t dim = options.dim;
-  const size_t vocab = model.vocab_size_;
-  SUBTAB_CHECK(dim > 0);
-
-  Vocabulary vocabulary(corpus, vocab);
-
-  // Init: input vectors uniform in [-0.5/dim, 0.5/dim], output vectors zero.
-  Rng init_rng(options.seed);
-  model.in_.resize(vocab * dim);
-  std::vector<float> out(vocab * dim, 0.0f);
-  for (float& v : model.in_) {
-    v = static_cast<float>((init_rng.UniformDouble() - 0.5) / static_cast<double>(dim));
-  }
-  if (corpus.sentences().empty() || vocabulary.total_count() == 0) return model;
+/// The SGNS epoch loop shared by Train (fresh vectors) and ContinueTraining
+/// (vectors of an existing model, delta corpus). Updates `in_data` and
+/// `out_data` (both vocab x dim, row-major) in place.
+void RunSgnsEpochs(const Corpus& corpus, const Word2VecOptions& options,
+                   size_t dim, float* in_data, float* out_data) {
+  Vocabulary vocabulary(corpus, corpus.vocab_size());
+  if (corpus.sentences().empty() || vocabulary.total_count() == 0) return;
 
   const size_t total_sentences = corpus.sentences().size() * options.epochs;
   std::atomic<size_t> sentences_done{0};
-  float* in_data = model.in_.data();
-  float* out_data = out.data();
   const SigmoidTable& sigmoid = Sigmoid();
 
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
@@ -149,7 +133,38 @@ Word2VecModel Word2VecModel::Train(const Corpus& corpus,
     SUBTAB_LOG_STREAM(Debug) << "word2vec epoch " << epoch + 1 << "/" << options.epochs
                              << " done";
   }
+}
+
+}  // namespace
+
+Word2VecModel Word2VecModel::Train(const Corpus& corpus,
+                                   const Word2VecOptions& options) {
+  Word2VecModel model;
+  model.dim_ = options.dim;
+  model.vocab_size_ = corpus.vocab_size();
+  const size_t dim = options.dim;
+  const size_t vocab = model.vocab_size_;
+  SUBTAB_CHECK(dim > 0);
+
+  // Init: input vectors uniform in [-0.5/dim, 0.5/dim], output vectors zero.
+  Rng init_rng(options.seed);
+  model.in_.resize(vocab * dim);
+  std::vector<float> out(vocab * dim, 0.0f);
+  for (float& v : model.in_) {
+    v = static_cast<float>((init_rng.UniformDouble() - 0.5) / static_cast<double>(dim));
+  }
+  RunSgnsEpochs(corpus, options, dim, model.in_.data(), out.data());
   return model;
+}
+
+void Word2VecModel::ContinueTraining(const Corpus& corpus,
+                                     const Word2VecOptions& options) {
+  SUBTAB_CHECK(dim_ > 0);
+  SUBTAB_CHECK(corpus.vocab_size() == vocab_size_);
+  Word2VecOptions continued = options;
+  continued.dim = dim_;
+  std::vector<float> out(vocab_size_ * dim_, 0.0f);
+  RunSgnsEpochs(corpus, continued, dim_, in_.data(), out.data());
 }
 
 Word2VecModel Word2VecModel::FromVectors(size_t dim, std::vector<float> vectors) {

@@ -41,6 +41,17 @@ class Word2VecModel {
   /// Trains SGNS over the corpus.
   static Word2VecModel Train(const Corpus& corpus, const Word2VecOptions& options);
 
+  /// Continues SGNS training from this model's vectors over a (typically
+  /// small) delta corpus — the streaming layer's incremental refresh
+  /// (stream/refresh_policy.h): a few epochs over sentences drawn from newly
+  /// appended rows nudge the embedding toward the new data at a fraction of
+  /// a full retrain. The corpus must use the same vocabulary (same dense
+  /// token ids; the frozen bin spec guarantees this). Only input vectors are
+  /// part of the model/artifact, so the output layer restarts at zero — the
+  /// same approximation a model reloaded from disk would make.
+  /// `options.dim` is ignored in favour of the model's dimension.
+  void ContinueTraining(const Corpus& corpus, const Word2VecOptions& options);
+
   /// Wraps pre-computed vectors (row-major vocab x dim); used by EmbDI to
   /// expose the token-node slice of its graph embedding.
   static Word2VecModel FromVectors(size_t dim, std::vector<float> vectors);

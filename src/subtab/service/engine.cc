@@ -1,6 +1,9 @@
 #include "subtab/service/engine.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "subtab/util/string_util.h"
 
 namespace subtab::service {
 namespace {
@@ -31,8 +34,98 @@ Status ServingEngine::RegisterTable(const std::string& table_id,
       registry_.GetOrFitKeyed(key, table, config);
   if (!model.ok()) return model.status();
   std::unique_lock<std::shared_mutex> lock(tables_mu_);
-  tables_[table_id] = TableEntry{*model, key.Digest()};
+  tables_[table_id] = TableEntry{*model, key, key.Digest(), nullptr};
   return Status::Ok();
+}
+
+Status ServingEngine::RegisterStream(
+    const std::string& table_id,
+    std::shared_ptr<stream::StreamSession> stream) {
+  if (stream == nullptr) {
+    return Status::InvalidArgument("stream must not be null");
+  }
+  // Snapshot and bind under tables_mu_: snapshotting outside it would let a
+  // concurrent Append sweep run in between and leave this id bound to the
+  // swept (stale) version forever. Inside the lock, any sweep either
+  // happened before (the snapshot already sees its version) or happens
+  // after our insert (the sweep upgrades this entry with the rest). The
+  // snapshot's publish_mu_ nests inside tables_mu_ only here, and no path
+  // acquires them in the opposite order.
+  std::unique_lock<std::shared_mutex> lock(tables_mu_);
+  stream::PublishedModel published = stream->Snapshot();
+  registry_.Publish(published.key, published.model);
+  tables_[table_id] =
+      TableEntry{std::move(published.model), published.key,
+                 published.key.Digest(), std::move(stream)};
+  return Status::Ok();
+}
+
+Result<stream::RefreshEvent> ServingEngine::Append(const std::string& table_id,
+                                                   const Table& batch) {
+  std::shared_ptr<stream::StreamSession> stream;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    auto it = tables_.find(table_id);
+    if (it == tables_.end() || it->second.stream == nullptr) {
+      return Status::NotFound("no stream registered as: " + table_id);
+    }
+    stream = it->second.stream;
+  }
+
+  // The session serializes appends and model maintenance internally;
+  // concurrent selects keep serving whatever entry they already resolved.
+  // The event carries the (model, key) pair of the version THIS append
+  // published — re-reading stream->model() here could observe a later
+  // concurrent append's model and register it under this append's key.
+  Result<stream::RefreshEvent> event = stream->Append(batch);
+  if (!event.ok()) return event.status();
+  const ModelKey key = event->key;
+
+  // Every id bound to this stream at an older version republishes; their
+  // superseded versions' registry entries and cached selections go. Ids
+  // bound to the same stream share one superseded (digest, key) — dedup so
+  // each O(entries) cache sweep runs once. The registry Publish happens
+  // inside the same critical section that proves this event is still the
+  // newest bound version — a preempted appender whose version was already
+  // superseded must not re-insert its dead model after the sweep.
+  std::vector<std::pair<uint64_t, ModelKey>> superseded;
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    for (auto& [id, entry] : tables_) {
+      // The version guard keeps a slow appender from rolling an id back
+      // below a newer republish.
+      if (entry.stream != stream || entry.key.version >= key.version) continue;
+      superseded.emplace_back(entry.model_digest, entry.key);
+      entry.model = event->model;
+      entry.key = key;
+      entry.model_digest = key.Digest();
+    }
+    if (!superseded.empty()) registry_.Publish(key, event->model);
+    // A superseded digest can still be live under another entry: a static
+    // RegisterTable of the same (table, config) shares the stream's
+    // version-0 key by design. Sweeping it would flush that table's warm
+    // selections and evict its shared fitted model — keep those.
+    std::erase_if(superseded, [this](const auto& dead) {
+      for (const auto& [id, entry] : tables_) {
+        if (entry.model_digest == dead.first) return true;
+      }
+      return false;
+    });
+  }
+  std::sort(superseded.begin(), superseded.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  superseded.erase(std::unique(superseded.begin(), superseded.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.first == b.first;
+                               }),
+                   superseded.end());
+  uint64_t invalidated = 0;
+  for (const auto& [digest, old_key] : superseded) {
+    invalidated += selection_cache_.InvalidateModel(digest);
+    registry_.Erase(old_key);
+  }
+  cache_invalidations_.fetch_add(invalidated, std::memory_order_relaxed);
+  return event;
 }
 
 std::shared_ptr<const SubTab> ServingEngine::GetModel(
@@ -124,8 +217,23 @@ void ServingEngine::Execute(const SelectionKey& key,
   }
   // Both outcomes are deterministic functions of the key, so errors are
   // memoized too — a repeated empty-result query must not rescan the table.
-  selection_cache_.Put(key,
-                       std::make_shared<const CachedSelection>(outcome));
+  // Guard: cache only while the table still serves this model version — a
+  // result computed across a stream republish would otherwise re-insert
+  // under a digest InvalidateModel already swept, parking an unreachable
+  // entry until LRU eviction. (Best-effort: a republish between this check
+  // and the Put still leaks one entry; it cannot serve wrong results, the
+  // digest no longer matches any table.)
+  bool version_current = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    auto it = tables_.find(request.table_id);
+    version_current =
+        it != tables_.end() && it->second.model_digest == key.model_digest;
+  }
+  if (version_current) {
+    selection_cache_.Put(key,
+                         std::make_shared<const CachedSelection>(outcome));
+  }
   SelectResponse response;
   response.status = outcome.status;
   response.view = outcome.view;
@@ -171,11 +279,74 @@ EngineStats ServingEngine::Stats() const {
   stats.requests_coalesced = requests_coalesced_.load(std::memory_order_relaxed);
   stats.num_threads = pool_.num_threads();
   stats.queue_depth = pool_.queue_depth();
+  std::vector<std::shared_ptr<stream::StreamSession>> streams;
   {
     std::shared_lock<std::shared_mutex> lock(tables_mu_);
     stats.tables = tables_.size();
+    std::unordered_set<const stream::StreamSession*> seen;
+    for (const auto& [id, entry] : tables_) {
+      // One stream may be bound under several ids; count it once.
+      if (entry.stream != nullptr && seen.insert(entry.stream.get()).second) {
+        streams.push_back(entry.stream);
+      }
+    }
+  }
+  stats.streaming.streams = streams.size();
+  stats.streaming.cache_invalidations =
+      cache_invalidations_.load(std::memory_order_relaxed);
+  for (const auto& stream : streams) {
+    const stream::StreamStats s = stream->Stats();
+    stats.streaming.appends += s.appends;
+    stats.streaming.rows_appended += s.rows_appended;
+    stats.streaming.fold_ins += s.fold_ins;
+    stats.streaming.incremental_refreshes += s.incremental_refreshes;
+    stats.streaming.full_refits += s.full_refits;
+    stats.streaming.fold_in_seconds += s.fold_in_seconds;
+    stats.streaming.incremental_seconds += s.incremental_seconds;
+    stats.streaming.refit_seconds += s.refit_seconds;
   }
   return stats;
+}
+
+std::string EngineStats::ToJson() const {
+  std::string json = "{";
+  json += StrFormat("\"tables\":%zu,\"threads\":%zu,\"queue_depth\":%zu,",
+                    tables, num_threads, queue_depth);
+  json += StrFormat(
+      "\"requests\":{\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
+      "\"coalesced\":%llu},",
+      (unsigned long long)requests_submitted,
+      (unsigned long long)requests_completed,
+      (unsigned long long)requests_failed,
+      (unsigned long long)requests_coalesced);
+  json += StrFormat(
+      "\"selection_cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+      "\"evictions\":%llu,\"entries\":%zu},",
+      (unsigned long long)selection_cache.hits,
+      (unsigned long long)selection_cache.misses,
+      (unsigned long long)selection_cache.insertions,
+      (unsigned long long)selection_cache.evictions, selection_cache.entries);
+  json += StrFormat(
+      "\"registry\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+      "\"entries\":%zu,\"loads\":%llu,\"fits\":%llu,\"coalesced\":%llu},",
+      (unsigned long long)registry.cache.hits,
+      (unsigned long long)registry.cache.misses,
+      (unsigned long long)registry.cache.evictions, registry.cache.entries,
+      (unsigned long long)registry.loads, (unsigned long long)registry.fits,
+      (unsigned long long)registry.coalesced);
+  json += StrFormat(
+      "\"streaming\":{\"streams\":%zu,\"appends\":%llu,\"rows_appended\":%llu,"
+      "\"fold_ins\":%llu,\"incremental_refreshes\":%llu,\"full_refits\":%llu,"
+      "\"fold_in_seconds\":%.6g,\"incremental_seconds\":%.6g,"
+      "\"refit_seconds\":%.6g,\"cache_invalidations\":%llu}}",
+      streaming.streams, (unsigned long long)streaming.appends,
+      (unsigned long long)streaming.rows_appended,
+      (unsigned long long)streaming.fold_ins,
+      (unsigned long long)streaming.incremental_refreshes,
+      (unsigned long long)streaming.full_refits, streaming.fold_in_seconds,
+      streaming.incremental_seconds, streaming.refit_seconds,
+      (unsigned long long)streaming.cache_invalidations);
+  return json;
 }
 
 }  // namespace subtab::service

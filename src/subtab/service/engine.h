@@ -15,6 +15,7 @@
 #include "subtab/core/subtab.h"
 #include "subtab/service/model_registry.h"
 #include "subtab/service/selection_cache.h"
+#include "subtab/stream/stream_session.h"
 #include "subtab/util/thread_pool.h"
 
 /// \file engine.h
@@ -25,6 +26,8 @@
 ///
 ///   RegisterTable ── ModelRegistry ── one shared fit per (table, config),
 ///                                     LRU-evicted, optionally disk-backed
+///   RegisterStream ─ StreamSession ── append-mostly tables: versions are
+///                                     registry entries (fp, config, version)
 ///   SubmitSelect ─── SelectionCache ── repeated displays are cache hits
 ///                └── in-flight dedup ── identical concurrent requests run once
 ///                └── ThreadPool ─────── everything else fans out to workers
@@ -33,6 +36,13 @@
 /// workers call exactly that method on the shared immutable model (see the
 /// thread-safety contract in core/subtab.h), and caching only memoizes a
 /// deterministic function of (model, query, k, l, seed).
+///
+/// Streaming tables (stream/): Append ingests a batch through the bound
+/// StreamSession — fold-in / incremental epochs / full refit per its
+/// refresh policy — then atomically republishes the id at the new version.
+/// In-flight selects finish against the version they started on; the
+/// superseded version's selection-cache entries are invalidated, every
+/// other table's stay warm.
 ///
 /// Future scaling seams (see ROADMAP.md): the registry generalizes to a
 /// shard-per-node map, SubmitSelect to an async RPC, the pool to per-tenant
@@ -70,10 +80,27 @@ struct EngineOptions {
   std::string persist_dir;
 };
 
+/// Refresh activity across every stream bound to the engine (aggregated
+/// from stream::StreamStats, deduplicated when one stream serves many ids).
+struct StreamingStats {
+  size_t streams = 0;
+  uint64_t appends = 0;
+  uint64_t rows_appended = 0;
+  uint64_t fold_ins = 0;
+  uint64_t incremental_refreshes = 0;
+  uint64_t full_refits = 0;
+  double fold_in_seconds = 0.0;
+  double incremental_seconds = 0.0;
+  double refit_seconds = 0.0;
+  /// Selection-cache entries dropped when a version was superseded.
+  uint64_t cache_invalidations = 0;
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
   CacheCounters selection_cache;
+  StreamingStats streaming;
   uint64_t requests_submitted = 0;
   uint64_t requests_completed = 0;
   uint64_t requests_failed = 0;
@@ -82,6 +109,11 @@ struct EngineStats {
   size_t num_threads = 0;
   size_t queue_depth = 0;
   size_t tables = 0;
+
+  /// One-line JSON rendering of every counter — the machine-readable form
+  /// emitted by serving_demo and the bench harnesses (bench_common.h's
+  /// "json |" convention) and by any ops endpoint that scrapes the engine.
+  std::string ToJson() const;
 };
 
 class ServingEngine {
@@ -99,6 +131,21 @@ class ServingEngine {
   /// Re-registering an id atomically swaps the binding.
   Status RegisterTable(const std::string& table_id, const Table& table,
                        SubTabConfig config);
+
+  /// Binds `table_id` to an append-mostly stream (stream/stream_session.h):
+  /// the id serves the stream's latest version, starting from its current
+  /// model. Appends go through Append() below; a stream may be bound under
+  /// several ids (all republished on append).
+  Status RegisterStream(const std::string& table_id,
+                        std::shared_ptr<stream::StreamSession> stream);
+
+  /// Ingests one batch into the stream bound to `table_id` and republishes
+  /// every id bound to that stream at the new version. Selects submitted
+  /// before the republish complete against the version they resolved;
+  /// selects after it see the new rows. Returns the stream's refresh
+  /// outcome (which maintenance level ran, and its cost).
+  Result<stream::RefreshEvent> Append(const std::string& table_id,
+                                      const Table& batch);
 
   /// The model behind an id (nullptr if unregistered). Shared and immutable.
   std::shared_ptr<const SubTab> GetModel(const std::string& table_id) const;
@@ -123,7 +170,13 @@ class ServingEngine {
  private:
   struct TableEntry {
     std::shared_ptr<const SubTab> model;
+    /// Registry key of `model`; key.Digest() is the selection-cache
+    /// model_digest.
+    ModelKey key;
     uint64_t model_digest = 0;
+    /// Set when the id is bound to a stream; key.version orders republishes
+    /// so a slow appender can never roll an id back to an older version.
+    std::shared_ptr<stream::StreamSession> stream;
   };
 
   /// Cache/dedup identity of a request against a resolved table entry.
@@ -156,6 +209,7 @@ class ServingEngine {
   std::atomic<uint64_t> requests_completed_{0};
   std::atomic<uint64_t> requests_failed_{0};
   std::atomic<uint64_t> requests_coalesced_{0};
+  std::atomic<uint64_t> cache_invalidations_{0};
 
   /// Declared last: destroyed first, so workers drain while the caches and
   /// tables above are still alive.

@@ -108,6 +108,41 @@ class ShardedLruCache {
     }
   }
 
+  /// Erases one key; returns whether it was resident. Not counted as an
+  /// eviction: the entry was invalidated, not displaced by capacity.
+  bool Erase(const K& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
+  /// Erases every entry whose key satisfies `pred`; returns the count.
+  /// O(entries) across all shards — meant for rare, targeted invalidation
+  /// (a streaming table superseding a version), not steady-state traffic.
+  /// Not counted as evictions: these entries were invalidated, not
+  /// displaced by capacity.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.order.begin(); it != shard.order.end();) {
+        if (pred(it->first)) {
+          shard.index.erase(it->first);
+          it = shard.order.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
   CacheCounters Stats() const {
     CacheCounters c;
     c.hits = hits_.load(std::memory_order_relaxed);

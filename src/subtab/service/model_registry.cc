@@ -86,6 +86,13 @@ std::shared_ptr<const SubTab> ModelRegistry::Peek(const ModelKey& key) {
   return cache_.Get(key);
 }
 
+void ModelRegistry::Publish(const ModelKey& key,
+                            std::shared_ptr<const SubTab> model) {
+  cache_.Put(key, std::move(model));
+}
+
+bool ModelRegistry::Erase(const ModelKey& key) { return cache_.Erase(key); }
+
 ModelRegistryStats ModelRegistry::Stats() const {
   ModelRegistryStats stats;
   stats.cache = cache_.Stats();

@@ -68,6 +68,19 @@ class ModelRegistry {
   /// Resident model lookup without fitting; nullptr when absent.
   std::shared_ptr<const SubTab> Peek(const ModelKey& key);
 
+  /// Inserts an externally fitted model under `key` — the streaming path:
+  /// a StreamSession maintains its model incrementally and publishes each
+  /// version under its (chained fp, config fp, version) key, so concurrent
+  /// sessions of the same stream share versions exactly like static tables
+  /// share fits. Not persisted to disk: a version is superseded within
+  /// seconds, unlike the minutes-long fits the artifact store amortizes.
+  void Publish(const ModelKey& key, std::shared_ptr<const SubTab> model);
+
+  /// Removes a published entry (a stream version that was superseded), so
+  /// dead versions do not churn the LRU and pin full model copies. Returns
+  /// whether the key was resident. In-flight selects keep their shared_ptr.
+  bool Erase(const ModelKey& key);
+
   ModelRegistryStats Stats() const;
 
  private:

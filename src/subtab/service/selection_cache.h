@@ -67,6 +67,16 @@ class SelectionCache {
     return cache_.Put(key, std::move(outcome));
   }
 
+  /// Drops every memoized selection of one model version; returns how many
+  /// were dropped. Called when a streaming table republishes under a new
+  /// version digest — only the superseded version's entries go, selections
+  /// of other tables/versions stay warm.
+  size_t InvalidateModel(uint64_t model_digest) {
+    return cache_.EraseIf([model_digest](const SelectionKey& key) {
+      return key.model_digest == model_digest;
+    });
+  }
+
   void Clear() { cache_.Clear(); }
   CacheCounters Stats() const { return cache_.Stats(); }
 

@@ -1,0 +1,36 @@
+#include "subtab/stream/refresh_policy.h"
+
+namespace subtab::stream {
+
+const char* RefreshActionName(RefreshAction action) {
+  switch (action) {
+    case RefreshAction::kFoldIn:
+      return "fold_in";
+    case RefreshAction::kIncremental:
+      return "incremental";
+    case RefreshAction::kFullRefit:
+      return "full_refit";
+  }
+  return "unknown";
+}
+
+RefreshAction DecideRefresh(const RefreshPolicyOptions& options,
+                            const DriftSnapshot& drift) {
+  const double fitted = static_cast<double>(drift.fitted_rows);
+  if (drift.rows_since_refit >= options.min_rows_for_drift &&
+      (drift.out_of_range_rate > options.max_out_of_range_rate ||
+       drift.new_category_rate > options.max_new_category_rate)) {
+    return RefreshAction::kFullRefit;
+  }
+  if (fitted > 0.0 && static_cast<double>(drift.rows_since_refit) >
+                          options.staleness_budget * fitted) {
+    return RefreshAction::kFullRefit;
+  }
+  if (fitted > 0.0 && static_cast<double>(drift.rows_since_refresh) >
+                          options.incremental_threshold * fitted) {
+    return RefreshAction::kIncremental;
+  }
+  return RefreshAction::kFoldIn;
+}
+
+}  // namespace subtab::stream

@@ -1,0 +1,81 @@
+#ifndef SUBTAB_STREAM_REFRESH_POLICY_H_
+#define SUBTAB_STREAM_REFRESH_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file refresh_policy.h
+/// Per-batch embedding refresh decision. The paper's split (Algorithm 2)
+/// pays pre-processing once and keeps every display cheap; a streaming
+/// table must keep that amortization while the content moves underneath the
+/// fitted model. Three escalating refresh levels trade freshness for cost:
+///
+///   kFoldIn       appended rows are tokenized against the frozen bin spec
+///                 and reuse the existing token vectors — no training at
+///                 all. Sound while new data looks like fit-time data.
+///   kIncremental  a few SGNS epochs over sentences from the appended rows
+///                 only (embed/word2vec ContinueTraining) nudge the
+///                 embedding; cost scales with the delta, not the table.
+///   kFullRefit    the bin spec itself went stale (drift) or too much of
+///                 the table was never seen by a full pass (staleness
+///                 budget): re-pay pre-processing.
+///
+/// The decision is pure: counters in, action out — unit-testable without a
+/// stream, and replaceable by smarter policies behind the same signature.
+
+namespace subtab::stream {
+
+enum class RefreshAction {
+  kFoldIn,
+  kIncremental,
+  kFullRefit,
+};
+
+const char* RefreshActionName(RefreshAction action);
+
+/// Inputs of one decision, accumulated by the stream since the last refit
+/// (drift, staleness) / last embedding refresh of any kind (refresh lag).
+struct DriftSnapshot {
+  /// Appended numeric cells outside the fit-time range, over appended
+  /// non-null numeric cells (binning/incremental.h).
+  double out_of_range_rate = 0.0;
+  /// Appended unseen-category cells over appended non-null categorical
+  /// cells.
+  double new_category_rate = 0.0;
+  /// Rows appended since the last full refit.
+  size_t rows_since_refit = 0;
+  /// Rows appended since the last refresh that touched the embedding
+  /// (incremental or refit).
+  size_t rows_since_refresh = 0;
+  /// Rows the current model's pre-processing pass saw.
+  size_t fitted_rows = 0;
+};
+
+struct RefreshPolicyOptions {
+  /// Drift rates above either threshold mean the frozen spec misrepresents
+  /// the new data: full refit.
+  double max_out_of_range_rate = 0.10;
+  double max_new_category_rate = 0.10;
+  /// Drift rates are noise until this many rows were appended since the
+  /// last refit; below it, drift alone never triggers a refit.
+  size_t min_rows_for_drift = 64;
+  /// Staleness budget: when rows-since-refit exceeds this fraction of the
+  /// fitted rows, the model has never seen too much of the table — refit
+  /// even without drift.
+  double staleness_budget = 0.5;
+  /// Embedding refresh lag: when rows-since-refresh exceeds this fraction
+  /// of the fitted rows, run incremental epochs instead of folding in.
+  double incremental_threshold = 0.1;
+  /// SGNS epochs of one incremental refresh (over the delta corpus).
+  size_t incremental_epochs = 2;
+};
+
+/// Picks the cheapest action consistent with the thresholds. Escalation
+/// order: drift or staleness-budget exhaustion force a refit; otherwise
+/// refresh lag forces incremental epochs; otherwise fold in.
+RefreshAction DecideRefresh(const RefreshPolicyOptions& options,
+                            const DriftSnapshot& drift);
+
+}  // namespace subtab::stream
+
+#endif  // SUBTAB_STREAM_REFRESH_POLICY_H_

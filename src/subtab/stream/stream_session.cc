@@ -1,0 +1,222 @@
+#include "subtab/stream/stream_session.h"
+
+#include <utility>
+#include <vector>
+
+#include "subtab/util/logging.h"
+#include "subtab/util/stopwatch.h"
+
+namespace subtab::stream {
+
+StreamSession::StreamSession(std::unique_ptr<StreamingTable> table,
+                             StreamSessionOptions options,
+                             std::shared_ptr<const SubTab> model)
+    : options_(std::move(options)),
+      config_fp_(ConfigFingerprint(options_.config)),
+      table_(std::move(table)),
+      model_(std::move(model)) {
+  const TableVersion v0 = table_->Current();
+  binner_ = std::make_unique<IncrementalBinner>(
+      *v0.table, model_->preprocessed().binned().binning());
+  fitted_rows_ = v0.num_rows;
+  key_ = ModelKey{v0.fingerprint, config_fp_, v0.version};
+  stats_.fitted_rows = v0.num_rows;
+}
+
+Result<std::shared_ptr<StreamSession>> StreamSession::Open(
+    Table base, StreamSessionOptions options) {
+  SUBTAB_ASSIGN_OR_RETURN(std::unique_ptr<StreamingTable> stream,
+                          StreamingTable::Open(std::move(base)));
+  const TableVersion v0 = stream->Current();
+  Result<SubTab> fitted = SubTab::Fit(*v0.table, options.config);
+  if (!fitted.ok()) return fitted.status();
+  auto model = std::make_shared<const SubTab>(std::move(*fitted));
+  return std::shared_ptr<StreamSession>(new StreamSession(
+      std::move(stream), std::move(options), std::move(model)));
+}
+
+Corpus StreamSession::DeltaCorpus(const BinnedTable& binned,
+                                  size_t row_begin) const {
+  const size_t rows = binned.num_rows();
+  const size_t cols = binned.num_columns();
+  std::vector<Sentence> sentences;
+  const CorpusOptions& corpus_options = options_.config.corpus;
+  if (corpus_options.tuple_sentences) {
+    for (size_t r = row_begin; r < rows; ++r) {
+      Sentence sentence(cols);
+      for (size_t c = 0; c < cols; ++c) {
+        sentence[c] =
+            static_cast<uint32_t>(binned.DenseIndex(binned.token(r, c)));
+      }
+      sentences.push_back(std::move(sentence));
+    }
+  }
+  if (corpus_options.column_sentences) {
+    // Column-sentences restricted to the delta: the local analogue of the
+    // fit-time per-column sentences, keeping cost O(delta), not O(table).
+    for (size_t c = 0; c < cols; ++c) {
+      Sentence sentence(rows - row_begin);
+      for (size_t r = row_begin; r < rows; ++r) {
+        sentence[r - row_begin] =
+            static_cast<uint32_t>(binned.DenseIndex(binned.token(r, c)));
+      }
+      sentences.push_back(std::move(sentence));
+    }
+  }
+  return Corpus::FromSentences(std::move(sentences), binned.total_bins());
+}
+
+Result<RefreshEvent> StreamSession::Append(const Table& batch) {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  Stopwatch watch;
+  // Stage the new version but publish nothing until the refresh succeeded:
+  // a published table without a matching model would wedge every later
+  // append on the row-count mismatch.
+  SUBTAB_ASSIGN_OR_RETURN(TableVersion next, table_->Prepare(batch));
+  const size_t row_begin = next.num_rows - next.delta_rows;
+  const std::shared_ptr<const SubTab> previous = model();
+
+  // Incremental bin maintenance: extend a copy of the current token matrix
+  // with the batch, tokenized against the frozen spec.
+  const IncrementalBinner::DriftState drift_backup = binner_->SaveState();
+  BinnedTable binned = previous->preprocessed().binned();
+  binner_->AppendRows(*next.table, row_begin, &binned);
+
+  DriftSnapshot drift;
+  drift.out_of_range_rate = binner_->OutOfRangeRate();
+  drift.new_category_rate = binner_->NewCategoryRate();
+  drift.rows_since_refit = rows_since_refit_ + next.delta_rows;
+  drift.rows_since_refresh = rows_since_refresh_ + next.delta_rows;
+  drift.fitted_rows = fitted_rows_;
+  const RefreshAction action = DecideRefresh(options_.policy, drift);
+
+  Result<SubTab> refreshed = [&]() -> Result<SubTab> {
+    switch (action) {
+      case RefreshAction::kFullRefit:
+        // Re-pay pre-processing over the whole new version.
+        return SubTab::Fit(*next.table, options_.config);
+      case RefreshAction::kIncremental: {
+        Word2VecModel embedding =
+            previous->preprocessed().cell_model().word2vec();
+        Word2VecOptions continued = options_.config.embedding;
+        continued.epochs = options_.policy.incremental_epochs;
+        continued.seed = options_.config.seed ^ next.version;
+        Stopwatch train;
+        embedding.ContinueTraining(DeltaCorpus(binned, row_begin), continued);
+        PreprocessTimings timings;
+        timings.training_seconds = train.ElapsedSeconds();
+        return SubTab::FromPreprocessed(
+            *next.table, options_.config,
+            PreprocessedTable(std::move(binned), std::move(embedding),
+                              timings));
+      }
+      case RefreshAction::kFoldIn: {
+        // New rows reuse the fitted token vectors as-is: zero training.
+        Word2VecModel embedding =
+            previous->preprocessed().cell_model().word2vec();
+        return SubTab::FromPreprocessed(
+            *next.table, options_.config,
+            PreprocessedTable(std::move(binned), std::move(embedding),
+                              PreprocessTimings{}));
+      }
+    }
+    return Status::Internal("unreachable refresh action");
+  }();
+  if (!refreshed.ok()) {
+    // Roll back the tokenized batch's accounting; the staged table version
+    // was never published, so the stream stays consistent at version n.
+    binner_->RestoreState(drift_backup);
+    return refreshed.status();
+  }
+  auto model = std::make_shared<const SubTab>(std::move(*refreshed));
+  table_->Publish(next);
+
+  const double seconds = watch.ElapsedSeconds();
+  switch (action) {
+    case RefreshAction::kFullRefit:
+      fitted_rows_ = next.num_rows;
+      rows_since_refit_ = 0;
+      rows_since_refresh_ = 0;
+      // The refit recomputed the spec; re-anchor drift detection on it.
+      binner_ = std::make_unique<IncrementalBinner>(
+          *next.table, model->preprocessed().binned().binning());
+      break;
+    case RefreshAction::kIncremental:
+      rows_since_refit_ += next.delta_rows;
+      rows_since_refresh_ = 0;
+      break;
+    case RefreshAction::kFoldIn:
+      rows_since_refit_ += next.delta_rows;
+      rows_since_refresh_ += next.delta_rows;
+      break;
+  }
+
+  // Publish: brief swap under publish_mu_, so model()/Stats() readers only
+  // ever wait microseconds, never for training.
+  {
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    model_ = model;
+    key_ = ModelKey{next.fingerprint, config_fp_, next.version};
+    switch (action) {
+      case RefreshAction::kFullRefit:
+        ++stats_.full_refits;
+        stats_.refit_seconds += seconds;
+        break;
+      case RefreshAction::kIncremental:
+        ++stats_.incremental_refreshes;
+        stats_.incremental_seconds += seconds;
+        break;
+      case RefreshAction::kFoldIn:
+        ++stats_.fold_ins;
+        stats_.fold_in_seconds += seconds;
+        break;
+    }
+    ++stats_.appends;
+    stats_.rows_appended += next.delta_rows;
+    stats_.version = next.version;
+    stats_.out_of_range_rate = binner_->OutOfRangeRate();
+    stats_.new_category_rate = binner_->NewCategoryRate();
+    stats_.rows_since_refit = rows_since_refit_;
+    stats_.fitted_rows = fitted_rows_;
+  }
+
+  SUBTAB_LOG_STREAM(Debug) << "stream append v" << next.version << ": "
+                           << RefreshActionName(action) << " in " << seconds
+                           << "s (+" << next.delta_rows << " rows)";
+
+  RefreshEvent event;
+  event.version = next.version;
+  event.action = action;
+  event.seconds = seconds;
+  event.delta_rows = next.delta_rows;
+  event.drift = drift;
+  event.key = ModelKey{next.fingerprint, config_fp_, next.version};
+  event.model = std::move(model);
+  return event;
+}
+
+std::shared_ptr<const SubTab> StreamSession::model() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return model_;
+}
+
+TableVersion StreamSession::current_version() const {
+  return table_->Current();
+}
+
+ModelKey StreamSession::model_key() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return key_;
+}
+
+PublishedModel StreamSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return PublishedModel{model_, key_};
+}
+
+StreamStats StreamSession::Stats() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return stats_;
+}
+
+}  // namespace subtab::stream

@@ -1,0 +1,147 @@
+#ifndef SUBTAB_STREAM_STREAM_SESSION_H_
+#define SUBTAB_STREAM_STREAM_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "subtab/binning/incremental.h"
+#include "subtab/core/subtab.h"
+#include "subtab/stream/refresh_policy.h"
+#include "subtab/stream/streaming_table.h"
+
+/// \file stream_session.h
+/// The streaming counterpart of the SubTab facade: one append-mostly table
+/// plus an always-servable fitted model. Usage:
+///
+///   auto session = *StreamSession::Open(base_table, options);
+///   session->Append(batch);                  // fold-in / incremental / refit
+///   SubTabView view = session->model()->Select();   // latest version
+///
+/// Every Append publishes a new immutable (table, model) pair — version
+/// isolation: a model obtained before an append keeps selecting over its own
+/// version's rows. The refresh policy (refresh_policy.h) picks the cheapest
+/// model maintenance per batch, driven by the incremental binner's drift
+/// counters; the serving engine (service/engine.h) republishes the latest
+/// version under a (chained fingerprint, config, version) registry key.
+
+namespace subtab::stream {
+
+struct StreamSessionOptions {
+  SubTabConfig config;
+  RefreshPolicyOptions policy;
+};
+
+/// Outcome of one Append: which refresh ran and what it cost. Carries the
+/// published (model, key) pair so callers racing other appenders never
+/// re-read them separately and pair one version's key with another's model.
+struct RefreshEvent {
+  uint64_t version = 0;
+  RefreshAction action = RefreshAction::kFoldIn;
+  /// Wall time from batch receipt to the new model being servable
+  /// (snapshot + incremental binning + the chosen refresh).
+  double seconds = 0.0;
+  size_t delta_rows = 0;
+  /// The counters the decision was based on.
+  DriftSnapshot drift;
+  /// Registry key of the new version's model.
+  ModelKey key;
+  /// The new version's model itself (what model() would return right after
+  /// this append published).
+  std::shared_ptr<const SubTab> model;
+};
+
+/// A consistent (model, key) pair, read in one critical section.
+struct PublishedModel {
+  std::shared_ptr<const SubTab> model;
+  ModelKey key;
+};
+
+/// Counter snapshot for introspection (EngineStats aggregates these).
+struct StreamStats {
+  uint64_t version = 0;
+  uint64_t appends = 0;
+  uint64_t rows_appended = 0;
+  uint64_t fold_ins = 0;
+  uint64_t incremental_refreshes = 0;
+  uint64_t full_refits = 0;
+  double fold_in_seconds = 0.0;
+  double incremental_seconds = 0.0;
+  double refit_seconds = 0.0;
+  /// Drift accumulated since the last full refit.
+  double out_of_range_rate = 0.0;
+  double new_category_rate = 0.0;
+  size_t rows_since_refit = 0;
+  /// Rows the last full pre-processing pass saw.
+  size_t fitted_rows = 0;
+};
+
+class StreamSession {
+ public:
+  /// Fits the base table (one full pre-processing pass) and opens the
+  /// stream at version 0.
+  static Result<std::shared_ptr<StreamSession>> Open(
+      Table base, StreamSessionOptions options);
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Ingests one batch: appends rows, maintains the binned matrix against
+  /// the frozen spec, refreshes the embedding per policy, and publishes the
+  /// next version's model. Appends are serialized; model() readers are
+  /// never blocked by training.
+  Result<RefreshEvent> Append(const Table& batch);
+
+  /// The latest version's fitted model (shared, immutable; selects on it
+  /// stay valid across later appends).
+  std::shared_ptr<const SubTab> model() const;
+
+  /// The latest snapshot of the streamed content.
+  TableVersion current_version() const;
+
+  /// Registry key of the latest model: (chained fp, config fp, version).
+  ModelKey model_key() const;
+
+  /// The latest (model, key) pair, consistent under one lock — use this
+  /// instead of model() + model_key() when both are needed (a concurrent
+  /// append could publish between the two separate reads).
+  PublishedModel Snapshot() const;
+
+  StreamStats Stats() const;
+
+  const StreamSessionOptions& options() const { return options_; }
+
+ private:
+  StreamSession(std::unique_ptr<StreamingTable> table,
+                StreamSessionOptions options,
+                std::shared_ptr<const SubTab> model);
+
+  /// Sentences over only the delta rows of `binned` (tuple sentences per
+  /// appended row, one per-column sentence over the appended rows), for
+  /// incremental training.
+  Corpus DeltaCorpus(const BinnedTable& binned, size_t row_begin) const;
+
+  const StreamSessionOptions options_;
+  const uint64_t config_fp_;
+
+  /// Serializes appenders. Held across the whole refresh (possibly seconds
+  /// of training) — which is why the members below split into two groups:
+  /// appender-owned state guarded by this mutex, and the published state
+  /// under `publish_mu_`, held only for pointer swaps so model()/Stats()
+  /// readers never wait on training.
+  std::mutex append_mu_;
+  std::unique_ptr<StreamingTable> table_;
+  std::unique_ptr<IncrementalBinner> binner_;
+  size_t rows_since_refresh_ = 0;
+  size_t rows_since_refit_ = 0;
+  size_t fitted_rows_ = 0;
+
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const SubTab> model_;
+  ModelKey key_;
+  StreamStats stats_;
+};
+
+}  // namespace subtab::stream
+
+#endif  // SUBTAB_STREAM_STREAM_SESSION_H_

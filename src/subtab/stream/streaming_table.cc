@@ -1,0 +1,98 @@
+#include "subtab/stream/streaming_table.h"
+
+#include <utility>
+#include <vector>
+
+namespace subtab::stream {
+namespace {
+
+/// Extends a copy of every column of `current` with the rows of `batch`.
+/// Categorical dictionaries grow in first-seen order, so appended cells get
+/// master-table codes (what binning/incremental.h tokenizes against).
+Result<Table> AppendedTable(const Table& current, const Table& batch) {
+  std::vector<Column> columns;
+  columns.reserve(current.num_columns());
+  for (size_t c = 0; c < current.num_columns(); ++c) {
+    Column column = current.column(c);  // Copy, then extend.
+    const Column& delta = batch.column(c);
+    column.Reserve(column.size() + delta.size());
+    for (size_t r = 0; r < delta.size(); ++r) {
+      if (delta.is_null(r)) {
+        column.AppendNull();
+      } else if (delta.is_numeric()) {
+        column.AppendNumeric(delta.num_value(r));
+      } else {
+        column.AppendCategorical(delta.cat_value(r));
+      }
+    }
+    columns.push_back(std::move(column));
+  }
+  return Table::Make(std::move(columns));
+}
+
+}  // namespace
+
+StreamingTable::StreamingTable(TableVersion base) : current_(std::move(base)) {}
+
+Result<std::unique_ptr<StreamingTable>> StreamingTable::Open(Table base) {
+  if (base.num_rows() == 0 || base.num_columns() == 0) {
+    return Status::InvalidArgument("streaming table needs a non-empty base");
+  }
+  TableVersion v0;
+  v0.version = 0;
+  v0.fingerprint = TableFingerprint(base);
+  v0.delta_fp = v0.fingerprint;
+  v0.delta_rows = base.num_rows();
+  v0.num_rows = base.num_rows();
+  v0.table = std::make_shared<const Table>(std::move(base));
+  return std::unique_ptr<StreamingTable>(new StreamingTable(std::move(v0)));
+}
+
+Result<TableVersion> StreamingTable::Prepare(const Table& batch) const {
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("appended batch has no rows");
+  }
+  TableVersion parent;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    parent = current_;
+  }
+  if (!(batch.schema() == parent.table->schema())) {
+    return Status::InvalidArgument(
+        "batch schema does not match stream schema: " +
+        batch.schema().ToString() + " vs " + parent.table->schema().ToString());
+  }
+  SUBTAB_ASSIGN_OR_RETURN(Table appended, AppendedTable(*parent.table, batch));
+  TableVersion next;
+  next.version = parent.version + 1;
+  // Hash the batch as it lies in the appended table, where categorical codes
+  // refer to the master dictionary; TableSliceFingerprint hashes values, so
+  // this equals hashing the standalone batch.
+  next.delta_fp =
+      TableSliceFingerprint(appended, parent.num_rows, appended.num_rows());
+  next.fingerprint =
+      ChainFingerprint(parent.fingerprint, next.delta_fp, next.version);
+  next.delta_rows = batch.num_rows();
+  next.num_rows = appended.num_rows();
+  next.table = std::make_shared<const Table>(std::move(appended));
+  return next;
+}
+
+void StreamingTable::Publish(const TableVersion& next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SUBTAB_CHECK(next.version == current_.version + 1);
+  current_ = next;
+}
+
+Result<TableVersion> StreamingTable::Append(const Table& batch) {
+  SUBTAB_ASSIGN_OR_RETURN(TableVersion next, Prepare(batch));
+  Publish(next);
+  return next;
+}
+
+TableVersion StreamingTable::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace subtab::stream

@@ -1,0 +1,85 @@
+#ifndef SUBTAB_STREAM_STREAMING_TABLE_H_
+#define SUBTAB_STREAM_STREAMING_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "subtab/core/fingerprint.h"
+#include "subtab/table/table.h"
+
+/// \file streaming_table.h
+/// An append-mostly table with versioned snapshots. The rest of the library
+/// treats a Table as frozen content (fingerprints, fitted models, caches all
+/// bind to it); StreamingTable makes mutation explicit and *versioned*
+/// instead: every appended batch produces a new immutable snapshot with a
+/// monotonically increasing version and a chained content fingerprint
+/// (core/fingerprint.h). Readers hold a snapshot's shared_ptr and are
+/// unaffected by later appends — the version-isolation property the serving
+/// layer's per-version registry keys and caches rely on.
+///
+/// Snapshots are full copies (O(rows) per append). For the append-mostly
+/// rates this subsystem targets — a batch every few seconds against selects
+/// every few milliseconds — the copy is noise next to even the cheapest
+/// model refresh; a chunked column store would remove it if ingest rates
+/// ever dominate (see ROADMAP.md).
+
+namespace subtab::stream {
+
+/// One immutable version of the streamed content.
+struct TableVersion {
+  /// 0 = the base table; +1 per appended batch.
+  uint64_t version = 0;
+  /// Chained content fingerprint: TableFingerprint(base) for version 0, then
+  /// ChainFingerprint(parent, batch slice fp, version) per append.
+  uint64_t fingerprint = 0;
+  /// Slice fingerprint of this version's batch (base fingerprint for v0).
+  uint64_t delta_fp = 0;
+  /// Rows this version's batch added (num_rows of the base for v0).
+  size_t delta_rows = 0;
+  size_t num_rows = 0;
+  std::shared_ptr<const Table> table;
+};
+
+/// Thread-safe append-mostly table handle.
+class StreamingTable {
+ public:
+  /// Wraps a non-empty base table as version 0. Heap-allocated: the handle
+  /// owns a mutex, so it is neither copyable nor movable.
+  static Result<std::unique_ptr<StreamingTable>> Open(Table base);
+
+  StreamingTable(const StreamingTable&) = delete;
+  StreamingTable& operator=(const StreamingTable&) = delete;
+
+  /// Appends a batch (same schema: column names and types, in order; at
+  /// least one row) and publishes the next version. Returns the new
+  /// snapshot. Appenders must be serialized by the caller (StreamSession
+  /// holds its append mutex); concurrent Current() readers are always safe
+  /// and keep whatever snapshot they already hold.
+  Result<TableVersion> Append(const Table& batch);
+
+  /// Two-phase variant for callers that must do fallible work between
+  /// building a version and exposing it (StreamSession: the model refresh
+  /// can fail, and a published table without a matching model would wedge
+  /// the stream). Prepare builds the next snapshot without publishing;
+  /// Publish installs it. Callers serialize their own Prepare/Publish
+  /// pairs; Publish checks the version chains off the current one.
+  Result<TableVersion> Prepare(const Table& batch) const;
+  void Publish(const TableVersion& next);
+
+  /// The latest published snapshot.
+  TableVersion Current() const;
+
+  uint64_t version() const { return Current().version; }
+  size_t num_rows() const { return Current().num_rows; }
+
+ private:
+  explicit StreamingTable(TableVersion base);
+
+  mutable std::mutex mu_;
+  TableVersion current_;
+};
+
+}  // namespace subtab::stream
+
+#endif  // SUBTAB_STREAM_STREAMING_TABLE_H_

@@ -1,15 +1,18 @@
 // Tests for the SubTab core: config validation, pre-processing, centroid
-// selection (Algorithm 2), the facade, and rule highlighting.
+// selection (Algorithm 2), the facade, fingerprint stability (static and
+// versioned), and rule highlighting.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
 
+#include "subtab/core/fingerprint.h"
 #include "subtab/core/highlight.h"
 #include "subtab/core/subtab.h"
 #include "subtab/data/datasets.h"
 #include "subtab/rules/miner.h"
+#include "subtab/util/hash.h"
 
 namespace subtab {
 namespace {
@@ -26,6 +29,78 @@ SubTabConfig TestConfig() {
 }
 
 GeneratedDataset SmallFlights() { return MakeFlights(800, 5); }
+
+// ----------------------------------------------------------- Fingerprints --
+
+/// The canonical table of the golden-fingerprint tests below.
+Table GoldenTable() {
+  Result<Table> table = Table::Make({
+      Column::Numeric("speed", {1.5, 0.0, -3.25, 7.0}),
+      Column::Categorical("city", {"ams", "tlv", "", "ams"}),
+  });
+  SUBTAB_CHECK(table.ok());
+  return std::move(*table);
+}
+
+// Fingerprints name on-disk model artifacts and registry entries shared
+// across processes, so "stable" means the exact value, not just
+// run-to-run equality within one process. These constants pin the hash
+// functions; a mismatch means persisted models silently stopped being
+// addressable — bump the format tag (subtab.table.v1, ...) if a change is
+// ever intentional.
+TEST(FingerprintTest, GoldenValuesStableAcrossProcessRuns) {
+  EXPECT_EQ(TableFingerprint(GoldenTable()), 0x28f32af864281504ULL);
+  EXPECT_EQ(ConfigFingerprint(SubTabConfig{}), 0x9d761c2f12f6d9d1ULL);
+  EXPECT_EQ(TableSliceFingerprint(GoldenTable(), 1, 3), 0x6bd54267792b5c2aULL);
+  EXPECT_EQ(ChainFingerprint(TableFingerprint(GoldenTable()),
+                             TableSliceFingerprint(GoldenTable(), 1, 3), 1),
+            0xc0f3504f0554a118ULL);
+}
+
+TEST(FingerprintTest, SensitiveToColumnReorder) {
+  // Same content, columns swapped: a model fitted on one must not be
+  // rebound to the other (selection column ids would silently shift).
+  Result<Table> ab = Table::Make({Column::Numeric("a", {1.0, 2.0}),
+                                  Column::Numeric("b", {3.0, 4.0})});
+  Result<Table> ba = Table::Make({Column::Numeric("b", {3.0, 4.0}),
+                                  Column::Numeric("a", {1.0, 2.0})});
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NE(TableFingerprint(*ab), TableFingerprint(*ba));
+  EXPECT_NE(TableSliceFingerprint(*ab, 0, 2), TableSliceFingerprint(*ba, 0, 2));
+}
+
+TEST(FingerprintTest, SliceFingerprintDependsOnRowsAndValuesOnly) {
+  const Table table = GoldenTable();
+  EXPECT_EQ(TableSliceFingerprint(table, 0, table.num_rows()),
+            TableSliceFingerprint(GoldenTable(), 0, table.num_rows()));
+  EXPECT_NE(TableSliceFingerprint(table, 0, 2), TableSliceFingerprint(table, 2, 4));
+  // The full-table slice hash is value-based, intentionally distinct from
+  // the dictionary-code-based TableFingerprint.
+  EXPECT_NE(TableSliceFingerprint(table, 0, table.num_rows()),
+            TableFingerprint(table));
+}
+
+TEST(FingerprintTest, ChainedFingerprintsAreOrderSensitive) {
+  const uint64_t base = TableFingerprint(GoldenTable());
+  const uint64_t d1 = 0x1111, d2 = 0x2222;
+  const uint64_t ab = ChainFingerprint(ChainFingerprint(base, d1, 1), d2, 2);
+  const uint64_t ba = ChainFingerprint(ChainFingerprint(base, d2, 1), d1, 2);
+  EXPECT_NE(ab, ba);
+  EXPECT_NE(ChainFingerprint(base, d1, 1), ChainFingerprint(base, d1, 2));
+}
+
+TEST(FingerprintTest, VersionedModelKeyDigests) {
+  const ModelKey v0{0xabc, 0xdef, 0};
+  // Version 0 must keep the pre-streaming digest: persisted artifacts from
+  // older sessions stay addressable by file name.
+  EXPECT_EQ(v0.Digest(), HashCombine(0xabc, 0xdef));
+  const ModelKey v1{0xabc, 0xdef, 1};
+  const ModelKey v2{0xabc, 0xdef, 2};
+  EXPECT_NE(v1.Digest(), v0.Digest());
+  EXPECT_NE(v1.Digest(), v2.Digest());
+  EXPECT_FALSE(v0 == v1);
+  EXPECT_TRUE((v0 == ModelKey{0xabc, 0xdef, 0}));
+}
 
 // ----------------------------------------------------------------- Config --
 
