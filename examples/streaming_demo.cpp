@@ -129,7 +129,7 @@ int main() {
               refit->drift.out_of_range_rate, refit->drift.new_category_rate);
   SUBTAB_CHECK(refit->action == stream::RefreshAction::kFullRefit);
 
-  // ---- 3. Version isolation. -----------------------------------------------
+  // ---- 3. Version isolation + zero-copy residency. -------------------------
   SUBTAB_CHECK(v0_model->table().num_rows() == kBaseRows);
   SUBTAB_CHECK(engine.GetModel("cyber")->table().num_rows() ==
                kBaseRows + (kBatches + 1) * kBatchRows);
@@ -139,6 +139,17 @@ int main() {
               engine.GetModel("cyber")->table().num_rows());
   SubTabView old_view = v0_model->Select();
   SUBTAB_CHECK(!old_view.row_ids.empty());
+  // The served model and the stream's snapshot are the SAME table object —
+  // the live version's rows are resident once, not once per holder (use
+  // shared_table(), never a by-value copy of table(), to keep it that way).
+  SUBTAB_CHECK(engine.GetModel("cyber")->shared_table().get() ==
+               (*session)->current_version().table.get());
+  const service::MemoryStats memory = engine.Stats().memory;
+  SUBTAB_CHECK(memory.resident_bytes < memory.logical_bytes);
+  std::printf("Zero-copy snapshots: %.1f KiB resident vs %.1f KiB logical "
+              "across bindings (%zu chunks shared)\n",
+              memory.resident_bytes / 1024.0, memory.logical_bytes / 1024.0,
+              memory.chunks);
 
   // ---- 4. Stats: refresh activity + invalidations, machine-readable. -------
   const auto stats = engine.Stats();

@@ -25,17 +25,21 @@ BinnedTable BinnedTable::FromTable(const Table& table, const TableBinning& binni
   for (size_t c = 0; c < out.num_columns_; ++c) {
     const Column& col = table.column(c);
     const ColumnBinning& cb = binning.column(c);
-    for (size_t r = 0; r < out.num_rows_; ++r) {
+    const bool numeric = col.is_numeric();
+    // Chunk-sequential tokenization: one pass per chunk of the (possibly
+    // streaming-appended) column, independent of chunk layout.
+    col.VisitRows(0, out.num_rows_,
+                  [&](size_t r, const Chunk& chunk, size_t local) {
       uint32_t bin;
-      if (col.is_null(r)) {
+      if (chunk.is_null(local)) {
         bin = cb.null_bin();
-      } else if (col.is_numeric()) {
-        bin = cb.BinOfNumeric(col.num_value(r));
+      } else if (numeric) {
+        bin = cb.BinOfNumeric(chunk.num_value(local));
       } else {
-        bin = cb.BinOfCode(col.cat_code(r));
+        bin = cb.BinOfCode(chunk.cat_code(local));
       }
       out.cells_[r * out.num_columns_ + c] = MakeToken(static_cast<uint32_t>(c), bin);
-    }
+    });
   }
   return out;
 }

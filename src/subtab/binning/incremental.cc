@@ -41,20 +41,23 @@ void IncrementalBinner::AppendRows(const Table& full, size_t row_begin,
                            fit_dict_size_[c] > cb.num_value_bins;
     const uint32_t fallback_bin =
         has_other ? cb.num_value_bins - 1 : cb.null_bin();
-    for (size_t i = 0; i < count; ++i) {
-      const size_t r = row_begin + i;
+    const bool numeric = col.is_numeric();
+    // Chunk-sequential over the delta: with one chunk per appended batch the
+    // whole scan usually touches exactly the batch's chunk.
+    col.VisitRows(row_begin, full.num_rows(),
+                  [&](size_t r, const Chunk& chunk, size_t local) {
       uint32_t bin;
-      if (col.is_null(r)) {
+      if (chunk.is_null(local)) {
         bin = cb.null_bin();
         ++drift.nulls;
-      } else if (col.is_numeric()) {
-        const double v = col.num_value(r);
+      } else if (numeric) {
+        const double v = chunk.num_value(local);
         bin = cb.BinOfNumeric(v);
         if (!ranges_[c].any || v < ranges_[c].min || v > ranges_[c].max) {
           ++drift.out_of_range;
         }
       } else {
-        const int32_t code = col.cat_code(r);
+        const int32_t code = chunk.cat_code(local);
         if (static_cast<size_t>(code) < fit_dict_size_[c]) {
           bin = cb.BinOfCode(code);
         } else {
@@ -63,8 +66,8 @@ void IncrementalBinner::AppendRows(const Table& full, size_t row_begin,
         }
       }
       ++drift.appended;
-      tokens[i * m + c] = MakeToken(static_cast<uint32_t>(c), bin);
-    }
+      tokens[(r - row_begin) * m + c] = MakeToken(static_cast<uint32_t>(c), bin);
+    });
   }
   binned->AppendTokenRows(tokens.data(), count);
   rows_appended_ += count;

@@ -22,28 +22,31 @@ uint64_t HashColumn(uint64_t h, const Column& col) {
   h = HashCombine(h, static_cast<uint64_t>(col.type()));
   const size_t n = col.size();
   h = HashCombine(h, n);
+  // Chunk-sequential scan: hashing is value-based, so the result is
+  // independent of the physical chunk layout (a chunked table and its flat
+  // rebuild hash identically).
   if (col.is_numeric()) {
-    for (size_t r = 0; r < n; ++r) {
+    col.VisitRows(0, n, [&h](size_t, const Chunk& chunk, size_t local) {
       // The presence flag disambiguates null from any value whose canonical
       // bit pattern is 0 (i.e. 0.0).
-      if (col.is_null(r)) {
+      if (chunk.is_null(local)) {
         h = HashCombine(h, 0);
       } else {
-        h = HashDoubleBits(HashCombine(h, 1), col.num_value(r));
+        h = HashDoubleBits(HashCombine(h, 1), chunk.num_value(local));
       }
-    }
+    });
   } else {
     // Hash the dictionary once, then the cheap per-cell codes. Dictionary
-    // codes are first-seen order, so equal column contents (values + order)
-    // produce equal hashes.
+    // codes are first-seen order across the whole chunk sequence, so equal
+    // column contents (values + order) produce equal hashes.
     for (const std::string& word : col.dictionary()) {
       h = HashCombine(h, HashString(word));
     }
-    for (size_t r = 0; r < n; ++r) {
-      h = col.is_null(r)
+    col.VisitRows(0, n, [&h](size_t, const Chunk& chunk, size_t local) {
+      h = chunk.is_null(local)
               ? HashCombine(h, 0)
-              : HashCombine(h, static_cast<uint64_t>(col.cat_code(r)) + 1);
-    }
+              : HashCombine(h, static_cast<uint64_t>(chunk.cat_code(local)) + 1);
+    });
   }
   return h;
 }
@@ -60,18 +63,23 @@ uint64_t TableSliceFingerprint(const Table& table, size_t row_begin,
     const Column& col = table.column(c);
     h = HashCombine(h, HashString(col.name()));
     h = HashCombine(h, static_cast<uint64_t>(col.type()));
-    for (size_t r = row_begin; r < row_end; ++r) {
-      if (col.is_null(r)) {
+    const bool numeric = col.is_numeric();
+    const auto& dict = col.dictionary();
+    col.VisitRows(row_begin, row_end,
+                  [&](size_t, const Chunk& chunk, size_t local) {
+      if (chunk.is_null(local)) {
         h = HashCombine(h, 0);
-      } else if (col.is_numeric()) {
-        h = HashDoubleBits(HashCombine(h, 1), col.num_value(r));
+      } else if (numeric) {
+        h = HashDoubleBits(HashCombine(h, 1), chunk.num_value(local));
       } else {
         // By value, not dictionary code: codes are first-seen order in the
         // *containing* table, so they differ between a standalone batch and
         // the same rows appended after a larger dictionary.
-        h = HashCombine(HashCombine(h, 1), HashString(col.cat_value(r)));
+        h = HashCombine(HashCombine(h, 1),
+                        HashString(dict[static_cast<size_t>(
+                            chunk.cat_code(local))]));
       }
-    }
+    });
   }
   return h;
 }

@@ -36,6 +36,14 @@ uint64_t TableFingerprint(const Table& table);
 /// dictionary code), so the hash of a batch equals the hash of the same rows
 /// after they were appended to a table with a larger dictionary. O(rows in
 /// slice); the streaming layer hashes each appended batch exactly once.
+///
+/// All table hashes are value-based and scan chunk-sequentially
+/// (Column::VisitRows), so they are independent of the physical chunk
+/// layout: a chunked table, its Flatten()/Rechunked() copies, and a flat
+/// rebuild of the same rows all produce identical digests. Streaming version
+/// digests therefore survived the chunked-store refactor unchanged — each
+/// appended batch becomes one chunk whose slice hash is folded into the
+/// chain exactly as before.
 uint64_t TableSliceFingerprint(const Table& table, size_t row_begin,
                                size_t row_end);
 

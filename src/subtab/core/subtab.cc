@@ -16,37 +16,50 @@ Result<std::vector<size_t>> ResolveTargets(const Table& table,
   return target_ids;
 }
 
+Status ValidateFitInput(const std::shared_ptr<const Table>& table,
+                        const SubTabConfig& config) {
+  SUBTAB_RETURN_IF_ERROR(config.Validate());
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot fit SubTab on a null table");
+  }
+  if (table->num_rows() == 0 || table->num_columns() == 0) {
+    return Status::InvalidArgument("cannot fit SubTab on an empty table");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-SubTab::SubTab(Table table, SubTabConfig config, std::vector<size_t> target_ids,
-               PreprocessedTable pre)
+SubTab::SubTab(std::shared_ptr<const Table> table, SubTabConfig config,
+               std::vector<size_t> target_ids, PreprocessedTable pre)
     : table_(std::move(table)),
       config_(std::move(config)),
       target_ids_(std::move(target_ids)),
       pre_(std::move(pre)) {}
 
-Result<SubTab> SubTab::Fit(Table table, SubTabConfig config) {
-  SUBTAB_RETURN_IF_ERROR(config.Validate());
-  if (table.num_rows() == 0 || table.num_columns() == 0) {
-    return Status::InvalidArgument("cannot fit SubTab on an empty table");
-  }
+Result<SubTab> SubTab::Fit(std::shared_ptr<const Table> table,
+                           SubTabConfig config) {
+  SUBTAB_RETURN_IF_ERROR(ValidateFitInput(table, config));
   SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
-                          ResolveTargets(table, config));
-  PreprocessedTable pre = Preprocess(table, config);
+                          ResolveTargets(*table, config));
+  PreprocessedTable pre = Preprocess(*table, config);
   return SubTab(std::move(table), std::move(config), std::move(target_ids),
                 std::move(pre));
 }
 
-Result<SubTab> SubTab::FitCached(Table table, SubTabConfig config,
-                                 const std::string& model_path) {
-  SUBTAB_RETURN_IF_ERROR(config.Validate());
-  if (table.num_rows() == 0 || table.num_columns() == 0) {
-    return Status::InvalidArgument("cannot fit SubTab on an empty table");
-  }
-  SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
-                          ResolveTargets(table, config));
+Result<SubTab> SubTab::Fit(Table table, SubTabConfig config) {
+  return Fit(std::make_shared<const Table>(std::move(table)),
+             std::move(config));
+}
 
-  Result<PreprocessedTable> cached = LoadModel(table, model_path);
+Result<SubTab> SubTab::FitCached(Table owned, SubTabConfig config,
+                                 const std::string& model_path) {
+  auto table = std::make_shared<const Table>(std::move(owned));
+  SUBTAB_RETURN_IF_ERROR(ValidateFitInput(table, config));
+  SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
+                          ResolveTargets(*table, config));
+
+  Result<PreprocessedTable> cached = LoadModel(*table, model_path);
   if (cached.ok()) {
     SUBTAB_LOG_STREAM(Info) << "loaded cached model from " << model_path;
     return SubTab(std::move(table), std::move(config), std::move(target_ids),
@@ -54,8 +67,8 @@ Result<SubTab> SubTab::FitCached(Table table, SubTabConfig config,
   }
   SUBTAB_LOG_STREAM(Info) << "model cache miss (" << cached.status().ToString()
                           << "); pre-processing";
-  PreprocessedTable pre = Preprocess(table, config);
-  const Status saved = SaveModel(pre, table, model_path);
+  PreprocessedTable pre = Preprocess(*table, config);
+  const Status saved = SaveModel(pre, *table, model_path);
   if (!saved.ok()) {
     SUBTAB_LOG_STREAM(Warning) << "could not save model cache: " << saved.ToString();
   }
@@ -63,13 +76,23 @@ Result<SubTab> SubTab::FitCached(Table table, SubTabConfig config,
                 std::move(pre));
 }
 
-Result<SubTab> SubTab::FromPreprocessed(Table table, SubTabConfig config,
+Result<SubTab> SubTab::FromPreprocessed(std::shared_ptr<const Table> table,
+                                        SubTabConfig config,
                                         PreprocessedTable pre) {
   SUBTAB_RETURN_IF_ERROR(config.Validate());
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot wrap a null table");
+  }
   SUBTAB_ASSIGN_OR_RETURN(std::vector<size_t> target_ids,
-                          ResolveTargets(table, config));
+                          ResolveTargets(*table, config));
   return SubTab(std::move(table), std::move(config), std::move(target_ids),
                 std::move(pre));
+}
+
+Result<SubTab> SubTab::FromPreprocessed(Table table, SubTabConfig config,
+                                        PreprocessedTable pre) {
+  return FromPreprocessed(std::make_shared<const Table>(std::move(table)),
+                          std::move(config), std::move(pre));
 }
 
 SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) const {
@@ -82,7 +105,7 @@ Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
                                           std::optional<size_t> k,
                                           std::optional<size_t> l,
                                           std::optional<uint64_t> seed) const {
-  SUBTAB_ASSIGN_OR_RETURN(QueryResult result, RunQuery(table_, query));
+  SUBTAB_ASSIGN_OR_RETURN(QueryResult result, RunQuery(*table_, query));
   if (result.row_ids.empty()) {
     return Status::InvalidArgument("query returned no rows: " + query.ToString());
   }
@@ -98,7 +121,7 @@ SubTabView SubTab::SelectScoped(const SelectionScope& scope, size_t k, size_t l,
   const Selection sel =
       SelectSubTable(pre_, k, l, scope, seed.value_or(config_.seed));
   SubTabView view;
-  view.table = table_.SubTable(sel.row_ids, sel.col_ids);
+  view.table = table_->SubTable(sel.row_ids, sel.col_ids);
   view.row_ids = sel.row_ids;
   view.col_ids = sel.col_ids;
   view.selection_seconds = sel.seconds;

@@ -1,6 +1,7 @@
 #ifndef SUBTAB_CORE_SUBTAB_H_
 #define SUBTAB_CORE_SUBTAB_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,7 +42,16 @@ struct SubTabView {
 class SubTab {
  public:
   /// Validates the config, resolves target columns, and runs pre-processing.
+  /// The table is wrapped in shared ownership; with the chunked column store
+  /// the wrap shares payload chunks rather than duplicating rows.
   static Result<SubTab> Fit(Table table, SubTabConfig config);
+
+  /// Like Fit, but *sharing* the caller's table outright — no copy at all.
+  /// The streaming/serving layers pass each snapshot's shared pointer here,
+  /// so the live version's data is resident once, not once in the stream and
+  /// once in the model.
+  static Result<SubTab> Fit(std::shared_ptr<const Table> table,
+                            SubTabConfig config);
 
   /// Like Fit, but with a persistent model cache (see core/model_io.h): if
   /// `model_path` holds a model matching the table's schema it is loaded
@@ -52,11 +62,18 @@ class SubTab {
 
   /// Wraps an already-computed pre-processing artifact. Used by the serving
   /// layer's model registry, which restores artifacts via core/model_io and
-  /// rebinds them to the caller's table without re-training.
+  /// rebinds them to the caller's table without re-training, and by the
+  /// streaming fold-in path (which shares the snapshot's table).
+  static Result<SubTab> FromPreprocessed(std::shared_ptr<const Table> table,
+                                         SubTabConfig config,
+                                         PreprocessedTable pre);
   static Result<SubTab> FromPreprocessed(Table table, SubTabConfig config,
                                          PreprocessedTable pre);
 
-  const Table& table() const { return table_; }
+  const Table& table() const { return *table_; }
+  /// The shared table — pass this (not a copy of table()) anywhere the
+  /// table must outlive or co-exist with this model.
+  const std::shared_ptr<const Table>& shared_table() const { return table_; }
   const SubTabConfig& config() const { return config_; }
   const PreprocessedTable& preprocessed() const { return pre_; }
   /// Resolved indices of the configured target columns.
@@ -81,10 +98,10 @@ class SubTab {
                           std::optional<uint64_t> seed = std::nullopt) const;
 
  private:
-  SubTab(Table table, SubTabConfig config, std::vector<size_t> target_ids,
-         PreprocessedTable pre);
+  SubTab(std::shared_ptr<const Table> table, SubTabConfig config,
+         std::vector<size_t> target_ids, PreprocessedTable pre);
 
-  Table table_;
+  std::shared_ptr<const Table> table_;
   SubTabConfig config_;
   std::vector<size_t> target_ids_;
   PreprocessedTable pre_;

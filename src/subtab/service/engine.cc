@@ -280,17 +280,56 @@ EngineStats ServingEngine::Stats() const {
   stats.num_threads = pool_.num_threads();
   stats.queue_depth = pool_.queue_depth();
   std::vector<std::shared_ptr<stream::StreamSession>> streams;
+  std::vector<std::shared_ptr<const Table>> bound_tables;
   {
     std::shared_lock<std::shared_mutex> lock(tables_mu_);
     stats.tables = tables_.size();
     std::unordered_set<const stream::StreamSession*> seen;
     for (const auto& [id, entry] : tables_) {
+      if (entry.model != nullptr) {
+        bound_tables.push_back(entry.model->shared_table());
+      }
       // One stream may be bound under several ids; count it once.
       if (entry.stream != nullptr && seen.insert(entry.stream.get()).second) {
         streams.push_back(entry.stream);
       }
     }
   }
+  // Streams' current snapshots are read outside tables_mu_ (their internal
+  // locks must not nest inside it).
+  for (const auto& stream : streams) {
+    bound_tables.push_back(stream->current_version().table);
+  }
+  // Memory accounting: logical counts every binding's table independently;
+  // resident deduplicates shared Table objects, then shared chunks across
+  // distinct tables (successive stream versions share all but the newest
+  // chunk).
+  std::unordered_set<const Table*> seen_tables;
+  std::unordered_set<const Chunk*> seen_chunks;
+  std::unordered_set<const void*> seen_dicts;
+  for (const auto& table : bound_tables) {
+    if (table == nullptr) continue;
+    stats.memory.logical_bytes += table->ApproxBytes();
+    if (!seen_tables.insert(table.get()).second) continue;
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const Column& col = table->column(c);
+      for (const auto& chunk : col.chunks()) {
+        if (seen_chunks.insert(chunk.get()).second) {
+          stats.memory.resident_bytes += chunk->ByteSize();
+        }
+      }
+      // Dictionaries are shared copy-on-write across versions; count each
+      // distinct dictionary object once, like chunks.
+      if (col.dict_identity() != nullptr &&
+          seen_dicts.insert(col.dict_identity()).second) {
+        stats.memory.resident_bytes += col.DictBytes();
+      }
+    }
+  }
+  stats.memory.tables = seen_tables.size();
+  stats.memory.chunks = seen_chunks.size();
+  stats.memory.shared_saved_bytes =
+      stats.memory.logical_bytes - stats.memory.resident_bytes;
   stats.streaming.streams = streams.size();
   stats.streaming.cache_invalidations =
       cache_invalidations_.load(std::memory_order_relaxed);
@@ -334,6 +373,12 @@ std::string EngineStats::ToJson() const {
       (unsigned long long)registry.cache.evictions, registry.cache.entries,
       (unsigned long long)registry.loads, (unsigned long long)registry.fits,
       (unsigned long long)registry.coalesced);
+  json += StrFormat(
+      "\"memory\":{\"tables\":%zu,\"chunks\":%zu,\"logical_bytes\":%llu,"
+      "\"resident_bytes\":%llu,\"shared_saved_bytes\":%llu},",
+      memory.tables, memory.chunks, (unsigned long long)memory.logical_bytes,
+      (unsigned long long)memory.resident_bytes,
+      (unsigned long long)memory.shared_saved_bytes);
   json += StrFormat(
       "\"streaming\":{\"streams\":%zu,\"appends\":%llu,\"rows_appended\":%llu,"
       "\"fold_ins\":%llu,\"incremental_refreshes\":%llu,\"full_refits\":%llu,"

@@ -96,11 +96,29 @@ struct StreamingStats {
   uint64_t cache_invalidations = 0;
 };
 
+/// Resident-table accounting across every model and stream bound to the
+/// engine. `logical_bytes` counts each binding's table independently — what
+/// the pre-chunking design kept resident (every SubTab owned its own copy of
+/// the table, so a stream's live version was resident twice: once in the
+/// snapshot, once in the model). `resident_bytes` deduplicates shared Table
+/// objects and shared chunks across versions, so `shared_saved_bytes =
+/// logical - resident` is the double-residency the zero-copy snapshot path
+/// eliminated. Registry-cached models not currently bound to an id are not
+/// walked (they are LRU-bounded and share chunks the same way).
+struct MemoryStats {
+  size_t tables = 0;  ///< Distinct Table objects referenced by bindings.
+  size_t chunks = 0;  ///< Distinct chunks across those tables.
+  uint64_t logical_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t shared_saved_bytes = 0;
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
   CacheCounters selection_cache;
   StreamingStats streaming;
+  MemoryStats memory;
   uint64_t requests_submitted = 0;
   uint64_t requests_completed = 0;
   uint64_t requests_failed = 0;

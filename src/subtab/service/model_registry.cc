@@ -104,12 +104,16 @@ ModelRegistryStats ModelRegistry::Stats() const {
 
 Result<std::shared_ptr<const SubTab>> ModelRegistry::Build(
     const ModelKey& key, const Table& table, const SubTabConfig& config) {
+  // One shared copy for whatever model we build: the copy shares the
+  // caller's chunks, and the model holds the shared table rather than its
+  // own duplicate.
+  auto shared = std::make_shared<const Table>(table);
   const std::string path = ArtifactPath(key);
   if (!path.empty() && std::filesystem::exists(path)) {
-    Result<PreprocessedTable> pre = LoadModel(table, path);
+    Result<PreprocessedTable> pre = LoadModel(*shared, path);
     if (pre.ok()) {
       Result<SubTab> model =
-          SubTab::FromPreprocessed(table, config, std::move(*pre));
+          SubTab::FromPreprocessed(shared, config, std::move(*pre));
       if (model.ok()) {
         loads_.fetch_add(1, std::memory_order_relaxed);
         return std::make_shared<const SubTab>(std::move(*model));
@@ -119,7 +123,7 @@ Result<std::shared_ptr<const SubTab>> ModelRegistry::Build(
         << "stale model artifact " << path << "; re-fitting";
   }
 
-  Result<SubTab> fitted = SubTab::Fit(table, config);
+  Result<SubTab> fitted = SubTab::Fit(shared, config);
   if (!fitted.ok()) return fitted.status();
   fits_.fetch_add(1, std::memory_order_relaxed);
   auto model = std::make_shared<const SubTab>(std::move(*fitted));

@@ -28,7 +28,7 @@ Result<std::shared_ptr<StreamSession>> StreamSession::Open(
   SUBTAB_ASSIGN_OR_RETURN(std::unique_ptr<StreamingTable> stream,
                           StreamingTable::Open(std::move(base)));
   const TableVersion v0 = stream->Current();
-  Result<SubTab> fitted = SubTab::Fit(*v0.table, options.config);
+  Result<SubTab> fitted = SubTab::Fit(v0.table, options.config);
   if (!fitted.ok()) return fitted.status();
   auto model = std::make_shared<const SubTab>(std::move(*fitted));
   return std::shared_ptr<StreamSession>(new StreamSession(
@@ -93,8 +93,9 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   Result<SubTab> refreshed = [&]() -> Result<SubTab> {
     switch (action) {
       case RefreshAction::kFullRefit:
-        // Re-pay pre-processing over the whole new version.
-        return SubTab::Fit(*next.table, options_.config);
+        // Re-pay pre-processing over the whole new version; the model
+        // shares the snapshot's table (one resident copy).
+        return SubTab::Fit(next.table, options_.config);
       case RefreshAction::kIncremental: {
         Word2VecModel embedding =
             previous->preprocessed().cell_model().word2vec();
@@ -106,7 +107,7 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
         PreprocessTimings timings;
         timings.training_seconds = train.ElapsedSeconds();
         return SubTab::FromPreprocessed(
-            *next.table, options_.config,
+            next.table, options_.config,
             PreprocessedTable(std::move(binned), std::move(embedding),
                               timings));
       }
@@ -115,7 +116,7 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
         Word2VecModel embedding =
             previous->preprocessed().cell_model().word2vec();
         return SubTab::FromPreprocessed(
-            *next.table, options_.config,
+            next.table, options_.config,
             PreprocessedTable(std::move(binned), std::move(embedding),
                               PreprocessTimings{}));
       }

@@ -4,33 +4,6 @@
 #include <vector>
 
 namespace subtab::stream {
-namespace {
-
-/// Extends a copy of every column of `current` with the rows of `batch`.
-/// Categorical dictionaries grow in first-seen order, so appended cells get
-/// master-table codes (what binning/incremental.h tokenizes against).
-Result<Table> AppendedTable(const Table& current, const Table& batch) {
-  std::vector<Column> columns;
-  columns.reserve(current.num_columns());
-  for (size_t c = 0; c < current.num_columns(); ++c) {
-    Column column = current.column(c);  // Copy, then extend.
-    const Column& delta = batch.column(c);
-    column.Reserve(column.size() + delta.size());
-    for (size_t r = 0; r < delta.size(); ++r) {
-      if (delta.is_null(r)) {
-        column.AppendNull();
-      } else if (delta.is_numeric()) {
-        column.AppendNumeric(delta.num_value(r));
-      } else {
-        column.AppendCategorical(delta.cat_value(r));
-      }
-    }
-    columns.push_back(std::move(column));
-  }
-  return Table::Make(std::move(columns));
-}
-
-}  // namespace
 
 StreamingTable::StreamingTable(TableVersion base) : current_(std::move(base)) {}
 
@@ -62,7 +35,12 @@ Result<TableVersion> StreamingTable::Prepare(const Table& batch) const {
         "batch schema does not match stream schema: " +
         batch.schema().ToString() + " vs " + parent.table->schema().ToString());
   }
-  SUBTAB_ASSIGN_OR_RETURN(Table appended, AppendedTable(*parent.table, batch));
+  // O(batch) snapshot: the appended table shares every chunk of the parent
+  // and adds one new chunk per column holding the batch. Categorical cells
+  // are remapped into the cumulative dictionary (first-seen order), so
+  // appended cells get master-table codes (what binning/incremental.h
+  // tokenizes against).
+  SUBTAB_ASSIGN_OR_RETURN(Table appended, parent.table->AppendRows(batch));
   TableVersion next;
   next.version = parent.version + 1;
   // Hash the batch as it lies in the appended table, where categorical codes

@@ -18,11 +18,14 @@
 /// unaffected by later appends — the version-isolation property the serving
 /// layer's per-version registry keys and caches rely on.
 ///
-/// Snapshots are full copies (O(rows) per append). For the append-mostly
-/// rates this subsystem targets — a batch every few seconds against selects
-/// every few milliseconds — the copy is noise next to even the cheapest
-/// model refresh; a chunked column store would remove it if ingest rates
-/// ever dominate (see ROADMAP.md).
+/// Snapshots are zero-copy: the table layer is a chunked, shared-ownership
+/// column store (table/chunk.h), so Append builds the next version by
+/// appending one chunk per column and *sharing* every prior chunk with the
+/// parent — O(batch) per append, independent of total rows. Readers holding
+/// an old version keep its chunks alive; dropping a version frees only the
+/// chunks no other version references. This keeps snapshot cost negligible
+/// even when ingest rates rival select rates (see bench_streaming's
+/// append-cost series).
 
 namespace subtab::stream {
 

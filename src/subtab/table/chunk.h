@@ -1,0 +1,73 @@
+#ifndef SUBTAB_TABLE_CHUNK_H_
+#define SUBTAB_TABLE_CHUNK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subtab/util/check.h"
+
+/// \file chunk.h
+/// The immutable storage unit of the chunked column store. A Chunk holds a
+/// contiguous slice of one column's payload (validity bytes plus the numeric
+/// or dictionary-code array); a Column is a sequence of
+/// std::shared_ptr<const Chunk>. Chunks are sealed once and never mutated
+/// afterwards, so any number of tables — most importantly the successive
+/// versions of a streaming table (stream/streaming_table.h) — can share them
+/// concurrently without synchronization: appending a batch creates one new
+/// chunk and *shares* every prior chunk, making a snapshot O(batch) instead
+/// of O(rows). The idiom follows chunked-table storage engines (Hyrise-style
+/// immutable chunks; see SNIPPETS.md).
+///
+/// A Chunk stores no dictionary: categorical codes are assigned against the
+/// owning column's cumulative dictionary (first-seen order across the whole
+/// chunk sequence), so a code is valid in every later version that shares
+/// the chunk — later versions only ever extend the dictionary.
+
+namespace subtab {
+
+class Column;
+
+/// One immutable slice of a column's payload. Only Column builds chunks;
+/// everything else reads them through const access.
+class Chunk {
+ public:
+  Chunk() = default;
+
+  size_t size() const { return valid_.size(); }
+
+  bool is_null(size_t i) const {
+    SUBTAB_DCHECK(i < valid_.size());
+    return valid_[i] == 0;
+  }
+
+  /// Numeric payload; NaN for null slots.
+  double num_value(size_t i) const {
+    SUBTAB_DCHECK(i < nums_.size());
+    return nums_[i];
+  }
+
+  /// Dictionary code against the owning column's dictionary; -1 for nulls.
+  int32_t cat_code(size_t i) const {
+    SUBTAB_DCHECK(i < codes_.size());
+    return codes_[i];
+  }
+
+  size_t null_count() const;
+
+  /// Heap payload bytes (validity + values), for resident-memory accounting.
+  size_t ByteSize() const {
+    return valid_.size() * sizeof(uint8_t) + nums_.size() * sizeof(double) +
+           codes_.size() * sizeof(int32_t);
+  }
+
+ private:
+  friend class Column;
+
+  std::vector<uint8_t> valid_;  ///< 1 = present, 0 = null.
+  std::vector<double> nums_;    ///< Numeric payload (empty for categorical).
+  std::vector<int32_t> codes_;  ///< Categorical payload (empty for numeric).
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_TABLE_CHUNK_H_

@@ -17,8 +17,32 @@ const char* ColumnTypeName(ColumnType type) {
   return "unknown";
 }
 
+size_t Chunk::null_count() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) n += (v == 0);
+  return n;
+}
+
 Column::Column(std::string name, ColumnType type)
     : name_(std::move(name)), type_(type) {}
+
+Column::Column(const Column& other)
+    : name_(other.name_),
+      type_(other.type_),
+      size_(other.size_),
+      sealed_rows_(other.sealed_rows_),
+      chunks_(other.chunks_),
+      offsets_(other.offsets_),
+      tail_(other.tail_ ? std::make_unique<Chunk>(*other.tail_) : nullptr),
+      dict_(other.dict_) {}
+
+Column& Column::operator=(const Column& other) {
+  if (this != &other) {
+    Column copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
 
 Column Column::Numeric(std::string name, const std::vector<double>& values) {
   Column col(std::move(name), ColumnType::kNumeric);
@@ -40,22 +64,44 @@ Column Column::Categorical(std::string name, const std::vector<std::string>& val
   return col;
 }
 
+Chunk& Column::MutableTail() {
+  if (!tail_) tail_ = std::make_unique<Chunk>();
+  return *tail_;
+}
+
 void Column::Reserve(size_t n) {
-  valid_.reserve(n);
+  if (n <= size_) return;
+  Chunk& tail = MutableTail();
+  const size_t tail_rows = n - sealed_rows_;
+  tail.valid_.reserve(tail_rows);
   if (type_ == ColumnType::kNumeric) {
-    nums_.reserve(n);
+    tail.nums_.reserve(tail_rows);
   } else {
-    codes_.reserve(n);
+    tail.codes_.reserve(tail_rows);
   }
 }
 
-void Column::AppendNull() {
-  valid_.push_back(0);
-  if (type_ == ColumnType::kNumeric) {
-    nums_.push_back(std::nan(""));
-  } else {
-    codes_.push_back(-1);
+void Column::SealTail() {
+  if (!tail_) return;
+  if (tail_->size() == 0) {
+    tail_.reset();
+    return;
   }
+  offsets_.push_back(sealed_rows_);
+  sealed_rows_ += tail_->size();
+  chunks_.emplace_back(std::move(tail_));
+  tail_.reset();
+}
+
+void Column::AppendNull() {
+  Chunk& tail = MutableTail();
+  tail.valid_.push_back(0);
+  if (type_ == ColumnType::kNumeric) {
+    tail.nums_.push_back(std::nan(""));
+  } else {
+    tail.codes_.push_back(-1);
+  }
+  ++size_;
 }
 
 void Column::AppendNumeric(double value) {
@@ -64,67 +110,100 @@ void Column::AppendNumeric(double value) {
     AppendNull();
     return;
   }
-  valid_.push_back(1);
-  nums_.push_back(value);
+  Chunk& tail = MutableTail();
+  tail.valid_.push_back(1);
+  tail.nums_.push_back(value);
+  ++size_;
+}
+
+const std::vector<std::string>& Column::dictionary() const {
+  static const std::vector<std::string> kEmpty;
+  return dict_ ? dict_->words : kEmpty;
+}
+
+Column::Dictionary& Column::MutableDict() {
+  if (!dict_) {
+    dict_ = std::make_shared<Dictionary>();
+  } else if (dict_.use_count() > 1) {
+    // Another column shares this dictionary (an older snapshot, a copy):
+    // clone before writing so the extension is invisible through it.
+    dict_ = std::make_shared<Dictionary>(*dict_);
+  }
+  return *dict_;
+}
+
+int32_t Column::LookupOrAddCode(std::string_view value) {
+  std::string key(value);
+  if (dict_) {
+    auto it = dict_->index.find(key);
+    if (it != dict_->index.end()) return it->second;
+  }
+  Dictionary& dict = MutableDict();
+  const int32_t code = static_cast<int32_t>(dict.words.size());
+  dict.words.push_back(key);
+  dict.index.emplace(std::move(key), code);
+  return code;
+}
+
+void Column::AppendCode(int32_t code) {
+  SUBTAB_DCHECK(dict_ != nullptr &&
+                static_cast<size_t>(code) < dict_->words.size());
+  Chunk& tail = MutableTail();
+  tail.valid_.push_back(1);
+  tail.codes_.push_back(code);
+  ++size_;
 }
 
 void Column::AppendCategorical(std::string_view value) {
   SUBTAB_CHECK(type_ == ColumnType::kCategorical);
-  std::string key(value);
-  auto it = dict_index_.find(key);
-  int32_t code;
-  if (it == dict_index_.end()) {
-    code = static_cast<int32_t>(dict_.size());
-    dict_.push_back(key);
-    dict_index_.emplace(std::move(key), code);
-  } else {
-    code = it->second;
-  }
-  valid_.push_back(1);
-  codes_.push_back(code);
+  AppendCode(LookupOrAddCode(value));
 }
 
 size_t Column::null_count() const {
   size_t n = 0;
-  for (uint8_t v : valid_) n += (v == 0);
+  for (const auto& chunk : chunks_) n += chunk->null_count();
+  if (tail_) n += tail_->null_count();
   return n;
 }
 
 double Column::num_value(size_t row) const {
   SUBTAB_CHECK(type_ == ColumnType::kNumeric);
-  SUBTAB_DCHECK(row < size());
-  return nums_[row];
+  SUBTAB_DCHECK(row < size_);
+  size_t local = 0;
+  return LocateRow(row, &local).num_value(local);
 }
 
 int32_t Column::cat_code(size_t row) const {
   SUBTAB_CHECK(type_ == ColumnType::kCategorical);
-  SUBTAB_DCHECK(row < size());
-  SUBTAB_DCHECK(valid_[row] != 0);
-  return codes_[row];
+  SUBTAB_DCHECK(row < size_);
+  size_t local = 0;
+  const Chunk& chunk = LocateRow(row, &local);
+  SUBTAB_DCHECK(!chunk.is_null(local));
+  return chunk.cat_code(local);
 }
 
 std::string_view Column::cat_value(size_t row) const {
-  return dict_[static_cast<size_t>(cat_code(row))];
+  return dict_->words[static_cast<size_t>(cat_code(row))];
 }
 
 size_t Column::distinct_count() const {
   if (type_ == ColumnType::kCategorical) {
     std::unordered_set<int32_t> seen;
-    for (size_t i = 0; i < size(); ++i) {
-      if (valid_[i]) seen.insert(codes_[i]);
-    }
+    VisitRows(0, size_, [&](size_t, const Chunk& chunk, size_t local) {
+      if (!chunk.is_null(local)) seen.insert(chunk.cat_code(local));
+    });
     return seen.size();
   }
   std::unordered_set<double> seen;
-  for (size_t i = 0; i < size(); ++i) {
-    if (valid_[i]) seen.insert(nums_[i]);
-  }
+  VisitRows(0, size_, [&](size_t, const Chunk& chunk, size_t local) {
+    if (!chunk.is_null(local)) seen.insert(chunk.num_value(local));
+  });
   return seen.size();
 }
 
 std::string Column::ToDisplay(size_t row) const {
   if (is_null(row)) return "NaN";
-  if (type_ == ColumnType::kNumeric) return FormatCell(nums_[row]);
+  if (type_ == ColumnType::kNumeric) return FormatCell(num_value(row));
   return std::string(cat_value(row));
 }
 
@@ -132,13 +211,16 @@ Column Column::Take(const std::vector<size_t>& indices) const {
   Column out(name_, type_);
   out.Reserve(indices.size());
   for (size_t i : indices) {
-    SUBTAB_CHECK(i < size());
-    if (is_null(i)) {
+    SUBTAB_CHECK(i < size_);
+    size_t local = 0;
+    const Chunk& chunk = LocateRow(i, &local);  // One lookup per row.
+    if (chunk.is_null(local)) {
       out.AppendNull();
     } else if (type_ == ColumnType::kNumeric) {
-      out.AppendNumeric(nums_[i]);
+      out.AppendNumeric(chunk.num_value(local));
     } else {
-      out.AppendCategorical(cat_value(i));
+      out.AppendCategorical(
+          dict_->words[static_cast<size_t>(chunk.cat_code(local))]);
     }
   }
   return out;
@@ -149,18 +231,102 @@ bool Column::NumericRange(double* min_out, double* max_out) const {
   bool found = false;
   double mn = 0.0;
   double mx = 0.0;
-  for (size_t i = 0; i < size(); ++i) {
-    if (!valid_[i]) continue;
-    const double v = nums_[i];
+  VisitRows(0, size_, [&](size_t, const Chunk& chunk, size_t local) {
+    if (chunk.is_null(local)) return;
+    const double v = chunk.num_value(local);
     if (!found || v < mn) mn = v;
     if (!found || v > mx) mx = v;
     found = true;
-  }
+  });
   if (found) {
     *min_out = mn;
     *max_out = mx;
   }
   return found;
+}
+
+Column Column::AppendSlice(const Column& delta, size_t max_chunk_rows) const {
+  SUBTAB_CHECK(delta.type_ == type_);
+  Column out(*this);
+  out.SealTail();
+  size_t in_chunk = 0;
+  const auto maybe_seal = [&out, &in_chunk, max_chunk_rows]() {
+    if (max_chunk_rows != 0 && ++in_chunk == max_chunk_rows) {
+      out.SealTail();
+      in_chunk = 0;
+    }
+  };
+  // Remap table from delta codes to cumulative codes, resolved lazily at
+  // each code's first occurrence so dictionary words extend in first-seen
+  // ROW order (identical to a flat rebuild) and unused delta dictionary
+  // entries are never imported. An append whose values were all seen before
+  // does no dictionary write at all (the dictionary object stays shared).
+  std::vector<int32_t> remap(
+      type_ == ColumnType::kCategorical ? delta.dictionary().size() : 0, -1);
+  delta.VisitRows(0, delta.size_, [&](size_t, const Chunk& chunk, size_t local) {
+    if (chunk.is_null(local)) {
+      out.AppendNull();
+    } else if (type_ == ColumnType::kNumeric) {
+      out.AppendNumeric(chunk.num_value(local));
+    } else {
+      int32_t& mapped = remap[static_cast<size_t>(chunk.cat_code(local))];
+      if (mapped < 0) {
+        mapped = out.LookupOrAddCode(
+            delta.dict_->words[static_cast<size_t>(chunk.cat_code(local))]);
+      }
+      out.AppendCode(mapped);
+    }
+    maybe_seal();
+  });
+  out.SealTail();
+  return out;
+}
+
+void Column::AppendRaw(const Chunk& src, size_t i) {
+  Chunk& tail = MutableTail();
+  tail.valid_.push_back(src.valid_[i]);
+  if (type_ == ColumnType::kNumeric) {
+    tail.nums_.push_back(src.nums_[i]);
+  } else {
+    tail.codes_.push_back(src.codes_[i]);
+  }
+  ++size_;
+}
+
+Column Column::Rechunked(size_t max_chunk_rows) const {
+  Column out(name_, type_);
+  // Share the dictionary (codes and fingerprints are preserved verbatim):
+  // re-chunking changes physical layout only.
+  out.dict_ = dict_;
+  out.Reserve(max_chunk_rows == 0 ? size_ : std::min(size_, max_chunk_rows));
+  VisitRows(0, size_, [&](size_t, const Chunk& chunk, size_t local) {
+    out.AppendRaw(chunk, local);
+    if (max_chunk_rows != 0 && out.size_ - out.sealed_rows_ == max_chunk_rows) {
+      out.SealTail();
+    }
+  });
+  out.SealTail();
+  return out;
+}
+
+Column Column::Flattened() const { return Rechunked(0); }
+
+size_t Column::DictBytes() const {
+  if (!dict_) return 0;
+  size_t bytes = 0;
+  for (const std::string& word : dict_->words) {
+    // String payload plus a flat estimate for the words-vector slot and the
+    // index entry; close enough for the sharing ratios the stats report.
+    bytes += word.size() + sizeof(std::string) + 48;
+  }
+  return bytes;
+}
+
+size_t Column::ApproxBytes() const {
+  size_t bytes = DictBytes();
+  for (const auto& chunk : chunks_) bytes += chunk->ByteSize();
+  if (tail_) bytes += tail_->ByteSize();
+  return bytes;
 }
 
 }  // namespace subtab

@@ -1,12 +1,15 @@
 #ifndef SUBTAB_TABLE_COLUMN_H_
 #define SUBTAB_TABLE_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "subtab/table/chunk.h"
 #include "subtab/util/check.h"
 
 /// \file column.h
@@ -18,6 +21,26 @@
 /// Nulls are first-class: the paper's examples use NaN as a *value* that
 /// participates in association rules (e.g. DEP_TIME = NaN for cancelled
 /// flights), which the binning layer later maps to a dedicated bin.
+///
+/// Physically a column is a sequence of immutable, shared chunks (chunk.h)
+/// plus an open "tail" chunk the builder API appends into. Copying a column
+/// shares the sealed chunks (O(chunks), not O(rows)); AppendSlice produces a
+/// longer column that shares every sealed chunk — the O(batch) snapshot path
+/// of the streaming layer. Row access goes through a chunk-aware lookup
+/// (single-chunk fast path; binary search otherwise); scans should use
+/// VisitRows, which amortizes the lookup per chunk, or Flattened() — the
+/// explicit single-chunk escape hatch for hot random-access loops.
+///
+/// The dictionary lives on the column, not on chunks, and is cumulative in
+/// first-seen order across the whole chunk sequence: codes frozen into old
+/// chunks stay valid in every descendant column, which only ever *extends*
+/// the dictionary. It is itself shared copy-on-write: column copies and
+/// AppendSlice share the dictionary object and clone it only when a write
+/// would be visible through another reference, so an append whose batch
+/// introduces no new categories does no dictionary work at all.
+/// Thread-safety: all const members touch only immutable state (no mutable
+/// caches), so concurrent readers of a sealed column are safe — the
+/// contract the serving engine's shared snapshots rely on.
 
 namespace subtab {
 
@@ -39,10 +62,17 @@ class Column {
   /// become nulls.
   static Column Categorical(std::string name, const std::vector<std::string>& values);
 
+  /// Copies share the sealed chunks and deep-copy only the open tail (which
+  /// is bounded by one chunk), so copying a sealed column is O(chunks).
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   ColumnType type() const { return type_; }
-  size_t size() const { return valid_.size(); }
+  size_t size() const { return size_; }
   bool is_numeric() const { return type_ == ColumnType::kNumeric; }
 
   // -- Builder API ----------------------------------------------------------
@@ -52,11 +82,17 @@ class Column {
   void AppendCategorical(std::string_view value);
   void Reserve(size_t n);
 
+  /// Freezes the open tail into an immutable shared chunk (no-op when the
+  /// tail is empty). Table::AddColumn seals on insertion, so every column
+  /// *inside* a Table is fully sealed and safe to share across threads.
+  void SealTail();
+
   // -- Access ---------------------------------------------------------------
 
   bool is_null(size_t row) const {
-    SUBTAB_DCHECK(row < size());
-    return valid_[row] == 0;
+    SUBTAB_DCHECK(row < size_);
+    size_t local = 0;
+    return LocateRow(row, &local).is_null(local);
   }
   size_t null_count() const;
 
@@ -70,7 +106,7 @@ class Column {
   std::string_view cat_value(size_t row) const;
 
   /// The dictionary of distinct categorical values, in first-seen order.
-  const std::vector<std::string>& dictionary() const { return dict_; }
+  const std::vector<std::string>& dictionary() const;
 
   /// Number of distinct non-null values.
   size_t distinct_count() const;
@@ -84,14 +120,116 @@ class Column {
   /// Min / max over non-null numeric values; returns false if no such value.
   bool NumericRange(double* min_out, double* max_out) const;
 
+  // -- Chunked storage ------------------------------------------------------
+
+  /// Sealed chunks, in row order (the open tail, if any, is not included).
+  const std::vector<std::shared_ptr<const Chunk>>& chunks() const {
+    return chunks_;
+  }
+  /// Sealed chunks plus the open tail.
+  size_t num_chunks() const { return chunks_.size() + (tail_ ? 1 : 0); }
+  /// First row covered by sealed chunk `i`.
+  size_t chunk_offset(size_t i) const {
+    SUBTAB_CHECK(i < offsets_.size());
+    return offsets_[i];
+  }
+
+  /// New column = this column's rows followed by `delta`'s rows. Shares every
+  /// sealed chunk with this column and appends the delta as new chunk(s) of
+  /// at most `max_chunk_rows` rows each (0 = one chunk for the whole delta),
+  /// remapping delta categoricals through the cumulative dictionary. Cost is
+  /// O(delta + dictionary), independent of this column's row count — the
+  /// streaming snapshot path (Table::AppendRows).
+  Column AppendSlice(const Column& delta, size_t max_chunk_rows = 0) const;
+
+  /// Deep single-chunk copy: same values, codes, and dictionary, all payload
+  /// in one chunk — the escape hatch for hot random-access loops.
+  Column Flattened() const;
+
+  /// Same content re-sliced into chunks of at most `max_chunk_rows` rows
+  /// (0 = one chunk). Chunk layout changes; values, codes, dictionary — and
+  /// therefore fingerprints — do not.
+  Column Rechunked(size_t max_chunk_rows) const;
+
+  /// Approximate heap bytes of this column's payload, counting every chunk
+  /// (shared or not) once per reference plus the dictionary. The engine's
+  /// resident-memory stats deduplicate shared chunks and dictionaries
+  /// across tables.
+  size_t ApproxBytes() const;
+
+  /// Approximate heap bytes of the dictionary alone (0 for numeric columns).
+  size_t DictBytes() const;
+
+  /// Identity of the shared dictionary object (columns that share a
+  /// dictionary return the same pointer; nullptr when empty). Resident
+  /// accounting deduplicates by it.
+  const void* dict_identity() const { return dict_.get(); }
+
+  /// Chunk-sequential scan over rows [begin, end): fn(row, chunk, local) is
+  /// called with chunk.is_null(local) / num_value / cat_code valid. Amortizes
+  /// the row->chunk lookup to once per chunk — use for scans (predicates,
+  /// fingerprints, binning) instead of per-row accessors.
+  template <typename Fn>
+  void VisitRows(size_t begin, size_t end, Fn&& fn) const {
+    SUBTAB_CHECK(begin <= end && end <= size_);
+    size_t row = begin;
+    while (row < end) {
+      size_t local = 0;
+      const Chunk& chunk = LocateRow(row, &local);
+      const size_t stop = std::min(end - row + local, chunk.size());
+      for (; local < stop; ++local, ++row) fn(row, chunk, local);
+    }
+  }
+
  private:
+  /// Chunk containing `row`; `*local` is the row's index within it.
+  const Chunk& LocateRow(size_t row, size_t* local) const {
+    if (row >= sealed_rows_) {
+      *local = row - sealed_rows_;
+      return *tail_;
+    }
+    size_t idx = 0;
+    if (chunks_.size() > 1) {
+      idx = static_cast<size_t>(std::upper_bound(offsets_.begin(),
+                                                 offsets_.end(), row) -
+                                offsets_.begin()) -
+            1;
+    }
+    *local = row - offsets_[idx];
+    return *chunks_[idx];
+  }
+
+  /// The open tail, created on first append.
+  Chunk& MutableTail();
+
+  /// Appends chunk `src`'s slot `i` to the tail verbatim (codes preserved;
+  /// used by Flattened/Rechunked, which keep the dictionary as-is).
+  void AppendRaw(const Chunk& src, size_t i);
+
+  /// Shared, copy-on-write dictionary of a categorical column.
+  struct Dictionary {
+    std::vector<std::string> words;  ///< First-seen order.
+    std::unordered_map<std::string, int32_t> index;
+  };
+
+  /// The dictionary for writing: created lazily; cloned first if another
+  /// column shares it (so the write is invisible through that reference).
+  Dictionary& MutableDict();
+
+  /// Code of `value` in the dictionary, extending it on first sight.
+  int32_t LookupOrAddCode(std::string_view value);
+
+  /// Appends a pre-resolved dictionary code (must be valid in dict_).
+  void AppendCode(int32_t code);
+
   std::string name_;
   ColumnType type_;
-  std::vector<uint8_t> valid_;       // 1 = present, 0 = null.
-  std::vector<double> nums_;         // Numeric payload (size() entries).
-  std::vector<int32_t> codes_;       // Categorical payload (size() entries).
-  std::vector<std::string> dict_;    // Dictionary for categorical columns.
-  std::unordered_map<std::string, int32_t> dict_index_;
+  size_t size_ = 0;         ///< Total rows (sealed + tail).
+  size_t sealed_rows_ = 0;  ///< Rows covered by sealed chunks.
+  std::vector<std::shared_ptr<const Chunk>> chunks_;
+  std::vector<size_t> offsets_;  ///< First row of each sealed chunk.
+  std::unique_ptr<Chunk> tail_;  ///< Open chunk under construction.
+  std::shared_ptr<Dictionary> dict_;  ///< Null until the first value.
 };
 
 }  // namespace subtab

@@ -147,7 +147,11 @@ Result<Table> ReadCsv(std::istream& in, const CsvOptions& options) {
     }
     columns.push_back(std::move(col));
   }
-  return Table::Make(std::move(columns));
+  Result<Table> table = Table::Make(std::move(columns));
+  if (table.ok() && options.max_chunk_rows != 0) {
+    return table->Rechunked(options.max_chunk_rows);
+  }
+  return table;
 }
 
 Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {

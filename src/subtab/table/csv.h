@@ -25,6 +25,10 @@ struct CsvOptions {
   std::vector<std::string> na_values = {"", "na", "nan", "null", "none"};
   /// Maximum rows to read (0 = unlimited).
   size_t max_rows = 0;
+  /// Chunk the loaded table into slices of at most this many rows (0 = one
+  /// chunk). Content and fingerprints are layout-independent; pre-chunking a
+  /// load bounds per-chunk allocation and mirrors the streaming layout.
+  size_t max_chunk_rows = 0;
 };
 
 /// Parses one CSV record (handles quoted fields, embedded delimiters and

@@ -118,9 +118,13 @@ Result<std::vector<char>> EvalPredicate(const Table& table, const Predicate& pre
   const size_t n = table.num_rows();
   std::vector<char> mask(n, 0);
 
+  // Chunk-sequential scans (Column::VisitRows) amortize the row->chunk
+  // lookup; streaming snapshots accumulate one chunk per appended batch.
   if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
     const bool want_null = pred.op == CmpOp::kIsNull;
-    for (size_t r = 0; r < n; ++r) mask[r] = (col.is_null(r) == want_null) ? 1 : 0;
+    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
+      mask[r] = (chunk.is_null(local) == want_null) ? 1 : 0;
+    });
     return mask;
   }
 
@@ -132,16 +136,19 @@ Result<std::vector<char>> EvalPredicate(const Table& table, const Predicate& pre
   }
 
   if (col.is_numeric()) {
-    for (size_t r = 0; r < n; ++r) {
-      if (col.is_null(r)) continue;  // Nulls fail all value comparisons.
-      mask[r] = Compare(pred.op, col.num_value(r), pred.num_literal) ? 1 : 0;
-    }
+    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
+      if (chunk.is_null(local)) return;  // Nulls fail all value comparisons.
+      mask[r] = Compare(pred.op, chunk.num_value(local), pred.num_literal) ? 1 : 0;
+    });
   } else {
     const std::string_view want = pred.str_literal;
-    for (size_t r = 0; r < n; ++r) {
-      if (col.is_null(r)) continue;
-      mask[r] = Compare(pred.op, col.cat_value(r), want) ? 1 : 0;
-    }
+    const auto& dict = col.dictionary();
+    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
+      if (chunk.is_null(local)) return;
+      const std::string_view value =
+          dict[static_cast<size_t>(chunk.cat_code(local))];
+      mask[r] = Compare(pred.op, value, want) ? 1 : 0;
+    });
   }
   return mask;
 }

@@ -39,9 +39,52 @@ Status Table::AddColumn(Column column) {
     return Status::InvalidArgument("duplicate column name '" + column.name() + "'");
   }
   if (columns_.empty()) num_rows_ = column.size();
+  column.SealTail();
   schema_.AddField({column.name(), column.type()});
   columns_.push_back(std::move(column));
   return Status::Ok();
+}
+
+Result<Table> Table::AppendRows(const Table& batch, size_t max_chunk_rows) const {
+  if (!(batch.schema() == schema_)) {
+    return Status::InvalidArgument("appended batch schema does not match: " +
+                                   batch.schema().ToString() + " vs " +
+                                   schema_.ToString());
+  }
+  Table out;
+  out.schema_ = schema_;
+  out.num_rows_ = num_rows_ + batch.num_rows();
+  out.columns_.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_.push_back(
+        columns_[c].AppendSlice(batch.columns_[c], max_chunk_rows));
+  }
+  return out;
+}
+
+Table Table::Rechunked(size_t max_chunk_rows) const {
+  Table out;
+  out.schema_ = schema_;
+  out.num_rows_ = num_rows_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    out.columns_.push_back(col.Rechunked(max_chunk_rows));
+  }
+  return out;
+}
+
+Table Table::Flatten() const { return Rechunked(0); }
+
+size_t Table::num_chunks() const {
+  size_t chunks = columns_.empty() ? 0 : 1;
+  for (const Column& col : columns_) chunks = std::max(chunks, col.num_chunks());
+  return chunks;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Column& col : columns_) bytes += col.ApproxBytes();
+  return bytes;
 }
 
 Table Table::TakeRows(const std::vector<size_t>& indices) const {

@@ -13,6 +13,13 @@
 /// Relational table T over schema U (paper Sec. 3.1). Column-oriented; all
 /// columns have equal length. Sub-table extraction is row selection
 /// (TakeRows) composed with projection (SelectColumns), matching Def. 3.1.
+///
+/// Storage is a chunked, shared-ownership column store (chunk.h): every
+/// column inside a table is sealed into immutable shared chunks, so copying
+/// a table — or extending it with AppendRows — shares payload instead of
+/// duplicating it. AppendRows is the streaming snapshot path: the new table
+/// costs O(batch) and shares every prior chunk with its parent; dropping
+/// either table frees only the chunks the other does not reference.
 
 namespace subtab {
 
@@ -40,8 +47,36 @@ class Table {
   /// Index of a named column as a Status-ful lookup.
   Result<size_t> ColumnIndex(std::string_view name) const;
 
-  /// Appends a column of matching length.
+  /// Appends a column of matching length. The column's open tail is sealed
+  /// on insertion, so columns inside a table are always fully chunked and
+  /// safe to share across threads.
   Status AddColumn(Column column);
+
+  /// New table = this table's rows followed by `batch`'s rows (schemas must
+  /// match: names and types, in order). Shares every chunk of this table and
+  /// appends the batch as new chunk(s) of at most `max_chunk_rows` rows each
+  /// (0 = one chunk per batch) — O(batch rows), independent of this table's
+  /// size. The streaming layer's snapshot primitive.
+  Result<Table> AppendRows(const Table& batch, size_t max_chunk_rows = 0) const;
+
+  /// Deep copy with each column's payload in a single chunk — the explicit
+  /// escape hatch for hot random-access loops (row access on the result
+  /// never pays the chunk lookup). Values, codes, dictionaries, and
+  /// fingerprints are unchanged.
+  Table Flatten() const;
+
+  /// Same content re-sliced into chunks of at most `max_chunk_rows` rows
+  /// (0 = one chunk). Physical layout only; content and fingerprints are
+  /// unchanged.
+  Table Rechunked(size_t max_chunk_rows) const;
+
+  /// Maximum chunk count across columns (1 for a freshly built table).
+  size_t num_chunks() const;
+
+  /// Approximate heap bytes of payload, counting shared chunks once per
+  /// reference. service::EngineStats deduplicates chunks shared across
+  /// tables/versions for resident accounting.
+  size_t ApproxBytes() const;
 
   /// New table with the rows at `indices` (in order; duplicates allowed).
   Table TakeRows(const std::vector<size_t>& indices) const;

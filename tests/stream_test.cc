@@ -141,6 +141,23 @@ TEST(StreamingTableTest, SnapshotsAreIsolatedFromLaterAppends) {
   EXPECT_EQ((*stream)->Current().num_rows, 18u);
 }
 
+TEST(StreamingTableTest, AppendSharesParentChunks) {
+  // Zero-copy snapshots: every append adds exactly one chunk per column and
+  // shares the parent's chunks by pointer identity.
+  auto stream = StreamingTable::Open(LittleTable(20));
+  ASSERT_TRUE(stream.ok());
+  const TableVersion v0 = (*stream)->Current();
+  EXPECT_EQ(v0.table->num_chunks(), 1u);
+  ASSERT_TRUE((*stream)->Append(LittleTable(5, 20)).ok());
+  ASSERT_TRUE((*stream)->Append(LittleTable(5, 25)).ok());
+  const TableVersion v2 = (*stream)->Current();
+  EXPECT_EQ(v2.table->num_chunks(), 3u);
+  for (size_t c = 0; c < v0.table->num_columns(); ++c) {
+    EXPECT_EQ(v2.table->column(c).chunks()[0].get(),
+              v0.table->column(c).chunks()[0].get());
+  }
+}
+
 // ---------------------------------------------------- IncrementalBinner --
 
 TEST(IncrementalBinnerTest, MatchesFullRebinWithoutDrift) {
@@ -293,6 +310,10 @@ TEST(StreamSessionTest, PublishesVersionedModelsAndKeys) {
   std::shared_ptr<const SubTab> model = (*session)->model();
   EXPECT_EQ(model->table().num_rows(), 50u);
   EXPECT_EQ(model->preprocessed().binned().num_rows(), 50u);
+  // Double residency gone: the model holds the snapshot's table — the very
+  // same object, not a copy.
+  EXPECT_EQ(model->shared_table().get(),
+            (*session)->current_version().table.get());
   const auto stats = (*session)->Stats();
   EXPECT_EQ(stats.appends, 1u);
   EXPECT_EQ(stats.fold_ins, 1u);
@@ -449,7 +470,8 @@ TEST(EngineStreamTest, StatsToJsonContainsEverySection) {
   ServingEngine engine;
   const std::string json = engine.Stats().ToJson();
   for (const char* key : {"\"tables\"", "\"requests\"", "\"selection_cache\"",
-                          "\"registry\"", "\"streaming\"", "\"fold_ins\""}) {
+                          "\"registry\"", "\"streaming\"", "\"fold_ins\"",
+                          "\"memory\"", "\"resident_bytes\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << json;
   }
 }
@@ -497,6 +519,71 @@ TEST(EngineStreamTest, ConcurrentAppendAndSelectServeConsistentVersions) {
   EXPECT_EQ(engine.GetModel("live")->table().num_rows(), 60 + kBatches * 10);
   EXPECT_GT(selects_ok.load(), 0u);
   EXPECT_EQ(engine.Stats().streaming.appends, kBatches);
+
+  // Double residency gone, visible in the stats: the stream's snapshot and
+  // the served model share one Table object (and all versions share chunks),
+  // so the deduplicated resident bytes are strictly below the per-binding
+  // logical bytes.
+  const service::MemoryStats memory = engine.Stats().memory;
+  EXPECT_GT(memory.logical_bytes, 0u);
+  EXPECT_LT(memory.resident_bytes, memory.logical_bytes);
+  EXPECT_EQ(memory.shared_saved_bytes,
+            memory.logical_bytes - memory.resident_bytes);
+  EXPECT_EQ(memory.tables, 1u);  // Model table == stream snapshot table.
+}
+
+// Append-while-select over zero-copy chunked snapshots: selectors hold old
+// versions and SCAN their rows (reading the shared chunks) while the
+// appender publishes new versions that share those same chunks — the data
+// race the immutable-chunk design must not have (TSan runs this binary).
+TEST(EngineStreamTest, ConcurrentAppendWhileScanningSharedChunks) {
+  auto session = StreamSession::Open(LittleTable(80),
+                                     FoldInOnlyOptions(LittleConfig()));
+  ASSERT_TRUE(session.ok());
+
+  constexpr size_t kBatches = 10;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 3; ++t) {
+    scanners.emplace_back([&session, &done, &rows_scanned] {
+      do {
+        // Hold one version's table across the scan; later appends must not
+        // disturb it even though they share its chunks.
+        std::shared_ptr<const SubTab> model = (*session)->model();
+        const Table& table = model->table();
+        double checksum = 0.0;
+        size_t non_null = 0;
+        for (size_t c = 0; c < table.num_columns(); ++c) {
+          const Column& col = table.column(c);
+          col.VisitRows(0, col.size(),
+                        [&](size_t, const Chunk& chunk, size_t local) {
+            if (chunk.is_null(local)) return;
+            ++non_null;
+            checksum += col.is_numeric()
+                            ? chunk.num_value(local)
+                            : static_cast<double>(chunk.cat_code(local));
+          });
+        }
+        ASSERT_GT(non_null, 0u);
+        ASSERT_TRUE(std::isfinite(checksum));
+        // Query the same snapshot: predicate scans + gather over chunks.
+        SpQuery query;
+        query.filters = {Predicate::Num("a", CmpOp::kLt, 30.0)};
+        Result<SubTabView> view = model->SelectForQuery(query);
+        ASSERT_TRUE(view.ok());
+        rows_scanned.fetch_add(non_null, std::memory_order_relaxed);
+      } while (!done.load(std::memory_order_relaxed));
+    });
+  }
+  for (size_t b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE((*session)->Append(LittleTable(10, 80 + b * 10)).ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : scanners) t.join();
+
+  EXPECT_GT(rows_scanned.load(), 0u);
+  EXPECT_EQ((*session)->current_version().table->num_chunks(), kBatches + 1);
 }
 
 }  // namespace
