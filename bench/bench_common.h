@@ -139,14 +139,51 @@ inline void Measured(const std::string& text) {
   std::printf("measured | %s\n", text.c_str());
 }
 
+/// Collects a run's JSON records and writes them as one machine-readable
+/// document — BENCH_<name>.json in the working directory — so the repo
+/// accumulates a perf trajectory (CI uploads these artifacts from --quick
+/// runs). Records are whatever JsonLine::Emit(&file) rendered, in order.
+class BenchJsonFile {
+ public:
+  BenchJsonFile(std::string bench, bool quick)
+      : bench_(std::move(bench)), quick_(quick) {}
+
+  void Add(const std::string& record) { records_.push_back(record); }
+
+  /// Writes {"bench":...,"quick":...,"records":[...]}; warns (but does not
+  /// fail the bench) when the file cannot be opened.
+  void Write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"quick\":%s,\"records\":[",
+                 bench_.c_str(), quick_ ? "true" : "false");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", records_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  std::string bench_;
+  bool quick_;
+  std::vector<std::string> records_;
+};
+
 /// The repo's standard machine-readable bench record: one JSON object per
 /// line, prefixed "json | " so downstream tooling can grep it out of the
 /// human-readable report:
 ///
 ///   JsonLine("serving_throughput").Field("threads", 4).Field("rps", r).Emit();
 ///
-/// Keys are emitted in insertion order; strings are assumed not to need
-/// escaping (bench names and phases only).
+/// Emit(&file) additionally appends the record to a BenchJsonFile, feeding
+/// the BENCH_<name>.json artifact. Keys are emitted in insertion order;
+/// strings are assumed not to need escaping (bench names and phases only).
 class JsonLine {
  public:
   explicit JsonLine(const std::string& bench) {
@@ -170,7 +207,11 @@ class JsonLine {
   JsonLine& RawField(const std::string& key, const std::string& json) {
     return Raw(key, json);
   }
-  void Emit() { std::printf("json | %s}\n", body_.c_str()); }
+  std::string Render() const { return body_ + "}"; }
+  void Emit(BenchJsonFile* file = nullptr) {
+    if (file != nullptr) file->Add(Render());
+    std::printf("json | %s\n", Render().c_str());
+  }
 
  private:
   JsonLine& Raw(const std::string& key, const std::string& value) {

@@ -4,20 +4,29 @@
 //
 // Workload: synthetic analyst sessions over the cyber-security dataset
 // (Sec. 6.2.2's replay study), every step query issued as a SelectRequest by
-// closed-loop client threads (one client per engine worker). Two phases per
+// closed-loop client threads (one client per engine worker). Phases per
 // thread count:
-//   cold — clients partition the query list: mostly cache misses, measures
-//          raw selection throughput under concurrency;
-//   warm — every client replays the full list: mostly selection-cache hits,
-//          measures the served-from-cache fast path.
-// Emits the repo's standard "json |" records for downstream tooling.
+//   legacy — the pre-refactor blocking executor (one monolithic
+//            SelectForQuery task per request): the before-side of the
+//            pipeline refactor, same queries, same engine chassis;
+//   cold   — the staged pipeline (scan/select stage hops, no intermediate
+//            materialization): mostly cache misses, raw throughput;
+//   warm   — every client replays the full list: the served-from-cache path.
+// A final overload phase hammers a bounded-admission engine open-loop to
+// measure the shed rate. Emits the repo's standard "json |" records AND the
+// machine-readable BENCH_serving.json artifact (p50/p95/p99 latency,
+// throughput, shed rate) so the repo accumulates a perf trajectory; the
+// full-size run enforces the pipeline >= 2x the blocking executor at 16
+// threads.
 
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <thread>
+#include <utility>
 
 #include "bench_common.h"
+#include "subtab/cluster/kmeans.h"
 #include "subtab/eda/session_generator.h"
 #include "subtab/service/engine.h"
 #include "subtab/util/stopwatch.h"
@@ -25,6 +34,10 @@
 
 namespace subtab::bench {
 namespace {
+
+/// The pipeline must beat the blocking executor by at least this factor at
+/// the top thread count (full-size run; CHECKed so CI catches regressions).
+constexpr double kPipelineSpeedupFloor = 2.0;
 
 /// Nearest-rank percentile over an ascending-sorted sample, in ms.
 double PercentileMs(const std::vector<double>& sorted_seconds, double p) {
@@ -39,6 +52,7 @@ struct PhaseResult {
   size_t requests = 0;
   double seconds = 0.0;
   std::vector<double> latencies;
+  double rps = 0.0;
 };
 
 /// Each client thread runs a closed loop over its assigned queries.
@@ -71,69 +85,157 @@ PhaseResult RunClients(service::ServingEngine& engine, size_t num_clients,
     merged.latencies.insert(merged.latencies.end(), p.latencies.begin(),
                             p.latencies.end());
   }
+  merged.rps = static_cast<double>(merged.requests) / merged.seconds;
   return merged;
 }
 
 /// Reports one phase; cache/coalescing rates are per-phase deltas.
 void Report(const std::string& phase, size_t threads, const PhaseResult& result,
             const service::EngineStats& before,
-            const service::EngineStats& after) {
+            const service::EngineStats& after, BenchJsonFile* file) {
   std::vector<double> sorted = result.latencies;
   std::sort(sorted.begin(), sorted.end());
-  const double rps = static_cast<double>(result.requests) / result.seconds;
   const double p50 = PercentileMs(sorted, 0.50);
+  const double p95 = PercentileMs(sorted, 0.95);
   const double p99 = PercentileMs(sorted, 0.99);
   const uint64_t hits = after.selection_cache.hits - before.selection_cache.hits;
   const uint64_t misses =
       after.selection_cache.misses - before.selection_cache.misses;
   const uint64_t coalesced = after.requests_coalesced - before.requests_coalesced;
+  const uint64_t shed =
+      after.pipeline.requests_shed - before.pipeline.requests_shed;
   const double hit_rate = static_cast<double>(hits) /
                           static_cast<double>(std::max<uint64_t>(1, hits + misses));
-  Measured(StrFormat("%-4s %2zu threads  %5zu req in %6.2fs  %8.1f req/s  "
-                     "p50 %7.3fms  p99 %7.3fms  cache-hit %4.1f%%",
+  const double shed_rate =
+      static_cast<double>(shed) /
+      static_cast<double>(std::max<uint64_t>(
+          1, after.requests_submitted - before.requests_submitted));
+  Measured(StrFormat("%-7s %2zu threads  %5zu req in %6.2fs  %8.1f req/s  "
+                     "p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  cache-hit %4.1f%%",
                      phase.c_str(), threads, result.requests, result.seconds,
-                     rps, p50, p99, hit_rate * 100.0));
+                     result.rps, p50, p95, p99, hit_rate * 100.0));
   JsonLine("serving_throughput")
       .Field("phase", phase)
       .Field("threads", static_cast<uint64_t>(threads))
       .Field("requests", static_cast<uint64_t>(result.requests))
       .Field("seconds", result.seconds)
-      .Field("rps", rps)
+      .Field("rps", result.rps)
       .Field("p50_ms", p50)
+      .Field("p95_ms", p95)
       .Field("p99_ms", p99)
       .Field("cache_hit_rate", hit_rate)
       .Field("coalesced", coalesced)
-      .Emit();
+      .Field("shed_rate", shed_rate)
+      .Emit(file);
 }
 
-void RunOne(size_t threads, const GeneratedDataset& data,
-            const std::vector<SpQuery>& queries, const std::string& model_dir) {
-  service::EngineOptions options;
-  options.num_threads = threads;
-  options.persist_dir = model_dir;  // Fit once, load on later thread counts.
-  service::ServingEngine engine(options);
-  SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
-
-  // Cold: clients partition the distinct work.
+/// One thread count: the blocking executor first (the before-side), then the
+/// staged pipeline cold + warm. Returns (legacy rps, pipeline cold rps).
+std::pair<double, double> RunOne(size_t threads, const GeneratedDataset& data,
+                                 const std::vector<SpQuery>& queries,
+                                 const std::string& model_dir,
+                                 BenchJsonFile* file) {
+  // Cold phases partition the distinct work across clients.
   std::vector<std::vector<SpQuery>> shards(threads);
   for (size_t i = 0; i < queries.size(); ++i) {
     shards[i % threads].push_back(queries[i]);
   }
+
+  // ---- Legacy: the pre-refactor blocking executor, faithfully — one
+  // ---- monolithic task per request (materializing the intermediate query
+  // ---- result) AND the pre-refactor k-means distance kernel.
+  double legacy_rps = 0.0;
+  {
+    service::EngineOptions options;
+    options.num_threads = threads;
+    options.persist_dir = model_dir;  // Fit once, load on later phases.
+    options.staged_pipeline = false;
+    service::ServingEngine engine(options);
+    SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+    SetKMeansReferenceKernel(true);
+    service::EngineStats before = engine.Stats();
+    PhaseResult legacy = RunClients(engine, threads, shards);
+    SetKMeansReferenceKernel(false);
+    Report("legacy", threads, legacy, before, engine.Stats(), file);
+    legacy_rps = legacy.rps;
+  }
+
+  // ---- Pipeline: staged scan/select with chunk-parallel scans. ----
+  service::EngineOptions options;
+  options.num_threads = threads;
+  options.persist_dir = model_dir;
+  service::ServingEngine engine(options);
+  SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+
   service::EngineStats before = engine.Stats();
   PhaseResult cold = RunClients(engine, threads, shards);
   service::EngineStats after = engine.Stats();
-  Report("cold", threads, cold, before, after);
+  Report("cold", threads, cold, before, after, file);
 
   // Warm: every client replays everything; the cache absorbs the load.
   std::vector<std::vector<SpQuery>> full(threads, queries);
   before = after;
   PhaseResult warm = RunClients(engine, threads, full);
   after = engine.Stats();
-  Report("warm", threads, warm, before, after);
+  Report("warm", threads, warm, before, after, file);
   JsonLine("engine_stats")
       .Field("threads", static_cast<uint64_t>(threads))
       .RawField("stats", after.ToJson())
-      .Emit();
+      .Emit(file);
+  return {legacy_rps, cold.rps};
+}
+
+/// Open-loop overload against a bounded-admission engine: the shed-rate
+/// measurement (admission keeps tail latency sane by failing fast).
+void RunOverload(const GeneratedDataset& data,
+                 const std::vector<SpQuery>& queries,
+                 const std::string& model_dir, BenchJsonFile* file) {
+  service::EngineOptions options;
+  options.num_threads = 4;
+  options.persist_dir = model_dir;
+  options.max_pending_per_tenant = 32;
+  service::ServingEngine engine(options);
+  SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+
+  constexpr size_t kSubmitters = 8;
+  std::vector<std::thread> submitters;
+  Stopwatch wall;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&engine, &queries, t] {
+      for (size_t i = t; i < queries.size(); i += 2) {  // Overlapping halves.
+        service::SelectRequest request;
+        request.table_id = "cyber";
+        request.query = queries[i % queries.size()];
+        request.seed = 77777 + t * queries.size() + i;  // Dodge cache/dedup.
+        engine.SubmitSelect(request);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  engine.Drain();
+  const double seconds = wall.ElapsedSeconds();
+
+  const service::EngineStats stats = engine.Stats();
+  const double shed_rate = static_cast<double>(stats.pipeline.requests_shed) /
+                           static_cast<double>(stats.requests_submitted);
+  Measured(StrFormat("overload: %llu submitted open-loop in %.2fs, "
+                     "%llu shed (%.1f%%), p95 %.3fms, queue bounded",
+                     (unsigned long long)stats.requests_submitted, seconds,
+                     (unsigned long long)stats.pipeline.requests_shed,
+                     shed_rate * 100.0, stats.pipeline.latency_p95_ms));
+  JsonLine("serving_overload")
+      .Field("submitted", stats.requests_submitted)
+      .Field("shed", stats.pipeline.requests_shed)
+      .Field("shed_rate", shed_rate)
+      .Field("seconds", seconds)
+      .Field("p50_ms", stats.pipeline.latency_p50_ms)
+      .Field("p95_ms", stats.pipeline.latency_p95_ms)
+      .Field("p99_ms", stats.pipeline.latency_p99_ms)
+      .Emit(file);
+  // Bounded queues shed under overload instead of queueing unboundedly (the
+  // saturation suite proves no-deadlock; this pins the bench workload too).
+  SUBTAB_CHECK(stats.pipeline.requests_shed > 0);
+  SUBTAB_CHECK(stats.requests_submitted == stats.requests_completed);
 }
 
 }  // namespace
@@ -143,6 +245,7 @@ int main(int argc, char** argv) {
   using namespace subtab::bench;
   using namespace subtab;
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchJsonFile file("serving", args.quick);
 
   Header("Serving throughput: requests/sec and latency vs worker threads");
   PaperRef("(no paper figure; ROADMAP north-star metric. Paper reports 1-5s");
@@ -164,8 +267,29 @@ int main(int argc, char** argv) {
 
   const std::vector<size_t> thread_counts =
       args.quick ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 4, 16};
+  double top_legacy_rps = 0.0;
+  double top_cold_rps = 0.0;
   for (size_t threads : thread_counts) {
-    RunOne(threads, data, queries, model_dir);
+    std::tie(top_legacy_rps, top_cold_rps) =
+        RunOne(threads, data, queries, model_dir, &file);
   }
+  const double speedup = top_cold_rps / top_legacy_rps;
+  Measured(StrFormat("pipeline vs blocking executor at %zu threads: "
+                     "%.1f vs %.1f req/s (%.2fx, floor %.1fx)",
+                     thread_counts.back(), top_cold_rps, top_legacy_rps,
+                     speedup, kPipelineSpeedupFloor));
+  JsonLine("pipeline_speedup")
+      .Field("threads", static_cast<uint64_t>(thread_counts.back()))
+      .Field("legacy_rps", top_legacy_rps)
+      .Field("pipeline_rps", top_cold_rps)
+      .Field("speedup", speedup)
+      .Emit(&file);
+
+  RunOverload(data, queries, model_dir, &file);
+  file.Write();
+
+  // Enforced on the full-size run only: --quick's tiny tables leave too
+  // little per-request work for a stable ratio in CI.
+  if (!args.quick) SUBTAB_CHECK(speedup >= kPipelineSpeedupFloor);
   return 0;
 }

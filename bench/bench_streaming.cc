@@ -16,6 +16,7 @@
 // snapshot-cost series must show per-batch append cost flat (+-20%) as the
 // base table grows 10x — O(batch), not O(rows).
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   using namespace subtab;
 
   const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchJsonFile file("streaming", args.quick);
   Header("Streaming ingestion: appends interleaved with selects (CY)");
   PaperRef("(no paper figure; the paper's one-off pre-processing, Fig. 9,");
   PaperRef("assumes frozen content. Target: selects stay interactive over");
@@ -95,15 +97,22 @@ int main(int argc, char** argv) {
     stream_refresh_seconds += event->seconds;
 
     size_t ok = 0;
+    std::vector<double> latencies;
+    latencies.reserve(queries.size());
     Stopwatch select_watch;
     for (const SpQuery& query : queries) {
       service::SelectRequest request;
       request.table_id = "cy";
       request.query = query;
+      Stopwatch one;
       if (engine.Select(request).status.ok()) ++ok;
+      latencies.push_back(one.ElapsedSeconds());
     }
     const double select_seconds = select_watch.ElapsedSeconds();
     const double rps = static_cast<double>(queries.size()) / select_seconds;
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = latencies[latencies.size() / 2] * 1e3;
+    const double p95 = latencies[latencies.size() * 95 / 100] * 1e3;
     std::printf("%-6zu %-12s %10.3f %10zu %9zu %9.1f\n", b + 1,
                 stream::RefreshActionName(event->action), event->seconds,
                 queries.size(), ok, rps);
@@ -114,10 +123,12 @@ int main(int argc, char** argv) {
         .Field("refresh_seconds", event->seconds)
         .Field("selects_ok", static_cast<uint64_t>(ok))
         .Field("select_rps", rps)
-        .Emit();
+        .Field("select_p50_ms", p50)
+        .Field("select_p95_ms", p95)
+        .Emit(&file);
   }
   const service::EngineStats stats = engine.Stats();
-  JsonLine("engine_stats").RawField("stats", stats.ToJson()).Emit();
+  JsonLine("engine_stats").RawField("stats", stats.ToJson()).Emit(&file);
   SUBTAB_CHECK(stats.streaming.appends == num_batches);
 
   // ---- Resident memory: the zero-copy snapshot path must have removed the
@@ -130,6 +141,80 @@ int main(int argc, char** argv) {
                      stats.memory.resident_bytes / 1024.0,
                      stats.memory.logical_bytes / 1024.0,
                      stats.memory.shared_saved_bytes / 1024.0));
+
+  // ---- Background refresh: the appender publishes a fold-in immediately
+  // ---- and the worker upgrades the same version in the background. Every
+  // ---- batch must be servable the moment Append returns, and selects
+  // ---- issued while an upgrade trains must keep succeeding against the
+  // ---- latest published version (never blocking on training).
+  {
+    stream::StreamSessionOptions bg_options = stream_options;
+    bg_options.background_refresh = true;
+    bg_options.policy.incremental_threshold = 0.0;  // Upgrade every batch...
+    bg_options.policy.max_background_lag = 1e9;     // ...always deferred.
+    Result<std::shared_ptr<stream::StreamSession>> bg_session =
+        stream::StreamSession::Open(base, bg_options);
+    SUBTAB_CHECK(bg_session.ok());
+    service::ServingEngine bg_engine(engine_options);
+    SUBTAB_CHECK(bg_engine.RegisterStream("cybg", *bg_session).ok());
+
+    double publish_seconds_total = 0.0;
+    double publish_seconds_max = 0.0;
+    size_t bg_selects_ok = 0;
+    size_t bg_selects = 0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      const size_t begin = base_rows + b * batch_rows;
+      const Table batch =
+          full.table.TakeRows(RowRange(begin, begin + batch_rows));
+      Result<stream::RefreshEvent> event = bg_engine.Append("cybg", batch);
+      SUBTAB_CHECK(event.ok());
+      // Publication is the cheap fold-in; the trained upgrade is deferred.
+      SUBTAB_CHECK(event->action == stream::RefreshAction::kFoldIn);
+      SUBTAB_CHECK(event->upgrade_deferred);
+      publish_seconds_total += event->seconds;
+      publish_seconds_max = std::max(publish_seconds_max, event->seconds);
+      // The new version is servable the moment Append returned.
+      SUBTAB_CHECK(bg_engine.GetModel("cybg")->table().num_rows() ==
+                   base_rows + (b + 1) * batch_rows);
+      // Selects race the in-flight upgrade; none may block or fail oddly.
+      for (const SpQuery& query : queries) {
+        service::SelectRequest request;
+        request.table_id = "cybg";
+        request.query = query;
+        const Status status = bg_engine.Select(request).status;
+        SUBTAB_CHECK(status.ok() ||
+                     status.code() == StatusCode::kInvalidArgument);
+        bg_selects_ok += status.ok() ? 1 : 0;
+        ++bg_selects;
+      }
+    }
+    (*bg_session)->WaitForUpgrades();
+    const stream::StreamStats bg_stats = (*bg_session)->Stats();
+    SUBTAB_CHECK(bg_stats.deferred_upgrades == num_batches);
+    SUBTAB_CHECK(bg_stats.upgrades_completed + bg_stats.upgrades_discarded >= 1);
+    const double inline_per_batch =
+        stream_refresh_seconds / static_cast<double>(num_batches);
+    Measured(StrFormat(
+        "background refresh: publication %.1f ms/batch max %.1f ms (inline "
+        "mode averaged %.1f ms/batch); %zu/%zu selects ok during in-flight "
+        "upgrades; %llu upgrades completed, %llu discarded",
+        1e3 * publish_seconds_total / num_batches, 1e3 * publish_seconds_max,
+        1e3 * inline_per_batch, bg_selects_ok, bg_selects,
+        (unsigned long long)bg_stats.upgrades_completed,
+        (unsigned long long)bg_stats.upgrades_discarded));
+    JsonLine("background_refresh")
+        .Field("batches", static_cast<uint64_t>(num_batches))
+        .Field("publish_seconds_total", publish_seconds_total)
+        .Field("publish_seconds_max", publish_seconds_max)
+        .Field("inline_refresh_seconds_per_batch", inline_per_batch)
+        .Field("selects_ok", static_cast<uint64_t>(bg_selects_ok))
+        .Field("selects_total", static_cast<uint64_t>(bg_selects))
+        .Field("deferred_upgrades", bg_stats.deferred_upgrades)
+        .Field("upgrades_completed", bg_stats.upgrades_completed)
+        .Field("upgrades_discarded", bg_stats.upgrades_discarded)
+        .Field("final_refresh_generation", bg_stats.refresh_generation)
+        .Emit(&file);
+  }
 
   // ---- Snapshot-cost series: per-batch append cost must be O(batch), i.e.
   // ---- flat as the base table grows 10x. Measures StreamingTable alone
@@ -188,7 +273,7 @@ int main(int argc, char** argv) {
       .Field("append_seconds_small", small_seconds)
       .Field("append_seconds_large", large_seconds)
       .Field("flatness_ratio", flatness)
-      .Emit();
+      .Emit(&file);
   Measured(StrFormat("per-batch snapshot cost flat across 10x rows: "
                      "ratio %.2f (tolerance 0.80..1.20)",
                      flatness));
@@ -258,8 +343,9 @@ int main(int argc, char** argv) {
       .Field("fold_in_combined", fold_in_score.combined)
       .Field("refit_combined", refit_score.combined)
       .Field("quality_ratio", quality_ratio)
-      .Emit();
+      .Emit(&file);
 
+  file.Write();
   SUBTAB_CHECK(stream_refresh_seconds <
                kRefreshCostTolerance * refit_baseline_seconds);
   SUBTAB_CHECK(quality_ratio >= kFoldInQualityTolerance);

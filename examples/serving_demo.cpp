@@ -113,6 +113,28 @@ int main() {
   // as the bench harnesses), replacing per-counter ad-hoc formatting.
   std::printf("\n=== engine stats ===\n");
   std::printf("json | %s\n", stats.ToJson().c_str());
+
+  // ---- 4. Pipeline gauges: what an ops dashboard scrapes off ToJson. ------
+  const service::PipelineStats& pipeline = stats.pipeline;
+  std::printf("\npipeline: queue %zu, workers %zu/%zu (utilization %.0f%%), "
+              "%llu sheds, scan %.2fs / select %.2fs, latency p50 %.2fms "
+              "p95 %.2fms p99 %.2fms over %llu responses\n",
+              stats.queue_depth, pipeline.workers_active, stats.num_threads,
+              pipeline.worker_utilization * 100.0,
+              (unsigned long long)pipeline.requests_shed,
+              pipeline.scan_seconds, pipeline.select_seconds,
+              pipeline.latency_p50_ms, pipeline.latency_p95_ms,
+              pipeline.latency_p99_ms,
+              (unsigned long long)pipeline.latency_count);
+  SUBTAB_CHECK(stats.queue_depth == 0);  // Drained after the replays.
+  SUBTAB_CHECK(pipeline.worker_utilization >= 0.0 &&
+               pipeline.worker_utilization <= 1.0);
+  SUBTAB_CHECK(pipeline.latency_count >= stats.requests_submitted -
+                                             stats.requests_coalesced -
+                                             stats.requests_failed);
+  SUBTAB_CHECK(pipeline.latency_p99_ms >= pipeline.latency_p50_ms);
+  SUBTAB_CHECK(stats.ToJson().find("\"worker_utilization\"") != std::string::npos);
+
   std::printf("\nOK: >=100 queries, %zu workers, bit-identical, cache hits > 0\n",
               kWorkers);
   return 0;

@@ -1,10 +1,23 @@
 #include "subtab/cluster/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 namespace subtab {
+
+namespace {
+std::atomic<bool> g_reference_kernel{false};
+}  // namespace
+
+void SetKMeansReferenceKernel(bool enable) {
+  g_reference_kernel.store(enable, std::memory_order_relaxed);
+}
+
+bool KMeansReferenceKernelEnabled() {
+  return g_reference_kernel.load(std::memory_order_relaxed);
+}
 
 double SquaredDistance(const float* a, const float* b, size_t dim) {
   double acc = 0.0;
@@ -16,6 +29,54 @@ double SquaredDistance(const float* a, const float* b, size_t dim) {
 }
 
 namespace {
+
+/// Distances from one point to B centroids, accumulated side by side in B
+/// compile-time accumulators (held in registers). Each centroid's sum adds
+/// the exact same terms in the exact same order as SquaredDistance — only
+/// the B *independent* chains interleave — so every output is bit-identical
+/// to the one-at-a-time loop, while the B chains pipeline instead of
+/// serializing on a single double-add latency chain. `cents` is the first of
+/// B consecutive row-major centroids.
+template <int B>
+inline void DistanceBlock(const float* point, const double* cents_t,
+                          size_t stride, size_t dim, double* out) {
+  double acc[B] = {};
+  for (size_t d = 0; d < dim; ++d) {
+    const double pv = static_cast<double>(point[d]);
+    const double* row = cents_t + d * stride;  // B contiguous centroids.
+    for (int j = 0; j < B; ++j) {
+      const double diff = pv - row[j];
+      acc[j] += diff * diff;
+    }
+  }
+  for (int j = 0; j < B; ++j) out[j] = acc[j];
+}
+
+/// Distances from `point` to all k centroids into `out`, via register
+/// blocks of 8/4 with a scalar tail. `cents_t` holds the centroids
+/// pre-widened to double (float -> double conversion is exact, so widening
+/// once instead of per term changes nothing) and transposed to [dim][k] so
+/// the block inner loop reads contiguous doubles the compiler can vectorize
+/// lane-per-centroid (no reassociation within any chain); the result is
+/// bit-identical to calling SquaredDistance per float centroid.
+inline void DistancesToCentroids(const float* point, const double* cents_t,
+                                 size_t k, size_t dim, double* out) {
+  size_t c = 0;
+  for (; c + 8 <= k; c += 8) {
+    DistanceBlock<8>(point, cents_t + c, k, dim, out + c);
+  }
+  for (; c + 4 <= k; c += 4) {
+    DistanceBlock<4>(point, cents_t + c, k, dim, out + c);
+  }
+  for (; c < k; ++c) {
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = static_cast<double>(point[d]) - cents_t[d * k + c];
+      acc += diff * diff;
+    }
+    out[c] = acc;
+  }
+}
 
 /// k-means++ seeding: first center uniform, then D^2-weighted.
 std::vector<float> PlusPlusInit(const std::vector<float>& points, size_t dim,
@@ -92,20 +153,38 @@ KMeansResult KMeansSingleInit(const std::vector<float>& points, size_t dim,
 
   std::vector<double> sums(k * dim);
   std::vector<size_t> counts(k);
+  std::vector<double> acc(k);            // Per-centroid distance sums.
+  std::vector<double> cents_t(k * dim);  // Widened + transposed centroids.
   double prev_inertia = std::numeric_limits<double>::max();
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: per point, all k distances via the register-blocked
+    // kernel (bit-identical values, see DistanceBlock) — or the pre-refactor
+    // one-chain-per-centroid loop when the reference kernel is selected —
+    // then the same ascending strict-`<` scan picks the winner.
+    const bool reference = KMeansReferenceKernelEnabled();
+    for (size_t c = 0; c < k && !reference; ++c) {
+      for (size_t d = 0; d < dim; ++d) {
+        cents_t[d * k + c] = static_cast<double>(result.centroids[c * dim + d]);
+      }
+    }
     double inertia = 0.0;
     for (size_t p = 0; p < num_points; ++p) {
       const float* point = points.data() + p * dim;
-      double best = std::numeric_limits<double>::max();
+      if (reference) {
+        for (size_t c = 0; c < k; ++c) {
+          acc[c] =
+              SquaredDistance(point, result.centroids.data() + c * dim, dim);
+        }
+      } else {
+        DistancesToCentroids(point, cents_t.data(), k, dim, acc.data());
+      }
+      double best = acc[0];
       uint32_t best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const double d = SquaredDistance(point, result.centroids.data() + c * dim, dim);
-        if (d < best) {
-          best = d;
+      for (size_t c = 1; c < k; ++c) {
+        if (acc[c] < best) {
+          best = acc[c];
           best_c = static_cast<uint32_t>(c);
         }
       }

@@ -49,6 +49,17 @@ std::vector<size_t> ClusterRepresentatives(const std::vector<float>& points,
 /// Squared Euclidean distance between two dim-vectors.
 double SquaredDistance(const float* a, const float* b, size_t dim);
 
+/// Switches subsequent KMeans calls to the pre-refactor assignment loop (one
+/// serial double-accumulation chain per centroid) instead of the
+/// register-blocked kernel. The two are bit-identical by construction — each
+/// centroid's sum adds the same terms in the same order; cluster_test pins
+/// the equivalence — and the slow loop is kept so the serving benchmark can
+/// measure the kernel optimization's before/after and differential tests
+/// can cross-check. Process-wide; flip only between runs, not concurrently
+/// with them.
+void SetKMeansReferenceKernel(bool enable);
+bool KMeansReferenceKernelEnabled();
+
 }  // namespace subtab
 
 #endif  // SUBTAB_CLUSTER_KMEANS_H_

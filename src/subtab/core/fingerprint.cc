@@ -132,10 +132,13 @@ uint64_t ConfigFingerprint(const SubTabConfig& config) {
 }
 
 uint64_t ModelKey::Digest() const {
-  const uint64_t d = HashCombine(table_fp, config_fp);
+  uint64_t d = HashCombine(table_fp, config_fp);
   // Version 0 (static tables) keeps the pre-streaming digest, so existing
-  // on-disk model artifacts stay addressable by name.
-  return version == 0 ? d : HashCombine(d, version);
+  // on-disk model artifacts stay addressable by name; refresh generation 0
+  // (every non-background publication) likewise folds nothing in.
+  if (version != 0) d = HashCombine(d, version);
+  if (refresh != 0) d = HashCombine(HashCombine(d, 0x5f9e1a7b3c2d4e6fULL), refresh);
+  return d;
 }
 
 ModelKey MakeModelKey(const Table& table, const SubTabConfig& config) {

@@ -66,10 +66,24 @@ struct ModelKey {
   uint64_t table_fp = 0;
   uint64_t config_fp = 0;
   uint64_t version = 0;
+  /// Model generation at an unchanged table version: 0 for the publication
+  /// that accompanied the content change, +1 per background-refresh upgrade
+  /// (stream/stream_session.h) that retrained the embedding over the *same*
+  /// rows. Distinct generations select differently, so they must not share
+  /// registry entries or selection-cache digests; publication order at one
+  /// version is (version, refresh) lexicographic.
+  uint64_t refresh = 0;
 
   bool operator==(const ModelKey& other) const {
     return table_fp == other.table_fp && config_fp == other.config_fp &&
-           version == other.version;
+           version == other.version && refresh == other.refresh;
+  }
+  /// True when this key's publication supersedes `other`'s on the same
+  /// stream: newer content version, or a later refresh generation of the
+  /// same version.
+  bool Supersedes(const ModelKey& other) const {
+    return version != other.version ? version > other.version
+                                    : refresh > other.refresh;
   }
   /// Single 64-bit digest (cache-shard index, file names).
   uint64_t Digest() const;

@@ -101,11 +101,10 @@ SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) cons
   return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l));
 }
 
-Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
-                                          std::optional<size_t> k,
-                                          std::optional<size_t> l,
-                                          std::optional<uint64_t> seed) const {
-  SUBTAB_ASSIGN_OR_RETURN(QueryResult result, RunQuery(*table_, query));
+Result<SelectionScope> SubTab::ResolveScope(const SpQuery& query,
+                                            const QueryExecOptions& exec) const {
+  SUBTAB_ASSIGN_OR_RETURN(QueryScope result,
+                          ResolveQueryScope(*table_, query, exec));
   if (result.row_ids.empty()) {
     return Status::InvalidArgument("query returned no rows: " + query.ToString());
   }
@@ -113,6 +112,14 @@ Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
   scope.rows = std::move(result.row_ids);
   scope.cols = std::move(result.col_ids);
   scope.target_cols = target_ids_;
+  return scope;
+}
+
+Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
+                                          std::optional<size_t> k,
+                                          std::optional<size_t> l,
+                                          std::optional<uint64_t> seed) const {
+  SUBTAB_ASSIGN_OR_RETURN(SelectionScope scope, ResolveScope(query));
   return SelectScoped(scope, k.value_or(config_.k), l.value_or(config_.l), seed);
 }
 

@@ -84,11 +84,22 @@ class SubTab {
                     std::optional<size_t> l = std::nullopt) const;
 
   /// Sub-table of an SP query's result (re-runs only the selection phase).
-  /// `seed` as in SelectScoped.
+  /// `seed` as in SelectScoped. Exactly ResolveScope + SelectScoped; the
+  /// serving pipeline runs the two stages as separate queue hops so scans
+  /// and selections interleave across workers, and both paths return
+  /// bit-identical views.
   Result<SubTabView> SelectForQuery(const SpQuery& query,
                                     std::optional<size_t> k = std::nullopt,
                                     std::optional<size_t> l = std::nullopt,
                                     std::optional<uint64_t> seed = std::nullopt) const;
+
+  /// Stage 1 of SelectForQuery: run the query's scan (optionally
+  /// chunk-parallel, see QueryExecOptions) and build the selection scope —
+  /// no clustering, no materialization of the intermediate result. Errors on
+  /// invalid queries and on empty results (an empty scope would mean "whole
+  /// table" to SelectScoped). Stage 2 is SelectScoped on the returned scope.
+  Result<SelectionScope> ResolveScope(const SpQuery& query,
+                                      const QueryExecOptions& exec = {}) const;
 
   /// Selection over an explicit scope (used by baselines, benches, and the
   /// serving engine). `seed` overrides the config's master seed for this one

@@ -8,7 +8,7 @@
 namespace subtab::service {
 namespace {
 
-/// A future that is already resolved (table miss, cache hit).
+/// A future that is already resolved (table miss, cache hit, shed).
 std::shared_future<SelectResponse> ReadyFuture(SelectResponse response) {
   std::promise<SelectResponse> promise;
   promise.set_value(std::move(response));
@@ -25,7 +25,24 @@ ServingEngine::ServingEngine(EngineOptions options)
       selection_cache_(options.selection_cache_capacity, options.cache_shards),
       pool_(options.num_threads) {}
 
-ServingEngine::~ServingEngine() { Drain(); }
+ServingEngine::~ServingEngine() {
+  // Uninstall publish listeners first (blocking on any in-flight
+  // invocation), so no stream publication re-enters a half-destroyed
+  // engine; then drain our own workers. Listeners must be cleared without
+  // tables_mu_ held — an in-flight listener call acquires it.
+  std::vector<std::shared_ptr<stream::StreamSession>> streams;
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    std::unordered_set<const stream::StreamSession*> seen;
+    for (auto& [id, entry] : tables_) {
+      if (entry.stream != nullptr && seen.insert(entry.stream.get()).second) {
+        streams.push_back(entry.stream);
+      }
+    }
+  }
+  for (const auto& stream : streams) stream->SetPublishListener(nullptr);
+  Drain();
+}
 
 Status ServingEngine::RegisterTable(const std::string& table_id,
                                     const Table& table, SubTabConfig config) {
@@ -44,13 +61,25 @@ Status ServingEngine::RegisterStream(
   if (stream == nullptr) {
     return Status::InvalidArgument("stream must not be null");
   }
+  // Install the publish listener BEFORE binding (and without tables_mu_
+  // held: the listener itself acquires it, and the session serializes
+  // installation against in-flight invocations). A publication racing in
+  // between touches no entries yet; the bind below snapshots the newest
+  // publication under tables_mu_, so nothing is missed.
+  stream->SetPublishListener(
+      [this, weak = std::weak_ptr<stream::StreamSession>(stream)](
+          const stream::PublishedModel& published) {
+        if (std::shared_ptr<stream::StreamSession> s = weak.lock()) {
+          OnStreamPublish(s, published);
+        }
+      });
   // Snapshot and bind under tables_mu_: snapshotting outside it would let a
-  // concurrent Append sweep run in between and leave this id bound to the
-  // swept (stale) version forever. Inside the lock, any sweep either
-  // happened before (the snapshot already sees its version) or happens
-  // after our insert (the sweep upgrades this entry with the rest). The
-  // snapshot's publish_mu_ nests inside tables_mu_ only here, and no path
-  // acquires them in the opposite order.
+  // concurrent publication sweep run in between and leave this id bound to
+  // the swept (stale) publication forever. Inside the lock, any sweep
+  // either happened before (the snapshot already sees its publication) or
+  // happens after our insert (the sweep upgrades this entry with the rest).
+  // The snapshot's publish_mu_ nests inside tables_mu_ only here, and no
+  // path acquires them in the opposite order.
   std::unique_lock<std::shared_mutex> lock(tables_mu_);
   stream::PublishedModel published = stream->Snapshot();
   registry_.Publish(published.key, published.model);
@@ -72,35 +101,39 @@ Result<stream::RefreshEvent> ServingEngine::Append(const std::string& table_id,
     stream = it->second.stream;
   }
 
-  // The session serializes appends and model maintenance internally;
-  // concurrent selects keep serving whatever entry they already resolved.
-  // The event carries the (model, key) pair of the version THIS append
-  // published — re-reading stream->model() here could observe a later
-  // concurrent append's model and register it under this append's key.
-  Result<stream::RefreshEvent> event = stream->Append(batch);
-  if (!event.ok()) return event.status();
-  const ModelKey key = event->key;
+  // The session serializes appends and model maintenance internally and
+  // invokes the publish listener (OnStreamPublish) synchronously for the
+  // new version's model — and later for any background upgrade — so every
+  // bound id is republished before Append returns. Concurrent selects keep
+  // serving whatever entry they already resolved.
+  return stream->Append(batch);
+}
 
-  // Every id bound to this stream at an older version republishes; their
-  // superseded versions' registry entries and cached selections go. Ids
-  // bound to the same stream share one superseded (digest, key) — dedup so
-  // each O(entries) cache sweep runs once. The registry Publish happens
-  // inside the same critical section that proves this event is still the
-  // newest bound version — a preempted appender whose version was already
+void ServingEngine::OnStreamPublish(
+    const std::shared_ptr<stream::StreamSession>& stream,
+    const stream::PublishedModel& published) {
+  // Every id bound to this stream at an older publication republishes;
+  // their superseded registry entries and cached selections go. Ids bound
+  // to the same stream share one superseded (digest, key) — dedup so each
+  // O(entries) cache sweep runs once. The registry Publish happens inside
+  // the same critical section that proves this publication is still the
+  // newest bound one — a preempted publisher whose version was already
   // superseded must not re-insert its dead model after the sweep.
   std::vector<std::pair<uint64_t, ModelKey>> superseded;
   {
     std::unique_lock<std::shared_mutex> lock(tables_mu_);
     for (auto& [id, entry] : tables_) {
-      // The version guard keeps a slow appender from rolling an id back
-      // below a newer republish.
-      if (entry.stream != stream || entry.key.version >= key.version) continue;
+      // The (version, refresh) guard keeps a slow publisher from rolling an
+      // id back below a newer publication.
+      if (entry.stream != stream || !published.key.Supersedes(entry.key)) {
+        continue;
+      }
       superseded.emplace_back(entry.model_digest, entry.key);
-      entry.model = event->model;
-      entry.key = key;
-      entry.model_digest = key.Digest();
+      entry.model = published.model;
+      entry.key = published.key;
+      entry.model_digest = published.key.Digest();
     }
-    if (!superseded.empty()) registry_.Publish(key, event->model);
+    if (!superseded.empty()) registry_.Publish(published.key, published.model);
     // A superseded digest can still be live under another entry: a static
     // RegisterTable of the same (table, config) shares the stream's
     // version-0 key by design. Sweeping it would flush that table's warm
@@ -125,7 +158,6 @@ Result<stream::RefreshEvent> ServingEngine::Append(const std::string& table_id,
     registry_.Erase(old_key);
   }
   cache_invalidations_.fetch_add(invalidated, std::memory_order_relaxed);
-  return event;
 }
 
 std::shared_ptr<const SubTab> ServingEngine::GetModel(
@@ -147,6 +179,27 @@ SelectionKey ServingEngine::KeyFor(const TableEntry& entry,
   return key;
 }
 
+bool ServingEngine::TryAdmit(const std::string& tenant) {
+  if (options_.max_queue_depth > 0 &&
+      pool_.queue_depth() >= options_.max_queue_depth) {
+    return false;
+  }
+  if (options_.max_pending_per_tenant == 0) return true;
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  size_t& pending = tenant_pending_[tenant];
+  if (pending >= options_.max_pending_per_tenant) return false;
+  ++pending;
+  return true;
+}
+
+void ServingEngine::ReleaseTenant(const std::string& tenant) {
+  if (options_.max_pending_per_tenant == 0) return;
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  auto it = tenant_pending_.find(tenant);
+  SUBTAB_CHECK(it != tenant_pending_.end() && it->second > 0);
+  if (--it->second == 0) tenant_pending_.erase(it);
+}
+
 std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     const SelectRequest& request) {
   requests_submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -166,12 +219,14 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     entry = it->second;
   }
 
+  Stopwatch submitted;
   const SelectionKey key = KeyFor(entry, request);
   if (std::shared_ptr<const CachedSelection> cached = selection_cache_.Get(key)) {
     requests_completed_.fetch_add(1, std::memory_order_relaxed);
     if (!cached->status.ok()) {
       requests_failed_.fetch_add(1, std::memory_order_relaxed);
     }
+    latency_.Record(submitted.ElapsedSeconds());
     SelectResponse response;
     response.status = cached->status;
     response.view = cached->view;
@@ -180,11 +235,11 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
   }
 
   // Dedup by key digest: an identical request already being computed gets
-  // the same future. (A 64-bit digest collision would share the wrong
-  // result; with in-flight populations of at most thousands the probability
-  // is ~n^2/2^64 — ignored, as with the fingerprint-keyed registry.)
+  // the same future — attaching is free, so it happens before admission.
+  // (A 64-bit digest collision would share the wrong result; with in-flight
+  // populations of at most thousands the probability is ~n^2/2^64 —
+  // ignored, as with the fingerprint-keyed registry.)
   const uint64_t digest = SelectionKeyHasher{}(key);
-  std::shared_future<SelectResponse> future;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     auto it = inflight_.find(digest);
@@ -193,28 +248,107 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
       ++it->second.coalesced_waiters;
       return it->second.future;
     }
+  }
+
+  // A genuinely new computation: it must pass admission before it may
+  // occupy queue slots.
+  const bool admitted = TryAdmit(request.table_id);
+  if (!admitted) {
+    requests_shed_.fetch_add(1, std::memory_order_relaxed);
+    requests_completed_.fetch_add(1, std::memory_order_relaxed);
+    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    SelectResponse response;
+    response.status = Status::Unavailable(
+        "request shed: tenant '" + request.table_id + "' is over its bound");
+    return ReadyFuture(std::move(response));
+  }
+
+  std::shared_future<SelectResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(digest);
+    if (it != inflight_.end()) {
+      // An identical computation slipped in while we took the admission
+      // token; attach to it and hand the token back.
+      requests_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      ++it->second.coalesced_waiters;
+      future = it->second.future;
+      if (options_.max_pending_per_tenant > 0) ReleaseTenant(request.table_id);
+      return future;
+    }
     auto promise = std::make_shared<std::promise<SelectResponse>>();
     future = promise->get_future().share();
     inflight_[digest] = InFlight{std::move(promise), future};
   }
 
-  pool_.Submit([this, key, model = entry.model, request] {
-    Execute(key, model, request);
-  });
+  auto pending = std::make_shared<PendingSelect>();
+  pending->key = key;
+  pending->key_digest = digest;
+  pending->model = entry.model;
+  pending->request = request;
+  pending->submitted = submitted;
+  pending->tenant_admitted = options_.max_pending_per_tenant > 0;
+  if (options_.staged_pipeline) {
+    pool_.Submit([this, pending] { ExecuteScan(pending); });
+  } else {
+    pool_.Submit([this, pending] { ExecuteBlocking(pending); });
+  }
   return future;
 }
 
-void ServingEngine::Execute(const SelectionKey& key,
-                            std::shared_ptr<const SubTab> model,
-                            const SelectRequest& request) {
-  Result<SubTabView> view =
-      model->SelectForQuery(request.query, request.k, request.l, request.seed);
+void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
+  Stopwatch stage;
+  QueryExecOptions exec;
+  exec.num_threads = options_.scan_threads;
+  Result<SelectionScope> scope =
+      pending->model->ResolveScope(pending->request.query, exec);
+  scan_ns_.fetch_add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9),
+                     std::memory_order_relaxed);
+  if (!scope.ok()) {
+    // Deterministic scan errors (unknown column, empty result) are as
+    // memoizable as views; no select stage to run.
+    CachedSelection outcome;
+    outcome.status = scope.status();
+    FinishComputation(pending, outcome);
+    return;
+  }
+  pending->scope = std::move(*scope);
+  // Separate queue hop: this worker is free for another request's scan (or
+  // select) while the clustering below waits its turn.
+  pool_.Submit([this, pending] { ExecuteSelect(pending); });
+}
+
+void ServingEngine::ExecuteSelect(const std::shared_ptr<PendingSelect>& pending) {
+  Stopwatch stage;
+  // k/l/seed were resolved against the model's config at submit time
+  // (KeyFor), so passing them explicitly equals the serial path's
+  // value_or chain bit for bit.
+  SubTabView view = pending->model->SelectScoped(
+      pending->scope, pending->key.k, pending->key.l, pending->key.seed);
+  select_ns_.fetch_add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9),
+                       std::memory_order_relaxed);
+  CachedSelection outcome;
+  outcome.view = std::make_shared<const SubTabView>(std::move(view));
+  FinishComputation(pending, outcome);
+}
+
+void ServingEngine::ExecuteBlocking(
+    const std::shared_ptr<PendingSelect>& pending) {
+  const SelectRequest& request = pending->request;
+  Result<SubTabView> view = pending->model->SelectForQuery(
+      request.query, request.k, request.l, request.seed);
   CachedSelection outcome;
   if (view.ok()) {
     outcome.view = std::make_shared<const SubTabView>(std::move(*view));
   } else {
     outcome.status = view.status();
   }
+  FinishComputation(pending, outcome);
+}
+
+void ServingEngine::FinishComputation(
+    const std::shared_ptr<PendingSelect>& pending,
+    const CachedSelection& outcome) {
   // Both outcomes are deterministic functions of the key, so errors are
   // memoized too — a repeated empty-result query must not rescan the table.
   // Guard: cache only while the table still serves this model version — a
@@ -226,12 +360,12 @@ void ServingEngine::Execute(const SelectionKey& key,
   bool version_current = false;
   {
     std::shared_lock<std::shared_mutex> lock(tables_mu_);
-    auto it = tables_.find(request.table_id);
-    version_current =
-        it != tables_.end() && it->second.model_digest == key.model_digest;
+    auto it = tables_.find(pending->request.table_id);
+    version_current = it != tables_.end() &&
+                      it->second.model_digest == pending->key.model_digest;
   }
   if (version_current) {
-    selection_cache_.Put(key,
+    selection_cache_.Put(pending->key,
                          std::make_shared<const CachedSelection>(outcome));
   }
   SelectResponse response;
@@ -244,12 +378,14 @@ void ServingEngine::Execute(const SelectionKey& key,
     // Erase before resolving: a submitter that misses the in-flight map from
     // here on finds the result in the selection cache instead.
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    auto it = inflight_.find(SelectionKeyHasher{}(key));
+    auto it = inflight_.find(pending->key_digest);
     SUBTAB_CHECK(it != inflight_.end());
     promise = std::move(it->second.promise);
     resolved += it->second.coalesced_waiters;
     inflight_.erase(it);
   }
+  if (pending->tenant_admitted) ReleaseTenant(pending->request.table_id);
+  latency_.Record(pending->submitted.ElapsedSeconds());
   // The computation and every coalesced waiter complete together — and fail
   // together — keeping submitted/completed/failed consistent per response.
   requests_completed_.fetch_add(resolved, std::memory_order_relaxed);
@@ -279,6 +415,30 @@ EngineStats ServingEngine::Stats() const {
   stats.requests_coalesced = requests_coalesced_.load(std::memory_order_relaxed);
   stats.num_threads = pool_.num_threads();
   stats.queue_depth = pool_.queue_depth();
+
+  stats.pipeline.requests_shed =
+      requests_shed_.load(std::memory_order_relaxed);
+  stats.pipeline.scan_seconds =
+      static_cast<double>(scan_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  stats.pipeline.select_seconds =
+      static_cast<double>(select_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  const LatencyHistogram::Snapshot latency = latency_.TakeSnapshot();
+  stats.pipeline.latency_p50_ms = latency.Percentile(0.50) * 1e3;
+  stats.pipeline.latency_p95_ms = latency.Percentile(0.95) * 1e3;
+  stats.pipeline.latency_p99_ms = latency.Percentile(0.99) * 1e3;
+  stats.pipeline.latency_mean_ms = latency.MeanSeconds() * 1e3;
+  stats.pipeline.latency_count = latency.count;
+  stats.pipeline.workers_active = pool_.active_count();
+  stats.pipeline.worker_utilization =
+      stats.num_threads == 0
+          ? 0.0
+          : static_cast<double>(stats.pipeline.workers_active) /
+                static_cast<double>(stats.num_threads);
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    stats.pipeline.tenants_tracked = tenant_pending_.size();
+  }
+
   std::vector<std::shared_ptr<stream::StreamSession>> streams;
   std::vector<std::shared_ptr<const Table>> bound_tables;
   {
@@ -343,6 +503,9 @@ EngineStats ServingEngine::Stats() const {
     stats.streaming.fold_in_seconds += s.fold_in_seconds;
     stats.streaming.incremental_seconds += s.incremental_seconds;
     stats.streaming.refit_seconds += s.refit_seconds;
+    stats.streaming.deferred_upgrades += s.deferred_upgrades;
+    stats.streaming.upgrades_completed += s.upgrades_completed;
+    stats.streaming.upgrades_discarded += s.upgrades_discarded;
   }
   return stats;
 }
@@ -353,11 +516,23 @@ std::string EngineStats::ToJson() const {
                     tables, num_threads, queue_depth);
   json += StrFormat(
       "\"requests\":{\"submitted\":%llu,\"completed\":%llu,\"failed\":%llu,"
-      "\"coalesced\":%llu},",
+      "\"coalesced\":%llu,\"shed\":%llu},",
       (unsigned long long)requests_submitted,
       (unsigned long long)requests_completed,
       (unsigned long long)requests_failed,
-      (unsigned long long)requests_coalesced);
+      (unsigned long long)requests_coalesced,
+      (unsigned long long)pipeline.requests_shed);
+  json += StrFormat(
+      "\"pipeline\":{\"queue_depth\":%zu,\"workers_active\":%zu,"
+      "\"worker_utilization\":%.6g,\"tenants_tracked\":%zu,"
+      "\"scan_seconds\":%.6g,\"select_seconds\":%.6g,"
+      "\"latency_ms\":{\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,"
+      "\"p95\":%.6g,\"p99\":%.6g}},",
+      queue_depth, pipeline.workers_active, pipeline.worker_utilization,
+      pipeline.tenants_tracked, pipeline.scan_seconds, pipeline.select_seconds,
+      (unsigned long long)pipeline.latency_count, pipeline.latency_mean_ms,
+      pipeline.latency_p50_ms, pipeline.latency_p95_ms,
+      pipeline.latency_p99_ms);
   json += StrFormat(
       "\"selection_cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu},",
@@ -383,13 +558,18 @@ std::string EngineStats::ToJson() const {
       "\"streaming\":{\"streams\":%zu,\"appends\":%llu,\"rows_appended\":%llu,"
       "\"fold_ins\":%llu,\"incremental_refreshes\":%llu,\"full_refits\":%llu,"
       "\"fold_in_seconds\":%.6g,\"incremental_seconds\":%.6g,"
-      "\"refit_seconds\":%.6g,\"cache_invalidations\":%llu}}",
+      "\"refit_seconds\":%.6g,\"deferred_upgrades\":%llu,"
+      "\"upgrades_completed\":%llu,\"upgrades_discarded\":%llu,"
+      "\"cache_invalidations\":%llu}}",
       streaming.streams, (unsigned long long)streaming.appends,
       (unsigned long long)streaming.rows_appended,
       (unsigned long long)streaming.fold_ins,
       (unsigned long long)streaming.incremental_refreshes,
       (unsigned long long)streaming.full_refits, streaming.fold_in_seconds,
       streaming.incremental_seconds, streaming.refit_seconds,
+      (unsigned long long)streaming.deferred_upgrades,
+      (unsigned long long)streaming.upgrades_completed,
+      (unsigned long long)streaming.upgrades_discarded,
       (unsigned long long)streaming.cache_invalidations);
   return json;
 }

@@ -16,6 +16,8 @@
 #include "subtab/service/model_registry.h"
 #include "subtab/service/selection_cache.h"
 #include "subtab/stream/stream_session.h"
+#include "subtab/util/latency_histogram.h"
+#include "subtab/util/stopwatch.h"
 #include "subtab/util/thread_pool.h"
 
 /// \file engine.h
@@ -30,23 +32,37 @@
 ///                                     registry entries (fp, config, version)
 ///   SubmitSelect ─── SelectionCache ── repeated displays are cache hits
 ///                └── in-flight dedup ── identical concurrent requests run once
-///                └── ThreadPool ─────── everything else fans out to workers
+///                └── admission ──────── bounded per-tenant queues shed early
+///                └── pipeline ───────── normalize -> scan -> select stages
 ///
-/// Results are bit-identical to the serial SubTab::SelectForQuery path: the
-/// workers call exactly that method on the shared immutable model (see the
-/// thread-safety contract in core/subtab.h), and caching only memoizes a
-/// deterministic function of (model, query, k, l, seed).
+/// Requests flow through a staged pipeline: normalization and cache/dedup
+/// checks happen at submit, then the *scan* stage (ResolveScope — the
+/// query's filter scan, optionally fanned out per sealed chunk) and the
+/// *select* stage (SelectScoped — clustering) run as separate queue hops on
+/// the worker pool, so one request's scan overlaps another's selection and
+/// neither materializes the intermediate query result. Admission control
+/// bounds what a single tenant (table id) may keep in flight and what the
+/// whole queue may hold; excess requests fail fast with kUnavailable
+/// instead of queueing unboundedly (EngineStats::pipeline counts sheds and
+/// latency percentiles for the ops loop that tunes those bounds).
+///
+/// Results are bit-identical to the serial SubTab::SelectForQuery path:
+/// ResolveScope + SelectScoped *is* that method split at its seam (see
+/// core/subtab.h), the chunk-parallel scan partitions rows without touching
+/// any row's verdict, and caching only memoizes a deterministic function of
+/// (model, query, k, l, seed).
 ///
 /// Streaming tables (stream/): Append ingests a batch through the bound
-/// StreamSession — fold-in / incremental epochs / full refit per its
-/// refresh policy — then atomically republishes the id at the new version.
-/// In-flight selects finish against the version they started on; the
-/// superseded version's selection-cache entries are invalidated, every
-/// other table's stay warm.
+/// StreamSession — inline or background refresh per its options — and every
+/// publication (each new version, and each background upgrade republishing a
+/// version at a higher ModelKey::refresh generation) synchronously
+/// republishes the bound ids via the session's publish listener. In-flight
+/// selects finish against the version they started on; the superseded
+/// publication's selection-cache entries are invalidated, every other
+/// table's stay warm.
 ///
 /// Future scaling seams (see ROADMAP.md): the registry generalizes to a
-/// shard-per-node map, SubmitSelect to an async RPC, the pool to per-tenant
-/// queues with admission control.
+/// shard-per-node map, SubmitSelect to an async RPC.
 
 namespace subtab::service {
 
@@ -61,7 +77,8 @@ struct SelectRequest {
 };
 
 /// Outcome of one request. `view` is set iff `status.ok()`; it is shared
-/// with the selection cache, so treat it as immutable.
+/// with the selection cache, so treat it as immutable. Shed requests carry
+/// kUnavailable and were never queued.
 struct SelectResponse {
   Status status;
   std::shared_ptr<const SubTabView> view;
@@ -78,6 +95,26 @@ struct EngineOptions {
   size_t cache_shards = 8;
   /// Forwarded to ModelRegistryOptions::persist_dir.
   std::string persist_dir;
+  /// Staged pipeline (scan and select as separate queue hops) vs the
+  /// pre-refactor monolithic executor (one blocking SelectForQuery task per
+  /// request). The monolithic path is kept for differential testing and the
+  /// before/after throughput benchmark; both return bit-identical views.
+  bool staged_pipeline = true;
+  /// Chunk-parallel fan-out of one request's filter scan
+  /// (QueryExecOptions::num_threads): 1 = serial, 0 = HardwareThreads().
+  /// Parallel scans cut single-request latency when workers are idle; under
+  /// saturation the pipeline already fills every core. Fan-out spawns
+  /// short-lived threads per scan (util/parallel), amortized by
+  /// QueryExecOptions::min_parallel_rows — leave at 1 for small tables or
+  /// fully loaded engines.
+  size_t scan_threads = 1;
+  /// Admission control: maximum computations one tenant (table id) may have
+  /// admitted (queued or running; cache hits and coalesced attaches are
+  /// free) before further ones are shed with kUnavailable. 0 = unbounded.
+  size_t max_pending_per_tenant = 0;
+  /// Global bound on the worker queue depth before sheds kick in for
+  /// everyone. 0 = unbounded.
+  size_t max_queue_depth = 0;
 };
 
 /// Refresh activity across every stream bound to the engine (aggregated
@@ -92,7 +129,12 @@ struct StreamingStats {
   double fold_in_seconds = 0.0;
   double incremental_seconds = 0.0;
   double refit_seconds = 0.0;
-  /// Selection-cache entries dropped when a version was superseded.
+  /// Background refresh: upgrades scheduled / republished / discarded
+  /// because an append superseded the version mid-training.
+  uint64_t deferred_upgrades = 0;
+  uint64_t upgrades_completed = 0;
+  uint64_t upgrades_discarded = 0;
+  /// Selection-cache entries dropped when a publication was superseded.
   uint64_t cache_invalidations = 0;
 };
 
@@ -113,12 +155,36 @@ struct MemoryStats {
   uint64_t shared_saved_bytes = 0;
 };
 
+/// Pipeline health: shed/latency counters plus the gauges a load balancer
+/// or autoscaler reads (queue depth lives on EngineStats directly).
+struct PipelineStats {
+  /// Requests refused by admission control (never queued).
+  uint64_t requests_shed = 0;
+  /// Summed wall time inside each stage, across all workers.
+  double scan_seconds = 0.0;
+  double select_seconds = 0.0;
+  /// End-to-end latency (submit -> response) percentiles over every
+  /// response that resolved against a table — cache hits included, sheds
+  /// and unknown-table misses excluded (util/latency_histogram.h bucket
+  /// resolution).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  uint64_t latency_count = 0;
+  /// Gauges at snapshot time.
+  size_t workers_active = 0;
+  double worker_utilization = 0.0;  ///< workers_active / num_threads.
+  size_t tenants_tracked = 0;       ///< Tenants with admitted work.
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
   CacheCounters selection_cache;
   StreamingStats streaming;
   MemoryStats memory;
+  PipelineStats pipeline;
   uint64_t requests_submitted = 0;
   uint64_t requests_completed = 0;
   uint64_t requests_failed = 0;
@@ -131,6 +197,8 @@ struct EngineStats {
   /// One-line JSON rendering of every counter — the machine-readable form
   /// emitted by serving_demo and the bench harnesses (bench_common.h's
   /// "json |" convention) and by any ops endpoint that scrapes the engine.
+  /// Includes the pipeline gauges (queue depth, worker utilization) next to
+  /// the counters.
   std::string ToJson() const;
 };
 
@@ -151,17 +219,20 @@ class ServingEngine {
                        SubTabConfig config);
 
   /// Binds `table_id` to an append-mostly stream (stream/stream_session.h):
-  /// the id serves the stream's latest version, starting from its current
-  /// model. Appends go through Append() below; a stream may be bound under
-  /// several ids (all republished on append).
+  /// the id serves the stream's latest publication, starting from its
+  /// current model. Appends go through Append() below or directly through
+  /// the session; a stream may be bound under several ids (all republished
+  /// on every publication via the session's publish listener, including
+  /// background-refresh upgrades). A stream binds to one engine at a time.
   Status RegisterStream(const std::string& table_id,
                         std::shared_ptr<stream::StreamSession> stream);
 
-  /// Ingests one batch into the stream bound to `table_id` and republishes
-  /// every id bound to that stream at the new version. Selects submitted
-  /// before the republish complete against the version they resolved;
-  /// selects after it see the new rows. Returns the stream's refresh
-  /// outcome (which maintenance level ran, and its cost).
+  /// Ingests one batch into the stream bound to `table_id`. Every id bound
+  /// to that stream is republished at the new version before this returns
+  /// (synchronously via the publish listener). Selects submitted before the
+  /// republish complete against the version they resolved; selects after it
+  /// see the new rows. Returns the stream's refresh outcome (which
+  /// maintenance level ran, whether an upgrade was deferred, and the cost).
   Result<stream::RefreshEvent> Append(const std::string& table_id,
                                       const Table& batch);
 
@@ -170,7 +241,8 @@ class ServingEngine {
 
   /// Enqueues a request; the future resolves when a worker (or the cache)
   /// has produced the response. Identical in-flight requests are deduped
-  /// onto one computation; repeated requests hit the selection cache.
+  /// onto one computation; repeated requests hit the selection cache; over
+  /// the admission bounds the future is already resolved with kUnavailable.
   std::shared_future<SelectResponse> SubmitSelect(const SelectRequest& request);
 
   /// Convenience: SubmitSelect + wait. Do not call from a worker task.
@@ -192,17 +264,48 @@ class ServingEngine {
     /// model_digest.
     ModelKey key;
     uint64_t model_digest = 0;
-    /// Set when the id is bound to a stream; key.version orders republishes
-    /// so a slow appender can never roll an id back to an older version.
+    /// Set when the id is bound to a stream; key's (version, refresh) orders
+    /// republishes so a slow publisher can never roll an id back.
     std::shared_ptr<stream::StreamSession> stream;
+  };
+
+  /// One admitted computation flowing through the pipeline stages.
+  struct PendingSelect {
+    SelectionKey key;
+    uint64_t key_digest = 0;
+    std::shared_ptr<const SubTab> model;
+    SelectRequest request;
+    SelectionScope scope;  ///< Filled by the scan stage.
+    Stopwatch submitted;   ///< End-to-end latency clock.
+    bool tenant_admitted = false;
   };
 
   /// Cache/dedup identity of a request against a resolved table entry.
   SelectionKey KeyFor(const TableEntry& entry, const SelectRequest& request) const;
 
-  /// Runs on a worker: query + selection, fills the cache, resolves waiters.
-  void Execute(const SelectionKey& key, std::shared_ptr<const SubTab> model,
-               const SelectRequest& request);
+  /// Admission control: returns false (and counts the shed) when the tenant
+  /// or global bound is exhausted. A true return must be paired with
+  /// ReleaseTenant at completion.
+  bool TryAdmit(const std::string& tenant);
+  void ReleaseTenant(const std::string& tenant);
+
+  /// Pipeline stage 2: the query's filter scan (chunk-parallel per
+  /// options_.scan_threads); enqueues the select stage.
+  void ExecuteScan(const std::shared_ptr<PendingSelect>& pending);
+  /// Pipeline stage 3: clustering over the resolved scope.
+  void ExecuteSelect(const std::shared_ptr<PendingSelect>& pending);
+  /// The pre-refactor monolithic executor: scan + select in one task.
+  void ExecuteBlocking(const std::shared_ptr<PendingSelect>& pending);
+  /// Shared tail: memoize, resolve every waiter, release admission.
+  void FinishComputation(const std::shared_ptr<PendingSelect>& pending,
+                         const CachedSelection& outcome);
+
+  /// Republishes every id bound to `stream` at `published` (no-op for ids
+  /// already at or past it), sweeping superseded cache/registry entries.
+  /// Runs on every stream publication (the session's listener) and is
+  /// idempotent.
+  void OnStreamPublish(const std::shared_ptr<stream::StreamSession>& stream,
+                       const stream::PublishedModel& published);
 
   const EngineOptions options_;
   ModelRegistry registry_;
@@ -223,11 +326,19 @@ class ServingEngine {
   std::mutex inflight_mu_;
   std::unordered_map<uint64_t, InFlight> inflight_;
 
+  /// Admitted computations per tenant (only tracked when bounded).
+  mutable std::mutex admission_mu_;
+  std::unordered_map<std::string, size_t> tenant_pending_;
+
   std::atomic<uint64_t> requests_submitted_{0};
   std::atomic<uint64_t> requests_completed_{0};
   std::atomic<uint64_t> requests_failed_{0};
   std::atomic<uint64_t> requests_coalesced_{0};
+  std::atomic<uint64_t> requests_shed_{0};
   std::atomic<uint64_t> cache_invalidations_{0};
+  std::atomic<uint64_t> scan_ns_{0};
+  std::atomic<uint64_t> select_ns_{0};
+  LatencyHistogram latency_;
 
   /// Declared last: destroyed first, so workers drain while the caches and
   /// tables above are still alive.

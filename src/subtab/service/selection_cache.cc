@@ -44,6 +44,12 @@ std::string NormalizedQueryKey(const SpQuery& query) {
   conjuncts.reserve(query.filters.size());
   for (const Predicate& p : query.filters) conjuncts.push_back(EncodePredicate(p));
   std::sort(conjuncts.begin(), conjuncts.end());
+  // Conjunction is idempotent as well as commutative: "a AND a" keeps
+  // exactly "a"'s rows (RunQuery ANDs per-row masks), so repeated identical
+  // conjuncts must share one cache key — a drill-down session re-applying
+  // its current filter must hit, not rescan.
+  conjuncts.erase(std::unique(conjuncts.begin(), conjuncts.end()),
+                  conjuncts.end());
 
   std::string key = "where{";
   for (const std::string& c : conjuncts) AppendString(&key, c);

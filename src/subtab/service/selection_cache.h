@@ -17,8 +17,9 @@
 /// straight from cache, skipping clustering AND query execution entirely.
 ///
 /// Keys are (model digest, normalized query, k, l, seed). Normalization
-/// sorts the filter conjuncts — conjunction is commutative and RunQuery
-/// preserves input row order regardless of predicate order — while
+/// sorts the filter conjuncts and drops repeated identical ones —
+/// conjunction is commutative and idempotent, and RunQuery preserves input
+/// row order regardless of predicate order or multiplicity — while
 /// projection, ordering and limit stay verbatim since they affect the
 /// visible scope.
 
@@ -39,7 +40,8 @@ struct SelectionKey {
 };
 
 /// Canonical string form of an SP query for cache keying: filter conjuncts
-/// sorted lexicographically, projection/order/limit verbatim.
+/// sorted lexicographically and deduplicated, projection/order/limit
+/// verbatim.
 std::string NormalizedQueryKey(const SpQuery& query);
 
 struct SelectionKeyHasher {

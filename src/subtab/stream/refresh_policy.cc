@@ -33,4 +33,15 @@ RefreshAction DecideRefresh(const RefreshPolicyOptions& options,
   return RefreshAction::kFoldIn;
 }
 
+bool BackgroundLagExceeded(const RefreshPolicyOptions& options,
+                           const DriftSnapshot& drift) {
+  const double fitted = static_cast<double>(drift.fitted_rows);
+  return fitted > 0.0 && static_cast<double>(drift.rows_since_refresh) >
+                             options.max_background_lag * fitted;
+}
+
+RefreshAction EscalateRefresh(RefreshAction a, RefreshAction b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
 }  // namespace subtab::stream

@@ -68,6 +68,12 @@ struct RefreshPolicyOptions {
   double incremental_threshold = 0.1;
   /// SGNS epochs of one incremental refresh (over the delta corpus).
   size_t incremental_epochs = 2;
+  /// Background mode only (StreamSessionOptions::background_refresh): a
+  /// deferred upgrade may lag behind fold-in publications, but when the rows
+  /// no embedding refresh has seen exceed this fraction of the fitted rows,
+  /// Append runs the refresh inline instead of deferring — the staleness
+  /// budget that keeps "eventually upgraded" from becoming "never".
+  double max_background_lag = 0.3;
 };
 
 /// Picks the cheapest action consistent with the thresholds. Escalation
@@ -75,6 +81,18 @@ struct RefreshPolicyOptions {
 /// refresh lag forces incremental epochs; otherwise fold in.
 RefreshAction DecideRefresh(const RefreshPolicyOptions& options,
                             const DriftSnapshot& drift);
+
+/// Background-mode scheduling decision: true when the un-refreshed backlog
+/// exhausted `max_background_lag` and the decided action must run inline on
+/// the appender rather than be deferred to the background worker. Pure,
+/// like DecideRefresh.
+bool BackgroundLagExceeded(const RefreshPolicyOptions& options,
+                           const DriftSnapshot& drift);
+
+/// The more expensive of two actions (escalation order
+/// fold-in < incremental < full refit) — deferred upgrade requests coalesce
+/// to this.
+RefreshAction EscalateRefresh(RefreshAction a, RefreshAction b);
 
 }  // namespace subtab::stream
 

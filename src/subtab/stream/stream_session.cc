@@ -21,6 +21,9 @@ StreamSession::StreamSession(std::unique_ptr<StreamingTable> table,
   fitted_rows_ = v0.num_rows;
   key_ = ModelKey{v0.fingerprint, config_fp_, v0.version};
   stats_.fitted_rows = v0.num_rows;
+  if (options_.background_refresh) {
+    background_ = std::make_unique<ThreadPool>(1);
+  }
 }
 
 Result<std::shared_ptr<StreamSession>> StreamSession::Open(
@@ -66,6 +69,62 @@ Corpus StreamSession::DeltaCorpus(const BinnedTable& binned,
   return Corpus::FromSentences(std::move(sentences), binned.total_bins());
 }
 
+Result<SubTab> StreamSession::TrainRefresh(
+    RefreshAction action, const TableVersion& next,
+    const std::shared_ptr<const SubTab>& base_model, BinnedTable binned,
+    size_t row_begin) const {
+  switch (action) {
+    case RefreshAction::kFullRefit:
+      // Re-pay pre-processing over the whole new version; the model
+      // shares the snapshot's table (one resident copy).
+      return SubTab::Fit(next.table, options_.config);
+    case RefreshAction::kIncremental: {
+      Word2VecModel embedding =
+          base_model->preprocessed().cell_model().word2vec();
+      Word2VecOptions continued = options_.config.embedding;
+      continued.epochs = options_.policy.incremental_epochs;
+      continued.seed = options_.config.seed ^ next.version;
+      Stopwatch train;
+      embedding.ContinueTraining(DeltaCorpus(binned, row_begin), continued);
+      PreprocessTimings timings;
+      timings.training_seconds = train.ElapsedSeconds();
+      return SubTab::FromPreprocessed(
+          next.table, options_.config,
+          PreprocessedTable(std::move(binned), std::move(embedding), timings));
+    }
+    case RefreshAction::kFoldIn: {
+      // New rows reuse the fitted token vectors as-is: zero training.
+      Word2VecModel embedding =
+          base_model->preprocessed().cell_model().word2vec();
+      return SubTab::FromPreprocessed(
+          next.table, options_.config,
+          PreprocessedTable(std::move(binned), std::move(embedding),
+                            PreprocessTimings{}));
+    }
+  }
+  return Status::Internal("unreachable refresh action");
+}
+
+void StreamSession::PublishLocked(
+    std::shared_ptr<const SubTab> model, const ModelKey& key,
+    const std::function<void(StreamStats&)>& update_stats) {
+  PublishedModel published;
+  {
+    // Brief swap under publish_mu_, so model()/Stats() readers only ever
+    // wait microseconds, never for training.
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    model_ = std::move(model);
+    key_ = key;
+    update_stats(stats_);
+    published = PublishedModel{model_, key_};
+  }
+  // Listener runs without publish_mu_ (it reads engine state that must not
+  // nest inside it) but still under the caller's append_mu_, so invocations
+  // arrive in publication order.
+  std::lock_guard<std::mutex> listener_lock(listener_mu_);
+  if (listener_) listener_(published);
+}
+
 Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   std::lock_guard<std::mutex> append_lock(append_mu_);
   Stopwatch watch;
@@ -73,14 +132,14 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   // a published table without a matching model would wedge every later
   // append on the row-count mismatch.
   SUBTAB_ASSIGN_OR_RETURN(TableVersion next, table_->Prepare(batch));
-  const size_t row_begin = next.num_rows - next.delta_rows;
+  const size_t batch_begin = next.num_rows - next.delta_rows;
   const std::shared_ptr<const SubTab> previous = model();
 
   // Incremental bin maintenance: extend a copy of the current token matrix
   // with the batch, tokenized against the frozen spec.
   const IncrementalBinner::DriftState drift_backup = binner_->SaveState();
   BinnedTable binned = previous->preprocessed().binned();
-  binner_->AppendRows(*next.table, row_begin, &binned);
+  binner_->AppendRows(*next.table, batch_begin, &binned);
 
   DriftSnapshot drift;
   drift.out_of_range_rate = binner_->OutOfRangeRate();
@@ -90,39 +149,21 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   drift.fitted_rows = fitted_rows_;
   const RefreshAction action = DecideRefresh(options_.policy, drift);
 
-  Result<SubTab> refreshed = [&]() -> Result<SubTab> {
-    switch (action) {
-      case RefreshAction::kFullRefit:
-        // Re-pay pre-processing over the whole new version; the model
-        // shares the snapshot's table (one resident copy).
-        return SubTab::Fit(next.table, options_.config);
-      case RefreshAction::kIncremental: {
-        Word2VecModel embedding =
-            previous->preprocessed().cell_model().word2vec();
-        Word2VecOptions continued = options_.config.embedding;
-        continued.epochs = options_.policy.incremental_epochs;
-        continued.seed = options_.config.seed ^ next.version;
-        Stopwatch train;
-        embedding.ContinueTraining(DeltaCorpus(binned, row_begin), continued);
-        PreprocessTimings timings;
-        timings.training_seconds = train.ElapsedSeconds();
-        return SubTab::FromPreprocessed(
-            next.table, options_.config,
-            PreprocessedTable(std::move(binned), std::move(embedding),
-                              timings));
-      }
-      case RefreshAction::kFoldIn: {
-        // New rows reuse the fitted token vectors as-is: zero training.
-        Word2VecModel embedding =
-            previous->preprocessed().cell_model().word2vec();
-        return SubTab::FromPreprocessed(
-            next.table, options_.config,
-            PreprocessedTable(std::move(binned), std::move(embedding),
-                              PreprocessTimings{}));
-      }
-    }
-    return Status::Internal("unreachable refresh action");
-  }();
+  // Background mode: publish a fold-in now and hand the training to the
+  // worker — unless the un-refreshed backlog exhausted the staleness budget,
+  // in which case this appender pays for the training inline.
+  const bool defer = options_.background_refresh &&
+                     action != RefreshAction::kFoldIn &&
+                     !BackgroundLagExceeded(options_.policy, drift);
+  const RefreshAction run_now = defer ? RefreshAction::kFoldIn : action;
+
+  // An incremental refresh trains the WHOLE un-refreshed suffix — every row
+  // folded in since the embedding last moved, not just this batch —
+  // otherwise backlog rows deferred by earlier fold-ins would reset the
+  // counter below without ever entering a delta corpus.
+  const size_t refresh_begin = next.num_rows - drift.rows_since_refresh;
+  Result<SubTab> refreshed =
+      TrainRefresh(run_now, next, previous, std::move(binned), refresh_begin);
   if (!refreshed.ok()) {
     // Roll back the tokenized batch's accounting; the staged table version
     // was never published, so the stream stays consistent at version n.
@@ -133,7 +174,7 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   table_->Publish(next);
 
   const double seconds = watch.ElapsedSeconds();
-  switch (action) {
+  switch (run_now) {
     case RefreshAction::kFullRefit:
       fitted_rows_ = next.num_rows;
       rows_since_refit_ = 0;
@@ -152,48 +193,184 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
       break;
   }
 
-  // Publish: brief swap under publish_mu_, so model()/Stats() readers only
-  // ever wait microseconds, never for training.
-  {
-    std::lock_guard<std::mutex> publish_lock(publish_mu_);
-    model_ = model;
-    key_ = ModelKey{next.fingerprint, config_fp_, next.version};
-    switch (action) {
+  refresh_seq_ = 0;  // Content changed: generation restarts at this version.
+  const ModelKey key{next.fingerprint, config_fp_, next.version};
+  PublishLocked(model, key, [&](StreamStats& stats) {
+    switch (run_now) {
       case RefreshAction::kFullRefit:
-        ++stats_.full_refits;
-        stats_.refit_seconds += seconds;
+        ++stats.full_refits;
+        stats.refit_seconds += seconds;
         break;
       case RefreshAction::kIncremental:
-        ++stats_.incremental_refreshes;
-        stats_.incremental_seconds += seconds;
+        ++stats.incremental_refreshes;
+        stats.incremental_seconds += seconds;
         break;
       case RefreshAction::kFoldIn:
-        ++stats_.fold_ins;
-        stats_.fold_in_seconds += seconds;
+        ++stats.fold_ins;
+        stats.fold_in_seconds += seconds;
         break;
     }
-    ++stats_.appends;
-    stats_.rows_appended += next.delta_rows;
-    stats_.version = next.version;
-    stats_.out_of_range_rate = binner_->OutOfRangeRate();
-    stats_.new_category_rate = binner_->NewCategoryRate();
-    stats_.rows_since_refit = rows_since_refit_;
-    stats_.fitted_rows = fitted_rows_;
+    ++stats.appends;
+    stats.rows_appended += next.delta_rows;
+    stats.version = next.version;
+    stats.refresh_generation = 0;
+    stats.out_of_range_rate = binner_->OutOfRangeRate();
+    stats.new_category_rate = binner_->NewCategoryRate();
+    stats.rows_since_refit = rows_since_refit_;
+    stats.fitted_rows = fitted_rows_;
+    if (defer) ++stats.deferred_upgrades;
+  });
+
+  if (defer) {
+    // Coalesce with any request the worker has not claimed yet; escalation
+    // keeps the strongest action. One drain task at a time.
+    pending_action_ =
+        upgrade_pending_ ? EscalateRefresh(pending_action_, action) : action;
+    upgrade_pending_ = true;
+    if (!upgrade_running_) {
+      upgrade_running_ = true;
+      background_->Submit([this] { RunUpgrades(); });
+    }
+  } else if (upgrade_pending_ &&
+             EscalateRefresh(run_now, pending_action_) == run_now) {
+    // The training that just ran inline covers the not-yet-claimed request
+    // (it saw every row and at least as strong an action) — cancel it
+    // rather than re-train the identical content and churn the caches.
+    upgrade_pending_ = false;
+    upgrade_cv_.notify_all();
   }
 
   SUBTAB_LOG_STREAM(Debug) << "stream append v" << next.version << ": "
-                           << RefreshActionName(action) << " in " << seconds
-                           << "s (+" << next.delta_rows << " rows)";
+                           << RefreshActionName(run_now) << " in " << seconds
+                           << "s (+" << next.delta_rows << " rows)"
+                           << (defer ? " [upgrade deferred]" : "");
 
   RefreshEvent event;
   event.version = next.version;
-  event.action = action;
+  event.action = run_now;
   event.seconds = seconds;
   event.delta_rows = next.delta_rows;
   event.drift = drift;
-  event.key = ModelKey{next.fingerprint, config_fp_, next.version};
+  event.key = key;
   event.model = std::move(model);
+  event.upgrade_deferred = defer;
+  event.deferred_action = defer ? action : run_now;
   return event;
+}
+
+void StreamSession::RunUpgrades() {
+  for (;;) {
+    RefreshAction action;
+    TableVersion cur;
+    std::shared_ptr<const SubTab> base;
+    size_t row_begin;
+    {
+      std::unique_lock<std::mutex> lock(append_mu_);
+      if (!upgrade_pending_) {
+        upgrade_running_ = false;
+        upgrade_cv_.notify_all();
+        return;
+      }
+      upgrade_pending_ = false;
+      action = pending_action_;
+      // A racing inline refresh may have already covered this request: an
+      // incremental with no un-refreshed rows (or a refit right after one)
+      // would train an empty delta and publish a useless generation.
+      if ((action == RefreshAction::kIncremental && rows_since_refresh_ == 0) ||
+          (action == RefreshAction::kFullRefit && rows_since_refit_ == 0)) {
+        continue;
+      }
+      cur = table_->Current();
+      {
+        std::lock_guard<std::mutex> publish_lock(publish_mu_);
+        base = model_;  // The published model OF cur (publications are
+                        // serialized by append_mu_, which we hold).
+      }
+      row_begin = cur.num_rows - rows_since_refresh_;
+    }
+
+    // Train with no session lock held: appenders keep folding in and
+    // readers keep selecting against the published model throughout.
+    // (The full-refit branch is hoisted so the token-matrix copy is only
+    // made when the incremental delta corpus actually needs it.)
+    Stopwatch watch;
+    Result<SubTab> refreshed =
+        action == RefreshAction::kFullRefit
+            ? SubTab::Fit(cur.table, options_.config)
+            : TrainRefresh(action, cur, base, base->preprocessed().binned(),
+                           row_begin);
+    const double seconds = watch.ElapsedSeconds();
+
+    std::unique_lock<std::mutex> lock(append_mu_);
+    if (table_->Current().version != cur.version) {
+      // An append superseded the version mid-training: publishing this model
+      // would roll content back. Discard, and retrain against the newest
+      // version (coalescing with any request that arrived meanwhile) —
+      // unless the superseding appends left nothing un-refreshed, i.e. they
+      // trained inline or scheduled their own requests already.
+      {
+        std::lock_guard<std::mutex> publish_lock(publish_mu_);
+        ++stats_.upgrades_discarded;
+      }
+      if (rows_since_refresh_ > 0) {
+        pending_action_ = upgrade_pending_
+                              ? EscalateRefresh(pending_action_, action)
+                              : action;
+        upgrade_pending_ = true;
+      }
+      continue;
+    }
+    if (!refreshed.ok()) {
+      SUBTAB_LOG_STREAM(Warning)
+          << "background upgrade failed (v" << cur.version
+          << ", " << RefreshActionName(action)
+          << "): " << refreshed.status().ToString();
+      continue;  // The fold-in model stays published; drain any new request.
+    }
+
+    auto model = std::make_shared<const SubTab>(std::move(*refreshed));
+    if (action == RefreshAction::kFullRefit) {
+      fitted_rows_ = cur.num_rows;
+      rows_since_refit_ = 0;
+      rows_since_refresh_ = 0;
+      binner_ = std::make_unique<IncrementalBinner>(
+          *cur.table, model->preprocessed().binned().binning());
+    } else {
+      rows_since_refresh_ = 0;
+    }
+    ++refresh_seq_;
+    const ModelKey key{cur.fingerprint, config_fp_, cur.version, refresh_seq_};
+    PublishLocked(model, key, [&](StreamStats& stats) {
+      if (action == RefreshAction::kFullRefit) {
+        ++stats.full_refits;
+        stats.refit_seconds += seconds;
+      } else {
+        ++stats.incremental_refreshes;
+        stats.incremental_seconds += seconds;
+      }
+      ++stats.upgrades_completed;
+      stats.refresh_generation = refresh_seq_;
+      stats.out_of_range_rate = binner_->OutOfRangeRate();
+      stats.new_category_rate = binner_->NewCategoryRate();
+      stats.rows_since_refit = rows_since_refit_;
+      stats.fitted_rows = fitted_rows_;
+    });
+    SUBTAB_LOG_STREAM(Debug)
+        << "background upgrade v" << cur.version << " r" << refresh_seq_
+        << ": " << RefreshActionName(action) << " in " << seconds << "s";
+  }
+}
+
+void StreamSession::SetPublishListener(
+    std::function<void(const PublishedModel&)> listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
+void StreamSession::WaitForUpgrades() {
+  std::unique_lock<std::mutex> lock(append_mu_);
+  upgrade_cv_.wait(lock,
+                   [this] { return !upgrade_pending_ && !upgrade_running_; });
 }
 
 std::shared_ptr<const SubTab> StreamSession::model() const {

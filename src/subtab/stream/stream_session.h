@@ -1,7 +1,9 @@
 #ifndef SUBTAB_STREAM_STREAM_SESSION_H_
 #define SUBTAB_STREAM_STREAM_SESSION_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -9,6 +11,7 @@
 #include "subtab/core/subtab.h"
 #include "subtab/stream/refresh_policy.h"
 #include "subtab/stream/streaming_table.h"
+#include "subtab/util/thread_pool.h"
 
 /// \file stream_session.h
 /// The streaming counterpart of the SubTab facade: one append-mostly table
@@ -30,6 +33,16 @@ namespace subtab::stream {
 struct StreamSessionOptions {
   SubTabConfig config;
   RefreshPolicyOptions policy;
+  /// Background refresh: Append publishes a fold-in model for the new
+  /// version immediately (milliseconds — the appender never trains) and
+  /// defers the policy's incremental-epochs / full-refit work to a dedicated
+  /// background worker, which republishes the *same* content version with a
+  /// bumped ModelKey::refresh generation when training lands. Deferral is
+  /// bounded by RefreshPolicyOptions::max_background_lag: past that backlog
+  /// the appender trains inline, like the default (false) mode always does.
+  /// Every published version stays servable throughout — model() readers
+  /// never wait on training in either mode.
+  bool background_refresh = false;
 };
 
 /// Outcome of one Append: which refresh ran and what it cost. Carries the
@@ -49,6 +62,12 @@ struct RefreshEvent {
   /// The new version's model itself (what model() would return right after
   /// this append published).
   std::shared_ptr<const SubTab> model;
+  /// Background mode: the publication above is a fold-in and
+  /// `deferred_action` was handed to the background worker to upgrade this
+  /// version (a later publication with the same `key.version` and
+  /// `key.refresh + 1`).
+  bool upgrade_deferred = false;
+  RefreshAction deferred_action = RefreshAction::kFoldIn;
 };
 
 /// A consistent (model, key) pair, read in one critical section.
@@ -74,6 +93,13 @@ struct StreamStats {
   size_t rows_since_refit = 0;
   /// Rows the last full pre-processing pass saw.
   size_t fitted_rows = 0;
+  /// Background refresh: upgrades handed to the worker / republished by it /
+  /// thrown away because an append superseded the version mid-training.
+  uint64_t deferred_upgrades = 0;
+  uint64_t upgrades_completed = 0;
+  uint64_t upgrades_discarded = 0;
+  /// ModelKey::refresh of the currently published model.
+  uint64_t refresh_generation = 0;
 };
 
 class StreamSession {
@@ -111,6 +137,19 @@ class StreamSession {
 
   const StreamSessionOptions& options() const { return options_; }
 
+  /// Publication hook: invoked synchronously after *every* model
+  /// publication — each Append's (fold-in or inline-trained) model and each
+  /// background upgrade — in publication order, without publish_mu_ held.
+  /// The serving engine installs this at RegisterStream to republish bound
+  /// ids; pass nullptr to uninstall (blocks until an in-flight invocation
+  /// returns, so the callee can be torn down afterwards). One listener at a
+  /// time: a stream is bound to at most one engine.
+  void SetPublishListener(std::function<void(const PublishedModel&)> listener);
+
+  /// Blocks until no deferred upgrade is pending or running. Background mode
+  /// only (returns immediately otherwise); for tests and orderly shutdown.
+  void WaitForUpgrades();
+
  private:
   StreamSession(std::unique_ptr<StreamingTable> table,
                 StreamSessionOptions options,
@@ -121,25 +160,57 @@ class StreamSession {
   /// incremental training.
   Corpus DeltaCorpus(const BinnedTable& binned, size_t row_begin) const;
 
+  /// Trains the given refresh over `base_model`'s state for version `next`
+  /// (no locks held; pure function of its arguments + options_).
+  Result<SubTab> TrainRefresh(RefreshAction action, const TableVersion& next,
+                              const std::shared_ptr<const SubTab>& base_model,
+                              BinnedTable binned, size_t row_begin) const;
+
+  /// Swaps the published (model, key) and mutates stats under publish_mu_,
+  /// then invokes the publish listener. Caller holds append_mu_ (publication
+  /// order = append_mu_ acquisition order).
+  void PublishLocked(std::shared_ptr<const SubTab> model, const ModelKey& key,
+                     const std::function<void(StreamStats&)>& update_stats);
+
+  /// Background worker body: drains pending upgrade requests, retraining
+  /// against the newest version whenever an append lands mid-training.
+  void RunUpgrades();
+
   const StreamSessionOptions options_;
   const uint64_t config_fp_;
 
-  /// Serializes appenders. Held across the whole refresh (possibly seconds
-  /// of training) — which is why the members below split into two groups:
-  /// appender-owned state guarded by this mutex, and the published state
-  /// under `publish_mu_`, held only for pointer swaps so model()/Stats()
-  /// readers never wait on training.
+  /// Serializes appenders and (briefly) the background worker's
+  /// claim/publish sections. In inline mode it is held across the whole
+  /// refresh (possibly seconds of training); in background mode appenders
+  /// hold it only for snapshot + fold-in and the worker trains *outside* it.
+  /// Either way the published state lives under `publish_mu_`, held only for
+  /// pointer swaps, so model()/Stats() readers never wait on training.
   std::mutex append_mu_;
   std::unique_ptr<StreamingTable> table_;
   std::unique_ptr<IncrementalBinner> binner_;
   size_t rows_since_refresh_ = 0;
   size_t rows_since_refit_ = 0;
   size_t fitted_rows_ = 0;
+  /// Deferred-upgrade handshake (guarded by append_mu_): at most one request
+  /// pending (repeats coalesce via EscalateRefresh) and one worker draining.
+  bool upgrade_running_ = false;
+  bool upgrade_pending_ = false;
+  RefreshAction pending_action_ = RefreshAction::kFoldIn;
+  uint64_t refresh_seq_ = 0;  ///< ModelKey::refresh of the published model.
+  std::condition_variable upgrade_cv_;
 
   mutable std::mutex publish_mu_;
   std::shared_ptr<const SubTab> model_;
   ModelKey key_;
   StreamStats stats_;
+
+  std::mutex listener_mu_;
+  std::function<void(const PublishedModel&)> listener_;
+
+  /// Background worker (created iff options_.background_refresh). Declared
+  /// last: destroyed first, so a queued upgrade task finishes against
+  /// still-alive members before the rest of the session tears down.
+  std::unique_ptr<ThreadPool> background_;
 };
 
 }  // namespace subtab::stream

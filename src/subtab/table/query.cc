@@ -4,7 +4,9 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <string_view>
 
+#include "subtab/util/parallel.h"
 #include "subtab/util/string_util.h"
 
 namespace subtab {
@@ -92,6 +94,13 @@ std::string SpQuery::ToString() const {
 
 namespace {
 
+/// A predicate with its column resolved and type-checked — validation
+/// happens once, serially, so the sharded scan below cannot fail mid-flight.
+struct BoundPredicate {
+  const Predicate* pred = nullptr;
+  const Column* col = nullptr;
+};
+
 template <typename T>
 bool Compare(CmpOp op, const T& lhs, const T& rhs) {
   switch (op) {
@@ -112,56 +121,143 @@ bool Compare(CmpOp op, const T& lhs, const T& rhs) {
   }
 }
 
-Result<std::vector<char>> EvalPredicate(const Table& table, const Predicate& pred) {
+Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) {
   SUBTAB_ASSIGN_OR_RETURN(size_t col_idx, table.ColumnIndex(pred.column));
   const Column& col = table.column(col_idx);
-  const size_t n = table.num_rows();
-  std::vector<char> mask(n, 0);
-
-  // Chunk-sequential scans (Column::VisitRows) amortize the row->chunk
-  // lookup; streaming snapshots accumulate one chunk per appended batch.
-  if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
-    const bool want_null = pred.op == CmpOp::kIsNull;
-    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
-      mask[r] = (chunk.is_null(local) == want_null) ? 1 : 0;
-    });
-    return mask;
-  }
-
-  if (col.is_numeric() != pred.literal_is_numeric) {
+  if (pred.op != CmpOp::kIsNull && pred.op != CmpOp::kNotNull &&
+      col.is_numeric() != pred.literal_is_numeric) {
     return Status::InvalidArgument(
         StrFormat("predicate on '%s' mixes %s column with %s literal",
                   pred.column.c_str(), ColumnTypeName(col.type()),
                   pred.literal_is_numeric ? "numeric" : "string"));
   }
+  return BoundPredicate{&pred, &col};
+}
+
+/// Evaluates one bound predicate over rows [begin, end), ANDing into `keep`
+/// when `first` is false. Chunk-sequential scans (Column::VisitRows)
+/// amortize the row->chunk lookup; each row's verdict depends only on that
+/// row's cell, so any row partition evaluates to identical bytes.
+void EvalPredicateRange(const BoundPredicate& bound, size_t begin, size_t end,
+                        bool first, char* keep) {
+  const Predicate& pred = *bound.pred;
+  const Column& col = *bound.col;
+  auto emit = [first, keep](size_t r, bool match) {
+    const char m = match ? 1 : 0;
+    keep[r] = first ? m : (keep[r] & m);
+  };
+
+  if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
+    const bool want_null = pred.op == CmpOp::kIsNull;
+    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
+      emit(r, chunk.is_null(local) == want_null);
+    });
+    return;
+  }
 
   if (col.is_numeric()) {
-    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
-      if (chunk.is_null(local)) return;  // Nulls fail all value comparisons.
-      mask[r] = Compare(pred.op, chunk.num_value(local), pred.num_literal) ? 1 : 0;
+    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
+      // Nulls fail all value comparisons.
+      emit(r, !chunk.is_null(local) &&
+                  Compare(pred.op, chunk.num_value(local), pred.num_literal));
     });
   } else {
     const std::string_view want = pred.str_literal;
     const auto& dict = col.dictionary();
-    col.VisitRows(0, n, [&](size_t r, const Chunk& chunk, size_t local) {
-      if (chunk.is_null(local)) return;
-      const std::string_view value =
-          dict[static_cast<size_t>(chunk.cat_code(local))];
-      mask[r] = Compare(pred.op, value, want) ? 1 : 0;
+    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
+      emit(r, !chunk.is_null(local) &&
+                  Compare(pred.op,
+                          std::string_view(
+                              dict[static_cast<size_t>(chunk.cat_code(local))]),
+                          want));
     });
   }
-  return mask;
+}
+
+/// Shard boundaries for the filter scan: aligned to the sealed-chunk edges
+/// of the filtered column with the most chunks (a streaming snapshot holds
+/// one chunk per appended batch), coalesced toward `num_shards` roughly
+/// row-balanced groups; an unchunked table falls back to an even row split.
+/// Boundaries only partition the row space — they never affect any row's
+/// verdict — so every sharding yields the same mask.
+std::vector<size_t> ScanShardBoundaries(
+    const std::vector<BoundPredicate>& preds, size_t num_rows,
+    size_t num_shards) {
+  const Column* most_chunked = nullptr;
+  for (const BoundPredicate& bound : preds) {
+    if (most_chunked == nullptr ||
+        bound.col->chunks().size() > most_chunked->chunks().size()) {
+      most_chunked = bound.col;
+    }
+  }
+  std::vector<size_t> edges;
+  if (most_chunked != nullptr && most_chunked->chunks().size() > 1) {
+    for (size_t i = 0; i < most_chunked->chunks().size(); ++i) {
+      edges.push_back(most_chunked->chunk_offset(i));
+    }
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      edges.push_back(s * num_rows / num_shards);
+    }
+  }
+  edges.push_back(num_rows);
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // Coalesce consecutive edges into at most num_shards row-balanced groups.
+  std::vector<size_t> bounds;
+  const size_t target = (num_rows + num_shards - 1) / num_shards;
+  size_t group_begin = edges.front();
+  bounds.push_back(group_begin);
+  for (size_t i = 1; i + 1 < edges.size(); ++i) {
+    if (edges[i] - group_begin >= target) {
+      bounds.push_back(edges[i]);
+      group_begin = edges[i];
+    }
+  }
+  bounds.push_back(num_rows);
+  return bounds;
+}
+
+Result<std::vector<char>> EvalFilterMask(const Table& table,
+                                         const std::vector<Predicate>& filters,
+                                         const QueryExecOptions& exec) {
+  const size_t n = table.num_rows();
+  std::vector<char> keep(n, 1);
+  if (filters.empty()) return keep;
+
+  std::vector<BoundPredicate> bound;
+  bound.reserve(filters.size());
+  for (const Predicate& pred : filters) {
+    SUBTAB_ASSIGN_OR_RETURN(BoundPredicate b, BindPredicate(table, pred));
+    bound.push_back(b);
+  }
+
+  size_t threads = exec.num_threads == 0 ? HardwareThreads() : exec.num_threads;
+  if (n < exec.min_parallel_rows) threads = 1;
+  if (threads <= 1) {
+    for (size_t i = 0; i < bound.size(); ++i) {
+      EvalPredicateRange(bound[i], 0, n, /*first=*/i == 0, keep.data());
+    }
+    return keep;
+  }
+
+  const std::vector<size_t> bounds = ScanShardBoundaries(bound, n, threads);
+  ParallelForEach(bounds.size() - 1, threads, [&](size_t s) {
+    for (size_t i = 0; i < bound.size(); ++i) {
+      EvalPredicateRange(bound[i], bounds[s], bounds[s + 1], i == 0,
+                         keep.data());
+    }
+  });
+  return keep;
 }
 
 }  // namespace
 
-Result<QueryResult> RunQuery(const Table& table, const SpQuery& query) {
+Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
+                                     const QueryExecOptions& exec) {
   const size_t n = table.num_rows();
-  std::vector<char> keep(n, 1);
-  for (const auto& pred : query.filters) {
-    SUBTAB_ASSIGN_OR_RETURN(std::vector<char> mask, EvalPredicate(table, pred));
-    for (size_t r = 0; r < n; ++r) keep[r] = keep[r] & mask[r];
-  }
+  SUBTAB_ASSIGN_OR_RETURN(std::vector<char> keep,
+                          EvalFilterMask(table, query.filters, exec));
 
   std::vector<size_t> row_ids;
   for (size_t r = 0; r < n; ++r) {
@@ -198,10 +294,20 @@ Result<QueryResult> RunQuery(const Table& table, const SpQuery& query) {
     }
   }
 
+  QueryScope scope;
+  scope.row_ids = std::move(row_ids);
+  scope.col_ids = std::move(col_ids);
+  return scope;
+}
+
+Result<QueryResult> RunQuery(const Table& table, const SpQuery& query,
+                             const QueryExecOptions& exec) {
+  SUBTAB_ASSIGN_OR_RETURN(QueryScope scope,
+                          ResolveQueryScope(table, query, exec));
   QueryResult result;
-  result.table = table.SubTable(row_ids, col_ids);
-  result.row_ids = std::move(row_ids);
-  result.col_ids = std::move(col_ids);
+  result.table = table.SubTable(scope.row_ids, scope.col_ids);
+  result.row_ids = std::move(scope.row_ids);
+  result.col_ids = std::move(scope.col_ids);
   return result;
 }
 

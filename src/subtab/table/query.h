@@ -58,9 +58,37 @@ struct QueryResult {
   std::vector<size_t> col_ids;  ///< Result col -> source col index.
 };
 
+/// Execution knobs of one scan. Results are bit-identical for every setting:
+/// parallelism only changes which thread evaluates which rows, never any
+/// row's verdict or the output order.
+struct QueryExecOptions {
+  /// Threads fanning the filter scan out over sealed chunks (util/parallel's
+  /// ParallelForEach; streaming snapshots accumulate one chunk per appended
+  /// batch). 1 = serial; 0 = HardwareThreads().
+  size_t num_threads = 1;
+  /// Below this many rows the scan stays serial even when num_threads > 1 —
+  /// spawning threads costs more than the scan itself.
+  size_t min_parallel_rows = 16384;
+};
+
+/// Scan-only result: the provenance ids of a query, without materializing
+/// the result table. This is the resolve-scope stage of the serving
+/// pipeline — selection needs only the ids (core/subtab.h ResolveScope), and
+/// materializing a many-thousand-row intermediate per request is pure waste.
+struct QueryScope {
+  std::vector<size_t> row_ids;  ///< Matching source rows, result order.
+  std::vector<size_t> col_ids;  ///< Projected source columns, result order.
+};
+
+/// Executes an SP query's scan (filters + order + limit + projection) and
+/// returns provenance ids only. RunQuery == ResolveQueryScope + SubTable.
+Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
+                                     const QueryExecOptions& exec = {});
+
 /// Executes an SP query. Errors on unknown columns or type-incompatible
 /// predicates. Null cells never satisfy value comparisons (SQL semantics).
-Result<QueryResult> RunQuery(const Table& table, const SpQuery& query);
+Result<QueryResult> RunQuery(const Table& table, const SpQuery& query,
+                             const QueryExecOptions& exec = {});
 
 /// Group-by aggregates, rounding out the dataframe substrate for EDA.
 enum class AggFn { kCount, kSum, kMean, kMin, kMax };

@@ -1,0 +1,82 @@
+#ifndef SUBTAB_UTIL_LATENCY_HISTOGRAM_H_
+#define SUBTAB_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+/// \file latency_histogram.h
+/// Fixed-footprint concurrent latency histogram for the serving pipeline's
+/// stats (service/engine.h). Buckets are powers of two in microseconds
+/// (1us .. ~2200s), recorded with relaxed atomics so the request path pays
+/// two uncontended fetch_adds; percentiles are estimated from a snapshot by
+/// nearest-rank over the buckets, answering within ~2x of the true latency —
+/// plenty for shed/alerting decisions, and stable under any thread count.
+
+namespace subtab {
+
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  /// Percentile estimates plus exact count/sum, read in one pass.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Nearest-rank percentile (p in [0, 1]) in seconds; 0 when empty.
+    /// Returns the geometric midpoint of the owning bucket.
+    double Percentile(double p) const {
+      if (count == 0) return 0.0;
+      uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+      if (rank >= count) rank = count - 1;
+      uint64_t seen = 0;
+      for (size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen > rank) {
+          // Bucket b spans [2^(b-1), 2^b) microseconds (b=0: [0, 1)).
+          const double hi_us = static_cast<double>(1ULL << b);
+          const double mid_us = b == 0 ? 0.5 : hi_us * 0.75;
+          return mid_us * 1e-6;
+        }
+      }
+      return 0.0;
+    }
+
+    double MeanSeconds() const {
+      return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
+    }
+  };
+
+  void Record(double seconds) {
+    if (seconds < 0.0) seconds = 0.0;
+    const uint64_t us = static_cast<uint64_t>(seconds * 1e6);
+    const size_t b =
+        us == 0 ? 0
+                : std::min<size_t>(kBuckets - 1, std::bit_width(us));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+
+  Snapshot TakeSnapshot() const {
+    Snapshot snap;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+      snap.count += snap.buckets[b];
+    }
+    snap.sum_seconds =
+        static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_LATENCY_HISTOGRAM_H_

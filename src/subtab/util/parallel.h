@@ -20,6 +20,17 @@ size_t HardwareThreads();
 void ParallelFor(size_t total, size_t num_threads,
                  const std::function<void(size_t shard, size_t begin, size_t end)>& body);
 
+/// Runs body(i) for every i in [0, count) across up to `num_threads` threads
+/// (0 = HardwareThreads(); <= 1, or count <= 1, runs inline). Tasks are dealt
+/// statically round-robin, so the mapping of task to thread is deterministic
+/// for a fixed thread count. Unlike ParallelFor's contiguous even shards,
+/// this is for *irregular* units — e.g. one task per sealed chunk of a
+/// column, where chunk sizes differ by orders of magnitude (a streaming
+/// table's base chunk vs its per-batch chunks); round-robin keeps every
+/// thread busy without an up-front size model.
+void ParallelForEach(size_t count, size_t num_threads,
+                     const std::function<void(size_t i)>& body);
+
 }  // namespace subtab
 
 #endif  // SUBTAB_UTIL_PARALLEL_H_

@@ -23,6 +23,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// Transient overload: the serving engine's admission control sheds the
+  /// request instead of queueing it unboundedly; retry after backoff.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -51,6 +54,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -42,6 +42,11 @@ size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
+size_t ThreadPool::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -41,6 +41,10 @@ class ThreadPool {
   /// Tasks currently queued (excludes running ones); for stats/introspection.
   size_t queue_depth() const;
 
+  /// Tasks currently executing on a worker; active_count() / num_threads()
+  /// is the utilization gauge the serving engine's stats expose.
+  size_t active_count() const;
+
  private:
   void WorkerLoop();
 

@@ -175,5 +175,42 @@ TEST(MedoidTest, KEqualsNReturnsEveryPoint) {
   EXPECT_EQ(medoids, (std::vector<size_t>{0, 1, 2}));
 }
 
+TEST(KMeansTest, BlockedKernelBitIdenticalToReferenceKernel) {
+  // The register-blocked assignment kernel must reproduce the pre-refactor
+  // one-chain-per-centroid loop EXACTLY: centroids, assignments, inertia,
+  // iteration counts, and medoids, across dimensions that exercise the
+  // 8-wide, 4-wide, and scalar-tail block paths and k values around the
+  // block boundaries (including duplicate points, which force distance
+  // ties). This is the bit-identical-selections guarantee at its root.
+  for (size_t dim : {1u, 3u, 8u, 13u, 32u}) {
+    for (size_t k : {1u, 4u, 7u, 8u, 9u, 16u}) {
+      std::vector<float> points = Blobs(4, 30, dim, 1000 + dim * 31 + k);
+      // Duplicate a run of points to create exact ties.
+      points.insert(points.end(), points.begin(),
+                    points.begin() + static_cast<long>(8 * dim));
+      KMeansOptions options;
+      options.k = k;
+      options.n_init = 2;
+      options.seed = 91 + k;
+
+      SetKMeansReferenceKernel(true);
+      const KMeansResult reference = KMeans(points, dim, options);
+      const std::vector<size_t> reference_medoids =
+          SelectMedoids(points, dim, reference);
+      SetKMeansReferenceKernel(false);
+      const KMeansResult blocked = KMeans(points, dim, options);
+      const std::vector<size_t> blocked_medoids =
+          SelectMedoids(points, dim, blocked);
+
+      ASSERT_EQ(blocked.assignment, reference.assignment)
+          << "dim=" << dim << " k=" << k;
+      ASSERT_EQ(blocked.centroids, reference.centroids);
+      ASSERT_EQ(blocked.inertia, reference.inertia);  // Bitwise, not approx.
+      ASSERT_EQ(blocked.iterations, reference.iterations);
+      ASSERT_EQ(blocked_medoids, reference_medoids);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace subtab

@@ -1,8 +1,13 @@
-// Unit tests for the SP query engine and group-by aggregates.
+// Unit tests for the SP query engine and group-by aggregates, including the
+// differential suite for the chunk-parallel scan (ResolveQueryScope must be
+// bit-identical across thread counts and chunk layouts).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
+#include <string>
+#include <vector>
 
 #include "subtab/table/query.h"
 
@@ -253,6 +258,101 @@ TEST(GroupByTest, UnknownColumnsError) {
   GroupByQuery g;
   g.key_column = "nope";
   EXPECT_FALSE(RunGroupBy(t, g).ok());
+}
+
+// --------------------------------------------------- Parallel chunk scans --
+
+/// A randomized table with nulls in both column types, rechunked into small
+/// chunks so multi-chunk sharding actually engages.
+Table RandomChunkedTable(size_t rows, size_t max_chunk_rows, std::mt19937* rng) {
+  std::uniform_real_distribution<double> num(-50.0, 50.0);
+  std::uniform_int_distribution<int> cat(0, 5);
+  std::uniform_int_distribution<int> coin(0, 9);
+  std::vector<double> a, b;
+  std::vector<std::string> c;
+  const char* names[] = {"red", "green", "blue", "cyan", "mag", "yel"};
+  for (size_t i = 0; i < rows; ++i) {
+    a.push_back(coin(*rng) == 0 ? std::nan("") : num(*rng));
+    b.push_back(num(*rng));
+    c.push_back(coin(*rng) == 0 ? "" : names[cat(*rng)]);
+  }
+  Result<Table> t = Table::Make({Column::Numeric("a", a), Column::Numeric("b", b),
+                                 Column::Categorical("c", c)});
+  SUBTAB_CHECK(t.ok());
+  return t->Rechunked(max_chunk_rows);
+}
+
+TEST(ParallelScanTest, BitIdenticalAcrossThreadCountsAndLayouts) {
+  std::mt19937 rng(20260731);
+  std::vector<SpQuery> queries;
+  {
+    SpQuery q;  // Conjunction over both types.
+    q.filters = {Predicate::Num("a", CmpOp::kGe, -10.0),
+                 Predicate::Str("c", CmpOp::kEq, "green")};
+    queries.push_back(q);
+  }
+  {
+    SpQuery q;  // Null-sensitive + order + limit + projection.
+    q.filters = {Predicate::NotNull("a"), Predicate::Num("b", CmpOp::kLt, 25.0)};
+    q.order_by = "b";
+    q.descending = true;
+    q.limit = 17;
+    q.projection = {"c", "a"};
+    queries.push_back(q);
+  }
+  queries.push_back(SpQuery{});  // Unfiltered.
+  {
+    SpQuery q;  // Empty result.
+    q.filters = {Predicate::Num("b", CmpOp::kGt, 1e9)};
+    queries.push_back(q);
+  }
+
+  for (size_t chunk_rows : {size_t{0}, size_t{7}, size_t{64}}) {
+    Table t = RandomChunkedTable(500, chunk_rows, &rng);
+    for (const SpQuery& q : queries) {
+      Result<QueryResult> serial = RunQuery(t, q);
+      ASSERT_TRUE(serial.ok());
+      for (size_t threads : {size_t{2}, size_t{3}, size_t{8}, size_t{0}}) {
+        QueryExecOptions exec;
+        exec.num_threads = threads;
+        exec.min_parallel_rows = 1;  // Force the sharded path.
+        Result<QueryScope> scope = ResolveQueryScope(t, q, exec);
+        ASSERT_TRUE(scope.ok());
+        EXPECT_EQ(scope->row_ids, serial->row_ids)
+            << "chunk_rows=" << chunk_rows << " threads=" << threads;
+        EXPECT_EQ(scope->col_ids, serial->col_ids);
+        Result<QueryResult> parallel = RunQuery(t, q, exec);
+        ASSERT_TRUE(parallel.ok());
+        EXPECT_EQ(parallel->row_ids, serial->row_ids);
+        EXPECT_EQ(parallel->table.ToString(99), serial->table.ToString(99));
+      }
+    }
+  }
+}
+
+TEST(ParallelScanTest, ScopeMatchesRunQueryProvenance) {
+  Table t = FlightsMini();
+  SpQuery q;
+  q.filters = {Predicate::Num("distance", CmpOp::kGe, 400.0)};
+  q.projection = {"airline", "distance"};
+  Result<QueryScope> scope = ResolveQueryScope(t, q);
+  Result<QueryResult> full = RunQuery(t, q);
+  ASSERT_TRUE(scope.ok() && full.ok());
+  EXPECT_EQ(scope->row_ids, full->row_ids);
+  EXPECT_EQ(scope->col_ids, full->col_ids);
+}
+
+TEST(ParallelScanTest, ErrorsMatchSerialErrors) {
+  Table t = FlightsMini();
+  QueryExecOptions exec;
+  exec.num_threads = 4;
+  exec.min_parallel_rows = 1;
+  SpQuery unknown;
+  unknown.filters = {Predicate::Num("nope", CmpOp::kGe, 0.0)};
+  EXPECT_FALSE(ResolveQueryScope(t, unknown, exec).ok());
+  SpQuery mismatch;
+  mismatch.filters = {Predicate::Str("distance", CmpOp::kEq, "x")};
+  EXPECT_FALSE(ResolveQueryScope(t, mismatch, exec).ok());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <thread>
@@ -163,6 +164,43 @@ TEST(FingerprintTest, NormalizedQueryKeyIgnoresFilterOrder) {
   SpQuery ordered = ab;
   ordered.order_by = "a";
   EXPECT_NE(NormalizedQueryKey(ab), NormalizedQueryKey(ordered));
+}
+
+TEST(FingerprintTest, NormalizedQueryKeyDeduplicatesRepeatedConjuncts) {
+  // Conjunction is idempotent: "a AND a" selects exactly "a"'s rows, so the
+  // sorted-but-duplicated filter list must produce the same cache key.
+  SpQuery once;
+  once.filters = {Predicate::Num("a", CmpOp::kGe, 1.0)};
+  SpQuery twice;
+  twice.filters = {once.filters[0], once.filters[0]};
+  EXPECT_EQ(NormalizedQueryKey(once), NormalizedQueryKey(twice));
+  // Interleaved duplicates among distinct conjuncts collapse too.
+  SpQuery mixed;
+  mixed.filters = {Predicate::Str("c", CmpOp::kEq, "x"), once.filters[0],
+                   Predicate::Str("c", CmpOp::kEq, "x")};
+  SpQuery clean;
+  clean.filters = {once.filters[0], Predicate::Str("c", CmpOp::kEq, "x")};
+  EXPECT_EQ(NormalizedQueryKey(mixed), NormalizedQueryKey(clean));
+  // ...but a predicate differing only in literal must NOT collapse.
+  SpQuery tighter;
+  tighter.filters = {once.filters[0], Predicate::Num("a", CmpOp::kGe, 2.0)};
+  EXPECT_NE(NormalizedQueryKey(once), NormalizedQueryKey(tighter));
+}
+
+TEST(FingerprintTest, ModelKeyRefreshGenerationChangesDigest) {
+  ModelKey base{101, 202, 3};
+  ModelKey upgraded{101, 202, 3, 1};
+  EXPECT_NE(base.Digest(), upgraded.Digest());
+  EXPECT_FALSE(base == upgraded);
+  // Publication order: refresh breaks ties within a version; a newer
+  // version beats any refresh generation of an older one.
+  EXPECT_TRUE(upgraded.Supersedes(base));
+  EXPECT_FALSE(base.Supersedes(upgraded));
+  ModelKey next_version{101, 202, 4};
+  EXPECT_TRUE(next_version.Supersedes(upgraded));
+  EXPECT_FALSE(upgraded.Supersedes(next_version));
+  // Generation 0 folds nothing in: digests of pre-refresh keys unchanged.
+  EXPECT_EQ(base.Digest(), (ModelKey{101, 202, 3, 0}).Digest());
 }
 
 TEST(FingerprintTest, NormalizedQueryKeyIsLossless) {
@@ -397,6 +435,126 @@ TEST(EngineTest, RegistryReusedAcrossTableIds) {
   EXPECT_EQ(engine.GetModel("alice").get(), engine.GetModel("bob").get());
   EXPECT_EQ(engine.Stats().registry.fits, 1u);
   EXPECT_EQ(engine.Stats().tables, 2u);
+}
+
+TEST(EngineTest, StagedPipelineMatchesBlockingExecutorAndSerial) {
+  // The same request stream through (a) the staged pipeline with a
+  // chunk-parallel scan, (b) the pre-refactor monolithic executor, and
+  // (c) the serial SubTab path must produce bit-identical selections.
+  Table table = TinyTable().Rechunked(13);  // Multi-chunk so sharding engages.
+  EngineOptions staged_options;
+  staged_options.num_threads = 4;
+  staged_options.scan_threads = 2;
+  ServingEngine staged(staged_options);
+  EngineOptions blocking_options;
+  blocking_options.num_threads = 4;
+  blocking_options.staged_pipeline = false;
+  ServingEngine blocking(blocking_options);
+  ASSERT_TRUE(staged.RegisterTable("t", table, TinyConfig()).ok());
+  ASSERT_TRUE(blocking.RegisterTable("t", table, TinyConfig()).ok());
+  std::shared_ptr<const SubTab> model = staged.GetModel("t");
+
+  std::vector<std::shared_future<SelectResponse>> staged_futures;
+  std::vector<std::shared_future<SelectResponse>> blocking_futures;
+  std::vector<SelectRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    SelectRequest request;
+    request.table_id = "t";
+    request.query = FilterQuery(static_cast<double>(i * 4));
+    requests.push_back(request);
+  }
+  for (const SelectRequest& request : requests) {
+    staged_futures.push_back(staged.SubmitSelect(request));
+    blocking_futures.push_back(blocking.SubmitSelect(request));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SelectResponse a = staged_futures[i].get();
+    SelectResponse b = blocking_futures[i].get();
+    Result<SubTabView> serial = model->SelectForQuery(requests[i].query);
+    ASSERT_TRUE(a.status.ok() && b.status.ok() && serial.ok());
+    EXPECT_EQ(a.view->row_ids, serial->row_ids);
+    EXPECT_EQ(a.view->col_ids, serial->col_ids);
+    EXPECT_EQ(b.view->row_ids, serial->row_ids);
+    EXPECT_EQ(b.view->col_ids, serial->col_ids);
+  }
+  // Per-stage accounting ran: both stages saw wall time, every request got
+  // a latency sample.
+  const service::EngineStats stats = staged.Stats();
+  EXPECT_GT(stats.pipeline.scan_seconds, 0.0);
+  EXPECT_GT(stats.pipeline.select_seconds, 0.0);
+  EXPECT_EQ(stats.pipeline.latency_count, requests.size());
+  EXPECT_GT(stats.pipeline.latency_p50_ms, 0.0);
+  EXPECT_GE(stats.pipeline.latency_p99_ms, stats.pipeline.latency_p50_ms);
+}
+
+TEST(EngineTest, AdmissionControlShedsInsteadOfQueueing) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.max_pending_per_tenant = 2;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+
+  // Hold the single worker so admitted requests stay pending.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  engine.SubmitBarrierTaskForTesting([opened] { opened.wait(); });
+
+  std::vector<std::shared_future<SelectResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    SelectRequest request;
+    request.table_id = "t";
+    request.query = FilterQuery(static_cast<double>(i));  // All distinct.
+    futures.push_back(engine.SubmitSelect(request));
+  }
+  // The first two were admitted; the rest resolved immediately as shed.
+  size_t shed = 0;
+  for (int i = 2; i < 6; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[i].get().status.code(), StatusCode::kUnavailable);
+    ++shed;
+  }
+  EXPECT_EQ(engine.Stats().pipeline.requests_shed, shed);
+
+  gate.set_value();
+  engine.Drain();
+  // The admitted pair completed normally; capacity is released afterwards
+  // (a fresh request is admitted again).
+  EXPECT_TRUE(futures[0].get().status.ok());
+  EXPECT_TRUE(futures[1].get().status.ok());
+  SelectRequest again;
+  again.table_id = "t";
+  again.query = FilterQuery(100.0);  // Matches nothing -> InvalidArgument,
+                                     // but admitted (not kUnavailable).
+  EXPECT_EQ(engine.Select(again).status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Stats().pipeline.tenants_tracked, 0u);
+  // Identical in-flight requests coalesce without consuming admission slots:
+  // submit the same query max_pending+2 times against a held worker.
+  std::promise<void> gate2;
+  std::shared_future<void> opened2 = gate2.get_future().share();
+  engine.SubmitBarrierTaskForTesting([opened2] { opened2.wait(); });
+  SelectRequest repeated;
+  repeated.table_id = "t";
+  repeated.query = FilterQuery(7.5);
+  std::vector<std::shared_future<SelectResponse>> repeats;
+  for (int i = 0; i < 4; ++i) repeats.push_back(engine.SubmitSelect(repeated));
+  gate2.set_value();
+  for (auto& f : repeats) EXPECT_TRUE(f.get().status.ok());
+}
+
+TEST(EngineTest, ToJsonEmitsPipelineGaugesAndShedCounters) {
+  ServingEngine engine;
+  ASSERT_TRUE(engine.RegisterTable("t", TinyTable(), TinyConfig()).ok());
+  engine.Select({.table_id = "t", .query = FilterQuery(1.0)});
+  const std::string json = engine.Stats().ToJson();
+  for (const char* field :
+       {"\"pipeline\":{", "\"queue_depth\":", "\"workers_active\":",
+        "\"worker_utilization\":", "\"tenants_tracked\":", "\"scan_seconds\":",
+        "\"select_seconds\":", "\"latency_ms\":{", "\"p50\":", "\"p95\":",
+        "\"p99\":", "\"shed\":", "\"deferred_upgrades\":",
+        "\"upgrades_completed\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " in " << json;
+  }
 }
 
 // Engine replay produces the same capture statistics as the serial replay

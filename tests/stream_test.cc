@@ -250,6 +250,26 @@ TEST(RefreshPolicyTest, EscalatesByDriftStalenessAndLag) {
   EXPECT_EQ(DecideRefresh(options, drift), RefreshAction::kFoldIn);
 }
 
+TEST(RefreshPolicyTest, BackgroundLagBudgetAndEscalation) {
+  RefreshPolicyOptions options;  // max_background_lag defaults to 0.3.
+  DriftSnapshot drift;
+  drift.fitted_rows = 1000;
+  drift.rows_since_refresh = 250;
+  EXPECT_FALSE(stream::BackgroundLagExceeded(options, drift));
+  drift.rows_since_refresh = 350;
+  EXPECT_TRUE(stream::BackgroundLagExceeded(options, drift));
+  drift.fitted_rows = 0;  // No fit baseline: never force inline.
+  EXPECT_FALSE(stream::BackgroundLagExceeded(options, drift));
+
+  using stream::EscalateRefresh;
+  EXPECT_EQ(EscalateRefresh(RefreshAction::kFoldIn, RefreshAction::kIncremental),
+            RefreshAction::kIncremental);
+  EXPECT_EQ(EscalateRefresh(RefreshAction::kFullRefit, RefreshAction::kIncremental),
+            RefreshAction::kFullRefit);
+  EXPECT_EQ(EscalateRefresh(RefreshAction::kFoldIn, RefreshAction::kFoldIn),
+            RefreshAction::kFoldIn);
+}
+
 // ------------------------------------------------- Incremental training --
 
 TEST(Word2VecTest, ContinueTrainingIsDeterministicAndMovesVectors) {
@@ -584,6 +604,197 @@ TEST(EngineStreamTest, ConcurrentAppendWhileScanningSharedChunks) {
 
   EXPECT_GT(rows_scanned.load(), 0u);
   EXPECT_EQ((*session)->current_version().table->num_chunks(), kBatches + 1);
+}
+
+// ---------------------------------------------------- Background refresh --
+
+/// Background mode with thresholds forcing an incremental upgrade on every
+/// append, and a lag budget so large the appender never trains inline.
+StreamSessionOptions BackgroundOptions(SubTabConfig config) {
+  StreamSessionOptions options;
+  options.config = std::move(config);
+  options.background_refresh = true;
+  options.policy.max_out_of_range_rate = 1.0;
+  options.policy.max_new_category_rate = 1.0;
+  options.policy.staleness_budget = 1e9;
+  options.policy.incremental_threshold = 0.0;  // Always wants an upgrade.
+  options.policy.max_background_lag = 1e9;     // Never forces inline.
+  return options;
+}
+
+TEST(BackgroundRefreshTest, AppendPublishesFoldInThenUpgradesSameVersion) {
+  auto session = StreamSession::Open(LittleTable(60),
+                                     BackgroundOptions(LittleConfig()));
+  ASSERT_TRUE(session.ok());
+  const std::shared_ptr<const SubTab> before = (*session)->model();
+
+  Result<RefreshEvent> event = (*session)->Append(LittleTable(20, 60));
+  ASSERT_TRUE(event.ok());
+  // The appender folded in and deferred the training.
+  EXPECT_EQ(event->action, RefreshAction::kFoldIn);
+  EXPECT_TRUE(event->upgrade_deferred);
+  EXPECT_EQ(event->deferred_action, RefreshAction::kIncremental);
+  EXPECT_EQ(event->key.version, 1u);
+  EXPECT_EQ(event->key.refresh, 0u);
+  // The fold-in publication was immediately servable with all 80 rows.
+  EXPECT_EQ(event->model->table().num_rows(), 80u);
+
+  (*session)->WaitForUpgrades();
+  // The upgrade republished the SAME content version at generation 1 with a
+  // retrained (distinct) model object.
+  const ModelKey upgraded = (*session)->model_key();
+  EXPECT_EQ(upgraded.version, 1u);
+  EXPECT_EQ(upgraded.refresh, 1u);
+  EXPECT_TRUE(upgraded.Supersedes(event->key));
+  EXPECT_NE(upgraded.Digest(), event->key.Digest());
+  const std::shared_ptr<const SubTab> after = (*session)->model();
+  EXPECT_NE(after.get(), event->model.get());
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(after->table().num_rows(), 80u);
+
+  const stream::StreamStats stats = (*session)->Stats();
+  EXPECT_EQ(stats.appends, 1u);
+  EXPECT_EQ(stats.fold_ins, 1u);
+  EXPECT_EQ(stats.deferred_upgrades, 1u);
+  EXPECT_EQ(stats.upgrades_completed, 1u);
+  EXPECT_EQ(stats.incremental_refreshes, 1u);
+  EXPECT_EQ(stats.refresh_generation, 1u);
+}
+
+TEST(BackgroundRefreshTest, ExhaustedLagBudgetRunsInline) {
+  StreamSessionOptions options = BackgroundOptions(LittleConfig());
+  options.policy.max_background_lag = 0.0;  // Budget exhausted immediately.
+  auto session = StreamSession::Open(LittleTable(60), options);
+  ASSERT_TRUE(session.ok());
+  Result<RefreshEvent> event = (*session)->Append(LittleTable(20, 60));
+  ASSERT_TRUE(event.ok());
+  // The appender had to train inline: no deferral, the publication already
+  // carries the incremental refresh.
+  EXPECT_EQ(event->action, RefreshAction::kIncremental);
+  EXPECT_FALSE(event->upgrade_deferred);
+  EXPECT_EQ(event->key.refresh, 0u);
+  EXPECT_EQ((*session)->Stats().incremental_refreshes, 1u);
+  EXPECT_EQ((*session)->Stats().deferred_upgrades, 0u);
+}
+
+TEST(BackgroundRefreshTest, UpgradeMatchesWhatInlineModeWouldHaveTrained) {
+  // Determinism across scheduling: the background upgrade of version 1 must
+  // produce the exact selections the inline incremental refresh produces,
+  // because TrainRefresh is a pure function of (version, base model, seed).
+  auto inline_session = StreamSession::Open(
+      LittleTable(60), [&] {
+        StreamSessionOptions o = BackgroundOptions(LittleConfig());
+        o.background_refresh = false;
+        return o;
+      }());
+  auto background_session = StreamSession::Open(
+      LittleTable(60), BackgroundOptions(LittleConfig()));
+  ASSERT_TRUE(inline_session.ok() && background_session.ok());
+
+  ASSERT_TRUE((*inline_session)->Append(LittleTable(20, 60)).ok());
+  ASSERT_TRUE((*background_session)->Append(LittleTable(20, 60)).ok());
+  (*background_session)->WaitForUpgrades();
+
+  const SubTabView inline_view = (*inline_session)->model()->Select();
+  const SubTabView upgraded_view = (*background_session)->model()->Select();
+  EXPECT_EQ(inline_view.row_ids, upgraded_view.row_ids);
+  EXPECT_EQ(inline_view.col_ids, upgraded_view.col_ids);
+}
+
+TEST(EngineStreamTest, BackgroundUpgradeRepublishesBoundIds) {
+  service::EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  ServingEngine engine(engine_options);
+  auto session = StreamSession::Open(LittleTable(60),
+                                     BackgroundOptions(LittleConfig()));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(engine.RegisterStream("bg", *session).ok());
+
+  // Appending THROUGH THE SESSION (not engine.Append) must still republish:
+  // the publish listener carries every publication to the engine.
+  ASSERT_TRUE((*session)->Append(LittleTable(20, 60)).ok());
+  EXPECT_EQ(engine.GetModel("bg")->table().num_rows(), 80u);
+
+  (*session)->WaitForUpgrades();
+  // The upgrade's republish swapped the binding to the generation-1 model
+  // and swept the fold-in generation's cache/registry entries.
+  EXPECT_EQ(engine.GetModel("bg").get(), (*session)->model().get());
+  const service::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.streaming.upgrades_completed, 1u);
+  EXPECT_EQ(stats.streaming.deferred_upgrades, 1u);
+
+  // A select now runs against the upgraded model, bit-identical to serial.
+  SelectRequest request;
+  request.table_id = "bg";
+  SpQuery query;
+  query.filters = {Predicate::Num("a", CmpOp::kLt, 30.0)};
+  request.query = query;
+  SelectResponse response = engine.Select(request);
+  ASSERT_TRUE(response.status.ok());
+  Result<SubTabView> serial = (*session)->model()->SelectForQuery(query);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(response.view->row_ids, serial->row_ids);
+  EXPECT_EQ(response.view->col_ids, serial->col_ids);
+}
+
+// The background-refresh TSan case: appends with deferred upgrades racing
+// selects on the same stream through the engine. Every select must get a
+// servable published model (never blocking on training), version/refresh
+// ordering must never roll the binding back, and the final state must
+// converge to the newest publication once upgrades drain.
+TEST(EngineStreamTest, ConcurrentAppendWithBackgroundRefreshAndSelect) {
+  service::EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  ServingEngine engine(engine_options);
+  auto session = StreamSession::Open(LittleTable(60),
+                                     BackgroundOptions(LittleConfig()));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(engine.RegisterStream("live", *session).ok());
+
+  constexpr size_t kBatches = 8;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> selects_ok{0};
+  std::vector<std::thread> selectors;
+  for (int t = 0; t < 3; ++t) {
+    selectors.emplace_back([&engine, &done, &selects_ok, t] {
+      uint64_t seed = 5000 + t;
+      do {
+        SelectRequest request;
+        request.table_id = "live";
+        request.seed = ++seed;  // Distinct seeds dodge the selection cache.
+        SelectResponse response = engine.Select(request);
+        ASSERT_TRUE(response.status.ok());
+        ASSERT_EQ(response.view->table.num_rows(),
+                  response.view->row_ids.size());
+        selects_ok.fetch_add(1, std::memory_order_relaxed);
+      } while (!done.load(std::memory_order_relaxed));
+    });
+  }
+  for (size_t b = 0; b < kBatches; ++b) {
+    Result<RefreshEvent> event =
+        engine.Append("live", LittleTable(10, 60 + b * 10));
+    ASSERT_TRUE(event.ok());
+    // Appends never train inline here: publication is always the fold-in.
+    ASSERT_EQ(event->action, RefreshAction::kFoldIn);
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (auto& t : selectors) t.join();
+  (*session)->WaitForUpgrades();
+
+  EXPECT_GT(selects_ok.load(), 0u);
+  // Converged: the binding serves the newest publication (version kBatches,
+  // whatever refresh generation its upgrade reached), with every row.
+  EXPECT_EQ(engine.GetModel("live").get(), (*session)->model().get());
+  EXPECT_EQ(engine.GetModel("live")->table().num_rows(), 60 + kBatches * 10);
+  EXPECT_EQ((*session)->model_key().version, kBatches);
+  const service::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.streaming.appends, kBatches);
+  // Upgrades either completed or were discarded for newer versions; the
+  // handshake never loses one.
+  EXPECT_GT(stats.streaming.deferred_upgrades, 0u);
+  EXPECT_GT(stats.streaming.upgrades_completed +
+                stats.streaming.upgrades_discarded,
+            0u);
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "subtab/util/bitset.h"
+#include "subtab/util/latency_histogram.h"
 #include "subtab/util/parallel.h"
 #include "subtab/util/rng.h"
 #include "subtab/util/status.h"
@@ -40,6 +42,8 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusTest, CodeNames) {
@@ -396,6 +400,48 @@ TEST(ParallelTest, MoreThreadsThanWork) {
 }
 
 TEST(ParallelTest, HardwareThreadsPositive) { EXPECT_GE(HardwareThreads(), 1u); }
+
+TEST(ParallelTest, ForEachCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}, size_t{0}}) {
+    std::vector<std::atomic<int>> hits(37);
+    ParallelForEach(hits.size(), threads,
+                    [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+  // More threads than tasks, and the empty range.
+  std::atomic<int> count{0};
+  ParallelForEach(2, 16, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+  bool called = false;
+  ParallelForEach(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketRecordedLatencies) {
+  LatencyHistogram hist;
+  // 90 fast (~1 ms) and 10 slow (~400 ms) samples.
+  for (int i = 0; i < 90; ++i) hist.Record(1e-3);
+  for (int i = 0; i < 10; ++i) hist.Record(0.4);
+  const LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_NEAR(snap.sum_seconds, 0.09 + 4.0, 1e-6);
+  // Bucket resolution is a factor of two: p50 must land near 1 ms and p99
+  // near 400 ms, each within its power-of-two bucket.
+  EXPECT_GE(snap.Percentile(0.50), 0.5e-3);
+  EXPECT_LE(snap.Percentile(0.50), 2e-3);
+  EXPECT_GE(snap.Percentile(0.99), 0.2);
+  EXPECT_LE(snap.Percentile(0.99), 0.8);
+  EXPECT_GE(snap.Percentile(0.99), snap.Percentile(0.50));
+  EXPECT_NEAR(snap.MeanSeconds(), 4.09 / 100.0, 1e-4);
+}
+
+TEST(LatencyHistogramTest, EmptyAndEdgeCases) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.TakeSnapshot().Percentile(0.99), 0.0);
+  hist.Record(0.0);
+  hist.Record(-1.0);  // Clamped, not UB.
+  EXPECT_EQ(hist.TakeSnapshot().count, 2u);
+}
 
 }  // namespace
 }  // namespace subtab
