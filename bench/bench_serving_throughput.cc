@@ -13,15 +13,20 @@
 //            materialization): mostly cache misses, raw throughput;
 //   warm   — every client replays the full list: the served-from-cache path.
 // A final overload phase hammers a bounded-admission engine open-loop to
-// measure the shed rate. Emits the repo's standard "json |" records AND the
-// machine-readable BENCH_serving.json artifact (p50/p95/p99 latency,
-// throughput, shed rate) so the repo accumulates a perf trajectory; the
-// full-size run enforces the pipeline >= 2x the blocking executor at 16
-// threads.
+// measure the shed rate, and a drill-down phase replays sessions of 4-6
+// successively refined queries with containment reuse on vs off (hit rate,
+// restricted- vs full-scan rows, throughput delta). Emits the repo's
+// standard "json |" records AND the machine-readable BENCH_serving.json
+// artifact (p50/p95/p99 latency, throughput, shed rate, containment hit
+// rate) so the repo accumulates a perf trajectory; the full-size run
+// enforces the pipeline >= 2x the blocking executor at 16 threads, and
+// every run enforces containment hits > 0 with restricted scans smaller
+// than the table.
 
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <random>
 #include <thread>
 #include <utility>
 
@@ -238,6 +243,131 @@ void RunOverload(const GeneratedDataset& data,
   SUBTAB_CHECK(stats.requests_submitted == stats.requests_completed);
 }
 
+/// Synthetic drill-down sessions: chains of 4-6 successively narrower
+/// queries over the cyber table, the workload Smart Drill-Down reports
+/// dominating interactive exploration. Each step either tightens an existing
+/// numeric bound or adds a conjunct, so every step's result is contained in
+/// its predecessor's — the shape the containment tier reuses.
+std::vector<std::vector<SpQuery>> DrillDownSessions(const GeneratedDataset& data,
+                                                    size_t num_sessions,
+                                                    uint64_t seed) {
+  double ts_min = 0.0, ts_max = 1.0, by_min = 0.0, by_max = 1.0;
+  {
+    size_t ts_idx = *data.table.ColumnIndex("timestamp");
+    size_t by_idx = *data.table.ColumnIndex("bytes");
+    SUBTAB_CHECK(data.table.column(ts_idx).NumericRange(&ts_min, &ts_max));
+    SUBTAB_CHECK(data.table.column(by_idx).NumericRange(&by_min, &by_max));
+  }
+  auto ts_at = [&](double frac) { return ts_min + frac * (ts_max - ts_min); };
+  const char* protocols[] = {"tcp", "udp", "icmp"};
+  const char* actions[] = {"allow", "deny", "drop"};
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> base_frac(0.05, 0.35);
+  std::vector<std::vector<SpQuery>> sessions;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    const double lo = base_frac(rng);
+    std::vector<SpQuery> chain;
+    SpQuery q;
+    q.filters = {Predicate::Num("timestamp", CmpOp::kGe, ts_at(lo))};
+    chain.push_back(q);
+    q.filters.push_back(Predicate::Str("protocol", CmpOp::kEq, protocols[s % 3]));
+    chain.push_back(q);
+    // Tighten the bound already held: interval containment, no shared literal.
+    q.filters[0] = Predicate::Num("timestamp", CmpOp::kGe, ts_at(lo + 0.15));
+    chain.push_back(q);
+    q.filters.push_back(Predicate::Num(
+        "bytes", CmpOp::kLe, by_min + 0.9 * (by_max - by_min)));
+    chain.push_back(q);
+    if (s % 3 != 0) {  // Chains of 4, 5, and 6 steps.
+      q.filters.push_back(Predicate::Str("action", CmpOp::kEq, actions[s % 3]));
+      chain.push_back(q);
+    }
+    if (s % 3 == 2) {
+      q.filters[0] = Predicate::Num("timestamp", CmpOp::kGe, ts_at(lo + 0.25));
+      chain.push_back(q);
+    }
+    sessions.push_back(std::move(chain));
+  }
+  return sessions;
+}
+
+/// Drill-down trace through the containment tier, against the same trace
+/// with reuse disabled: hit rate, restricted- vs full-scan rows, and the
+/// throughput delta. The full-size AND quick runs both enforce the
+/// acceptance criteria: containment hits > 0, restricted scans smaller
+/// than the table.
+void RunDrillDown(const GeneratedDataset& data,
+                  const std::string& model_dir, bool quick,
+                  BenchJsonFile* file) {
+  constexpr size_t kClients = 4;
+  const std::vector<std::vector<SpQuery>> sessions =
+      DrillDownSessions(data, quick ? 24 : 120, 123);
+  // Whole chains per client, steps in order: a refinement is always
+  // submitted after its parent resolved, as an analyst would.
+  std::vector<std::vector<SpQuery>> per_client(kClients);
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    for (const SpQuery& q : sessions[s]) per_client[s % kClients].push_back(q);
+  }
+
+  double rps_without = 0.0;
+  for (const bool containment : {false, true}) {
+    service::EngineOptions options;
+    options.num_threads = kClients;
+    options.persist_dir = model_dir;
+    options.containment_reuse = containment;
+    service::ServingEngine engine(options);
+    SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+
+    const service::EngineStats before = engine.Stats();
+    PhaseResult result = RunClients(engine, kClients, per_client);
+    const service::EngineStats after = engine.Stats();
+    Report(containment ? "drill+c" : "drill", kClients, result, before, after,
+           file);
+
+    const auto& c = after.containment;
+    const double hit_rate =
+        static_cast<double>(c.containment_hits) /
+        static_cast<double>(
+            std::max<uint64_t>(1, c.containment_hits + c.containment_misses));
+    const double avg_restricted =
+        c.containment_hits == 0
+            ? 0.0
+            : static_cast<double>(c.restricted_scan_rows) /
+                  static_cast<double>(c.containment_hits);
+    const double table_rows = static_cast<double>(data.table.num_rows());
+    Measured(StrFormat(
+        "drill-down %-3s  %8.1f req/s  containment-hit %4.1f%%  "
+        "restricted scan %7.1f rows vs table %zu  (%.2fx vs no-reuse)",
+        containment ? "on" : "off", result.rps, hit_rate * 100.0,
+        avg_restricted, data.table.num_rows(),
+        rps_without > 0.0 ? result.rps / rps_without : 1.0));
+    JsonLine("serving_drilldown")
+        .Field("containment", containment ? uint64_t{1} : uint64_t{0})
+        .Field("requests", static_cast<uint64_t>(result.requests))
+        .Field("rps", result.rps)
+        .Field("containment_hits", c.containment_hits)
+        .Field("containment_hit_rate", hit_rate)
+        .Field("restricted_scan_rows", c.restricted_scan_rows)
+        .Field("avg_restricted_scan_rows", avg_restricted)
+        .Field("full_scan_rows", c.full_scan_rows)
+        .Field("table_rows", static_cast<uint64_t>(data.table.num_rows()))
+        .Field("speedup_vs_no_reuse",
+               rps_without > 0.0 ? result.rps / rps_without : 1.0)
+        .Emit(file);
+
+    if (!containment) {
+      rps_without = result.rps;
+      SUBTAB_CHECK(c.containment_hits == 0);  // Reuse actually disabled.
+    } else {
+      // Acceptance: drill-downs reuse cached ancestors, and restricted
+      // scans are genuinely smaller than full-table scans.
+      SUBTAB_CHECK(c.containment_hits > 0);
+      SUBTAB_CHECK(avg_restricted < table_rows);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace subtab::bench
 
@@ -286,6 +416,7 @@ int main(int argc, char** argv) {
       .Emit(&file);
 
   RunOverload(data, queries, model_dir, &file);
+  RunDrillDown(data, model_dir, args.quick, &file);
   file.Write();
 
   // Enforced on the full-size run only: --quick's tiny tables leave too

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Markdown link check for the repo's docs (CI `docs` job).
+
+Scans the given markdown files (or the repo's standard docs set) for
+intra-repo links — `[text](path)`, `![alt](path)`, and `[[wiki-style]]` are
+NOT used here, so only the first two forms — and fails when a relative
+target does not exist. External links (http/https/mailto) and pure
+anchors (#...) are skipped: CI must not flake on network or third-party
+outages, and heading anchors are not worth a parser dependency.
+
+Usage: scripts/check_markdown_links.py [file.md ...]
+Exit code 0 = all intra-repo links resolve, 1 = at least one is broken.
+Standard library only.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) and ![alt](target); target ends at the first unescaped ')'
+# (no nested-paren targets in this repo). Reference-style links are not used.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute links (they hold example syntax).
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+DEFAULT_DOCS = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
+                "PAPERS.md", "SNIPPETS.md"]
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def default_files(root: str) -> list[str]:
+    files = [os.path.join(root, name) for name in DEFAULT_DOCS
+             if os.path.exists(os.path.join(root, name))]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]  # Drop heading anchors.
+                if not target:
+                    continue  # Pure in-page anchor.
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = repo_root()
+    files = [os.path.abspath(a) for a in argv[1:]] or default_files(root)
+    all_errors = []
+    for path in files:
+        if not os.path.exists(path):
+            all_errors.append(f"{path}: file not found")
+            continue
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if all_errors else 'ok'} ({len(all_errors)} broken)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,6 +33,20 @@ struct SubTabView {
   double selection_seconds = 0.0;
 };
 
+/// Containment hint for ResolveScope: the already-resolved rows of a PROVEN
+/// superset query (QueryContains(parent, query) — see table/query.h), plus
+/// the conjuncts of `query` not literally present in the parent
+/// (ExtraConjuncts). With a hint the scan stage shrinks from O(table rows)
+/// to O(parent rows): only the parent's rows are revisited, and only the
+/// extra conjuncts are evaluated. `parent_rows` must be in ascending source
+/// order (a scope resolved from a query with no order_by and no limit) for
+/// the result to be bit-identical to the unhinted scan. The serving engine's
+/// containment index supplies hints; results are never affected, only cost.
+struct ScopeHint {
+  std::shared_ptr<const std::vector<size_t>> parent_rows;
+  std::vector<Predicate> extra_conjuncts;
+};
+
 /// A fitted SubTab instance bound to one table.
 ///
 /// Thread-safety: a fitted instance is immutable; Select / SelectForQuery /
@@ -98,8 +112,12 @@ class SubTab {
   /// no clustering, no materialization of the intermediate result. Errors on
   /// invalid queries and on empty results (an empty scope would mean "whole
   /// table" to SelectScoped). Stage 2 is SelectScoped on the returned scope.
+  /// A non-null `hint` switches the scan to the restricted path
+  /// (RestrictQueryScope over the hint's parent rows); the resolved scope is
+  /// bit-identical to the unhinted scan under the hint's contract.
   Result<SelectionScope> ResolveScope(const SpQuery& query,
-                                      const QueryExecOptions& exec = {}) const;
+                                      const QueryExecOptions& exec = {},
+                                      const ScopeHint* hint = nullptr) const;
 
   /// Selection over an explicit scope (used by baselines, benches, and the
   /// serving engine). `seed` overrides the config's master seed for this one

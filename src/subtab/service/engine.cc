@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "subtab/util/parallel.h"
 #include "subtab/util/string_util.h"
 
 namespace subtab::service {
@@ -22,7 +23,9 @@ ServingEngine::ServingEngine(EngineOptions options)
       registry_(ModelRegistryOptions{options.model_capacity,
                                      std::max<size_t>(1, options.cache_shards / 2),
                                      options.persist_dir}),
-      selection_cache_(options.selection_cache_capacity, options.cache_shards),
+      selection_cache_(options.selection_cache_capacity, options.cache_shards,
+                       options.scope_index_per_model,
+                       options.scope_index_rows_per_model),
       pool_(options.num_threads) {}
 
 ServingEngine::~ServingEngine() {
@@ -44,15 +47,61 @@ ServingEngine::~ServingEngine() {
   Drain();
 }
 
+uint64_t ServingEngine::ScopeDigestFor(const ModelKey& key) {
+  // Content only: resolved scopes are a pure function of (table rows,
+  // filters), so refresh generations — and even configs — share them.
+  return HashCombine(HashMix(key.table_fp), key.version);
+}
+
 Status ServingEngine::RegisterTable(const std::string& table_id,
                                     const Table& table, SubTabConfig config) {
   const ModelKey key = MakeModelKey(table, config);
   Result<std::shared_ptr<const SubTab>> model =
       registry_.GetOrFitKeyed(key, table, config);
   if (!model.ok()) return model.status();
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
-  tables_[table_id] = TableEntry{*model, key, key.Digest(), nullptr};
+  uint64_t dead_scope_digest = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    dead_scope_digest = ReplaceBindingLocked(
+        table_id,
+        TableEntry{*model, key, key.Digest(), ScopeDigestFor(key), nullptr});
+  }
+  SweepDeadScopes(dead_scope_digest);
   return Status::Ok();
+}
+
+bool ServingEngine::ScopeDigestLiveLocked(uint64_t scope_digest) const {
+  // THE liveness test of the containment tier — every sweep decision
+  // (binding swap, stream supersede, insert-recheck) must use this one
+  // definition, or the leak-closure reasoning at those sites diverges.
+  // Caller holds tables_mu_ (shared or unique).
+  for (const auto& [id, entry] : tables_) {
+    if (entry.scope_digest == scope_digest) return true;
+  }
+  return false;
+}
+
+uint64_t ServingEngine::ReplaceBindingLocked(const std::string& table_id,
+                                             TableEntry entry) {
+  // The scope index is swept only by content-digest liveness checks; a
+  // binding swap (re-registering an id to different content) must run one
+  // too, or the old content's bucket — up to scope_index_rows_per_model
+  // row ids — leaks for the engine's lifetime. Returns the replaced
+  // binding's scope digest when this swap removed its last reference
+  // (0 = nothing to sweep); the caller sweeps after releasing tables_mu_.
+  uint64_t old_scope = 0;
+  auto it = tables_.find(table_id);
+  if (it != tables_.end()) old_scope = it->second.scope_digest;
+  tables_[table_id] = std::move(entry);
+  if (old_scope == 0 || old_scope == tables_[table_id].scope_digest) return 0;
+  return ScopeDigestLiveLocked(old_scope) ? 0 : old_scope;
+}
+
+void ServingEngine::SweepDeadScopes(uint64_t scope_digest) {
+  if (scope_digest == 0) return;
+  scope_invalidations_.fetch_add(
+      selection_cache_.InvalidateScopes(scope_digest),
+      std::memory_order_relaxed);
 }
 
 Status ServingEngine::RegisterStream(
@@ -80,12 +129,18 @@ Status ServingEngine::RegisterStream(
   // happens after our insert (the sweep upgrades this entry with the rest).
   // The snapshot's publish_mu_ nests inside tables_mu_ only here, and no
   // path acquires them in the opposite order.
-  std::unique_lock<std::shared_mutex> lock(tables_mu_);
-  stream::PublishedModel published = stream->Snapshot();
-  registry_.Publish(published.key, published.model);
-  tables_[table_id] =
-      TableEntry{std::move(published.model), published.key,
-                 published.key.Digest(), std::move(stream)};
+  uint64_t dead_scope_digest = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mu_);
+    stream::PublishedModel published = stream->Snapshot();
+    registry_.Publish(published.key, published.model);
+    const uint64_t scope_digest = ScopeDigestFor(published.key);
+    dead_scope_digest = ReplaceBindingLocked(
+        table_id,
+        TableEntry{std::move(published.model), published.key,
+                   published.key.Digest(), scope_digest, std::move(stream)});
+  }
+  SweepDeadScopes(dead_scope_digest);
   return Status::Ok();
 }
 
@@ -120,6 +175,7 @@ void ServingEngine::OnStreamPublish(
   // newest bound one — a preempted publisher whose version was already
   // superseded must not re-insert its dead model after the sweep.
   std::vector<std::pair<uint64_t, ModelKey>> superseded;
+  std::vector<uint64_t> dead_scope_digests;
   {
     std::unique_lock<std::shared_mutex> lock(tables_mu_);
     for (auto& [id, entry] : tables_) {
@@ -132,6 +188,7 @@ void ServingEngine::OnStreamPublish(
       entry.model = published.model;
       entry.key = published.key;
       entry.model_digest = published.key.Digest();
+      entry.scope_digest = ScopeDigestFor(published.key);
     }
     if (!superseded.empty()) registry_.Publish(published.key, published.model);
     // A superseded digest can still be live under another entry: a static
@@ -144,6 +201,17 @@ void ServingEngine::OnStreamPublish(
       }
       return false;
     });
+    // The containment tier sweeps by CONTENT digest, and only when the
+    // content is gone: a refresh upgrade republishes the same (table fp,
+    // version), whose resolved scopes stay valid — sweeping them would
+    // zero drill-down reuse on every background upgrade for no reason.
+    for (const auto& [digest, old_key] : superseded) {
+      const uint64_t old_scope = ScopeDigestFor(old_key);
+      if (old_scope == ScopeDigestFor(published.key)) continue;
+      if (!ScopeDigestLiveLocked(old_scope)) {
+        dead_scope_digests.push_back(old_scope);
+      }
+    }
   }
   std::sort(superseded.begin(), superseded.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -152,12 +220,21 @@ void ServingEngine::OnStreamPublish(
                                  return a.first == b.first;
                                }),
                    superseded.end());
+  std::sort(dead_scope_digests.begin(), dead_scope_digests.end());
+  dead_scope_digests.erase(
+      std::unique(dead_scope_digests.begin(), dead_scope_digests.end()),
+      dead_scope_digests.end());
   uint64_t invalidated = 0;
   for (const auto& [digest, old_key] : superseded) {
     invalidated += selection_cache_.InvalidateModel(digest);
     registry_.Erase(old_key);
   }
+  uint64_t scopes_invalidated = 0;
+  for (const uint64_t scope_digest : dead_scope_digests) {
+    scopes_invalidated += selection_cache_.InvalidateScopes(scope_digest);
+  }
   cache_invalidations_.fetch_add(invalidated, std::memory_order_relaxed);
+  scope_invalidations_.fetch_add(scopes_invalidated, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const SubTab> ServingEngine::GetModel(
@@ -179,17 +256,19 @@ SelectionKey ServingEngine::KeyFor(const TableEntry& entry,
   return key;
 }
 
-bool ServingEngine::TryAdmit(const std::string& tenant) {
+ServingEngine::Admission ServingEngine::TryAdmit(const std::string& tenant) {
   if (options_.max_queue_depth > 0 &&
       pool_.queue_depth() >= options_.max_queue_depth) {
-    return false;
+    return Admission::kShedGlobalQueue;
   }
-  if (options_.max_pending_per_tenant == 0) return true;
+  if (options_.max_pending_per_tenant == 0) return Admission::kAdmitted;
   std::lock_guard<std::mutex> lock(admission_mu_);
   size_t& pending = tenant_pending_[tenant];
-  if (pending >= options_.max_pending_per_tenant) return false;
+  if (pending >= options_.max_pending_per_tenant) {
+    return Admission::kShedTenant;
+  }
   ++pending;
-  return true;
+  return Admission::kAdmitted;
 }
 
 void ServingEngine::ReleaseTenant(const std::string& tenant) {
@@ -252,14 +331,19 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
 
   // A genuinely new computation: it must pass admission before it may
   // occupy queue slots.
-  const bool admitted = TryAdmit(request.table_id);
-  if (!admitted) {
+  const Admission admission = TryAdmit(request.table_id);
+  if (admission != Admission::kAdmitted) {
     requests_shed_.fetch_add(1, std::memory_order_relaxed);
     requests_completed_.fetch_add(1, std::memory_order_relaxed);
     requests_failed_.fetch_add(1, std::memory_order_relaxed);
     SelectResponse response;
+    // Name the bound that tripped: an operator tuning sheds must know
+    // whether to raise max_queue_depth or max_pending_per_tenant.
     response.status = Status::Unavailable(
-        "request shed: tenant '" + request.table_id + "' is over its bound");
+        admission == Admission::kShedGlobalQueue
+            ? "request shed: global queue depth is over its bound"
+            : "request shed: tenant '" + request.table_id +
+                  "' is over its bound");
     return ReadyFuture(std::move(response));
   }
 
@@ -284,6 +368,7 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
   auto pending = std::make_shared<PendingSelect>();
   pending->key = key;
   pending->key_digest = digest;
+  pending->scope_digest = entry.scope_digest;
   pending->model = entry.model;
   pending->request = request;
   pending->submitted = submitted;
@@ -300,8 +385,57 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
   Stopwatch stage;
   QueryExecOptions exec;
   exec.num_threads = options_.scan_threads;
-  Result<SelectionScope> scope =
-      pending->model->ResolveScope(pending->request.query, exec);
+  // Containment probe: a drill-down refinement of an already-resolved query
+  // has a cached ancestor scope; restricting it visits O(parent scope) rows
+  // instead of O(table). The hint never changes the resolved scope — see
+  // RestrictQueryScope's bit-identity contract — only the scan's cost.
+  ScopeHint hint;
+  if (options_.containment_reuse) {
+    std::optional<AncestorScope> ancestor = selection_cache_.FindAncestorScope(
+        pending->scope_digest, pending->request.query);
+    if (ancestor.has_value()) {
+      std::vector<Predicate> extra =
+          ExtraConjuncts(ancestor->query, pending->request.query);
+      // Benefit gate: the restricted scan point-evaluates rows (a per-row
+      // chunk lookup, only the extra conjuncts), the full scan runs
+      // chunk-sequential and may fan out per chunk. An empty-extra
+      // restriction (same conjunction, e.g. a new seed) skips evaluation
+      // entirely and always wins; otherwise require the ancestor to (a)
+      // undercut the full scan's per-thread share and (b) actually shrink
+      // the row count by a margin (>= 1/8), so a near-table ancestor's
+      // point-lookup overhead can never make reuse slower than the scan it
+      // replaces. Tables under min_parallel_rows scan serially regardless
+      // (see EvalFilterMask).
+      size_t scan_ways = 1;
+      const size_t table_rows = pending->model->table().num_rows();
+      if (options_.scan_threads != 1 &&
+          table_rows >= QueryExecOptions{}.min_parallel_rows) {
+        scan_ways = options_.scan_threads == 0 ? HardwareThreads()
+                                               : options_.scan_threads;
+      }
+      const size_t ancestor_rows = ancestor->rows->size();
+      if (extra.empty() ||
+          (ancestor_rows * scan_ways <= table_rows &&
+           ancestor_rows <= table_rows - table_rows / 8)) {
+        containment_hits_.fetch_add(1, std::memory_order_relaxed);
+        restricted_scan_rows_.fetch_add(ancestor->rows->size(),
+                                        std::memory_order_relaxed);
+        hint.parent_rows = std::move(ancestor->rows);
+        hint.extra_conjuncts = std::move(extra);
+      } else {
+        containment_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      containment_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const bool restricted = hint.parent_rows != nullptr;
+  if (!restricted) {
+    full_scan_rows_.fetch_add(pending->model->table().num_rows(),
+                              std::memory_order_relaxed);
+  }
+  Result<SelectionScope> scope = pending->model->ResolveScope(
+      pending->request.query, exec, restricted ? &hint : nullptr);
   scan_ns_.fetch_add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9),
                      std::memory_order_relaxed);
   if (!scope.ok()) {
@@ -313,6 +447,40 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
     return;
   }
   pending->scope = std::move(*scope);
+  if (options_.containment_reuse) {
+    // Offer the resolved scope to the containment index, then re-check the
+    // binding: a content-superseding republish between the insert and this
+    // check (or before the insert) has already run its InvalidateScopes
+    // sweep, so an insert that lost the race would park a scope no future
+    // sweep targets — unlike the capacity-bounded exact tier, a dead
+    // ScopeIndex bucket would leak for the engine's lifetime.
+    // Insert-then-recheck closes it: either the sweep ran after our insert
+    // (it took the scope with it), or we observe the dead content digest
+    // here and sweep again (idempotent). The liveness test matches
+    // OnStreamPublish's: the content may still be served by ANOTHER entry
+    // (a static registration sharing a stream's version-0 content, or a
+    // refresh upgrade of the same version), whose scopes must survive.
+    const bool within_budget =
+        options_.scope_index_rows_per_model == 0 ||
+        pending->scope.rows.size() <= options_.scope_index_rows_per_model;
+    if (ScopeIndex::Indexable(pending->request.query) && within_budget) {
+      // The budget pre-check keeps an oversized scope (which Insert would
+      // reject anyway) from being deep-copied just to be discarded.
+      selection_cache_.InsertScope(
+          pending->scope_digest, pending->request.query,
+          std::make_shared<const std::vector<size_t>>(pending->scope.rows));
+      bool content_live = false;
+      {
+        std::shared_lock<std::shared_mutex> lock(tables_mu_);
+        content_live = ScopeDigestLiveLocked(pending->scope_digest);
+      }
+      if (!content_live) {
+        scope_invalidations_.fetch_add(
+            selection_cache_.InvalidateScopes(pending->scope_digest),
+            std::memory_order_relaxed);
+      }
+    }
+  }
   // Separate queue hop: this worker is free for another request's scan (or
   // select) while the clustering below waits its turn.
   pool_.Submit([this, pending] { ExecuteSelect(pending); });
@@ -415,6 +583,18 @@ EngineStats ServingEngine::Stats() const {
   stats.requests_coalesced = requests_coalesced_.load(std::memory_order_relaxed);
   stats.num_threads = pool_.num_threads();
   stats.queue_depth = pool_.queue_depth();
+
+  stats.containment.containment_hits =
+      containment_hits_.load(std::memory_order_relaxed);
+  stats.containment.containment_misses =
+      containment_misses_.load(std::memory_order_relaxed);
+  stats.containment.restricted_scan_rows =
+      restricted_scan_rows_.load(std::memory_order_relaxed);
+  stats.containment.full_scan_rows =
+      full_scan_rows_.load(std::memory_order_relaxed);
+  stats.containment.scope_entries = selection_cache_.scope_entries();
+  stats.containment.scope_invalidations =
+      scope_invalidations_.load(std::memory_order_relaxed);
 
   stats.pipeline.requests_shed =
       requests_shed_.load(std::memory_order_relaxed);
@@ -540,6 +720,16 @@ std::string EngineStats::ToJson() const {
       (unsigned long long)selection_cache.misses,
       (unsigned long long)selection_cache.insertions,
       (unsigned long long)selection_cache.evictions, selection_cache.entries);
+  json += StrFormat(
+      "\"containment\":{\"hits\":%llu,\"misses\":%llu,"
+      "\"restricted_scan_rows\":%llu,\"full_scan_rows\":%llu,"
+      "\"scope_entries\":%zu,\"scope_invalidations\":%llu},",
+      (unsigned long long)containment.containment_hits,
+      (unsigned long long)containment.containment_misses,
+      (unsigned long long)containment.restricted_scan_rows,
+      (unsigned long long)containment.full_scan_rows,
+      containment.scope_entries,
+      (unsigned long long)containment.scope_invalidations);
   json += StrFormat(
       "\"registry\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
       "\"entries\":%zu,\"loads\":%llu,\"fits\":%llu,\"coalesced\":%llu},",

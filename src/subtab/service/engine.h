@@ -34,6 +34,8 @@
 ///                └── in-flight dedup ── identical concurrent requests run once
 ///                └── admission ──────── bounded per-tenant queues shed early
 ///                └── pipeline ───────── normalize -> scan -> select stages
+///                └── containment ────── a miss whose query refines a cached
+///                                       ancestor rescans only that scope
 ///
 /// Requests flow through a staged pipeline: normalization and cache/dedup
 /// checks happen at submit, then the *scan* stage (ResolveScope — the
@@ -50,7 +52,12 @@
 /// ResolveScope + SelectScoped *is* that method split at its seam (see
 /// core/subtab.h), the chunk-parallel scan partitions rows without touching
 /// any row's verdict, and caching only memoizes a deterministic function of
-/// (model, query, k, l, seed).
+/// (model, query, k, l, seed). Containment reuse (the scope index in
+/// selection_cache.h) only changes where the scan LOOKS — a proven superset
+/// scope instead of the whole table — never what it finds: a drill-down
+/// refinement of an already-served query re-evaluates just its extra
+/// conjuncts over the parent's rows (RestrictQueryScope), shrinking the
+/// scan stage from O(table) to O(parent scope).
 ///
 /// Streaming tables (stream/): Append ingests a batch through the bound
 /// StreamSession — inline or background refresh per its options — and every
@@ -115,6 +122,21 @@ struct EngineOptions {
   /// Global bound on the worker queue depth before sheds kick in for
   /// everyone. 0 = unbounded.
   size_t max_queue_depth = 0;
+  /// Containment-based scan reuse for drill-down sessions: on a selection-
+  /// cache miss, probe the scope index for the nearest cached ancestor query
+  /// (a proven superset, table/query.h QueryContains) and scan only its rows
+  /// (RestrictQueryScope) instead of the whole table. Results are
+  /// bit-identical either way; off = every miss pays a full scan (the
+  /// pre-containment behavior, kept for differential testing and benches).
+  bool containment_reuse = true;
+  /// Resolved scopes the containment index keeps per model version (LRU).
+  size_t scope_index_per_model = 32;
+  /// Row-id budget of the containment index per model version: indexed
+  /// scopes can approach table size, so this — not the entry count — is
+  /// what bounds the index's memory (~8 bytes/row). Entries are LRU-evicted
+  /// past the budget; a single scope exceeding it is not indexed. 0 =
+  /// unbounded.
+  size_t scope_index_rows_per_model = 1u << 20;
 };
 
 /// Refresh activity across every stream bound to the engine (aggregated
@@ -178,10 +200,36 @@ struct PipelineStats {
   size_t tenants_tracked = 0;       ///< Tenants with admitted work.
 };
 
+/// Containment-tier accounting: how often a selection-cache miss was served
+/// by restricting a cached ancestor scope instead of scanning the table,
+/// and how many rows those restricted scans visited vs what full scans
+/// cost. `restricted_scan_rows / containment_hits` vs
+/// `full_scan_rows / containment_misses` is the drill-down win in average
+/// rows per scan (misses and hits partition the containment-enabled scans).
+struct ContainmentStats {
+  /// Scans served by restricting a cached ancestor scope.
+  uint64_t containment_hits = 0;
+  /// Scans that fell back to a full table scan: the probe found no
+  /// containing ancestor, or the found ancestor failed the benefit gate
+  /// (too large to beat the full scan's cost).
+  uint64_t containment_misses = 0;
+  /// Rows visited by restricted scans (the ancestors' scope sizes).
+  uint64_t restricted_scan_rows = 0;
+  /// Rows visited by full-table scans (misses and disabled reuse).
+  uint64_t full_scan_rows = 0;
+  /// Scopes currently indexed across all content versions.
+  size_t scope_entries = 0;
+  /// Scopes dropped because their CONTENT version was superseded. Refresh
+  /// upgrades (same rows, retrained embedding) preserve indexed scopes —
+  /// they key on (table fp, version), not the full model digest.
+  uint64_t scope_invalidations = 0;
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
   CacheCounters selection_cache;
+  ContainmentStats containment;
   StreamingStats streaming;
   MemoryStats memory;
   PipelineStats pipeline;
@@ -264,6 +312,11 @@ class ServingEngine {
     /// model_digest.
     ModelKey key;
     uint64_t model_digest = 0;
+    /// Containment-tier key: a CONTENT digest over (table fp, version) —
+    /// refresh- and config-insensitive, because resolved scopes depend only
+    /// on the table's rows and the query's filters. Background-refresh
+    /// upgrades keep it, so drill-down reuse survives them.
+    uint64_t scope_digest = 0;
     /// Set when the id is bound to a stream; key's (version, refresh) orders
     /// republishes so a slow publisher can never roll an id back.
     std::shared_ptr<stream::StreamSession> stream;
@@ -273,6 +326,7 @@ class ServingEngine {
   struct PendingSelect {
     SelectionKey key;
     uint64_t key_digest = 0;
+    uint64_t scope_digest = 0;  ///< TableEntry::scope_digest at submit.
     std::shared_ptr<const SubTab> model;
     SelectRequest request;
     SelectionScope scope;  ///< Filled by the scan stage.
@@ -283,10 +337,28 @@ class ServingEngine {
   /// Cache/dedup identity of a request against a resolved table entry.
   SelectionKey KeyFor(const TableEntry& entry, const SelectRequest& request) const;
 
-  /// Admission control: returns false (and counts the shed) when the tenant
-  /// or global bound is exhausted. A true return must be paired with
-  /// ReleaseTenant at completion.
-  bool TryAdmit(const std::string& tenant);
+  /// The containment tier's content digest for a publication.
+  static uint64_t ScopeDigestFor(const ModelKey& key);
+
+  /// The containment tier's one liveness test: is any binding still
+  /// serving this content digest? Caller holds tables_mu_.
+  bool ScopeDigestLiveLocked(uint64_t scope_digest) const;
+  /// Swaps `table_id`'s binding (tables_mu_ held) and returns the replaced
+  /// binding's scope digest iff the swap removed its last reference —
+  /// the caller must pass it to SweepDeadScopes outside the lock, or the
+  /// old content's scope bucket leaks (only liveness checks sweep it).
+  uint64_t ReplaceBindingLocked(const std::string& table_id, TableEntry entry);
+  /// Sweeps one dead content digest's scopes (no-op for 0).
+  void SweepDeadScopes(uint64_t scope_digest);
+
+  /// Admission control outcome: admitted, or which bound shed the request
+  /// (the response message names the knob an operator must tune).
+  enum class Admission { kAdmitted, kShedGlobalQueue, kShedTenant };
+
+  /// Returns which bound (if any) refuses the request (the caller counts
+  /// the shed). An admitted return must be paired with ReleaseTenant at
+  /// completion.
+  Admission TryAdmit(const std::string& tenant);
   void ReleaseTenant(const std::string& tenant);
 
   /// Pipeline stage 2: the query's filter scan (chunk-parallel per
@@ -336,6 +408,11 @@ class ServingEngine {
   std::atomic<uint64_t> requests_coalesced_{0};
   std::atomic<uint64_t> requests_shed_{0};
   std::atomic<uint64_t> cache_invalidations_{0};
+  std::atomic<uint64_t> containment_hits_{0};
+  std::atomic<uint64_t> containment_misses_{0};
+  std::atomic<uint64_t> restricted_scan_rows_{0};
+  std::atomic<uint64_t> full_scan_rows_{0};
+  std::atomic<uint64_t> scope_invalidations_{0};
   std::atomic<uint64_t> scan_ns_{0};
   std::atomic<uint64_t> select_ns_{0};
   LatencyHistogram latency_;

@@ -39,21 +39,31 @@ std::string EncodePredicate(const Predicate& p) {
 
 }  // namespace
 
-std::string NormalizedQueryKey(const SpQuery& query) {
+std::string NormalizedFilterKey(const std::vector<Predicate>& filters) {
+  // Canonicalize first: redundant numeric bounds on one column merge to the
+  // tightest ("a >= 1 AND a >= 2" and "a >= 2" select identical rows and
+  // must share a key — a drill-down session tightening a threshold it
+  // already applied must hit, not rescan).
+  const std::vector<Predicate> canonical = CanonicalConjuncts(filters);
   std::vector<std::string> conjuncts;
-  conjuncts.reserve(query.filters.size());
-  for (const Predicate& p : query.filters) conjuncts.push_back(EncodePredicate(p));
+  conjuncts.reserve(canonical.size());
+  for (const Predicate& p : canonical) conjuncts.push_back(EncodePredicate(p));
   std::sort(conjuncts.begin(), conjuncts.end());
   // Conjunction is idempotent as well as commutative: "a AND a" keeps
   // exactly "a"'s rows (RunQuery ANDs per-row masks), so repeated identical
-  // conjuncts must share one cache key — a drill-down session re-applying
-  // its current filter must hit, not rescan.
+  // conjuncts must share one cache key.
   conjuncts.erase(std::unique(conjuncts.begin(), conjuncts.end()),
                   conjuncts.end());
 
   std::string key = "where{";
   for (const std::string& c : conjuncts) AppendString(&key, c);
-  key += "} project{";
+  key += '}';
+  return key;
+}
+
+std::string NormalizedQueryKey(const SpQuery& query) {
+  std::string key = NormalizedFilterKey(query.filters);
+  key += " project{";
   for (const std::string& p : query.projection) AppendString(&key, p);
   key += '}';
   if (!query.order_by.empty()) {
@@ -63,6 +73,111 @@ std::string NormalizedQueryKey(const SpQuery& query) {
   }
   if (query.limit > 0) key += StrFormat(" limit{%zu}", query.limit);
   return key;
+}
+
+void ScopeIndex::Insert(uint64_t model_digest, const SpQuery& query,
+                        std::shared_ptr<const std::vector<size_t>> rows) {
+  SUBTAB_CHECK(Indexable(query));
+  SUBTAB_CHECK(rows != nullptr);
+  // A single scope exceeding the whole row budget is never indexed: its
+  // memory cost (row ids can approach table size) outweighs any reuse.
+  if (per_model_row_budget_ > 0 && rows->size() > per_model_row_budget_) {
+    return;
+  }
+  std::string filter_key = NormalizedFilterKey(query.filters);
+  auto entry = std::make_shared<const Entry>(
+      Entry{filter_key, query, std::move(rows)});
+  std::lock_guard<std::mutex> lock(mu_);
+  PerModel& bucket = models_[model_digest];
+  auto it = bucket.by_filter.find(filter_key);
+  if (it != bucket.by_filter.end()) {
+    // Equivalent conjunction already indexed (e.g. the same drill-down
+    // reached via reordered filters): refresh recency, keep one entry.
+    // Entries are immutable once published (concurrent probes hold
+    // snapshots), so replace the pointer rather than mutating.
+    bucket.total_rows -= (*it->second)->rows->size();
+    bucket.total_rows += entry->rows->size();
+    *it->second = std::move(entry);
+    bucket.order.splice(bucket.order.begin(), bucket.order, it->second);
+    return;
+  }
+  bucket.total_rows += entry->rows->size();
+  bucket.order.push_front(std::move(entry));
+  bucket.by_filter.emplace(bucket.order.front()->filter_key,
+                           bucket.order.begin());
+  while (bucket.order.size() > 1 &&
+         (bucket.order.size() > per_model_capacity_ ||
+          (per_model_row_budget_ > 0 &&
+           bucket.total_rows > per_model_row_budget_))) {
+    bucket.total_rows -= bucket.order.back()->rows->size();
+    bucket.by_filter.erase(bucket.order.back()->filter_key);
+    bucket.order.pop_back();
+  }
+}
+
+std::optional<AncestorScope> ScopeIndex::FindAncestor(
+    uint64_t model_digest, const SpQuery& query) const {
+  // Snapshot the candidates under the lock, run the containment reasoning
+  // outside it: probes happen on every cache miss across all workers, and
+  // QueryContains is pure CPU — holding mu_ through it would serialize
+  // unrelated tables' scans. The shared rows pointers keep a concurrent
+  // eviction from invalidating anything we copied.
+  std::vector<std::shared_ptr<const Entry>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto model_it = models_.find(model_digest);
+    if (model_it == models_.end()) return std::nullopt;
+    candidates.assign(model_it->second.order.begin(),
+                      model_it->second.order.end());
+  }
+  const Entry* best = nullptr;
+  for (const auto& candidate : candidates) {
+    if (best != nullptr && candidate->rows->size() >= best->rows->size()) {
+      continue;
+    }
+    if (QueryContains(candidate->query, query)) best = candidate.get();
+  }
+  if (best == nullptr) return std::nullopt;
+  {
+    // A hit refreshes recency: a drill-down session's root scope is its
+    // most-reused entry, and without the touch it would age out while its
+    // one-off descendants crowd the LRU. Re-looked-up by key — the entry
+    // may have been evicted or replaced since the snapshot, which is fine.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto model_it = models_.find(model_digest);
+    if (model_it != models_.end()) {
+      auto it = model_it->second.by_filter.find(best->filter_key);
+      if (it != model_it->second.by_filter.end()) {
+        model_it->second.order.splice(model_it->second.order.begin(),
+                                      model_it->second.order, it->second);
+      }
+    }
+  }
+  AncestorScope ancestor;
+  ancestor.query = best->query;
+  ancestor.rows = best->rows;
+  return ancestor;
+}
+
+size_t ScopeIndex::InvalidateModel(uint64_t model_digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model_digest);
+  if (it == models_.end()) return 0;
+  const size_t dropped = it->second.order.size();
+  models_.erase(it);
+  return dropped;
+}
+
+size_t ScopeIndex::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [digest, bucket] : models_) n += bucket.order.size();
+  return n;
+}
+
+void ScopeIndex::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_.clear();
 }
 
 uint64_t SelectionKeyHasher::operator()(const SelectionKey& key) const {

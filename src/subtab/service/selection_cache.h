@@ -2,26 +2,44 @@
 #define SUBTAB_SERVICE_SELECTION_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "subtab/core/subtab.h"
 #include "subtab/service/lru_cache.h"
 #include "subtab/table/query.h"
 
 /// \file selection_cache.h
-/// Memoization of the selection phase. Selection is deterministic for a
-/// fixed (model, scope, k, l, seed) — see SubTab's thread-safety contract —
-/// so a repeated display request (the common case in dashboards and shared
-/// EDA sessions: many analysts looking at the same drill-down) can be served
-/// straight from cache, skipping clustering AND query execution entirely.
+/// Memoization of the selection phase, in two tiers.
+///
+/// Tier 1 — exact match: selection is deterministic for a fixed (model,
+/// scope, k, l, seed) — see SubTab's thread-safety contract — so a repeated
+/// display request (the common case in dashboards and shared EDA sessions:
+/// many analysts looking at the same drill-down) is served straight from
+/// cache, skipping clustering AND query execution entirely.
 ///
 /// Keys are (model digest, normalized query, k, l, seed). Normalization
-/// sorts the filter conjuncts and drops repeated identical ones —
-/// conjunction is commutative and idempotent, and RunQuery preserves input
-/// row order regardless of predicate order or multiplicity — while
-/// projection, ordering and limit stay verbatim since they affect the
-/// visible scope.
+/// sorts the filter conjuncts, drops repeated identical ones, and merges
+/// redundant numeric bounds on one column to the tightest
+/// (CanonicalConjuncts: "a >= 1 AND a >= 2" keys as "a >= 2") — conjunction
+/// is commutative and idempotent, and RunQuery preserves input row order
+/// regardless of predicate order or multiplicity — while projection,
+/// ordering and limit stay verbatim since they affect the visible scope.
+///
+/// Tier 2 — containment: drill-down sessions issue chains of progressively
+/// narrower queries, so an exact-match miss usually has a cached ANCESTOR —
+/// a previously resolved query whose row set provably contains the new
+/// query's (QueryContains, table/query.h). The per-model ScopeIndex keeps
+/// recently resolved filter scopes; on a tier-1 miss the engine probes it
+/// for the nearest (smallest) containing ancestor and re-scans only that
+/// ancestor's rows (RestrictQueryScope) instead of the whole table. Results
+/// stay bit-identical — containment changes where the scan LOOKS, never
+/// what it finds.
 
 namespace subtab::service {
 
@@ -39,10 +57,15 @@ struct SelectionKey {
   }
 };
 
-/// Canonical string form of an SP query for cache keying: filter conjuncts
-/// sorted lexicographically and deduplicated, projection/order/limit
-/// verbatim.
+/// Canonical string form of an SP query for cache keying: redundant numeric
+/// bounds merged per column (CanonicalConjuncts), conjuncts sorted
+/// lexicographically and deduplicated, projection/order/limit verbatim.
 std::string NormalizedQueryKey(const SpQuery& query);
+
+/// The filter-conjunction part of NormalizedQueryKey alone — the ScopeIndex
+/// bucket key: two queries with one canonical conjunction resolve one scope,
+/// whatever their projection/order/limit.
+std::string NormalizedFilterKey(const std::vector<Predicate>& filters);
 
 struct SelectionKeyHasher {
   uint64_t operator()(const SelectionKey& key) const;
@@ -55,11 +78,100 @@ struct CachedSelection {
   std::shared_ptr<const SubTabView> view;  ///< Set iff status.ok().
 };
 
-/// Sharded LRU over selection outcomes.
+/// A containment-index hit: the ancestor's query (for ExtraConjuncts) and
+/// its resolved rows, shared so concurrent restricted scans and index
+/// eviction never copy or race.
+struct AncestorScope {
+  SpQuery query;
+  std::shared_ptr<const std::vector<size_t>> rows;
+};
+
+/// Per-model index of resolved filter scopes for containment reuse. Only
+/// ORDER-FREE, LIMIT-FREE queries are indexable: their row ids are in
+/// ascending source order, the precondition for bit-identical restriction
+/// (RestrictQueryScope). Each model's bucket is LRU-bounded; probing scans
+/// the bucket (O(bucket) QueryContains checks — buckets are small by
+/// construction) and returns the smallest containing scope, the one that
+/// shrinks the restricted scan the most.
+class ScopeIndex {
+ public:
+  /// `per_model_row_budget` bounds the MEMORY of a model's bucket: indexed
+  /// row-id vectors can approach table size, so an entry count alone could
+  /// pin count x table_rows ids. Entries are LRU-evicted past either
+  /// bound, and a single scope larger than the whole budget is not indexed
+  /// at all (0 = unbounded rows).
+  explicit ScopeIndex(size_t per_model_capacity = 32,
+                      size_t per_model_row_budget = 1u << 20)
+      : per_model_capacity_(per_model_capacity == 0 ? 1 : per_model_capacity),
+        per_model_row_budget_(per_model_row_budget) {}
+
+  /// True iff `query`'s resolved scope may be indexed AND later restricted:
+  /// no ordering, no limit (projection is fine — it never affects rows).
+  static bool Indexable(const SpQuery& query) {
+    return query.order_by.empty() && query.limit == 0;
+  }
+
+  /// Records a resolved scope (call only for Indexable queries with the
+  /// rows in ascending source order). Re-inserting an equivalent filter set
+  /// refreshes recency and replaces the rows.
+  void Insert(uint64_t model_digest, const SpQuery& query,
+              std::shared_ptr<const std::vector<size_t>> rows);
+
+  /// The smallest indexed scope proven to contain `query`'s rows, or
+  /// nullopt. The child query may carry order_by/limit/projection — those
+  /// are applied by the restricted scan, not proven by containment.
+  std::optional<AncestorScope> FindAncestor(uint64_t model_digest,
+                                            const SpQuery& query) const;
+
+  /// Drops every scope of one model version; returns how many were dropped.
+  size_t InvalidateModel(uint64_t model_digest);
+
+  size_t entries() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string filter_key;  ///< Canonical filter conjunction (keying only).
+    SpQuery query;
+    std::shared_ptr<const std::vector<size_t>> rows;
+  };
+  /// Entries are shared and immutable once published, so FindAncestor's
+  /// snapshot copies refcounted pointers — not queries and key strings —
+  /// on every probe (one per tier-1 miss); a refresh replaces the pointer.
+  /// Front = most recent. Stable iterators, so the index can point into it.
+  struct PerModel {
+    std::list<std::shared_ptr<const Entry>> order;
+    std::unordered_map<std::string,
+                       std::list<std::shared_ptr<const Entry>>::iterator>
+        by_filter;
+    size_t total_rows = 0;  ///< Sum of rows->size() across entries.
+  };
+
+  const size_t per_model_capacity_;
+  const size_t per_model_row_budget_;
+  mutable std::mutex mu_;
+  /// Mutable: FindAncestor is a logically-const probe but refreshes the
+  /// matched entry's LRU recency (same pattern as ShardedLruCache::Get).
+  mutable std::unordered_map<uint64_t, PerModel> models_;
+};
+
+/// The two-tier selection cache: exact-match LRU over full selection
+/// outcomes, plus the per-model containment index over resolved scopes.
+/// The tiers are keyed — and invalidated — independently: exact-tier
+/// entries depend on the full model (the embedding re-trains across
+/// background-refresh generations, so they key on the model digest, which
+/// folds in ModelKey::refresh), while a resolved scope is a pure function
+/// of (table content, filters) and survives refresh upgrades — callers key
+/// the scope tier on a content digest (table fp, version) and sweep it
+/// only when the CONTENT version is superseded (InvalidateScopes), not on
+/// every republish (InvalidateModel).
 class SelectionCache {
  public:
-  explicit SelectionCache(size_t capacity, size_t num_shards = 8)
-      : cache_(capacity, num_shards) {}
+  explicit SelectionCache(size_t capacity, size_t num_shards = 8,
+                          size_t scopes_per_model = 32,
+                          size_t scope_rows_per_model = 1u << 20)
+      : cache_(capacity, num_shards),
+        scopes_(scopes_per_model, scope_rows_per_model) {}
 
   std::shared_ptr<const CachedSelection> Get(const SelectionKey& key) {
     return cache_.Get(key);
@@ -69,21 +181,48 @@ class SelectionCache {
     return cache_.Put(key, std::move(outcome));
   }
 
-  /// Drops every memoized selection of one model version; returns how many
-  /// were dropped. Called when a streaming table republishes under a new
-  /// version digest — only the superseded version's entries go, selections
-  /// of other tables/versions stay warm.
+  /// Containment tier (see ScopeIndex), keyed by the caller's CONTENT
+  /// digest. InsertScope ignores non-indexable queries, so callers can
+  /// offer every resolved scope unconditionally.
+  void InsertScope(uint64_t scope_digest, const SpQuery& query,
+                   std::shared_ptr<const std::vector<size_t>> rows) {
+    if (ScopeIndex::Indexable(query)) {
+      scopes_.Insert(scope_digest, query, std::move(rows));
+    }
+  }
+  std::optional<AncestorScope> FindAncestorScope(uint64_t scope_digest,
+                                                 const SpQuery& query) const {
+    return scopes_.FindAncestor(scope_digest, query);
+  }
+  size_t scope_entries() const { return scopes_.entries(); }
+
+  /// Drops every memoized selection of one model publication; returns how
+  /// many entries were dropped. Called whenever a streaming table
+  /// republishes — new content version or refresh upgrade — since exact
+  /// outcomes depend on the retrained embedding. Selections of other
+  /// tables/publications stay warm.
   size_t InvalidateModel(uint64_t model_digest) {
     return cache_.EraseIf([model_digest](const SelectionKey& key) {
       return key.model_digest == model_digest;
     });
   }
 
-  void Clear() { cache_.Clear(); }
+  /// Drops every indexed scope of one content version; returns the count.
+  /// Called only when the table CONTENT is superseded (a new version), not
+  /// on refresh upgrades — scopes do not depend on the embedding.
+  size_t InvalidateScopes(uint64_t scope_digest) {
+    return scopes_.InvalidateModel(scope_digest);
+  }
+
+  void Clear() {
+    cache_.Clear();
+    scopes_.Clear();
+  }
   CacheCounters Stats() const { return cache_.Stats(); }
 
  private:
   ShardedLruCache<SelectionKey, CachedSelection, SelectionKeyHasher> cache_;
+  ScopeIndex scopes_;
 };
 
 }  // namespace subtab::service

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <numeric>
 #include <string_view>
+#include <unordered_map>
 
 #include "subtab/util/parallel.h"
 #include "subtab/util/string_util.h"
@@ -134,6 +136,26 @@ Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) 
   return BoundPredicate{&pred, &col};
 }
 
+/// Verdict of one bound predicate on one chunk cell — THE single definition
+/// of per-cell predicate semantics. Both scan paths (the chunk-sequential
+/// full scan and the restricted point scan) go through here, so they cannot
+/// drift: the containment tier's bit-identity guarantee depends on it.
+/// Nulls fail every value comparison (SQL semantics).
+bool CellVerdict(const Predicate& pred, const Column& col, const Chunk& chunk,
+                 size_t local) {
+  if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
+    return chunk.is_null(local) == (pred.op == CmpOp::kIsNull);
+  }
+  if (chunk.is_null(local)) return false;
+  if (col.is_numeric()) {
+    return Compare(pred.op, chunk.num_value(local), pred.num_literal);
+  }
+  return Compare(pred.op,
+                 std::string_view(col.dictionary()[static_cast<size_t>(
+                     chunk.cat_code(local))]),
+                 std::string_view(pred.str_literal));
+}
+
 /// Evaluates one bound predicate over rows [begin, end), ANDing into `keep`
 /// when `first` is false. Chunk-sequential scans (Column::VisitRows)
 /// amortize the row->chunk lookup; each row's verdict depends only on that
@@ -142,36 +164,10 @@ void EvalPredicateRange(const BoundPredicate& bound, size_t begin, size_t end,
                         bool first, char* keep) {
   const Predicate& pred = *bound.pred;
   const Column& col = *bound.col;
-  auto emit = [first, keep](size_t r, bool match) {
-    const char m = match ? 1 : 0;
+  col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
+    const char m = CellVerdict(pred, col, chunk, local) ? 1 : 0;
     keep[r] = first ? m : (keep[r] & m);
-  };
-
-  if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
-    const bool want_null = pred.op == CmpOp::kIsNull;
-    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
-      emit(r, chunk.is_null(local) == want_null);
-    });
-    return;
-  }
-
-  if (col.is_numeric()) {
-    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
-      // Nulls fail all value comparisons.
-      emit(r, !chunk.is_null(local) &&
-                  Compare(pred.op, chunk.num_value(local), pred.num_literal));
-    });
-  } else {
-    const std::string_view want = pred.str_literal;
-    const auto& dict = col.dictionary();
-    col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
-      emit(r, !chunk.is_null(local) &&
-                  Compare(pred.op,
-                          std::string_view(
-                              dict[static_cast<size_t>(chunk.cat_code(local))]),
-                          want));
-    });
-  }
+  });
 }
 
 /// Shard boundaries for the filter scan: aligned to the sealed-chunk edges
@@ -216,6 +212,62 @@ std::vector<size_t> ScanShardBoundaries(
   }
   bounds.push_back(num_rows);
   return bounds;
+}
+
+/// Point evaluation of one bound predicate at a single row — the restricted
+/// scan's inner loop (parent rows are sparse, so chunk-sequential visiting
+/// buys nothing, but the row->chunk lookup must still happen only ONCE per
+/// (row, predicate): a one-row VisitRows hands us the chunk slot, and the
+/// verdict is CellVerdict — the same definition the full scan evaluates.
+bool EvalPredicateAt(const BoundPredicate& bound, size_t row) {
+  bool verdict = false;
+  bound.col->VisitRows(row, row + 1,
+                       [&](size_t, const Chunk& chunk, size_t local) {
+                         verdict = CellVerdict(*bound.pred, *bound.col, chunk,
+                                               local);
+                       });
+  return verdict;
+}
+
+/// The shared tail of scope resolution: order_by sort, limit, projection.
+/// Both the full scan and the restricted scan feed their filtered row ids
+/// through this one function, so the two paths cannot drift.
+Result<QueryScope> FinishScope(const Table& table, const SpQuery& query,
+                               std::vector<size_t> row_ids) {
+  if (!query.order_by.empty()) {
+    SUBTAB_ASSIGN_OR_RETURN(size_t sort_idx, table.ColumnIndex(query.order_by));
+    const Column& col = table.column(sort_idx);
+    auto null_last_less = [&col](size_t a, size_t b) {
+      const bool na = col.is_null(a);
+      const bool nb = col.is_null(b);
+      if (na != nb) return nb;  // Nulls sort last.
+      if (na) return false;
+      if (col.is_numeric()) return col.num_value(a) < col.num_value(b);
+      return col.cat_value(a) < col.cat_value(b);
+    };
+    std::stable_sort(row_ids.begin(), row_ids.end(), null_last_less);
+    if (query.descending) std::reverse(row_ids.begin(), row_ids.end());
+  }
+
+  if (query.limit > 0 && row_ids.size() > query.limit) {
+    row_ids.resize(query.limit);
+  }
+
+  std::vector<size_t> col_ids;
+  if (query.projection.empty()) {
+    col_ids.resize(table.num_columns());
+    std::iota(col_ids.begin(), col_ids.end(), 0);
+  } else {
+    for (const auto& name : query.projection) {
+      SUBTAB_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+      col_ids.push_back(idx);
+    }
+  }
+
+  QueryScope scope;
+  scope.row_ids = std::move(row_ids);
+  scope.col_ids = std::move(col_ids);
+  return scope;
 }
 
 Result<std::vector<char>> EvalFilterMask(const Table& table,
@@ -263,41 +315,289 @@ Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
   for (size_t r = 0; r < n; ++r) {
     if (keep[r]) row_ids.push_back(r);
   }
+  return FinishScope(table, query, std::move(row_ids));
+}
 
-  if (!query.order_by.empty()) {
-    SUBTAB_ASSIGN_OR_RETURN(size_t sort_idx, table.ColumnIndex(query.order_by));
-    const Column& col = table.column(sort_idx);
-    auto null_last_less = [&col](size_t a, size_t b) {
-      const bool na = col.is_null(a);
-      const bool nb = col.is_null(b);
-      if (na != nb) return nb;  // Nulls sort last.
-      if (na) return false;
-      if (col.is_numeric()) return col.num_value(a) < col.num_value(b);
-      return col.cat_value(a) < col.cat_value(b);
-    };
-    std::stable_sort(row_ids.begin(), row_ids.end(), null_last_less);
-    if (query.descending) std::reverse(row_ids.begin(), row_ids.end());
+Result<QueryScope> RestrictQueryScope(const Table& table,
+                                      const std::vector<size_t>& parent_rows,
+                                      const SpQuery& query,
+                                      const std::vector<Predicate>& extra) {
+  // Bind (and type-check) only the extra conjuncts. Shared conjuncts bound
+  // successfully when the parent's scope was resolved against this same
+  // table, so the first binding error here is the first binding error the
+  // full scan would hit — `extra` preserves the filters' relative order.
+  std::vector<BoundPredicate> bound;
+  bound.reserve(extra.size());
+  for (const Predicate& pred : extra) {
+    SUBTAB_ASSIGN_OR_RETURN(BoundPredicate b, BindPredicate(table, pred));
+    bound.push_back(b);
   }
 
-  if (query.limit > 0 && row_ids.size() > query.limit) {
-    row_ids.resize(query.limit);
+  std::vector<size_t> row_ids;
+  for (const size_t row : parent_rows) {
+    bool keep = true;
+    for (const BoundPredicate& b : bound) {
+      if (!EvalPredicateAt(b, row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) row_ids.push_back(row);
   }
+  return FinishScope(table, query, std::move(row_ids));
+}
 
-  std::vector<size_t> col_ids;
-  if (query.projection.empty()) {
-    col_ids.resize(table.num_columns());
-    std::iota(col_ids.begin(), col_ids.end(), 0);
-  } else {
-    for (const auto& name : query.projection) {
-      SUBTAB_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
-      col_ids.push_back(idx);
+bool SamePredicate(const Predicate& a, const Predicate& b) {
+  if (a.column != b.column || a.op != b.op) return false;
+  if (a.op == CmpOp::kIsNull || a.op == CmpOp::kNotNull) return true;
+  if (a.literal_is_numeric != b.literal_is_numeric) return false;
+  if (!a.literal_is_numeric) return a.str_literal == b.str_literal;
+  // Bit-pattern equality, matching the selection cache's lossless encoding:
+  // NaN == NaN (both match nothing) while -0.0 != 0.0 stays conservative.
+  uint64_t abits = 0;
+  uint64_t bbits = 0;
+  std::memcpy(&abits, &a.num_literal, sizeof(abits));
+  std::memcpy(&bbits, &b.num_literal, sizeof(bbits));
+  return abits == bbits;
+}
+
+namespace {
+
+/// Is `p` a numeric lower/upper bound eligible for interval merging?
+bool IsNumericLowerBound(const Predicate& p) {
+  return p.literal_is_numeric && (p.op == CmpOp::kGe || p.op == CmpOp::kGt);
+}
+bool IsNumericUpperBound(const Predicate& p) {
+  return p.literal_is_numeric && (p.op == CmpOp::kLe || p.op == CmpOp::kLt);
+}
+
+/// One side of a column's interval: the bound value plus whether the
+/// comparison excludes equality. Tighter(a, b) orders lower bounds; upper
+/// bounds use it with the comparison flipped by the caller.
+struct Bound {
+  double value = 0.0;
+  bool strict = false;
+};
+
+/// True iff lower bound `a` admits strictly fewer values than `b`.
+bool TighterLower(const Bound& a, const Bound& b) {
+  return a.value > b.value || (a.value == b.value && a.strict && !b.strict);
+}
+bool TighterUpper(const Bound& a, const Bound& b) {
+  return a.value < b.value || (a.value == b.value && a.strict && !b.strict);
+}
+
+/// What a conjunction pins down about one column — built from the child
+/// query's conjuncts, then queried for implication of each parent conjunct.
+/// Eq/ne lists use exists-semantics: if the conjunction carries two distinct
+/// equalities the row set is empty and any implication holds vacuously, so
+/// "some equality satisfies it" is sound.
+struct ColumnFacts {
+  bool has_lower = false;
+  Bound lower;
+  bool has_upper = false;
+  Bound upper;
+  std::vector<double> num_eq;
+  std::vector<double> num_ne;
+  std::vector<std::string> str_eq;
+  std::vector<std::string> str_ne;
+  bool is_null = false;
+  /// Set by an explicit NOT NULL or by ANY value comparison: nulls fail
+  /// every value comparison (see EvalPredicateRange), so `x op v` implies
+  /// `x is not null`.
+  bool not_null = false;
+};
+
+std::unordered_map<std::string, ColumnFacts> BuildFacts(
+    const std::vector<Predicate>& filters) {
+  std::unordered_map<std::string, ColumnFacts> facts;
+  for (const Predicate& p : filters) {
+    ColumnFacts& f = facts[p.column];
+    if (p.op == CmpOp::kIsNull) {
+      f.is_null = true;
+      continue;
+    }
+    if (p.op == CmpOp::kNotNull) {
+      f.not_null = true;
+      continue;
+    }
+    f.not_null = true;  // Value comparisons never match null cells.
+    if (!p.literal_is_numeric) {
+      if (p.op == CmpOp::kEq) f.str_eq.push_back(p.str_literal);
+      if (p.op == CmpOp::kNe) f.str_ne.push_back(p.str_literal);
+      // String order comparisons are matched only verbatim (SamePredicate).
+      continue;
+    }
+    const double v = p.num_literal;
+    switch (p.op) {
+      case CmpOp::kEq:
+        f.num_eq.push_back(v);
+        break;
+      case CmpOp::kNe:
+        f.num_ne.push_back(v);
+        break;
+      case CmpOp::kGe:
+      case CmpOp::kGt: {
+        // A NaN bound matches nothing; it cannot be ordered against other
+        // bounds, so it never becomes the representative lower bound.
+        const Bound candidate{v, p.op == CmpOp::kGt};
+        if (!std::isnan(v) && (!f.has_lower || TighterLower(candidate, f.lower))) {
+          f.has_lower = true;
+          f.lower = candidate;
+        }
+        break;
+      }
+      case CmpOp::kLe:
+      case CmpOp::kLt: {
+        const Bound candidate{v, p.op == CmpOp::kLt};
+        if (!std::isnan(v) && (!f.has_upper || TighterUpper(candidate, f.upper))) {
+          f.has_upper = true;
+          f.upper = candidate;
+        }
+        break;
+      }
+      default:
+        break;
     }
   }
+  return facts;
+}
 
-  QueryScope scope;
-  scope.row_ids = std::move(row_ids);
-  scope.col_ids = std::move(col_ids);
-  return scope;
+/// Does the child's conjunction (summarized as `f`) imply the single parent
+/// conjunct `p`? Conservative: false means "could not prove".
+bool FactsImply(const ColumnFacts& f, const Predicate& p) {
+  if (p.op == CmpOp::kIsNull) return f.is_null;
+  if (p.op == CmpOp::kNotNull) return f.not_null;
+  if (!p.literal_is_numeric) {
+    const std::string& v = p.str_literal;
+    if (p.op == CmpOp::kEq) {
+      for (const std::string& e : f.str_eq) {
+        if (e == v) return true;
+      }
+      return false;
+    }
+    if (p.op == CmpOp::kNe) {
+      for (const std::string& n : f.str_ne) {
+        if (n == v) return true;
+      }
+      for (const std::string& e : f.str_eq) {
+        if (e != v) return true;  // x == e and e != v => x != v.
+      }
+      return false;
+    }
+    return false;  // String order comparisons: verbatim matches only.
+  }
+
+  const double v = p.num_literal;
+  if (std::isnan(v)) return false;  // Matches nothing; only verbatim reuse.
+  // Bounds excluding v, shared by kGt/kGe/kNe reasoning below.
+  const bool lower_excludes =
+      f.has_lower && (f.lower.value > v || (f.lower.value == v && f.lower.strict));
+  const bool upper_excludes =
+      f.has_upper && (f.upper.value < v || (f.upper.value == v && f.upper.strict));
+  auto any_eq = [&f](auto pred) {
+    for (const double e : f.num_eq) {
+      if (pred(e)) return true;
+    }
+    return false;
+  };
+  switch (p.op) {
+    case CmpOp::kGe:
+      return (f.has_lower && f.lower.value >= v) ||
+             any_eq([v](double e) { return e >= v; });
+    case CmpOp::kGt:
+      return lower_excludes || any_eq([v](double e) { return e > v; });
+    case CmpOp::kLe:
+      return (f.has_upper && f.upper.value <= v) ||
+             any_eq([v](double e) { return e <= v; });
+    case CmpOp::kLt:
+      return upper_excludes || any_eq([v](double e) { return e < v; });
+    case CmpOp::kEq:
+      return any_eq([v](double e) { return e == v; });
+    case CmpOp::kNe: {
+      for (const double n : f.num_ne) {
+        if (n == v) return true;
+      }
+      return any_eq([v](double e) { return e != v; }) || lower_excludes ||
+             upper_excludes;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Predicate> CanonicalConjuncts(
+    const std::vector<Predicate>& filters) {
+  // Representative (tightest) bound per column, exactly as BuildFacts picks
+  // them; a redundant bound is one that a tighter bound on the same column
+  // makes implied, so dropping it keeps the row set identical.
+  const std::unordered_map<std::string, ColumnFacts> facts = BuildFacts(filters);
+  std::vector<Predicate> out;
+  out.reserve(filters.size());
+  // Emit the representative bound only once per column/side: duplicates of
+  // the tightest bound are as redundant as looser ones.
+  std::unordered_map<std::string, bool> lower_emitted;
+  std::unordered_map<std::string, bool> upper_emitted;
+  for (const Predicate& p : filters) {
+    if (IsNumericLowerBound(p) && !std::isnan(p.num_literal)) {
+      const ColumnFacts& f = facts.at(p.column);
+      const bool is_representative = f.has_lower &&
+                                     f.lower.value == p.num_literal &&
+                                     f.lower.strict == (p.op == CmpOp::kGt);
+      if (!is_representative || lower_emitted[p.column]) continue;
+      lower_emitted[p.column] = true;
+    } else if (IsNumericUpperBound(p) && !std::isnan(p.num_literal)) {
+      const ColumnFacts& f = facts.at(p.column);
+      const bool is_representative = f.has_upper &&
+                                     f.upper.value == p.num_literal &&
+                                     f.upper.strict == (p.op == CmpOp::kLt);
+      if (!is_representative || upper_emitted[p.column]) continue;
+      upper_emitted[p.column] = true;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+bool QueryContains(const SpQuery& a, const SpQuery& b) {
+  // A truncated result proves nothing: rows b matches may lie past a's cut.
+  if (a.limit > 0) return false;
+  if (a.filters.empty()) return true;  // a is the whole table.
+  const std::unordered_map<std::string, ColumnFacts> facts =
+      BuildFacts(b.filters);
+  for (const Predicate& p : a.filters) {
+    // Verbatim-match fast path covers every operator, including the string
+    // order comparisons the facts summary does not model.
+    bool verbatim = false;
+    for (const Predicate& q : b.filters) {
+      if (SamePredicate(p, q)) {
+        verbatim = true;
+        break;
+      }
+    }
+    if (verbatim) continue;
+    auto it = facts.find(p.column);
+    if (it == facts.end() || !FactsImply(it->second, p)) return false;
+  }
+  return true;
+}
+
+std::vector<Predicate> ExtraConjuncts(const SpQuery& parent,
+                                      const SpQuery& child) {
+  std::vector<Predicate> extra;
+  for (const Predicate& p : child.filters) {
+    bool shared = false;
+    for (const Predicate& q : parent.filters) {
+      if (SamePredicate(p, q)) {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) extra.push_back(p);
+  }
+  return extra;
 }
 
 Result<QueryResult> RunQuery(const Table& table, const SpQuery& query,

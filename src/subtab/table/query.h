@@ -85,6 +85,57 @@ struct QueryScope {
 Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
                                      const QueryExecOptions& exec = {});
 
+/// True iff the two predicates are the same conjunct for caching/containment
+/// purposes: same column, op, literal type, and literal — numeric literals
+/// compared by bit pattern (so NaN == NaN and -0.0 != 0.0), matching the
+/// lossless encoding the selection cache keys on.
+bool SamePredicate(const Predicate& a, const Predicate& b);
+
+/// Canonical conjunct list for cache keying and containment reasoning:
+/// redundant numeric bounds on the same column are merged to the tightest one
+/// (e.g. "a >= 1 AND a >= 2" keeps only "a >= 2"; "a > 2 AND a >= 2" keeps
+/// "a > 2"), so syntactically different but row-set-identical conjunctions
+/// normalize to one form. Only numeric kLt/kLe/kGt/kGe conjuncts merge —
+/// equality, inequality, null, and string predicates pass through verbatim,
+/// as does any column carrying a NaN bound (NaN bounds match nothing, and
+/// ordering them is meaningless). Relative order of the survivors is
+/// preserved; the result selects exactly the same rows as the input.
+std::vector<Predicate> CanonicalConjuncts(const std::vector<Predicate>& filters);
+
+/// Provable superset test for containment-based reuse: true only when query
+/// `a`'s result rows are guaranteed to be a superset of query `b`'s on EVERY
+/// table, shown by per-column predicate subsumption — each conjunct of `a` is
+/// implied by the conjunction of `b`'s conjuncts (interval containment for
+/// numeric bounds, set reasoning for eq/ne, null-state reasoning for
+/// is-null / not-null; any value comparison implies not-null since nulls
+/// fail all value comparisons). Purely syntactic — no table access — and
+/// conservative: a false return means "could not prove", not "not contained".
+/// Requires a.limit == 0 (a truncated result proves nothing); projections and
+/// ordering are ignored, as they never change which rows qualify.
+bool QueryContains(const SpQuery& a, const SpQuery& b);
+
+/// The conjuncts of `child` not literally present (SamePredicate) in
+/// `parent` — the only ones that still need evaluation when `child` is
+/// re-scanned over `parent`'s already-resolved rows.
+std::vector<Predicate> ExtraConjuncts(const SpQuery& parent,
+                                      const SpQuery& child);
+
+/// The restricted-scan path of containment reuse: resolves `query`'s scope by
+/// evaluating only `extra` conjuncts over `parent_rows` (a proven superset
+/// scope, see QueryContains) instead of scanning the whole table, then applies
+/// `query`'s order/limit/projection exactly like ResolveQueryScope. The result
+/// is bit-identical to ResolveQueryScope(table, query) provided
+///   * `parent_rows` is in ascending source order (a scope resolved from a
+///     query with no order_by and no limit), and
+///   * every conjunct of `query` outside `extra` holds on all of
+///     `parent_rows` (ExtraConjuncts of a containing parent guarantees this).
+/// Cost is O(|parent_rows| * |extra|) point lookups — the drill-down win:
+/// each refinement scans the previous result, not the table.
+Result<QueryScope> RestrictQueryScope(const Table& table,
+                                      const std::vector<size_t>& parent_rows,
+                                      const SpQuery& query,
+                                      const std::vector<Predicate>& extra);
+
 /// Executes an SP query. Errors on unknown columns or type-incompatible
 /// predicates. Null cells never satisfy value comparisons (SQL semantics).
 Result<QueryResult> RunQuery(const Table& table, const SpQuery& query,

@@ -355,5 +355,257 @@ TEST(ParallelScanTest, ErrorsMatchSerialErrors) {
   EXPECT_FALSE(ResolveQueryScope(t, mismatch, exec).ok());
 }
 
+// ------------------------------------------------- Containment reasoning --
+
+SpQuery Where(std::vector<Predicate> filters) {
+  SpQuery q;
+  q.filters = std::move(filters);
+  return q;
+}
+
+TEST(QueryContainsTest, IntervalSubsumption) {
+  const SpQuery broad = Where({Predicate::Num("a", CmpOp::kGe, 1.0)});
+  const SpQuery narrow = Where({Predicate::Num("a", CmpOp::kGe, 5.0)});
+  EXPECT_TRUE(QueryContains(broad, narrow));
+  EXPECT_FALSE(QueryContains(narrow, broad));
+  EXPECT_TRUE(QueryContains(broad, broad));  // Reflexive.
+
+  // Strictness: x > 1 is narrower than x >= 1, not vice versa.
+  const SpQuery strict = Where({Predicate::Num("a", CmpOp::kGt, 1.0)});
+  EXPECT_TRUE(QueryContains(broad, strict));
+  EXPECT_FALSE(QueryContains(strict, broad));
+
+  // Two-sided: [0, 10] contains [2, 8] but not [2, 12].
+  const SpQuery wide = Where({Predicate::Num("a", CmpOp::kGe, 0.0),
+                              Predicate::Num("a", CmpOp::kLe, 10.0)});
+  EXPECT_TRUE(QueryContains(wide, Where({Predicate::Num("a", CmpOp::kGe, 2.0),
+                                         Predicate::Num("a", CmpOp::kLe, 8.0)})));
+  EXPECT_FALSE(QueryContains(wide, Where({Predicate::Num("a", CmpOp::kGe, 2.0),
+                                          Predicate::Num("a", CmpOp::kLe, 12.0)})));
+
+  // An equality pins the column inside (or outside) an interval.
+  EXPECT_TRUE(QueryContains(broad, Where({Predicate::Num("a", CmpOp::kEq, 3.0)})));
+  EXPECT_FALSE(QueryContains(broad, Where({Predicate::Num("a", CmpOp::kEq, 0.0)})));
+}
+
+TEST(QueryContainsTest, ConjunctionAndDisjointColumns) {
+  // Adding conjuncts narrows: parent's conjuncts must each be implied.
+  const SpQuery parent = Where({Predicate::Num("a", CmpOp::kGe, 1.0)});
+  const SpQuery child = Where({Predicate::Num("a", CmpOp::kGe, 1.0),
+                               Predicate::Str("c", CmpOp::kEq, "x")});
+  EXPECT_TRUE(QueryContains(parent, child));
+  EXPECT_FALSE(QueryContains(child, parent));
+  // A constraint on a column the child never touches cannot be implied.
+  EXPECT_FALSE(QueryContains(Where({Predicate::Num("b", CmpOp::kGe, 0.0)}),
+                             child));
+  // The whole table contains everything.
+  EXPECT_TRUE(QueryContains(SpQuery{}, child));
+  EXPECT_FALSE(QueryContains(child, SpQuery{}));
+}
+
+TEST(QueryContainsTest, NullStateReasoning) {
+  // Any value comparison implies NOT NULL (nulls fail all comparisons)...
+  EXPECT_TRUE(QueryContains(Where({Predicate::NotNull("a")}),
+                            Where({Predicate::Num("a", CmpOp::kNe, 3.0)})));
+  EXPECT_TRUE(QueryContains(Where({Predicate::NotNull("c")}),
+                            Where({Predicate::Str("c", CmpOp::kEq, "x")})));
+  // ...while IS NULL is implied only by itself.
+  EXPECT_TRUE(QueryContains(Where({Predicate::IsNull("a")}),
+                            Where({Predicate::IsNull("a")})));
+  EXPECT_FALSE(QueryContains(Where({Predicate::IsNull("a")}),
+                             Where({Predicate::Num("a", CmpOp::kEq, 3.0)})));
+}
+
+TEST(QueryContainsTest, InequalityReasoning) {
+  // x != 5 is implied by an equality elsewhere, by the same inequality, and
+  // by an interval excluding 5.
+  const SpQuery ne5 = Where({Predicate::Num("a", CmpOp::kNe, 5.0)});
+  EXPECT_TRUE(QueryContains(ne5, Where({Predicate::Num("a", CmpOp::kEq, 7.0)})));
+  EXPECT_TRUE(QueryContains(ne5, ne5));
+  EXPECT_TRUE(QueryContains(ne5, Where({Predicate::Num("a", CmpOp::kGt, 5.0)})));
+  EXPECT_FALSE(QueryContains(ne5, Where({Predicate::Num("a", CmpOp::kGe, 5.0)})));
+  // String flavor: c != 'x' implied by c == 'y'.
+  EXPECT_TRUE(QueryContains(Where({Predicate::Str("c", CmpOp::kNe, "x")}),
+                            Where({Predicate::Str("c", CmpOp::kEq, "y")})));
+  EXPECT_FALSE(QueryContains(Where({Predicate::Str("c", CmpOp::kNe, "x")}),
+                             Where({Predicate::Str("c", CmpOp::kEq, "x")})));
+}
+
+TEST(QueryContainsTest, LimitBlocksContainment) {
+  // A truncated parent result proves nothing, whatever the filters say.
+  SpQuery limited = Where({Predicate::Num("a", CmpOp::kGe, 1.0)});
+  limited.limit = 3;
+  EXPECT_FALSE(QueryContains(limited, Where({Predicate::Num("a", CmpOp::kGe, 5.0)})));
+  // The child having a limit is fine: its rows only shrink further.
+  SpQuery child = Where({Predicate::Num("a", CmpOp::kGe, 5.0)});
+  child.limit = 3;
+  child.order_by = "a";
+  EXPECT_TRUE(QueryContains(Where({Predicate::Num("a", CmpOp::kGe, 1.0)}), child));
+}
+
+TEST(CanonicalConjunctsTest, MergesRedundantBounds) {
+  // a >= 1 AND a >= 2  ->  a >= 2.
+  std::vector<Predicate> merged = CanonicalConjuncts(
+      {Predicate::Num("a", CmpOp::kGe, 1.0), Predicate::Num("a", CmpOp::kGe, 2.0)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].op, CmpOp::kGe);
+  EXPECT_EQ(merged[0].num_literal, 2.0);
+
+  // a > 2 AND a >= 2  ->  a > 2 (strict is tighter at the same value).
+  merged = CanonicalConjuncts(
+      {Predicate::Num("a", CmpOp::kGt, 2.0), Predicate::Num("a", CmpOp::kGe, 2.0)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].op, CmpOp::kGt);
+
+  // Upper bounds merge independently of lower bounds; columns independent.
+  merged = CanonicalConjuncts(
+      {Predicate::Num("a", CmpOp::kLe, 9.0), Predicate::Num("a", CmpOp::kLt, 4.0),
+       Predicate::Num("a", CmpOp::kGe, 1.0), Predicate::Num("b", CmpOp::kLe, 7.0)});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].op, CmpOp::kLt);  // a < 4 survived, a <= 9 dropped.
+  EXPECT_EQ(merged[0].num_literal, 4.0);
+
+  // Non-bound predicates pass through untouched.
+  merged = CanonicalConjuncts(
+      {Predicate::Num("a", CmpOp::kEq, 3.0), Predicate::Num("a", CmpOp::kNe, 4.0),
+       Predicate::Str("c", CmpOp::kEq, "x"), Predicate::IsNull("b")});
+  EXPECT_EQ(merged.size(), 4u);
+}
+
+TEST(CanonicalConjunctsTest, PreservesRowSet) {
+  // The merged conjunction must select exactly the same rows.
+  Table t = FlightsMini();
+  SpQuery redundant = Where({Predicate::Num("distance", CmpOp::kGe, 100.0),
+                             Predicate::Num("distance", CmpOp::kGe, 400.0),
+                             Predicate::Num("distance", CmpOp::kLe, 3000.0)});
+  SpQuery canonical;
+  canonical.filters = CanonicalConjuncts(redundant.filters);
+  EXPECT_LT(canonical.filters.size(), redundant.filters.size());
+  Result<QueryResult> a = RunQuery(t, redundant);
+  Result<QueryResult> b = RunQuery(t, canonical);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->row_ids, b->row_ids);
+}
+
+/// Builds the restricted-scan inputs for (parent, child) and checks the
+/// result is bit-identical to a direct full scan of the child.
+void ExpectRestrictMatchesDirect(const Table& t, const SpQuery& parent,
+                                 const SpQuery& child) {
+  ASSERT_TRUE(QueryContains(parent, child));
+  Result<QueryScope> parent_scope = ResolveQueryScope(t, parent);
+  ASSERT_TRUE(parent_scope.ok());
+  Result<QueryScope> direct = ResolveQueryScope(t, child);
+  Result<QueryScope> restricted = RestrictQueryScope(
+      t, parent_scope->row_ids, child, ExtraConjuncts(parent, child));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->row_ids, direct->row_ids);
+  EXPECT_EQ(restricted->col_ids, direct->col_ids);
+}
+
+TEST(RestrictScopeTest, MatchesDirectScanOnRefinements) {
+  std::mt19937 rng(77);
+  Table t = RandomChunkedTable(400, 23, &rng);
+  const SpQuery parent = Where({Predicate::Num("a", CmpOp::kGe, -20.0)});
+
+  // Pure conjunct refinement.
+  ExpectRestrictMatchesDirect(
+      t, parent, Where({Predicate::Num("a", CmpOp::kGe, -20.0),
+                        Predicate::Num("b", CmpOp::kLt, 10.0)}));
+  // Tightened bound on the same column (no literally-shared conjunct).
+  ExpectRestrictMatchesDirect(t, parent,
+                              Where({Predicate::Num("a", CmpOp::kGe, 0.0)}));
+  // Child with projection, ordering, and limit over the restricted rows.
+  SpQuery fancy = Where({Predicate::Num("a", CmpOp::kGe, -20.0),
+                         Predicate::Str("c", CmpOp::kEq, "green")});
+  fancy.projection = {"c", "a"};
+  fancy.order_by = "a";
+  fancy.descending = true;
+  fancy.limit = 9;
+  ExpectRestrictMatchesDirect(t, parent, fancy);
+  // Identical filter set (e.g. same query, different seed): extra is empty.
+  ExpectRestrictMatchesDirect(t, parent, parent);
+}
+
+TEST(RestrictScopeTest, RandomizedDrillDownChains) {
+  // Randomized drill-down chains: start from a broad parent, tighten 1-3
+  // times, checking every link AND every ancestor-descendant pair.
+  std::mt19937 rng(20260731);
+  std::uniform_real_distribution<double> delta(0.0, 30.0);
+  const char* names[] = {"red", "green", "blue", "cyan", "mag", "yel"};
+  for (int trial = 0; trial < 25; ++trial) {
+    Table t = RandomChunkedTable(300, 1 + trial % 40, &rng);
+    std::vector<SpQuery> chain;
+    double lo = -40.0;
+    chain.push_back(Where({Predicate::Num("a", CmpOp::kGe, lo)}));
+    const size_t steps = 2 + trial % 3;
+    for (size_t s = 0; s < steps; ++s) {
+      SpQuery next = chain.back();
+      switch (trial % 3) {
+        case 0:  // Tighten the numeric bound.
+          lo += delta(rng);
+          next.filters[0] = Predicate::Num("a", CmpOp::kGe, lo);
+          break;
+        case 1:  // Add a categorical conjunct.
+          next.filters.push_back(
+              Predicate::Str("c", CmpOp::kEq, names[(trial + s) % 6]));
+          break;
+        default:  // Add an upper bound on another column.
+          next.filters.push_back(
+              Predicate::Num("b", CmpOp::kLe, 40.0 - delta(rng)));
+          break;
+      }
+      chain.push_back(next);
+    }
+    for (size_t i = 0; i < chain.size(); ++i) {
+      for (size_t j = i + 1; j < chain.size(); ++j) {
+        ExpectRestrictMatchesDirect(t, chain[i], chain[j]);
+      }
+    }
+  }
+}
+
+TEST(RestrictScopeTest, ErrorsMatchDirectScan) {
+  Table t = FlightsMini();
+  const SpQuery parent = Where({Predicate::Num("distance", CmpOp::kGe, 0.0)});
+  Result<QueryScope> parent_scope = ResolveQueryScope(t, parent);
+  ASSERT_TRUE(parent_scope.ok());
+  // A type-mismatched extra conjunct errors exactly like the full scan.
+  SpQuery bad = parent;
+  bad.filters.push_back(Predicate::Str("distance", CmpOp::kEq, "x"));
+  Result<QueryScope> direct = ResolveQueryScope(t, bad);
+  Result<QueryScope> restricted = RestrictQueryScope(
+      t, parent_scope->row_ids, bad, ExtraConjuncts(parent, bad));
+  ASSERT_FALSE(direct.ok());
+  ASSERT_FALSE(restricted.ok());
+  EXPECT_EQ(restricted.status().ToString(), direct.status().ToString());
+  // An unknown projection column errors identically too.
+  SpQuery ghost = parent;
+  ghost.projection = {"nope"};
+  direct = ResolveQueryScope(t, ghost);
+  restricted = RestrictQueryScope(t, parent_scope->row_ids, ghost, {});
+  ASSERT_FALSE(direct.ok());
+  ASSERT_FALSE(restricted.ok());
+  EXPECT_EQ(restricted.status().ToString(), direct.status().ToString());
+}
+
+TEST(RestrictScopeTest, SamePredicateAndExtraConjuncts) {
+  const Predicate ge1 = Predicate::Num("a", CmpOp::kGe, 1.0);
+  EXPECT_TRUE(SamePredicate(ge1, Predicate::Num("a", CmpOp::kGe, 1.0)));
+  EXPECT_FALSE(SamePredicate(ge1, Predicate::Num("a", CmpOp::kGt, 1.0)));
+  EXPECT_FALSE(SamePredicate(ge1, Predicate::Num("b", CmpOp::kGe, 1.0)));
+  EXPECT_FALSE(SamePredicate(ge1, Predicate::Num("a", CmpOp::kGe, 2.0)));
+  // NaN literals compare equal by bit pattern (both match nothing).
+  EXPECT_TRUE(SamePredicate(Predicate::Num("a", CmpOp::kEq, std::nan("")),
+                            Predicate::Num("a", CmpOp::kEq, std::nan(""))));
+
+  const SpQuery parent = Where({ge1, Predicate::Str("c", CmpOp::kEq, "x")});
+  const SpQuery child = Where({Predicate::Str("c", CmpOp::kEq, "x"), ge1,
+                               Predicate::Num("b", CmpOp::kLt, 5.0)});
+  const std::vector<Predicate> extra = ExtraConjuncts(parent, child);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0].column, "b");
+}
+
 }  // namespace
 }  // namespace subtab
