@@ -292,6 +292,100 @@ std::vector<std::vector<SpQuery>> DrillDownSessions(const GeneratedDataset& data
   return sessions;
 }
 
+/// Walks the sink's retained drill-down traces and enforces the
+/// observability acceptance bar: some fully-staged request's
+/// queue.scan/scan/queue.select/select spans must attribute >= 90% of its
+/// root's wall time, with the scan span carrying containment + row-cost
+/// attributes. Emits the trace_summary record (per-stage p50/p95 off the
+/// unified registry histograms) and writes the two artifacts CI uploads:
+/// TRACE_serving_exemplars.jsonl (slow-query exemplars; the full ring when
+/// nothing crossed the threshold yet) and METRICS_serving.json.
+void ReportTraces(const service::ServingEngine& engine,
+                  const service::EngineStats& stats, BenchJsonFile* file) {
+  const std::shared_ptr<TraceSink>& sink = engine.trace_sink();
+  SUBTAB_CHECK(sink != nullptr);
+  std::vector<std::shared_ptr<const CompletedTrace>> exemplars =
+      sink->Exemplars();
+  std::vector<std::shared_ptr<const CompletedTrace>> retained = sink->Recent();
+  retained.insert(retained.end(), exemplars.begin(), exemplars.end());
+
+  size_t staged_traces = 0;
+  size_t containment_hit_traces = 0;
+  bool scan_attrs_populated = false;
+  double best_coverage = 0.0;
+  for (const auto& trace : retained) {
+    if (trace->spans.size() < 5) continue;  // Root + the 4 stage spans.
+    ++staged_traces;
+    uint64_t staged_ns = 0;
+    for (const TraceSpan& span : trace->spans) {
+      if (span.parent_id != 0) staged_ns += span.duration_ns;
+      if (span.name != "scan") continue;
+      const std::string* containment = span.FindAttr("containment");
+      if (containment != nullptr && span.FindAttr("rows_visited") != nullptr &&
+          span.FindAttr("chunks_scanned") != nullptr) {
+        scan_attrs_populated = true;
+        if (*containment == "hit") ++containment_hit_traces;
+      }
+    }
+    best_coverage = std::max(
+        best_coverage,
+        static_cast<double>(staged_ns) /
+            static_cast<double>(
+                std::max<uint64_t>(1, trace->root().duration_ns)));
+  }
+
+  const TraceSinkStats sink_stats = sink->Stats();
+  const service::PipelineStats& pipeline = stats.pipeline;
+  Measured(StrFormat(
+      "traces: %zu staged retained (%zu containment-hit), best stage "
+      "coverage %.1f%% of root wall, %llu exemplars pinned (threshold %.3fms)",
+      staged_traces, containment_hit_traces, best_coverage * 100.0,
+      (unsigned long long)sink_stats.exemplars_pinned,
+      sink_stats.exemplar_threshold_seconds * 1e3));
+  JsonLine("trace_summary")
+      .Field("staged_traces", static_cast<uint64_t>(staged_traces))
+      .Field("containment_hit_traces",
+             static_cast<uint64_t>(containment_hit_traces))
+      .Field("span_coverage", best_coverage)
+      .Field("queue_scan_p50_ms", pipeline.stage_queue_scan.p50_ms)
+      .Field("queue_scan_p95_ms", pipeline.stage_queue_scan.p95_ms)
+      .Field("scan_p50_ms", pipeline.stage_scan.p50_ms)
+      .Field("scan_p95_ms", pipeline.stage_scan.p95_ms)
+      .Field("queue_select_p50_ms", pipeline.stage_queue_select.p50_ms)
+      .Field("queue_select_p95_ms", pipeline.stage_queue_select.p95_ms)
+      .Field("select_p50_ms", pipeline.stage_select.p50_ms)
+      .Field("select_p95_ms", pipeline.stage_select.p95_ms)
+      .Field("traces_committed", sink_stats.committed)
+      .Field("exemplars_pinned", sink_stats.exemplars_pinned)
+      .Field("exemplar_threshold_ms",
+             sink_stats.exemplar_threshold_seconds * 1e3)
+      .Emit(file);
+
+  // Acceptance: the stage spans account for the request, not just decorate
+  // it — and the scan span explains its cost (containment verdict + rows).
+  SUBTAB_CHECK(staged_traces > 0);
+  SUBTAB_CHECK(scan_attrs_populated);
+  SUBTAB_CHECK(best_coverage >= 0.9);
+
+  // Artifacts for the CI stress job. Exemplar pinning needs a minimum
+  // sample count before the percentile threshold arms; fall back to the
+  // ring so the artifact is never empty on short runs.
+  const std::string jsonl =
+      TracesToJsonl(exemplars.empty() ? retained : exemplars);
+  if (std::FILE* f = std::fopen("TRACE_serving_exemplars.jsonl", "w")) {
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("wrote TRACE_serving_exemplars.jsonl (%zu traces)\n",
+                exemplars.empty() ? retained.size() : exemplars.size());
+  }
+  const std::string metrics = engine.MetricsJson();
+  if (std::FILE* f = std::fopen("METRICS_serving.json", "w")) {
+    std::fwrite(metrics.data(), 1, metrics.size(), f);
+    std::fclose(f);
+    std::printf("wrote METRICS_serving.json\n");
+  }
+}
+
 /// Drill-down trace through the containment tier, against the same trace
 /// with reuse disabled: hit rate, restricted- vs full-scan rows, and the
 /// throughput delta. The full-size AND quick runs both enforce the
@@ -364,8 +458,71 @@ void RunDrillDown(const GeneratedDataset& data,
       // scans are genuinely smaller than full-table scans.
       SUBTAB_CHECK(c.containment_hits > 0);
       SUBTAB_CHECK(avg_restricted < table_rows);
+      // The drill-down engine is also where the retained traces must carry
+      // their weight (containment attributes on real refinement chains).
+      ReportTraces(engine, after, file);
     }
   }
+}
+
+/// Tracing cost guard: the same cold workload (per-request seeds dodge the
+/// cache, so every request walks scan + select) through two otherwise
+/// identical engines, tracing on vs off. The full-size run enforces the
+/// <= 3% overhead bound; --quick's per-request work is too small for a
+/// stable ratio in CI (same policy as the pipeline-speedup floor).
+void RunTracingOverhead(const GeneratedDataset& data,
+                        const std::vector<SpQuery>& queries,
+                        const std::string& model_dir, bool quick,
+                        BenchJsonFile* file) {
+  constexpr size_t kClients = 4;
+  const size_t repeats = quick ? 1 : 3;
+
+  double rps_off = 0.0, rps_on = 0.0;
+  for (const bool tracing : {false, true}) {
+    service::EngineOptions options;
+    options.num_threads = kClients;
+    options.persist_dir = model_dir;
+    options.tracing = tracing;
+    service::ServingEngine engine(options);
+    SUBTAB_CHECK(engine.RegisterTable("cyber", data.table, DefaultConfig()).ok());
+    SUBTAB_CHECK((engine.trace_sink() != nullptr) == tracing);
+
+    // Unique seeds per request keep both sides on the full staged path.
+    Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&engine, &queries, repeats, c] {
+        for (size_t r = 0; r < repeats; ++r) {
+          for (size_t i = c; i < queries.size(); i += kClients) {
+            service::SelectRequest request;
+            request.table_id = "cyber";
+            request.query = queries[i];
+            request.seed = 900000 + (r * kClients + c) * queries.size() + i;
+            const service::SelectResponse response = engine.Select(request);
+            SUBTAB_CHECK(response.status.ok() ||
+                         response.status.code() ==
+                             StatusCode::kInvalidArgument);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double seconds = wall.ElapsedSeconds();
+    const double rps =
+        static_cast<double>(engine.Stats().requests_submitted) / seconds;
+    (tracing ? rps_on : rps_off) = rps;
+  }
+
+  const double overhead = 1.0 - rps_on / rps_off;
+  Measured(StrFormat("tracing overhead (cold staged path): %.1f traced vs "
+                     "%.1f untraced req/s (%+.2f%%, bound 3%%)",
+                     rps_on, rps_off, overhead * 100.0));
+  JsonLine("tracing_overhead")
+      .Field("rps_traced", rps_on)
+      .Field("rps_untraced", rps_off)
+      .Field("overhead", overhead)
+      .Emit(file);
+  if (!quick) SUBTAB_CHECK(overhead <= 0.03);
 }
 
 }  // namespace
@@ -417,6 +574,7 @@ int main(int argc, char** argv) {
 
   RunOverload(data, queries, model_dir, &file);
   RunDrillDown(data, model_dir, args.quick, &file);
+  RunTracingOverhead(data, queries, model_dir, args.quick, &file);
   file.Write();
 
   // Enforced on the full-size run only: --quick's tiny tables leave too

@@ -135,6 +135,56 @@ int main() {
   SUBTAB_CHECK(pipeline.latency_p99_ms >= pipeline.latency_p50_ms);
   SUBTAB_CHECK(stats.ToJson().find("\"worker_utilization\"") != std::string::npos);
 
+  // ---- 5. Request-scoped tracing: the per-request stage waterfall. ---------
+  // A fresh seed forces a cache miss, so the request walks every stage:
+  // queue.scan -> scan -> queue.select -> select under one root span.
+  service::SelectRequest traced;
+  traced.table_id = "cyber";
+  traced.query = queries.front();
+  traced.k = kK;
+  traced.l = kL;
+  traced.seed = 20230408;
+  traced.trace_explain = true;
+  service::SelectResponse traced_response = engine.Select(traced);
+  SUBTAB_CHECK(traced_response.status.ok());
+  SUBTAB_CHECK(traced_response.trace_id != 0);
+  SUBTAB_CHECK(traced_response.trace != nullptr);
+  const CompletedTrace& trace = *traced_response.trace;
+  std::printf("\n=== request waterfall (trace %016llx) ===\n",
+              (unsigned long long)trace.trace_id);
+  const TraceSpan& root = trace.root();
+  for (const TraceSpan& span : trace.spans) {
+    const bool child = span.parent_id != 0;
+    std::string attrs;
+    for (const TraceAttr& attr : span.attrs) {
+      attrs += "  " + attr.key + "=" + attr.value;
+    }
+    std::printf("  %s%-14s @%9.3fms  %9.3fms%s\n", child ? "  " : "",
+                span.name.c_str(),
+                static_cast<double>(span.start_ns - root.start_ns) * 1e-6,
+                static_cast<double>(span.duration_ns) * 1e-6, attrs.c_str());
+  }
+  SUBTAB_CHECK(trace.spans.size() == 5);  // root + 4 stage spans
+  uint64_t staged_ns = 0;
+  for (const TraceSpan& span : trace.spans) {
+    if (span.parent_id != 0) {
+      SUBTAB_CHECK(span.parent_id == root.span_id);
+      staged_ns += span.duration_ns;
+    }
+  }
+  std::printf("stage spans cover %.1f%% of the request's %.3fms wall time\n",
+              100.0 * static_cast<double>(staged_ns) /
+                  static_cast<double>(root.duration_ns),
+              static_cast<double>(root.duration_ns) * 1e-6);
+
+  const TraceSinkStats sink_stats = engine.trace_sink()->Stats();
+  std::printf("trace sink: %llu committed, %llu ring-evicted, "
+              "%llu slow exemplars pinned\n",
+              (unsigned long long)sink_stats.committed,
+              (unsigned long long)sink_stats.ring_evicted,
+              (unsigned long long)sink_stats.exemplars_pinned);
+  SUBTAB_CHECK(sink_stats.committed > 0);
+
   std::printf("\nOK: >=100 queries, %zu workers, bit-identical, cache hits > 0\n",
               kWorkers);
   return 0;

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Schema check for the serving bench's JSON output (CI `stress` job).
+
+The serving bench (bench/bench_serving_throughput.cc) writes
+BENCH_serving.json with a `records` list; downstream consumers (the perf
+trajectory charts and the observability artifacts) depend on two records
+existing with stable keys:
+
+  * `trace_summary`  — per-stage p50/p95 from the request traces plus the
+    sink's retention counters (span coverage, containment-hit traces,
+    pinned exemplars),
+  * `tracing_overhead` — traced vs untraced throughput on the cold staged
+    path.
+
+This script fails CI when either record is missing or dropped a key, so a
+refactor of the bench cannot silently stop exporting the trace summary
+(docs/OBSERVABILITY.md documents the schema).
+
+Usage: scripts/check_bench_schema.py [BENCH_serving.json]
+Exit code 0 = schema intact, 1 = a record or key is missing.
+Standard library only.
+"""
+
+import json
+import os
+import sys
+
+REQUIRED_KEYS = {
+    "trace_summary": [
+        "staged_traces",
+        "containment_hit_traces",
+        "span_coverage",
+        "queue_scan_p50_ms",
+        "queue_scan_p95_ms",
+        "scan_p50_ms",
+        "scan_p95_ms",
+        "queue_select_p50_ms",
+        "queue_select_p95_ms",
+        "select_p50_ms",
+        "select_p95_ms",
+        "traces_committed",
+        "exemplars_pinned",
+        "exemplar_threshold_ms",
+    ],
+    "tracing_overhead": [
+        "rps_traced",
+        "rps_untraced",
+        "overhead",
+    ],
+}
+
+
+def main(argv: list[str]) -> int:
+    path = argv[1] if len(argv) > 1 else "BENCH_serving.json"
+    if not os.path.exists(path):
+        print(f"check_bench_schema: {path} not found", file=sys.stderr)
+        return 1
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    records = data.get("records")
+    if not isinstance(records, list):
+        print(f"check_bench_schema: {path} has no `records` list",
+              file=sys.stderr)
+        return 1
+
+    by_name = {}
+    for record in records:
+        if isinstance(record, dict) and "bench" in record:
+            by_name.setdefault(record["bench"], record)
+
+    failures = 0
+    for name, keys in REQUIRED_KEYS.items():
+        record = by_name.get(name)
+        if record is None:
+            print(f"check_bench_schema: record `{name}` missing from {path}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        missing = [key for key in keys if key not in record]
+        if missing:
+            print(f"check_bench_schema: record `{name}` lost keys: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            failures += 1
+
+    # Cheap sanity on top of presence: coverage is a ratio and the summary
+    # must describe at least one staged trace, or the artifact is hollow.
+    summary = by_name.get("trace_summary")
+    if summary is not None and "span_coverage" in summary:
+        coverage = summary["span_coverage"]
+        if not (isinstance(coverage, (int, float)) and 0.0 <= coverage <= 1.0):
+            print(f"check_bench_schema: span_coverage {coverage!r} is not a "
+                  "ratio in [0, 1]", file=sys.stderr)
+            failures += 1
+    if summary is not None and summary.get("staged_traces", 0) <= 0:
+        print("check_bench_schema: trace_summary.staged_traces is not "
+              "positive — the bench retained no staged traces",
+              file=sys.stderr)
+        failures += 1
+
+    if failures:
+        return 1
+    print(f"check_bench_schema: OK — {path} carries "
+          f"{', '.join(REQUIRED_KEYS)} with all required keys")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

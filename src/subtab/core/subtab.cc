@@ -103,13 +103,15 @@ SubTabView SubTab::Select(std::optional<size_t> k, std::optional<size_t> l) cons
 
 Result<SelectionScope> SubTab::ResolveScope(const SpQuery& query,
                                             const QueryExecOptions& exec,
-                                            const ScopeHint* hint) const {
+                                            const ScopeHint* hint,
+                                            ScanStats* scan_stats) const {
   Result<QueryScope> scan =
       hint != nullptr && hint->parent_rows != nullptr
           ? RestrictQueryScope(*table_, *hint->parent_rows, query,
                                hint->extra_conjuncts)
           : ResolveQueryScope(*table_, query, exec);
   SUBTAB_ASSIGN_OR_RETURN(QueryScope result, std::move(scan));
+  if (scan_stats != nullptr) *scan_stats = result.stats;
   if (result.row_ids.empty()) {
     return Status::InvalidArgument("query returned no rows: " + query.ToString());
   }

@@ -114,10 +114,14 @@ class SubTab {
   /// table" to SelectScoped). Stage 2 is SelectScoped on the returned scope.
   /// A non-null `hint` switches the scan to the restricted path
   /// (RestrictQueryScope over the hint's parent rows); the resolved scope is
-  /// bit-identical to the unhinted scan under the hint's contract.
+  /// bit-identical to the unhinted scan under the hint's contract. A
+  /// non-null `scan_stats` receives the scan's cost attribution (rows
+  /// visited, chunks walked — table/query.h ScanStats) for the serving
+  /// pipeline's trace spans; it never affects the result.
   Result<SelectionScope> ResolveScope(const SpQuery& query,
                                       const QueryExecOptions& exec = {},
-                                      const ScopeHint* hint = nullptr) const;
+                                      const ScopeHint* hint = nullptr,
+                                      ScanStats* scan_stats = nullptr) const;
 
   /// Selection over an explicit scope (used by baselines, benches, and the
   /// serving engine). `seed` overrides the config's master seed for this one

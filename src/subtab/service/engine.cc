@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "subtab/util/logging.h"
 #include "subtab/util/parallel.h"
 #include "subtab/util/string_util.h"
 
@@ -16,6 +17,17 @@ std::shared_future<SelectResponse> ReadyFuture(SelectResponse response) {
   return promise.get_future().share();
 }
 
+/// Stage-latency snapshot view over a registry histogram.
+StageLatencyStats StageView(const LatencyHistogram* histogram) {
+  const LatencyHistogram::Snapshot snap = histogram->TakeSnapshot();
+  StageLatencyStats stage;
+  stage.count = snap.count;
+  stage.mean_ms = snap.MeanSeconds() * 1e3;
+  stage.p50_ms = snap.Percentile(0.50) * 1e3;
+  stage.p95_ms = snap.Percentile(0.95) * 1e3;
+  return stage;
+}
+
 }  // namespace
 
 ServingEngine::ServingEngine(EngineOptions options)
@@ -26,7 +38,46 @@ ServingEngine::ServingEngine(EngineOptions options)
       selection_cache_(options.selection_cache_capacity, options.cache_shards,
                        options.scope_index_per_model,
                        options.scope_index_rows_per_model),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  // Register every instrument once, up front — the request path only ever
+  // touches the cached pointers (metrics.h: registration is mutexed, the
+  // instruments themselves are relaxed atomics). The dotted names are the
+  // stable external contract (docs/OBSERVABILITY.md).
+  c_submitted_ = metrics_.counter("engine.requests.submitted");
+  c_completed_ = metrics_.counter("engine.requests.completed");
+  c_failed_ = metrics_.counter("engine.requests.failed");
+  c_coalesced_ = metrics_.counter("engine.requests.coalesced");
+  c_shed_global_ = metrics_.counter("pipeline.shed.global_queue");
+  c_shed_tenant_ = metrics_.counter("pipeline.shed.tenant");
+  c_cache_invalidations_ = metrics_.counter("streaming.cache_invalidations");
+  c_containment_hits_ = metrics_.counter("containment.hits");
+  c_containment_misses_ = metrics_.counter("containment.misses");
+  c_restricted_scan_rows_ = metrics_.counter("containment.restricted_scan_rows");
+  c_full_scan_rows_ = metrics_.counter("containment.full_scan_rows");
+  c_scope_invalidations_ = metrics_.counter("containment.scope_invalidations");
+  c_scan_busy_ns_ = metrics_.counter("pipeline.scan_busy_ns");
+  c_select_busy_ns_ = metrics_.counter("pipeline.select_busy_ns");
+  c_rows_visited_ = metrics_.counter("scan.rows_visited");
+  c_rows_matched_ = metrics_.counter("scan.rows_matched");
+  c_chunks_scanned_ = metrics_.counter("scan.chunks_scanned");
+  c_chunks_pruned_ = metrics_.counter("scan.chunks_pruned");
+  h_latency_ = metrics_.histogram("pipeline.latency");
+  h_queue_scan_ = metrics_.histogram("pipeline.stage.queue_scan");
+  h_scan_ = metrics_.histogram("pipeline.stage.scan");
+  h_queue_select_ = metrics_.histogram("pipeline.stage.queue_select");
+  h_select_ = metrics_.histogram("pipeline.stage.select");
+  g_queue_depth_ = metrics_.gauge("engine.queue_depth");
+  g_workers_active_ = metrics_.gauge("pipeline.workers_active");
+  g_worker_utilization_ = metrics_.gauge("pipeline.worker_utilization");
+  g_tables_ = metrics_.gauge("engine.tables");
+  g_scope_entries_ = metrics_.gauge("containment.scope_entries");
+  g_memory_resident_ = metrics_.gauge("memory.resident_bytes");
+  g_memory_logical_ = metrics_.gauge("memory.logical_bytes");
+  g_memory_saved_ = metrics_.gauge("memory.shared_saved_bytes");
+  if (options_.tracing) {
+    trace_sink_ = std::make_shared<TraceSink>(options_.trace_sink);
+  }
+}
 
 ServingEngine::~ServingEngine() {
   // Uninstall publish listeners first (blocking on any in-flight
@@ -99,9 +150,7 @@ uint64_t ServingEngine::ReplaceBindingLocked(const std::string& table_id,
 
 void ServingEngine::SweepDeadScopes(uint64_t scope_digest) {
   if (scope_digest == 0) return;
-  scope_invalidations_.fetch_add(
-      selection_cache_.InvalidateScopes(scope_digest),
-      std::memory_order_relaxed);
+  c_scope_invalidations_->Add(selection_cache_.InvalidateScopes(scope_digest));
 }
 
 Status ServingEngine::RegisterStream(
@@ -122,6 +171,9 @@ Status ServingEngine::RegisterStream(
           OnStreamPublish(s, published);
         }
       });
+  // Refresh traces (fold-in vs retrain spans) land in the engine's sink
+  // next to the request traces they collide with.
+  if (trace_sink_ != nullptr) stream->SetTraceSink(trace_sink_);
   // Snapshot and bind under tables_mu_: snapshotting outside it would let a
   // concurrent publication sweep run in between and leave this id bound to
   // the swept (stale) publication forever. Inside the lock, any sweep
@@ -233,8 +285,8 @@ void ServingEngine::OnStreamPublish(
   for (const uint64_t scope_digest : dead_scope_digests) {
     scopes_invalidated += selection_cache_.InvalidateScopes(scope_digest);
   }
-  cache_invalidations_.fetch_add(invalidated, std::memory_order_relaxed);
-  scope_invalidations_.fetch_add(scopes_invalidated, std::memory_order_relaxed);
+  c_cache_invalidations_->Add(invalidated);
+  c_scope_invalidations_->Add(scopes_invalidated);
 }
 
 std::shared_ptr<const SubTab> ServingEngine::GetModel(
@@ -281,15 +333,15 @@ void ServingEngine::ReleaseTenant(const std::string& tenant) {
 
 std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     const SelectRequest& request) {
-  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  c_submitted_->Add();
 
   TableEntry entry;
   {
     std::shared_lock<std::shared_mutex> lock(tables_mu_);
     auto it = tables_.find(request.table_id);
     if (it == tables_.end()) {
-      requests_completed_.fetch_add(1, std::memory_order_relaxed);
-      requests_failed_.fetch_add(1, std::memory_order_relaxed);
+      c_completed_->Add();
+      c_failed_->Add();
       SelectResponse response;
       response.status =
           Status::NotFound("table not registered: " + request.table_id);
@@ -299,17 +351,33 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
   }
 
   Stopwatch submitted;
+  // Root span per request, opened the moment the table resolved. The
+  // context is a by-value handle (util/trace.h); every early-exit tier
+  // below commits a root-only trace carrying its outcome attribute, so the
+  // sink sees cache hits and sheds, not just full computations.
+  TraceContext trace;
+  if (options_.tracing) {
+    trace = TraceContext::Start("select", trace_sink_);
+    trace.AddRootAttr("table", request.table_id);
+    trace.AddRootAttr("query", request.query.ToString());
+  }
+
   const SelectionKey key = KeyFor(entry, request);
   if (std::shared_ptr<const CachedSelection> cached = selection_cache_.Get(key)) {
-    requests_completed_.fetch_add(1, std::memory_order_relaxed);
-    if (!cached->status.ok()) {
-      requests_failed_.fetch_add(1, std::memory_order_relaxed);
-    }
-    latency_.Record(submitted.ElapsedSeconds());
+    c_completed_->Add();
+    if (!cached->status.ok()) c_failed_->Add();
+    h_latency_->Record(submitted.ElapsedSeconds());
     SelectResponse response;
     response.status = cached->status;
     response.view = cached->view;
     response.from_cache = true;
+    response.trace_id = trace.trace_id();
+    if (trace.enabled()) {
+      trace.AddRootAttr("cache", "exact");
+      trace.AddRootAttr("status", cached->status.ok() ? "ok" : "error");
+      std::shared_ptr<const CompletedTrace> done = trace.FinishRoot();
+      if (request.trace_explain) response.trace = std::move(done);
+    }
     return ReadyFuture(std::move(response));
   }
 
@@ -323,8 +391,15 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     std::lock_guard<std::mutex> lock(inflight_mu_);
     auto it = inflight_.find(digest);
     if (it != inflight_.end()) {
-      requests_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      c_coalesced_->Add();
       ++it->second.coalesced_waiters;
+      if (trace.enabled()) {
+        trace.AddRootAttr("cache", "coalesced");
+        trace.AddRootAttr("coalesced_into",
+                          StrFormat("%016llx",
+                                    (unsigned long long)it->second.trace_id));
+        trace.FinishRoot();
+      }
       return it->second.future;
     }
   }
@@ -333,17 +408,38 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
   // occupy queue slots.
   const Admission admission = TryAdmit(request.table_id);
   if (admission != Admission::kAdmitted) {
-    requests_shed_.fetch_add(1, std::memory_order_relaxed);
-    requests_completed_.fetch_add(1, std::memory_order_relaxed);
-    requests_failed_.fetch_add(1, std::memory_order_relaxed);
+    (admission == Admission::kShedGlobalQueue ? c_shed_global_
+                                              : c_shed_tenant_)
+        ->Add();
+    c_completed_->Add();
+    c_failed_->Add();
     SelectResponse response;
+    response.trace_id = trace.trace_id();
     // Name the bound that tripped: an operator tuning sheds must know
-    // whether to raise max_queue_depth or max_pending_per_tenant.
-    response.status = Status::Unavailable(
+    // whether to raise max_queue_depth or max_pending_per_tenant. The
+    // message also carries the shed stage and the trace id, so one grep
+    // connects a client's kUnavailable to its retained trace.
+    std::string message =
         admission == Admission::kShedGlobalQueue
             ? "request shed: global queue depth is over its bound"
             : "request shed: tenant '" + request.table_id +
-                  "' is over its bound");
+                  "' is over its bound";
+    message += " [stage=admission";
+    if (trace.enabled()) {
+      message += StrFormat(", trace=%016llx",
+                           (unsigned long long)trace.trace_id());
+    }
+    message += "]";
+    response.status = Status::Unavailable(message);
+    if (trace.enabled()) {
+      trace.AddRootAttr("admission", admission == Admission::kShedGlobalQueue
+                                         ? "shed_global_queue"
+                                         : "shed_tenant");
+      trace.AddRootAttr("shed_stage", "admission");
+      trace.AddRootAttr("status", "unavailable");
+      std::shared_ptr<const CompletedTrace> done = trace.FinishRoot();
+      if (request.trace_explain) response.trace = std::move(done);
+    }
     return ReadyFuture(std::move(response));
   }
 
@@ -354,15 +450,23 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     if (it != inflight_.end()) {
       // An identical computation slipped in while we took the admission
       // token; attach to it and hand the token back.
-      requests_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      c_coalesced_->Add();
       ++it->second.coalesced_waiters;
       future = it->second.future;
       if (options_.max_pending_per_tenant > 0) ReleaseTenant(request.table_id);
+      if (trace.enabled()) {
+        trace.AddRootAttr("cache", "coalesced");
+        trace.AddRootAttr("coalesced_into",
+                          StrFormat("%016llx",
+                                    (unsigned long long)it->second.trace_id));
+        trace.FinishRoot();
+      }
       return future;
     }
     auto promise = std::make_shared<std::promise<SelectResponse>>();
     future = promise->get_future().share();
-    inflight_[digest] = InFlight{std::move(promise), future};
+    inflight_[digest] = InFlight{std::move(promise), future, 0,
+                                 trace.trace_id()};
   }
 
   auto pending = std::make_shared<PendingSelect>();
@@ -373,6 +477,13 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
   pending->request = request;
   pending->submitted = submitted;
   pending->tenant_admitted = options_.max_pending_per_tenant > 0;
+  if (trace.enabled()) {
+    trace.AddRootAttr("admission", "admitted");
+    trace.AddRootAttr("cache", "miss");
+    pending->trace = trace;
+    pending->queue_span = trace.StartSpan("queue.scan");
+  }
+  pending->hop.Reset();
   if (options_.staged_pipeline) {
     pool_.Submit([this, pending] { ExecuteScan(pending); });
   } else {
@@ -382,6 +493,12 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
 }
 
 void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
+  // Queue wait ends here; the hop stopwatch feeds the stage histogram even
+  // with tracing off, the queue span only when the request carries a trace.
+  h_queue_scan_->Record(pending->hop.ElapsedSeconds());
+  LogTraceScope log_scope(pending->trace.trace_id());
+  pending->trace.FinishSpan(std::move(pending->queue_span));
+  TraceSpan span = pending->trace.StartSpan("scan");
   Stopwatch stage;
   QueryExecOptions exec;
   exec.num_threads = options_.scan_threads;
@@ -390,7 +507,11 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
   // instead of O(table). The hint never changes the resolved scope — see
   // RestrictQueryScope's bit-identity contract — only the scan's cost.
   ScopeHint hint;
+  const char* containment_attr = "disabled";
+  size_t ancestor_rows_attr = 0;
+  size_t extra_conjuncts_attr = 0;
   if (options_.containment_reuse) {
+    containment_attr = "miss";
     std::optional<AncestorScope> ancestor = selection_cache_.FindAncestorScope(
         pending->scope_digest, pending->request.query);
     if (ancestor.has_value()) {
@@ -417,27 +538,50 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
       if (extra.empty() ||
           (ancestor_rows * scan_ways <= table_rows &&
            ancestor_rows <= table_rows - table_rows / 8)) {
-        containment_hits_.fetch_add(1, std::memory_order_relaxed);
-        restricted_scan_rows_.fetch_add(ancestor->rows->size(),
-                                        std::memory_order_relaxed);
+        c_containment_hits_->Add();
+        c_restricted_scan_rows_->Add(ancestor->rows->size());
+        containment_attr = "hit";
+        ancestor_rows_attr = ancestor_rows;
+        extra_conjuncts_attr = extra.size();
         hint.parent_rows = std::move(ancestor->rows);
         hint.extra_conjuncts = std::move(extra);
       } else {
-        containment_misses_.fetch_add(1, std::memory_order_relaxed);
+        c_containment_misses_->Add();
       }
     } else {
-      containment_misses_.fetch_add(1, std::memory_order_relaxed);
+      c_containment_misses_->Add();
     }
   }
   const bool restricted = hint.parent_rows != nullptr;
-  if (!restricted) {
-    full_scan_rows_.fetch_add(pending->model->table().num_rows(),
-                              std::memory_order_relaxed);
-  }
+  const size_t table_rows = pending->model->table().num_rows();
+  if (!restricted) c_full_scan_rows_->Add(table_rows);
+  ScanStats scan_stats;
   Result<SelectionScope> scope = pending->model->ResolveScope(
-      pending->request.query, exec, restricted ? &hint : nullptr);
-  scan_ns_.fetch_add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9),
-                     std::memory_order_relaxed);
+      pending->request.query, exec, restricted ? &hint : nullptr, &scan_stats);
+  c_scan_busy_ns_->Add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9));
+  h_scan_->Record(stage.ElapsedSeconds());
+  c_rows_visited_->Add(scan_stats.rows_visited);
+  c_rows_matched_->Add(scan_stats.rows_matched);
+  c_chunks_scanned_->Add(scan_stats.chunks_scanned);
+  c_chunks_pruned_->Add(scan_stats.chunks_pruned);
+  if (span.enabled()) {
+    // Cost attribution: "rows scanned vs restricted" is what makes a
+    // drill-down trace self-explanatory — a hit's rows_visited equals the
+    // ancestor scope, a miss's equals the table.
+    span.AddAttr("containment", containment_attr);
+    if (containment_attr[0] == 'h') {
+      span.AddAttr("ancestor_rows", (uint64_t)ancestor_rows_attr);
+      span.AddAttr("extra_conjuncts", (uint64_t)extra_conjuncts_attr);
+    }
+    span.AddAttr("restricted", scan_stats.restricted ? "true" : "false");
+    span.AddAttr("table_rows", (uint64_t)table_rows);
+    span.AddAttr("rows_visited", (uint64_t)scan_stats.rows_visited);
+    span.AddAttr("rows_matched", (uint64_t)scan_stats.rows_matched);
+    span.AddAttr("chunks_scanned", (uint64_t)scan_stats.chunks_scanned);
+    span.AddAttr("chunks_pruned", (uint64_t)scan_stats.chunks_pruned);
+    span.AddAttr("status", scope.ok() ? "ok" : "error");
+  }
+  pending->trace.FinishSpan(std::move(span));
   if (!scope.ok()) {
     // Deterministic scan errors (unknown column, empty result) are as
     // memoizable as views; no select stage to run.
@@ -475,26 +619,38 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
         content_live = ScopeDigestLiveLocked(pending->scope_digest);
       }
       if (!content_live) {
-        scope_invalidations_.fetch_add(
-            selection_cache_.InvalidateScopes(pending->scope_digest),
-            std::memory_order_relaxed);
+        c_scope_invalidations_->Add(
+            selection_cache_.InvalidateScopes(pending->scope_digest));
       }
     }
   }
   // Separate queue hop: this worker is free for another request's scan (or
   // select) while the clustering below waits its turn.
+  pending->queue_span = pending->trace.StartSpan("queue.select");
+  pending->hop.Reset();
   pool_.Submit([this, pending] { ExecuteSelect(pending); });
 }
 
 void ServingEngine::ExecuteSelect(const std::shared_ptr<PendingSelect>& pending) {
+  h_queue_select_->Record(pending->hop.ElapsedSeconds());
+  LogTraceScope log_scope(pending->trace.trace_id());
+  pending->trace.FinishSpan(std::move(pending->queue_span));
+  TraceSpan span = pending->trace.StartSpan("select");
   Stopwatch stage;
   // k/l/seed were resolved against the model's config at submit time
   // (KeyFor), so passing them explicitly equals the serial path's
   // value_or chain bit for bit.
   SubTabView view = pending->model->SelectScoped(
       pending->scope, pending->key.k, pending->key.l, pending->key.seed);
-  select_ns_.fetch_add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9),
-                       std::memory_order_relaxed);
+  c_select_busy_ns_->Add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9));
+  h_select_->Record(stage.ElapsedSeconds());
+  if (span.enabled()) {
+    span.AddAttr("k", (uint64_t)pending->key.k);
+    span.AddAttr("l", (uint64_t)pending->key.l);
+    span.AddAttr("scope_rows", (uint64_t)pending->scope.rows.size());
+    span.AddAttr("scope_cols", (uint64_t)pending->scope.cols.size());
+  }
+  pending->trace.FinishSpan(std::move(span));
   CachedSelection outcome;
   outcome.view = std::make_shared<const SubTabView>(std::move(view));
   FinishComputation(pending, outcome);
@@ -502,9 +658,17 @@ void ServingEngine::ExecuteSelect(const std::shared_ptr<PendingSelect>& pending)
 
 void ServingEngine::ExecuteBlocking(
     const std::shared_ptr<PendingSelect>& pending) {
+  h_queue_scan_->Record(pending->hop.ElapsedSeconds());
+  LogTraceScope log_scope(pending->trace.trace_id());
+  pending->trace.FinishSpan(std::move(pending->queue_span));
+  TraceSpan span = pending->trace.StartSpan("execute");
   const SelectRequest& request = pending->request;
   Result<SubTabView> view = pending->model->SelectForQuery(
       request.query, request.k, request.l, request.seed);
+  if (span.enabled()) {
+    span.AddAttr("status", view.ok() ? "ok" : "error");
+  }
+  pending->trace.FinishSpan(std::move(span));
   CachedSelection outcome;
   if (view.ok()) {
     outcome.view = std::make_shared<const SubTabView>(std::move(*view));
@@ -539,6 +703,13 @@ void ServingEngine::FinishComputation(
   SelectResponse response;
   response.status = outcome.status;
   response.view = outcome.view;
+  response.trace_id = pending->trace.trace_id();
+  if (pending->trace.enabled()) {
+    pending->trace.AddRootAttr("status",
+                               outcome.status.ok() ? "ok" : "error");
+    std::shared_ptr<const CompletedTrace> done = pending->trace.FinishRoot();
+    if (pending->request.trace_explain) response.trace = std::move(done);
+  }
 
   std::shared_ptr<std::promise<SelectResponse>> promise;
   uint64_t resolved = 1;
@@ -553,13 +724,11 @@ void ServingEngine::FinishComputation(
     inflight_.erase(it);
   }
   if (pending->tenant_admitted) ReleaseTenant(pending->request.table_id);
-  latency_.Record(pending->submitted.ElapsedSeconds());
+  h_latency_->Record(pending->submitted.ElapsedSeconds());
   // The computation and every coalesced waiter complete together — and fail
   // together — keeping submitted/completed/failed consistent per response.
-  requests_completed_.fetch_add(resolved, std::memory_order_relaxed);
-  if (!response.status.ok()) {
-    requests_failed_.fetch_add(resolved, std::memory_order_relaxed);
-  }
+  c_completed_->Add(resolved);
+  if (!response.status.ok()) c_failed_->Add(resolved);
   promise->set_value(std::move(response));
 }
 
@@ -577,32 +746,33 @@ EngineStats ServingEngine::Stats() const {
   EngineStats stats;
   stats.registry = registry_.Stats();
   stats.selection_cache = selection_cache_.Stats();
-  stats.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
-  stats.requests_completed = requests_completed_.load(std::memory_order_relaxed);
-  stats.requests_failed = requests_failed_.load(std::memory_order_relaxed);
-  stats.requests_coalesced = requests_coalesced_.load(std::memory_order_relaxed);
+  stats.requests_submitted = c_submitted_->Value();
+  stats.requests_completed = c_completed_->Value();
+  stats.requests_failed = c_failed_->Value();
+  stats.requests_coalesced = c_coalesced_->Value();
   stats.num_threads = pool_.num_threads();
   stats.queue_depth = pool_.queue_depth();
 
-  stats.containment.containment_hits =
-      containment_hits_.load(std::memory_order_relaxed);
-  stats.containment.containment_misses =
-      containment_misses_.load(std::memory_order_relaxed);
-  stats.containment.restricted_scan_rows =
-      restricted_scan_rows_.load(std::memory_order_relaxed);
-  stats.containment.full_scan_rows =
-      full_scan_rows_.load(std::memory_order_relaxed);
+  stats.containment.containment_hits = c_containment_hits_->Value();
+  stats.containment.containment_misses = c_containment_misses_->Value();
+  stats.containment.restricted_scan_rows = c_restricted_scan_rows_->Value();
+  stats.containment.full_scan_rows = c_full_scan_rows_->Value();
   stats.containment.scope_entries = selection_cache_.scope_entries();
-  stats.containment.scope_invalidations =
-      scope_invalidations_.load(std::memory_order_relaxed);
+  stats.containment.scope_invalidations = c_scope_invalidations_->Value();
 
+  stats.pipeline.shed_global_queue = c_shed_global_->Value();
+  stats.pipeline.shed_tenant = c_shed_tenant_->Value();
   stats.pipeline.requests_shed =
-      requests_shed_.load(std::memory_order_relaxed);
+      stats.pipeline.shed_global_queue + stats.pipeline.shed_tenant;
   stats.pipeline.scan_seconds =
-      static_cast<double>(scan_ns_.load(std::memory_order_relaxed)) * 1e-9;
+      static_cast<double>(c_scan_busy_ns_->Value()) * 1e-9;
   stats.pipeline.select_seconds =
-      static_cast<double>(select_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  const LatencyHistogram::Snapshot latency = latency_.TakeSnapshot();
+      static_cast<double>(c_select_busy_ns_->Value()) * 1e-9;
+  stats.pipeline.stage_queue_scan = StageView(h_queue_scan_);
+  stats.pipeline.stage_scan = StageView(h_scan_);
+  stats.pipeline.stage_queue_select = StageView(h_queue_select_);
+  stats.pipeline.stage_select = StageView(h_select_);
+  const LatencyHistogram::Snapshot latency = h_latency_->TakeSnapshot();
   stats.pipeline.latency_p50_ms = latency.Percentile(0.50) * 1e3;
   stats.pipeline.latency_p95_ms = latency.Percentile(0.95) * 1e3;
   stats.pipeline.latency_p99_ms = latency.Percentile(0.99) * 1e3;
@@ -671,8 +841,7 @@ EngineStats ServingEngine::Stats() const {
   stats.memory.shared_saved_bytes =
       stats.memory.logical_bytes - stats.memory.resident_bytes;
   stats.streaming.streams = streams.size();
-  stats.streaming.cache_invalidations =
-      cache_invalidations_.load(std::memory_order_relaxed);
+  stats.streaming.cache_invalidations = c_cache_invalidations_->Value();
   for (const auto& stream : streams) {
     const stream::StreamStats s = stream->Stats();
     stats.streaming.appends += s.appends;
@@ -687,7 +856,24 @@ EngineStats ServingEngine::Stats() const {
     stats.streaming.upgrades_completed += s.upgrades_completed;
     stats.streaming.upgrades_discarded += s.upgrades_discarded;
   }
+  if (trace_sink_ != nullptr) stats.trace = trace_sink_->Stats();
+  // Point-in-time gauges are refreshed on read, so a registry Snapshot (or
+  // MetricsJson) taken right after Stats() carries current values — the hot
+  // path never touches them.
+  g_queue_depth_->Set(static_cast<double>(stats.queue_depth));
+  g_workers_active_->Set(static_cast<double>(stats.pipeline.workers_active));
+  g_worker_utilization_->Set(stats.pipeline.worker_utilization);
+  g_tables_->Set(static_cast<double>(stats.tables));
+  g_scope_entries_->Set(static_cast<double>(stats.containment.scope_entries));
+  g_memory_resident_->Set(static_cast<double>(stats.memory.resident_bytes));
+  g_memory_logical_->Set(static_cast<double>(stats.memory.logical_bytes));
+  g_memory_saved_->Set(static_cast<double>(stats.memory.shared_saved_bytes));
   return stats;
+}
+
+std::string ServingEngine::MetricsJson() const {
+  Stats();  // refresh gauges
+  return metrics_.ToJson();
 }
 
 std::string EngineStats::ToJson() const {
@@ -705,14 +891,39 @@ std::string EngineStats::ToJson() const {
   json += StrFormat(
       "\"pipeline\":{\"queue_depth\":%zu,\"workers_active\":%zu,"
       "\"worker_utilization\":%.6g,\"tenants_tracked\":%zu,"
+      "\"shed_global_queue\":%llu,\"shed_tenant\":%llu,"
       "\"scan_seconds\":%.6g,\"select_seconds\":%.6g,"
       "\"latency_ms\":{\"count\":%llu,\"mean\":%.6g,\"p50\":%.6g,"
-      "\"p95\":%.6g,\"p99\":%.6g}},",
+      "\"p95\":%.6g,\"p99\":%.6g},",
       queue_depth, pipeline.workers_active, pipeline.worker_utilization,
-      pipeline.tenants_tracked, pipeline.scan_seconds, pipeline.select_seconds,
+      pipeline.tenants_tracked,
+      (unsigned long long)pipeline.shed_global_queue,
+      (unsigned long long)pipeline.shed_tenant,
+      pipeline.scan_seconds, pipeline.select_seconds,
       (unsigned long long)pipeline.latency_count, pipeline.latency_mean_ms,
       pipeline.latency_p50_ms, pipeline.latency_p95_ms,
       pipeline.latency_p99_ms);
+  const auto stage_json = [](const char* name, const StageLatencyStats& s) {
+    return StrFormat(
+        "\"%s\":{\"count\":%llu,\"mean_ms\":%.6g,\"p50_ms\":%.6g,"
+        "\"p95_ms\":%.6g}",
+        name, (unsigned long long)s.count, s.mean_ms, s.p50_ms, s.p95_ms);
+  };
+  json += "\"stages\":{";
+  json += stage_json("queue_scan", pipeline.stage_queue_scan) + ",";
+  json += stage_json("scan", pipeline.stage_scan) + ",";
+  json += stage_json("queue_select", pipeline.stage_queue_select) + ",";
+  json += stage_json("select", pipeline.stage_select);
+  json += "}},";
+  json += StrFormat(
+      "\"trace\":{\"committed\":%llu,\"ring_evicted\":%llu,"
+      "\"exemplars_pinned\":%llu,\"exemplars_evicted\":%llu,"
+      "\"threshold_ms\":%.6g},",
+      (unsigned long long)trace.committed,
+      (unsigned long long)trace.ring_evicted,
+      (unsigned long long)trace.exemplars_pinned,
+      (unsigned long long)trace.exemplars_evicted,
+      trace.exemplar_threshold_seconds * 1e3);
   json += StrFormat(
       "\"selection_cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu},",

@@ -17,8 +17,10 @@
 #include "subtab/service/selection_cache.h"
 #include "subtab/stream/stream_session.h"
 #include "subtab/util/latency_histogram.h"
+#include "subtab/util/metrics.h"
 #include "subtab/util/stopwatch.h"
 #include "subtab/util/thread_pool.h"
+#include "subtab/util/trace.h"
 
 /// \file engine.h
 /// The concurrent sub-table serving engine — the multi-tenant front door of
@@ -81,6 +83,11 @@ struct SelectRequest {
   std::optional<size_t> k;
   std::optional<size_t> l;
   std::optional<uint64_t> seed;
+  /// Opt-in explain payload: when tracing is on, the response carries the
+  /// request's completed trace (SelectResponse::trace) so the caller can
+  /// render a stage waterfall without scraping the sink. Coalesced waiters
+  /// receive the initiating request's choice (they share one response).
+  bool trace_explain = false;
 };
 
 /// Outcome of one request. `view` is set iff `status.ok()`; it is shared
@@ -90,6 +97,12 @@ struct SelectResponse {
   Status status;
   std::shared_ptr<const SubTabView> view;
   bool from_cache = false;
+  /// The request's trace id (0 when tracing is disabled). Shed responses
+  /// carry it too — the id in the kUnavailable message is this one.
+  uint64_t trace_id = 0;
+  /// Set iff the initiating request asked for trace_explain (and tracing
+  /// is on): the completed trace, root span first.
+  std::shared_ptr<const CompletedTrace> trace;
 };
 
 struct EngineOptions {
@@ -137,6 +150,16 @@ struct EngineOptions {
   /// past the budget; a single scope exceeding it is not indexed. 0 =
   /// unbounded.
   size_t scope_index_rows_per_model = 1u << 20;
+  /// Request-scoped tracing (util/trace.h): every request opens a root span
+  /// plus one child span per pipeline stage, completed traces land in the
+  /// engine's TraceSink (slow-query exemplars pinned past ring eviction),
+  /// and shed/error messages carry trace ids. Off = the sink is never
+  /// created, contexts are disabled handles, and the request path pays
+  /// nothing (bench_serving_throughput CHECKs the <=3% bound). Stage
+  /// latency histograms (pipeline.stage.*) record either way.
+  bool tracing = true;
+  /// Ring/exemplar tuning of the engine's sink (ignored when !tracing).
+  TraceSinkOptions trace_sink;
 };
 
 /// Refresh activity across every stream bound to the engine (aggregated
@@ -177,11 +200,23 @@ struct MemoryStats {
   uint64_t shared_saved_bytes = 0;
 };
 
+/// Latency view of one pipeline stage (a registry histogram's snapshot,
+/// util/latency_histogram.h bucket resolution).
+struct StageLatencyStats {
+  uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
 /// Pipeline health: shed/latency counters plus the gauges a load balancer
 /// or autoscaler reads (queue depth lives on EngineStats directly).
 struct PipelineStats {
   /// Requests refused by admission control (never queued).
   uint64_t requests_shed = 0;
+  /// Sheds attributed to the bound that tripped (sum = requests_shed).
+  uint64_t shed_global_queue = 0;
+  uint64_t shed_tenant = 0;
   /// Summed wall time inside each stage, across all workers.
   double scan_seconds = 0.0;
   double select_seconds = 0.0;
@@ -198,6 +233,13 @@ struct PipelineStats {
   size_t workers_active = 0;
   double worker_utilization = 0.0;  ///< workers_active / num_threads.
   size_t tenants_tracked = 0;       ///< Tenants with admitted work.
+  /// Per-stage latency attribution: queue wait before the scan hop, the
+  /// scan itself, queue wait before the select hop, the selection. Recorded
+  /// for every staged computation whether tracing is on or off.
+  StageLatencyStats stage_queue_scan;
+  StageLatencyStats stage_scan;
+  StageLatencyStats stage_queue_select;
+  StageLatencyStats stage_select;
 };
 
 /// Containment-tier accounting: how often a selection-cache miss was served
@@ -233,6 +275,8 @@ struct EngineStats {
   StreamingStats streaming;
   MemoryStats memory;
   PipelineStats pipeline;
+  /// Trace retention (zeros when tracing is disabled).
+  TraceSinkStats trace;
   uint64_t requests_submitted = 0;
   uint64_t requests_completed = 0;
   uint64_t requests_failed = 0;
@@ -301,6 +345,18 @@ class ServingEngine {
 
   EngineStats Stats() const;
 
+  /// The trace sink (null when EngineOptions::tracing is false). Benches
+  /// export its exemplars as JSONL; ops endpoints scrape Recent().
+  const std::shared_ptr<TraceSink>& trace_sink() const { return trace_sink_; }
+
+  /// The unified registry every EngineStats section snapshots from
+  /// (util/metrics.h naming scheme — see docs/OBSERVABILITY.md). Counters
+  /// and histograms are live; gauges refresh on Stats()/MetricsJson().
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Refreshes the gauges (one Stats() pass) and renders the registry.
+  std::string MetricsJson() const;
+
   /// Test-only: enqueues an opaque task on the worker pool, letting tests
   /// hold workers busy deterministically (e.g. to pin requests in flight).
   void SubmitBarrierTaskForTesting(std::function<void()> task);
@@ -332,6 +388,16 @@ class ServingEngine {
     SelectionScope scope;  ///< Filled by the scan stage.
     Stopwatch submitted;   ///< End-to-end latency clock.
     bool tenant_admitted = false;
+    /// The request's trace, carried BY VALUE across queue hops — stages
+    /// migrate threads, so nothing trace-shaped may live in thread-locals
+    /// (util/trace.h). Disabled handle when tracing is off.
+    TraceContext trace;
+    /// The open queue-wait span between hops (queue.scan, then reused for
+    /// queue.select); finished by the stage that dequeues.
+    TraceSpan queue_span;
+    /// Queue-wait clock between hops — feeds the pipeline.stage.queue_*
+    /// histograms even when tracing is off.
+    Stopwatch hop;
   };
 
   /// Cache/dedup identity of a request against a resolved table entry.
@@ -393,6 +459,9 @@ class ServingEngine {
     std::shared_ptr<std::promise<SelectResponse>> promise;
     std::shared_future<SelectResponse> future;
     uint64_t coalesced_waiters = 0;
+    /// The initiating request's trace id, so a coalesced waiter's trace
+    /// can point at the computation it attached to.
+    uint64_t trace_id = 0;
   };
 
   std::mutex inflight_mu_;
@@ -402,20 +471,47 @@ class ServingEngine {
   mutable std::mutex admission_mu_;
   std::unordered_map<std::string, size_t> tenant_pending_;
 
-  std::atomic<uint64_t> requests_submitted_{0};
-  std::atomic<uint64_t> requests_completed_{0};
-  std::atomic<uint64_t> requests_failed_{0};
-  std::atomic<uint64_t> requests_coalesced_{0};
-  std::atomic<uint64_t> requests_shed_{0};
-  std::atomic<uint64_t> cache_invalidations_{0};
-  std::atomic<uint64_t> containment_hits_{0};
-  std::atomic<uint64_t> containment_misses_{0};
-  std::atomic<uint64_t> restricted_scan_rows_{0};
-  std::atomic<uint64_t> full_scan_rows_{0};
-  std::atomic<uint64_t> scope_invalidations_{0};
-  std::atomic<uint64_t> scan_ns_{0};
-  std::atomic<uint64_t> select_ns_{0};
-  LatencyHistogram latency_;
+  /// Every counter/gauge/histogram the engine maintains lives here under a
+  /// stable dotted name; the EngineStats sections are snapshot views over
+  /// it. The pointers below are the constructor-cached instruments the
+  /// request path updates lock-free (util/metrics.h contract). Mutable:
+  /// Stats()/MetricsJson() refresh gauges from a const context.
+  mutable MetricsRegistry metrics_;
+  Counter* c_submitted_;
+  Counter* c_completed_;
+  Counter* c_failed_;
+  Counter* c_coalesced_;
+  Counter* c_shed_global_;
+  Counter* c_shed_tenant_;
+  Counter* c_cache_invalidations_;
+  Counter* c_containment_hits_;
+  Counter* c_containment_misses_;
+  Counter* c_restricted_scan_rows_;
+  Counter* c_full_scan_rows_;
+  Counter* c_scope_invalidations_;
+  Counter* c_scan_busy_ns_;
+  Counter* c_select_busy_ns_;
+  Counter* c_rows_visited_;
+  Counter* c_rows_matched_;
+  Counter* c_chunks_scanned_;
+  Counter* c_chunks_pruned_;
+  LatencyHistogram* h_latency_;
+  LatencyHistogram* h_queue_scan_;
+  LatencyHistogram* h_scan_;
+  LatencyHistogram* h_queue_select_;
+  LatencyHistogram* h_select_;
+  Gauge* g_queue_depth_;
+  Gauge* g_workers_active_;
+  Gauge* g_worker_utilization_;
+  Gauge* g_tables_;
+  Gauge* g_scope_entries_;
+  Gauge* g_memory_resident_;
+  Gauge* g_memory_logical_;
+  Gauge* g_memory_saved_;
+
+  /// Created iff options_.tracing; shared with bound streams so refresh
+  /// traces land next to request traces.
+  std::shared_ptr<TraceSink> trace_sink_;
 
   /// Declared last: destroyed first, so workers drain while the caches and
   /// tables above are still alive.

@@ -125,8 +125,23 @@ void StreamSession::PublishLocked(
   if (listener_) listener_(published);
 }
 
+std::shared_ptr<TraceSink> StreamSession::trace_sink() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_sink_;
+}
+
+void StreamSession::SetTraceSink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_sink_ = std::move(sink);
+}
+
 Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   std::lock_guard<std::mutex> append_lock(append_mu_);
+  TraceContext trace;
+  if (std::shared_ptr<TraceSink> sink = trace_sink()) {
+    trace = TraceContext::Start("stream.append", sink);
+  }
+  LogTraceScope log_scope(trace.trace_id());
   Stopwatch watch;
   // Stage the new version but publish nothing until the refresh succeeded:
   // a published table without a matching model would wedge every later
@@ -162,12 +177,28 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
   // otherwise backlog rows deferred by earlier fold-ins would reset the
   // counter below without ever entering a delta corpus.
   const size_t refresh_begin = next.num_rows - drift.rows_since_refresh;
+  // The refresh child span is what separates "append was slow" into "the
+  // fold-in was slow" vs "the appender paid for training inline".
+  TraceSpan refresh_span = trace.StartSpan("refresh");
+  if (refresh_span.enabled()) {
+    refresh_span.AddAttr("action", RefreshActionName(run_now));
+    refresh_span.AddAttr("refresh_rows",
+                         (uint64_t)(next.num_rows - refresh_begin));
+  }
   Result<SubTab> refreshed =
       TrainRefresh(run_now, next, previous, std::move(binned), refresh_begin);
+  if (refresh_span.enabled()) {
+    refresh_span.AddAttr("status", refreshed.ok() ? "ok" : "error");
+  }
+  trace.FinishSpan(std::move(refresh_span));
   if (!refreshed.ok()) {
     // Roll back the tokenized batch's accounting; the staged table version
     // was never published, so the stream stays consistent at version n.
     binner_->RestoreState(drift_backup);
+    if (trace.enabled()) {
+      trace.AddRootAttr("status", "error");
+      trace.FinishRoot();
+    }
     return refreshed.status();
   }
   auto model = std::make_shared<const SubTab>(std::move(*refreshed));
@@ -245,6 +276,15 @@ Result<RefreshEvent> StreamSession::Append(const Table& batch) {
                            << "s (+" << next.delta_rows << " rows)"
                            << (defer ? " [upgrade deferred]" : "");
 
+  if (trace.enabled()) {
+    trace.AddRootAttr("version", next.version);
+    trace.AddRootAttr("delta_rows", (uint64_t)next.delta_rows);
+    trace.AddRootAttr("action", RefreshActionName(run_now));
+    trace.AddRootAttr("deferred", defer ? "true" : "false");
+    trace.AddRootAttr("status", "ok");
+    trace.FinishRoot();
+  }
+
   RefreshEvent event;
   event.version = next.version;
   event.action = run_now;
@@ -293,6 +333,14 @@ void StreamSession::RunUpgrades() {
     // readers keep selecting against the published model throughout.
     // (The full-refit branch is hoisted so the token-matrix copy is only
     // made when the incremental delta corpus actually needs it.)
+    TraceContext trace;
+    if (std::shared_ptr<TraceSink> sink = trace_sink()) {
+      trace = TraceContext::Start("stream.upgrade", sink);
+      trace.AddRootAttr("version", cur.version);
+      trace.AddRootAttr("action", RefreshActionName(action));
+    }
+    LogTraceScope log_scope(trace.trace_id());
+    TraceSpan retrain_span = trace.StartSpan("retrain");
     Stopwatch watch;
     Result<SubTab> refreshed =
         action == RefreshAction::kFullRefit
@@ -300,6 +348,10 @@ void StreamSession::RunUpgrades() {
             : TrainRefresh(action, cur, base, base->preprocessed().binned(),
                            row_begin);
     const double seconds = watch.ElapsedSeconds();
+    if (retrain_span.enabled()) {
+      retrain_span.AddAttr("status", refreshed.ok() ? "ok" : "error");
+    }
+    trace.FinishSpan(std::move(retrain_span));
 
     std::unique_lock<std::mutex> lock(append_mu_);
     if (table_->Current().version != cur.version) {
@@ -318,6 +370,10 @@ void StreamSession::RunUpgrades() {
                               : action;
         upgrade_pending_ = true;
       }
+      if (trace.enabled()) {
+        trace.AddRootAttr("status", "discarded");
+        trace.FinishRoot();
+      }
       continue;
     }
     if (!refreshed.ok()) {
@@ -325,6 +381,10 @@ void StreamSession::RunUpgrades() {
           << "background upgrade failed (v" << cur.version
           << ", " << RefreshActionName(action)
           << "): " << refreshed.status().ToString();
+      if (trace.enabled()) {
+        trace.AddRootAttr("status", "error");
+        trace.FinishRoot();
+      }
       continue;  // The fold-in model stays published; drain any new request.
     }
 
@@ -358,6 +418,11 @@ void StreamSession::RunUpgrades() {
     SUBTAB_LOG_STREAM(Debug)
         << "background upgrade v" << cur.version << " r" << refresh_seq_
         << ": " << RefreshActionName(action) << " in " << seconds << "s";
+    if (trace.enabled()) {
+      trace.AddRootAttr("refresh", refresh_seq_);
+      trace.AddRootAttr("status", "ok");
+      trace.FinishRoot();
+    }
   }
 }
 

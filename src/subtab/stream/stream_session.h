@@ -12,6 +12,7 @@
 #include "subtab/stream/refresh_policy.h"
 #include "subtab/stream/streaming_table.h"
 #include "subtab/util/thread_pool.h"
+#include "subtab/util/trace.h"
 
 /// \file stream_session.h
 /// The streaming counterpart of the SubTab facade: one append-mostly table
@@ -146,6 +147,13 @@ class StreamSession {
   /// time: a stream is bound to at most one engine.
   void SetPublishListener(std::function<void(const PublishedModel&)> listener);
 
+  /// Installs the trace sink refresh traces commit to (stream.append /
+  /// stream.upgrade roots with a refresh/retrain child span each, tagged
+  /// with version + refresh generation + action). The serving engine
+  /// installs its own sink at RegisterStream so refresh traces land next to
+  /// the request traces competing with them; nullptr uninstalls.
+  void SetTraceSink(std::shared_ptr<TraceSink> sink);
+
   /// Blocks until no deferred upgrade is pending or running. Background mode
   /// only (returns immediately otherwise); for tests and orderly shutdown.
   void WaitForUpgrades();
@@ -206,6 +214,14 @@ class StreamSession {
 
   std::mutex listener_mu_;
   std::function<void(const PublishedModel&)> listener_;
+
+  /// Sink handle for refresh traces; read per maintenance operation under
+  /// its own mutex (never nested inside append_mu_/publish_mu_ sections
+  /// that call out). The TraceContexts built from it are by-value handles —
+  /// no thread-local state, matching the serving pipeline's rule.
+  mutable std::mutex trace_mu_;
+  std::shared_ptr<TraceSink> trace_sink_;
+  std::shared_ptr<TraceSink> trace_sink() const;
 
   /// Background worker (created iff options_.background_refresh). Declared
   /// last: destroyed first, so a queued upgrade task finishes against

@@ -315,7 +315,21 @@ Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
   for (size_t r = 0; r < n; ++r) {
     if (keep[r]) row_ids.push_back(r);
   }
-  return FinishScope(table, query, std::move(row_ids));
+
+  ScanStats stats;
+  stats.rows_visited = n;
+  stats.rows_matched = row_ids.size();
+  stats.predicates_evaluated = query.filters.size();
+  // Each predicate walks every chunk of its column (no pruning yet — the
+  // zone-map seam, ROADMAP item 1, will subtract into chunks_pruned here).
+  for (const Predicate& pred : query.filters) {
+    Result<size_t> col_idx = table.ColumnIndex(pred.column);
+    if (col_idx.ok()) stats.chunks_scanned += table.column(*col_idx).chunks().size();
+  }
+
+  Result<QueryScope> scope = FinishScope(table, query, std::move(row_ids));
+  if (scope.ok()) scope->stats = stats;
+  return scope;
 }
 
 Result<QueryScope> RestrictQueryScope(const Table& table,
@@ -344,7 +358,17 @@ Result<QueryScope> RestrictQueryScope(const Table& table,
     }
     if (keep) row_ids.push_back(row);
   }
-  return FinishScope(table, query, std::move(row_ids));
+
+  ScanStats stats;
+  stats.restricted = true;
+  stats.rows_visited = parent_rows.size();
+  stats.rows_matched = row_ids.size();
+  stats.predicates_evaluated = extra.size();
+  // Point lookups, not chunk walks: chunks_scanned stays 0 by definition.
+
+  Result<QueryScope> scope = FinishScope(table, query, std::move(row_ids));
+  if (scope.ok()) scope->stats = stats;
+  return scope;
 }
 
 bool SamePredicate(const Predicate& a, const Predicate& b) {

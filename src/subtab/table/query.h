@@ -71,6 +71,28 @@ struct QueryExecOptions {
   size_t min_parallel_rows = 16384;
 };
 
+/// What one scan actually did — the per-request attribution the serving
+/// pipeline records into trace span attributes ("rows scanned vs
+/// restricted", docs/OBSERVABILITY.md) and aggregates into scan.* metrics.
+/// Purely observational: nothing here feeds back into the scan.
+struct ScanStats {
+  /// Rows the filter loop touched: the table's row count for a full scan,
+  /// the parent scope's size for a restricted (containment) scan.
+  size_t rows_visited = 0;
+  /// Rows surviving the filters, before order/limit trimming.
+  size_t rows_matched = 0;
+  /// Sealed chunks of the filtered columns the scan walked (0 when there
+  /// are no filters, or on the restricted path's point lookups).
+  size_t chunks_scanned = 0;
+  /// Chunks skipped without touching their rows. Always 0 today — the
+  /// zone-map pruning seam (ROADMAP item 1) reports through this field.
+  size_t chunks_pruned = 0;
+  /// Conjuncts evaluated per visited row.
+  size_t predicates_evaluated = 0;
+  /// True for the containment tier's restricted path (RestrictQueryScope).
+  bool restricted = false;
+};
+
 /// Scan-only result: the provenance ids of a query, without materializing
 /// the result table. This is the resolve-scope stage of the serving
 /// pipeline — selection needs only the ids (core/subtab.h ResolveScope), and
@@ -78,6 +100,7 @@ struct QueryExecOptions {
 struct QueryScope {
   std::vector<size_t> row_ids;  ///< Matching source rows, result order.
   std::vector<size_t> col_ids;  ///< Projected source columns, result order.
+  ScanStats stats;              ///< What the scan cost (attribution only).
 };
 
 /// Executes an SP query's scan (filters + order + limit + projection) and

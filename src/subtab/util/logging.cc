@@ -10,6 +10,10 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 std::mutex g_log_mutex;
 
+/// Log-line tag only (never span propagation — see LogTraceScope's contract
+/// in logging.h): re-armed at each pipeline stage entry.
+thread_local uint64_t g_trace_tag = 0;
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -32,6 +36,14 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+LogTraceScope::LogTraceScope(uint64_t trace_id) : saved_(g_trace_tag) {
+  if (trace_id != 0) g_trace_tag = trace_id;
+}
+
+LogTraceScope::~LogTraceScope() { g_trace_tag = saved_; }
+
+uint64_t CurrentLogTraceId() { return g_trace_tag; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
@@ -41,11 +53,23 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
     if (*p == '/') base = p + 1;
   }
   stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  if (g_trace_tag != 0) {
+    char tag[24];
+    std::snprintf(tag, sizeof(tag), "[%016llx] ",
+                  (unsigned long long)g_trace_tag);
+    stream_ << tag;
+  }
 }
 
 LogMessage::~LogMessage() {
+  // One write call per line: interleaved fprintf("%s") + "\n" pairs from
+  // concurrent pipeline stages used to shear lines mid-message. The mutex
+  // orders whole lines; the single fwrite keeps each line atomic even
+  // against non-subtab writers sharing stderr.
+  std::string line = stream_.str();
+  line.push_back('\n');
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

@@ -1,0 +1,335 @@
+#include "subtab/util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "subtab/util/hash.h"
+#include "subtab/util/string_util.h"
+
+namespace subtab {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t SinceNs(Clock::time_point epoch) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count());
+}
+
+/// Process-unique nonzero trace ids: a counter diffused through SplitMix64,
+/// so ids sharded by value spread evenly and never collide in-process.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t id = HashMix(seq);
+  return id == 0 ? seq : id;
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+/// Attribute values are verdicts, numbers, and query strings — never
+/// arbitrary user bytes — but a stray quote must not break the JSONL.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TraceSpan
+
+void TraceSpan::AddAttr(std::string key, std::string value) {
+  if (!enabled()) return;
+  attrs.push_back(TraceAttr{std::move(key), std::move(value)});
+}
+
+void TraceSpan::AddAttr(std::string key, const char* value) {
+  AddAttr(std::move(key), std::string(value));
+}
+
+void TraceSpan::AddAttr(std::string key, uint64_t value) {
+  AddAttr(std::move(key), StrFormat("%llu", (unsigned long long)value));
+}
+
+void TraceSpan::AddAttr(std::string key, double value) {
+  AddAttr(std::move(key), StrFormat("%.6g", value));
+}
+
+const std::string* TraceSpan::FindAttr(std::string_view key) const {
+  for (const TraceAttr& attr : attrs) {
+    if (attr.key == key) return &attr.value;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------- CompletedTrace
+
+std::string CompletedTrace::ToJson() const {
+  std::string json = StrFormat(
+      "{\"trace_id\":\"%016llx\",\"name\":\"%s\",\"duration_ns\":%llu,"
+      "\"spans\":[",
+      (unsigned long long)trace_id, JsonEscape(name).c_str(),
+      (unsigned long long)duration_ns);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i > 0) json += ",";
+    json += StrFormat(
+        "{\"name\":\"%s\",\"span_id\":%llu,\"parent_id\":%llu,"
+        "\"start_ns\":%llu,\"duration_ns\":%llu,\"attrs\":{",
+        JsonEscape(span.name).c_str(), (unsigned long long)span.span_id,
+        (unsigned long long)span.parent_id, (unsigned long long)span.start_ns,
+        (unsigned long long)span.duration_ns);
+    for (size_t a = 0; a < span.attrs.size(); ++a) {
+      if (a > 0) json += ",";
+      json += StrFormat("\"%s\":\"%s\"",
+                        JsonEscape(span.attrs[a].key).c_str(),
+                        JsonEscape(span.attrs[a].value).c_str());
+    }
+    json += "}}";
+  }
+  json += "]}";
+  return json;
+}
+
+// ---------------------------------------------------------------- TraceSink
+
+TraceSink::TraceSink(TraceSinkOptions options)
+    : options_(options),
+      ring_per_shard_(std::max<size_t>(
+          1, options.ring_capacity / std::max<size_t>(1, options.shards))),
+      exemplars_per_shard_(
+          options.exemplar_capacity == 0
+              ? 0
+              : std::max<size_t>(1, options.exemplar_capacity /
+                                        std::max<size_t>(1, options.shards))) {
+  const size_t shards = std::max<size_t>(1, options.shards);
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.resize(ring_per_shard_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+TraceSink::Shard& TraceSink::ShardFor(uint64_t trace_id) const {
+  // Ids are already SplitMix64-diffused; modulo suffices.
+  return *shards_[trace_id % shards_.size()];
+}
+
+void TraceSink::Commit(std::shared_ptr<const CompletedTrace> trace) {
+  if (trace == nullptr) return;
+  const double seconds = static_cast<double>(trace->duration_ns) * 1e-9;
+  durations_.Record(seconds);
+
+  // Exemplar gate: computed outside the shard lock — the histogram is its
+  // own (relaxed-atomic) synchronization domain. The threshold trails by
+  // one commit at worst, which only shifts the pin decision for ties.
+  bool candidate = false;
+  if (exemplars_per_shard_ > 0) {
+    const LatencyHistogram::Snapshot snap = durations_.TakeSnapshot();
+    if (snap.count >= options_.exemplar_min_samples) {
+      candidate = seconds >= snap.Percentile(options_.exemplar_percentile);
+    }
+  }
+
+  Shard& shard = ShardFor(trace->trace_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.committed;
+  if (shard.ring[shard.next] != nullptr) ++shard.evicted;
+  shard.ring[shard.next] = trace;
+  shard.next = (shard.next + 1) % shard.ring.size();
+
+  if (!candidate) return;
+  if (shard.exemplars.size() < exemplars_per_shard_) {
+    shard.exemplars.push_back(std::move(trace));
+    return;
+  }
+  // Full: the fastest pinned exemplar yields iff this trace is slower —
+  // the list monotonically converges on the slowest traces observed.
+  auto fastest = std::min_element(
+      shard.exemplars.begin(), shard.exemplars.end(),
+      [](const auto& a, const auto& b) { return a->duration_ns < b->duration_ns; });
+  if ((*fastest)->duration_ns < trace->duration_ns) {
+    *fastest = std::move(trace);
+    ++shard.exemplars_evicted;
+  }
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> TraceSink::Recent() const {
+  std::vector<std::shared_ptr<const CompletedTrace>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Oldest first: the slot under the cursor is the next to be overwritten.
+    for (size_t i = 0; i < shard->ring.size(); ++i) {
+      const auto& trace = shard->ring[(shard->next + i) % shard->ring.size()];
+      if (trace != nullptr) out.push_back(trace);
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> TraceSink::Exemplars()
+    const {
+  std::vector<std::shared_ptr<const CompletedTrace>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->exemplars.begin(), shard->exemplars.end());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a->duration_ns > b->duration_ns;
+  });
+  return out;
+}
+
+TraceSinkStats TraceSink::Stats() const {
+  TraceSinkStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.committed += shard->committed;
+    stats.ring_evicted += shard->evicted;
+    stats.exemplars_pinned += shard->exemplars.size();
+    stats.exemplars_evicted += shard->exemplars_evicted;
+  }
+  const LatencyHistogram::Snapshot snap = durations_.TakeSnapshot();
+  if (snap.count >= options_.exemplar_min_samples) {
+    stats.exemplar_threshold_seconds =
+        snap.Percentile(options_.exemplar_percentile);
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------- TraceContext
+
+struct TraceContext::State {
+  uint64_t trace_id = 0;
+  Clock::time_point epoch;
+  std::shared_ptr<TraceSink> sink;
+
+  std::mutex mu;
+  TraceSpan root;                 ///< Open until FinishRoot.
+  std::vector<TraceSpan> spans;   ///< Finished children, finish order.
+  uint64_t next_span_id = 2;      ///< Root takes 1.
+  std::shared_ptr<const CompletedTrace> done;  ///< Set once by FinishRoot.
+};
+
+TraceContext TraceContext::Start(std::string root_name,
+                                 std::shared_ptr<TraceSink> sink) {
+  TraceContext ctx;
+  ctx.state_ = std::make_shared<State>();
+  ctx.state_->trace_id = NextTraceId();
+  ctx.state_->epoch = Clock::now();
+  ctx.state_->sink = std::move(sink);
+  ctx.state_->root.trace_id = ctx.state_->trace_id;
+  ctx.state_->root.span_id = 1;
+  ctx.state_->root.parent_id = 0;
+  ctx.state_->root.name = std::move(root_name);
+  ctx.state_->root.start_ns = 0;
+  return ctx;
+}
+
+uint64_t TraceContext::trace_id() const {
+  return state_ == nullptr ? 0 : state_->trace_id;
+}
+
+TraceSpan TraceContext::StartSpan(std::string name) const {
+  TraceSpan span;
+  if (state_ == nullptr) return span;
+  span.trace_id = state_->trace_id;
+  span.parent_id = 1;  // Child of the root.
+  span.name = std::move(name);
+  span.start_ns = SinceNs(state_->epoch);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  span.span_id = state_->next_span_id++;
+  return span;
+}
+
+void TraceContext::FinishSpan(TraceSpan&& span) const {
+  if (state_ == nullptr || !span.enabled()) return;
+  const uint64_t now = SinceNs(state_->epoch);
+  span.duration_ns = now >= span.start_ns ? now - span.start_ns : 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->done != nullptr) return;  // Frozen: late spans are dropped.
+  state_->spans.push_back(std::move(span));
+}
+
+void TraceContext::AddRootAttr(std::string key, std::string value) const {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->done != nullptr) return;
+  state_->root.attrs.push_back(TraceAttr{std::move(key), std::move(value)});
+}
+
+void TraceContext::AddRootAttr(std::string key, const char* value) const {
+  AddRootAttr(std::move(key), std::string(value));
+}
+
+void TraceContext::AddRootAttr(std::string key, uint64_t value) const {
+  AddRootAttr(std::move(key), StrFormat("%llu", (unsigned long long)value));
+}
+
+void TraceContext::AddRootAttr(std::string key, double value) const {
+  AddRootAttr(std::move(key), StrFormat("%.6g", value));
+}
+
+std::shared_ptr<const CompletedTrace> TraceContext::FinishRoot() const {
+  if (state_ == nullptr) return nullptr;
+  std::shared_ptr<TraceSink> sink;
+  std::shared_ptr<const CompletedTrace> done;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->done != nullptr) return state_->done;
+    state_->root.duration_ns = SinceNs(state_->epoch);
+    auto trace = std::make_shared<CompletedTrace>();
+    trace->trace_id = state_->trace_id;
+    trace->name = state_->root.name;
+    trace->duration_ns = state_->root.duration_ns;
+    trace->spans.reserve(1 + state_->spans.size());
+    trace->spans.push_back(std::move(state_->root));
+    for (TraceSpan& span : state_->spans) trace->spans.push_back(std::move(span));
+    state_->spans.clear();
+    state_->done = std::move(trace);
+    done = state_->done;
+    sink = std::move(state_->sink);
+  }
+  // Commit outside the trace's own lock: the sink has its own sharded locks
+  // and must never nest inside a per-request mutex held by a hot stage.
+  if (sink != nullptr) sink->Commit(done);
+  return done;
+}
+
+std::string TracesToJsonl(
+    const std::vector<std::shared_ptr<const CompletedTrace>>& traces) {
+  std::string out;
+  for (const auto& trace : traces) {
+    if (trace == nullptr) continue;
+    out += trace->ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace subtab
