@@ -306,8 +306,9 @@ void ReportTraces(const service::ServingEngine& engine,
   SUBTAB_CHECK(sink != nullptr);
   std::vector<std::shared_ptr<const CompletedTrace>> exemplars =
       sink->Exemplars();
-  std::vector<std::shared_ptr<const CompletedTrace>> retained = sink->Recent();
-  retained.insert(retained.end(), exemplars.begin(), exemplars.end());
+  // Non-destructive observer view: ring (newest first) + exemplars the ring
+  // already dropped, deduplicated — the same merge /traces serves.
+  std::vector<std::shared_ptr<const CompletedTrace>> retained = sink->Peek();
 
   size_t staged_traces = 0;
   size_t containment_hit_traces = 0;

@@ -9,13 +9,28 @@
 //      cache (hit counter > 0, selection work skipped),
 //   3. a second session opening the same table shares the fitted model
 //      (registry hit instead of a second pre-processing pass).
+//
+// With --admin_port=N it also boots the ops plane (ops/admin_server.h):
+// /metrics, /statusz, /traces, /healthz, /readyz on that port (0 =
+// ephemeral, printed at startup) while the demo runs, then keeps serving
+// for --serve_seconds=S after the workload so a scraper (or `curl`) has
+// something live to hit:
+//
+//   ./serving_demo --admin_port=8080 --serve_seconds=30 &
+//   curl -s localhost:8080/metrics | head
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <thread>
 
 #include "subtab/core/subtab.h"
 #include "subtab/data/datasets.h"
 #include "subtab/eda/engine_replay.h"
 #include "subtab/eda/session_generator.h"
+#include "subtab/ops/admin_server.h"
+#include "subtab/ops/slo_monitor.h"
 #include "subtab/service/engine.h"
 
 using namespace subtab;
@@ -34,12 +49,39 @@ std::vector<SpQuery> StepQueries(const std::vector<Session>& sessions) {
   return queries;
 }
 
+// `--flag=N` integer arguments (no dependency-worthy flag parsing for a
+// demo); anything unrecognized is a usage error.
+struct DemoArgs {
+  bool admin = false;
+  long admin_port = 0;
+  long serve_seconds = 0;
+};
+
+DemoArgs ParseDemoArgs(int argc, char** argv) {
+  DemoArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--admin_port=", 13) == 0) {
+      args.admin = true;
+      args.admin_port = std::strtol(arg + 13, nullptr, 10);
+    } else if (std::strncmp(arg, "--serve_seconds=", 16) == 0) {
+      args.serve_seconds = std::strtol(arg + 16, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: serving_demo [--admin_port=N] [--serve_seconds=S]\n");
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr size_t kWorkers = 4;
   constexpr size_t kK = 10;
   constexpr size_t kL = 7;
+  const DemoArgs args = ParseDemoArgs(argc, argv);
 
   std::printf("Generating the cyber-security dataset and analyst sessions...\n");
   GeneratedDataset cyber = MakeCyber(10000);
@@ -56,6 +98,24 @@ int main() {
   service::EngineOptions options;
   options.num_threads = kWorkers;
   service::ServingEngine engine(options);
+
+  // Ops plane: started BEFORE the workload so /metrics and /healthz are
+  // live for the whole run, not just the tail.
+  std::unique_ptr<ops::SloMonitor> monitor;
+  std::unique_ptr<ops::AdminServer> admin;
+  if (args.admin) {
+    monitor = std::make_unique<ops::SloMonitor>(&engine);
+    monitor->Start();
+    ops::AdminServerOptions admin_options;
+    admin_options.port = static_cast<uint16_t>(args.admin_port);
+    admin = std::make_unique<ops::AdminServer>(&engine, monitor.get(),
+                                               admin_options);
+    Status up = admin->Start();
+    SUBTAB_CHECK(up.ok());
+    std::printf("admin: ops plane on http://127.0.0.1:%u "
+                "(/metrics /statusz /traces /healthz /readyz)\n",
+                (unsigned)admin->port());
+  }
 
   SubTabConfig config;
   config.embedding.num_threads = 0;
@@ -187,5 +247,11 @@ int main() {
 
   std::printf("\nOK: >=100 queries, %zu workers, bit-identical, cache hits > 0\n",
               kWorkers);
+
+  if (admin != nullptr && args.serve_seconds > 0) {
+    std::printf("admin: serving for %lds more on port %u (ctrl-c to stop)\n",
+                args.serve_seconds, (unsigned)admin->port());
+    std::this_thread::sleep_for(std::chrono::seconds(args.serve_seconds));
+  }
   return 0;
 }

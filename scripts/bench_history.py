@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Append one trajectory record per bench run to BENCH_trajectory.jsonl.
+
+The serving bench (bench/bench_serving_throughput.cc) emits a point-in-time
+artifact (BENCH_serving.json + METRICS_serving.json); this script folds the
+run's headline numbers into an append-only history file so perf moves
+ACROSS commits, not just within one run, are visible and checkable
+(scripts/check_bench_regression.py compares the newest record against the
+rolling median of its predecessors).
+
+One JSONL record per run, keyed by git SHA + UTC timestamp:
+
+  sha, timestamp, quick          — provenance
+  rps                            — best serving_throughput phase (req/s)
+  scan_p50_ms .. select_p95_ms   — per-stage latency from trace_summary
+  shed_rate                      — overload phase shed fraction
+  containment_hit_rate           — drill-down phase with reuse ON
+  tracing_overhead               — traced vs untraced throughput delta
+  engine_requests_submitted      — scale witness from METRICS_serving.json
+
+Usage:
+  scripts/bench_history.py [--bench BENCH_serving.json]
+                           [--metrics METRICS_serving.json]
+                           [--out bench/history/BENCH_trajectory.jsonl]
+                           [--sha SHA]
+
+Standard library only. Exit 0 on append, 1 when the bench artifact is
+missing or carries none of the expected records.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+# Stage latencies tracked across runs (all emitted by the trace_summary
+# record; check_bench_schema.py guarantees they exist).
+STAGE_KEYS = [
+    "queue_scan_p50_ms",
+    "queue_scan_p95_ms",
+    "scan_p50_ms",
+    "scan_p95_ms",
+    "queue_select_p50_ms",
+    "queue_select_p95_ms",
+    "select_p50_ms",
+    "select_p95_ms",
+]
+
+
+def git_sha(explicit: str | None) -> str:
+    if explicit:
+        return explicit
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def records_by_bench(path: str) -> tuple[dict, bool]:
+    """Returns ({bench_name: [records...]}, quick_flag)."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    grouped: dict = {}
+    for record in data.get("records", []):
+        if isinstance(record, dict) and "bench" in record:
+            grouped.setdefault(record["bench"], []).append(record)
+    return grouped, bool(data.get("quick", False))
+
+
+def build_record(bench_path: str, metrics_path: str, sha: str) -> dict | None:
+    grouped, quick = records_by_bench(bench_path)
+    record: dict = {
+        "sha": sha,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "quick": quick,
+    }
+    found = 0
+
+    throughput = grouped.get("serving_throughput", [])
+    rps = [r.get("rps") for r in throughput
+           if isinstance(r.get("rps"), (int, float))]
+    if rps:
+        record["rps"] = max(rps)
+        found += 1
+
+    summary = grouped.get("trace_summary", [])
+    if summary:
+        for key in STAGE_KEYS:
+            value = summary[0].get(key)
+            if isinstance(value, (int, float)):
+                record[key] = value
+        found += 1
+
+    overload = grouped.get("serving_overload", [])
+    if overload and isinstance(overload[0].get("shed_rate"), (int, float)):
+        record["shed_rate"] = overload[0]["shed_rate"]
+        found += 1
+
+    # Two drill-down records (reuse off / on); the trajectory tracks reuse ON.
+    for drill in grouped.get("serving_drilldown", []):
+        if drill.get("containment") == 1 and \
+                isinstance(drill.get("containment_hit_rate"), (int, float)):
+            record["containment_hit_rate"] = drill["containment_hit_rate"]
+            found += 1
+            break
+
+    overhead = grouped.get("tracing_overhead", [])
+    if overhead and isinstance(overhead[0].get("overhead"), (int, float)):
+        record["tracing_overhead"] = overhead[0]["overhead"]
+        found += 1
+
+    if os.path.exists(metrics_path):
+        with open(metrics_path, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+        submitted = metrics.get("counters", {}).get(
+            "engine.requests.submitted")
+        if isinstance(submitted, int):
+            record["engine_requests_submitted"] = submitted
+
+    return record if found > 0 else None
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default="BENCH_serving.json")
+    parser.add_argument("--metrics", default="METRICS_serving.json")
+    parser.add_argument("--out",
+                        default="bench/history/BENCH_trajectory.jsonl")
+    parser.add_argument("--sha", default=None,
+                        help="override `git rev-parse` (e.g. in CI)")
+    args = parser.parse_args(argv[1:])
+
+    if not os.path.exists(args.bench):
+        print(f"bench_history: {args.bench} not found — run the serving "
+              "bench first", file=sys.stderr)
+        return 1
+    record = build_record(args.bench, args.metrics, git_sha(args.sha))
+    if record is None:
+        print(f"bench_history: {args.bench} carried none of the expected "
+              "records (serving_throughput / trace_summary / ...)",
+              file=sys.stderr)
+        return 1
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    metric_count = len([k for k in record
+                        if k not in ("sha", "timestamp", "quick")])
+    print(f"bench_history: appended {record['sha']} @ {record['timestamp']} "
+          f"({metric_count} metrics) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

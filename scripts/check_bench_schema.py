@@ -16,11 +16,23 @@ This script fails CI when either record is missing or dropped a key, so a
 refactor of the bench cannot silently stop exporting the trace summary
 (docs/OBSERVABILITY.md documents the schema).
 
+It also validates the two sibling artifacts of the ops plane when asked:
+
+  * --metrics METRICS_serving.json — the registry dump must carry the
+    counters/gauges/histograms sections with the core pipeline instruments
+    (the same names /metrics exposes in Prometheus form),
+  * --trajectory bench/history/BENCH_trajectory.jsonl — every line is a
+    JSON object with sha/timestamp, and timestamps are monotonically
+    non-decreasing (an out-of-order append corrupts the regression
+    baseline of scripts/check_bench_regression.py).
+
 Usage: scripts/check_bench_schema.py [BENCH_serving.json]
+                                     [--metrics PATH] [--trajectory PATH]
 Exit code 0 = schema intact, 1 = a record or key is missing.
 Standard library only.
 """
 
+import argparse
 import json
 import os
 import sys
@@ -50,8 +62,120 @@ REQUIRED_KEYS = {
 }
 
 
+# The registry instruments the serving engine registers at construction;
+# METRICS_serving.json (and the Prometheus /metrics endpoint rendering the
+# same registry) must never silently lose them.
+REQUIRED_METRICS = {
+    "counters": [
+        "engine.requests.submitted",
+        "engine.requests.completed",
+        "pipeline.shed.global_queue",
+        "pipeline.shed.tenant",
+    ],
+    "gauges": [
+        "engine.queue_depth",
+        "pipeline.worker_utilization",
+        "pipeline.effective_max_queue_depth",
+    ],
+    "histograms": [
+        "pipeline.latency",
+    ],
+}
+
+
+def check_metrics(path: str) -> int:
+    """Validates the METRICS_serving.json registry dump. Returns #failures."""
+    if not os.path.exists(path):
+        print(f"check_bench_schema: {path} not found", file=sys.stderr)
+        return 1
+    with open(path, encoding="utf-8") as handle:
+        metrics = json.load(handle)
+    failures = 0
+    for section, names in REQUIRED_METRICS.items():
+        table = metrics.get(section)
+        if not isinstance(table, dict):
+            print(f"check_bench_schema: {path} has no `{section}` section",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        missing = [name for name in names if name not in table]
+        if missing:
+            print(f"check_bench_schema: {path} {section} lost: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            failures += 1
+    histograms = metrics.get("histograms", {})
+    latency = histograms.get("pipeline.latency")
+    if isinstance(latency, dict) and latency.get("count", 0) <= 0:
+        print("check_bench_schema: pipeline.latency recorded no samples — "
+              "the bench served nothing", file=sys.stderr)
+        failures += 1
+    if failures == 0:
+        print(f"check_bench_schema: OK — {path} carries the pipeline "
+              "instrument catalog")
+    return failures
+
+
+def check_trajectory(path: str) -> int:
+    """Validates the bench-history JSONL. Returns #failures."""
+    if not os.path.exists(path):
+        print(f"check_bench_schema: {path} not found", file=sys.stderr)
+        return 1
+    failures = 0
+    previous_ts = ""
+    rows = 0
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            rows += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"check_bench_schema: {path}:{line_no}: bad JSON "
+                      f"({err})", file=sys.stderr)
+                failures += 1
+                continue
+            missing = [key for key in ("sha", "timestamp")
+                       if key not in record]
+            if missing:
+                print(f"check_bench_schema: {path}:{line_no}: missing "
+                      f"{', '.join(missing)}", file=sys.stderr)
+                failures += 1
+                continue
+            ts = record["timestamp"]
+            # ISO-8601 UTC stamps compare correctly as strings.
+            if previous_ts and ts < previous_ts:
+                print(f"check_bench_schema: {path}:{line_no}: timestamp "
+                      f"{ts} precedes {previous_ts} — history must be "
+                      "append-only", file=sys.stderr)
+                failures += 1
+            previous_ts = ts
+    if rows == 0:
+        print(f"check_bench_schema: {path} is empty", file=sys.stderr)
+        failures += 1
+    if failures == 0:
+        print(f"check_bench_schema: OK — {path} holds {rows} record(s), "
+              "timestamps monotonic")
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    path = argv[1] if len(argv) > 1 else "BENCH_serving.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", nargs="?", default="BENCH_serving.json")
+    parser.add_argument("--metrics", default=None,
+                        help="also validate a METRICS_serving.json dump")
+    parser.add_argument("--trajectory", default=None,
+                        help="also validate a BENCH_trajectory.jsonl history")
+    args = parser.parse_args(argv[1:])
+
+    extra_failures = 0
+    if args.metrics is not None:
+        extra_failures += check_metrics(args.metrics)
+    if args.trajectory is not None:
+        extra_failures += check_trajectory(args.trajectory)
+
+    path = args.bench
     if not os.path.exists(path):
         print(f"check_bench_schema: {path} not found", file=sys.stderr)
         return 1
@@ -98,7 +222,7 @@ def main(argv: list[str]) -> int:
               file=sys.stderr)
         failures += 1
 
-    if failures:
+    if failures or extra_failures:
         return 1
     print(f"check_bench_schema: OK — {path} carries "
           f"{', '.join(REQUIRED_KEYS)} with all required keys")

@@ -1,0 +1,141 @@
+#include "subtab/ops/prometheus.h"
+
+#include <cctype>
+#include <limits>
+
+#include "subtab/util/string_util.h"
+
+namespace subtab::ops {
+namespace {
+
+bool LegalNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// One `name value` (or `name{labels} value`) sample line.
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, double value) {
+  *out += name;
+  if (!labels.empty()) {
+    *out += "{";
+    *out += labels;
+    *out += "}";
+  }
+  // %.17g round-trips doubles; counters stay integral in this format.
+  *out += StrFormat(" %.17g\n", value);
+}
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const char* type) {
+  *out += "# HELP " + name + " " + EscapeHelpText(help) + "\n";
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& dotted) {
+  std::string out;
+  out.reserve(dotted.size() + 1);
+  for (size_t i = 0; i < dotted.size(); ++i) {
+    const char c = dotted[i];
+    if (LegalNameChar(c, /*first=*/out.empty())) {
+      out += c;
+    } else if (out.empty() && std::isdigit(static_cast<unsigned char>(c))) {
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+double LatencyBucketUpperBoundSeconds(size_t b) {
+  // util/latency_histogram.h: bucket 0 holds sub-microsecond records,
+  // bucket b in [1, kBuckets-2] holds microsecond values of bit_width b
+  // (i.e. < 2^b us), and the last bucket is the clamped overflow.
+  if (b + 1 >= LatencyHistogram::kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(1ULL << b) * 1e-6;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& prefix) {
+  const std::string base = SanitizeMetricName(prefix) + "_";
+  std::string out;
+  for (const auto& [dotted, value] : snapshot.counters) {
+    const std::string name = base + SanitizeMetricName(dotted);
+    AppendHeader(&out, name, "Counter `" + dotted + "`.", "counter");
+    AppendSample(&out, name, "", static_cast<double>(value));
+  }
+  for (const auto& [dotted, value] : snapshot.gauges) {
+    const std::string name = base + SanitizeMetricName(dotted);
+    AppendHeader(&out, name, "Gauge `" + dotted + "`.", "gauge");
+    AppendSample(&out, name, "", value);
+  }
+  for (const auto& [dotted, hist] : snapshot.histograms) {
+    const std::string name = base + SanitizeMetricName(dotted) + "_seconds";
+    AppendHeader(&out, name, "Latency histogram `" + dotted + "` (seconds).",
+                 "histogram");
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      cumulative += hist.buckets[b];
+      const double bound = LatencyBucketUpperBoundSeconds(b);
+      const std::string le =
+          bound == std::numeric_limits<double>::infinity()
+              ? "+Inf"
+              : StrFormat("%.9g", bound);
+      AppendSample(&out, name + "_bucket", "le=\"" + EscapeLabelValue(le) + "\"",
+                   static_cast<double>(cumulative));
+    }
+    AppendSample(&out, name + "_sum", "", hist.sum_seconds);
+    AppendSample(&out, name + "_count", "", static_cast<double>(hist.count));
+  }
+  return out;
+}
+
+}  // namespace subtab::ops

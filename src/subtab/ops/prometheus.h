@@ -1,0 +1,57 @@
+#ifndef SUBTAB_OPS_PROMETHEUS_H_
+#define SUBTAB_OPS_PROMETHEUS_H_
+
+#include <string>
+
+#include "subtab/util/metrics.h"
+
+/// \file prometheus.h
+/// Prometheus text-exposition rendering (format version 0.0.4) for the
+/// unified MetricsRegistry — what `GET /metrics` on the admin server
+/// (ops/admin_server.h) returns. Dependency-free: a MetricsSnapshot in, one
+/// exposition document out.
+///
+/// Mapping from the registry's dotted names (docs/OBSERVABILITY.md):
+///
+///   counter  engine.requests.submitted -> subtab_engine_requests_submitted
+///   gauge    pipeline.worker_utilization -> subtab_pipeline_worker_utilization
+///   histogram pipeline.latency -> subtab_pipeline_latency_seconds with
+///            cumulative `_bucket{le="..."}` series (one per
+///            LatencyHistogram power-of-two bucket, ending in le="+Inf"),
+///            plus `_sum` (seconds) and `_count`.
+///
+/// Every instrument in the snapshot appears exactly once, with `# HELP` and
+/// `# TYPE` headers; names are sanitized to the exposition grammar and label
+/// values escaped per the spec (tests/ops_test.cc holds the conformance
+/// checker CI runs).
+
+namespace subtab::ops {
+
+/// A dotted registry name as a legal Prometheus metric-name fragment:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Dots (and every other illegal byte) become
+/// underscores; a leading digit gets an underscore prefix.
+std::string SanitizeMetricName(const std::string& dotted);
+
+/// Label-value escaping per the exposition format: backslash, double quote,
+/// and newline are escaped; everything else passes through.
+std::string EscapeLabelValue(const std::string& value);
+
+/// HELP-text escaping: backslash and newline only (quotes are legal there).
+std::string EscapeHelpText(const std::string& text);
+
+/// The inclusive `le` upper bound, in seconds, of LatencyHistogram bucket
+/// `b` — +infinity for the last bucket. Exposed so the exposition tests can
+/// check bucket math against util/latency_histogram.h directly.
+double LatencyBucketUpperBoundSeconds(size_t b);
+
+/// Renders the whole snapshot as one exposition document. `prefix` is
+/// prepended to every metric name (`<prefix>_<sanitized dotted name>`);
+/// histograms additionally get a `_seconds` unit suffix. Instruments are
+/// emitted in the snapshot's (sorted) name order, so output is
+/// deterministic and diffs cleanly between scrapes.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "subtab");
+
+}  // namespace subtab::ops
+
+#endif  // SUBTAB_OPS_PROMETHEUS_H_

@@ -74,9 +74,25 @@ ServingEngine::ServingEngine(EngineOptions options)
   g_memory_resident_ = metrics_.gauge("memory.resident_bytes");
   g_memory_logical_ = metrics_.gauge("memory.logical_bytes");
   g_memory_saved_ = metrics_.gauge("memory.shared_saved_bytes");
+  g_effective_max_queue_depth_ = metrics_.gauge("pipeline.effective_max_queue_depth");
+  effective_max_queue_depth_.store(options_.max_queue_depth,
+                                   std::memory_order_relaxed);
+  g_effective_max_queue_depth_->Set(
+      static_cast<double>(options_.max_queue_depth));
   if (options_.tracing) {
     trace_sink_ = std::make_shared<TraceSink>(options_.trace_sink);
   }
+}
+
+bool ServingEngine::SetEffectiveMaxQueueDepth(size_t depth) {
+  if (!options_.slo_adaptive_admission || options_.max_queue_depth == 0) {
+    return false;
+  }
+  const size_t clamped =
+      std::min(std::max<size_t>(1, depth), options_.max_queue_depth);
+  effective_max_queue_depth_.store(clamped, std::memory_order_relaxed);
+  g_effective_max_queue_depth_->Set(static_cast<double>(clamped));
+  return true;
 }
 
 ServingEngine::~ServingEngine() {
@@ -309,8 +325,12 @@ SelectionKey ServingEngine::KeyFor(const TableEntry& entry,
 }
 
 ServingEngine::Admission ServingEngine::TryAdmit(const std::string& tenant) {
-  if (options_.max_queue_depth > 0 &&
-      pool_.queue_depth() >= options_.max_queue_depth) {
+  // The EFFECTIVE bound, not the configured one — SLO-adaptive admission
+  // may have tightened it (SetEffectiveMaxQueueDepth), and shed messages /
+  // /statusz report the same value, so clients and operators see one truth.
+  const size_t max_depth =
+      effective_max_queue_depth_.load(std::memory_order_relaxed);
+  if (max_depth > 0 && pool_.queue_depth() >= max_depth) {
     return Admission::kShedGlobalQueue;
   }
   if (options_.max_pending_per_tenant == 0) return Admission::kAdmitted;
@@ -421,9 +441,14 @@ std::shared_future<SelectResponse> ServingEngine::SubmitSelect(
     // connects a client's kUnavailable to its retained trace.
     std::string message =
         admission == Admission::kShedGlobalQueue
-            ? "request shed: global queue depth is over its bound"
+            ? StrFormat("request shed: global queue depth is over its "
+                        "effective bound (%llu)",
+                        (unsigned long long)effective_max_queue_depth())
             : "request shed: tenant '" + request.table_id +
-                  "' is over its bound";
+                  "' is over its bound (" +
+                  StrFormat("%llu",
+                            (unsigned long long)options_.max_pending_per_tenant) +
+                  ")";
     message += " [stage=admission";
     if (trace.enabled()) {
       message += StrFormat(", trace=%016llx",
@@ -788,6 +813,9 @@ EngineStats ServingEngine::Stats() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     stats.pipeline.tenants_tracked = tenant_pending_.size();
   }
+  stats.pipeline.max_queue_depth_effective = effective_max_queue_depth();
+  stats.pipeline.max_queue_depth_configured = options_.max_queue_depth;
+  stats.pipeline.max_pending_per_tenant = options_.max_pending_per_tenant;
 
   std::vector<std::shared_ptr<stream::StreamSession>> streams;
   std::vector<std::shared_ptr<const Table>> bound_tables;
@@ -914,7 +942,13 @@ std::string EngineStats::ToJson() const {
   json += stage_json("scan", pipeline.stage_scan) + ",";
   json += stage_json("queue_select", pipeline.stage_queue_select) + ",";
   json += stage_json("select", pipeline.stage_select);
-  json += "}},";
+  json += "},";
+  json += StrFormat(
+      "\"admission\":{\"max_queue_depth_effective\":%zu,"
+      "\"max_queue_depth_configured\":%zu,\"max_pending_per_tenant\":%zu}",
+      pipeline.max_queue_depth_effective, pipeline.max_queue_depth_configured,
+      pipeline.max_pending_per_tenant);
+  json += "},";
   json += StrFormat(
       "\"trace\":{\"committed\":%llu,\"ring_evicted\":%llu,"
       "\"exemplars_pinned\":%llu,\"exemplars_evicted\":%llu,"

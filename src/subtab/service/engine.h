@@ -135,6 +135,13 @@ struct EngineOptions {
   /// Global bound on the worker queue depth before sheds kick in for
   /// everyone. 0 = unbounded.
   size_t max_queue_depth = 0;
+  /// Lets an SLO monitor (ops/slo_monitor.h) tighten the global queue bound
+  /// at runtime while the error budget is burning and restore it on
+  /// recovery (SetEffectiveMaxQueueDepth). Off = the effective bound is
+  /// pinned to max_queue_depth and tightening requests are refused. Only
+  /// meaningful when max_queue_depth > 0 — an unbounded queue has no bound
+  /// to shrink.
+  bool slo_adaptive_admission = false;
   /// Containment-based scan reuse for drill-down sessions: on a selection-
   /// cache miss, probe the scope index for the nearest cached ancestor query
   /// (a proven superset, table/query.h QueryContains) and scan only its rows
@@ -240,6 +247,13 @@ struct PipelineStats {
   StageLatencyStats stage_scan;
   StageLatencyStats stage_queue_select;
   StageLatencyStats stage_select;
+  /// Admission limits as enforced RIGHT NOW. `max_queue_depth_effective` is
+  /// what TryAdmit checks — it differs from `max_queue_depth_configured`
+  /// only while SLO-adaptive admission has tightened it; shed messages and
+  /// /statusz both report this effective value (0 = unbounded).
+  size_t max_queue_depth_effective = 0;
+  size_t max_queue_depth_configured = 0;
+  size_t max_pending_per_tenant = 0;
 };
 
 /// Containment-tier accounting: how often a selection-cache miss was served
@@ -354,8 +368,29 @@ class ServingEngine {
   /// and histograms are live; gauges refresh on Stats()/MetricsJson().
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Mutable registry access for co-located observers (ops/slo_monitor.h
+  /// registers its slo.* gauges here so one /metrics scrape exposes engine
+  /// and monitor state together). The registry is internally synchronized.
+  MetricsRegistry* mutable_metrics() const { return &metrics_; }
+
   /// Refreshes the gauges (one Stats() pass) and renders the registry.
   std::string MetricsJson() const;
+
+  /// The global queue bound TryAdmit enforces right now: equal to
+  /// EngineOptions::max_queue_depth unless SLO-adaptive admission tightened
+  /// it (0 = unbounded).
+  size_t effective_max_queue_depth() const {
+    return effective_max_queue_depth_.load(std::memory_order_relaxed);
+  }
+  size_t configured_max_queue_depth() const { return options_.max_queue_depth; }
+
+  /// Sets the effective global queue bound (the SLO monitor's adaptive-
+  /// admission hook). Refused (returns false) unless
+  /// EngineOptions::slo_adaptive_admission is on and a finite
+  /// max_queue_depth is configured; accepted values are clamped to
+  /// [1, max_queue_depth] — adaptation may only TIGHTEN the configured
+  /// bound, never loosen it or introduce one where none was configured.
+  bool SetEffectiveMaxQueueDepth(size_t depth);
 
   /// Test-only: enqueues an opaque task on the worker pool, letting tests
   /// hold workers busy deterministically (e.g. to pin requests in flight).
@@ -471,6 +506,12 @@ class ServingEngine {
   mutable std::mutex admission_mu_;
   std::unordered_map<std::string, size_t> tenant_pending_;
 
+  /// The global queue bound TryAdmit reads (== options_.max_queue_depth
+  /// unless SLO-adaptive admission tightened it). Relaxed atomic: admission
+  /// is already approximate under concurrency, and the monitor's ticker is
+  /// the only writer.
+  std::atomic<size_t> effective_max_queue_depth_;
+
   /// Every counter/gauge/histogram the engine maintains lives here under a
   /// stable dotted name; the EngineStats sections are snapshot views over
   /// it. The pointers below are the constructor-cached instruments the
@@ -508,6 +549,7 @@ class ServingEngine {
   Gauge* g_memory_resident_;
   Gauge* g_memory_logical_;
   Gauge* g_memory_saved_;
+  Gauge* g_effective_max_queue_depth_;
 
   /// Created iff options_.tracing; shared with bound streams so refresh
   /// traces land next to request traces.

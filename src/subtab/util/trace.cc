@@ -205,6 +205,53 @@ std::vector<std::shared_ptr<const CompletedTrace>> TraceSink::Exemplars()
   return out;
 }
 
+std::vector<std::shared_ptr<const CompletedTrace>> TraceSink::Peek(
+    size_t max_traces) const {
+  std::vector<std::shared_ptr<const CompletedTrace>> out;
+  // Ring first, newest-first: walk each shard's ring backwards from the
+  // cursor, then interleave nothing across shards — shard order is
+  // unspecified anyway, and observers care about "recent + slow", not a
+  // global timeline.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (size_t i = 0; i < shard->ring.size(); ++i) {
+      const size_t slot =
+          (shard->next + shard->ring.size() - 1 - i) % shard->ring.size();
+      const auto& trace = shard->ring[slot];
+      if (trace != nullptr) out.push_back(trace);
+    }
+  }
+  // Then any pinned exemplar not already present (a slow trace may have
+  // been evicted from the ring long ago), slowest first.
+  std::vector<std::shared_ptr<const CompletedTrace>> exemplars = Exemplars();
+  for (auto& exemplar : exemplars) {
+    bool seen = false;
+    for (const auto& trace : out) {
+      if (trace->trace_id == exemplar->trace_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(std::move(exemplar));
+  }
+  if (max_traces > 0 && out.size() > max_traces) out.resize(max_traces);
+  return out;
+}
+
+std::vector<std::shared_ptr<const CompletedTrace>> TraceSink::Drain() {
+  std::vector<std::shared_ptr<const CompletedTrace>> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (size_t i = 0; i < shard->ring.size(); ++i) {
+      auto& trace = shard->ring[(shard->next + i) % shard->ring.size()];
+      if (trace != nullptr) out.push_back(std::move(trace));
+      trace = nullptr;
+    }
+    shard->next = 0;
+  }
+  return out;
+}
+
 TraceSinkStats TraceSink::Stats() const {
   TraceSinkStats stats;
   for (const auto& shard : shards_) {

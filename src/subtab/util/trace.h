@@ -127,6 +127,22 @@ class TraceSink {
   /// Pinned slow-query exemplars, slowest first.
   std::vector<std::shared_ptr<const CompletedTrace>> Exemplars() const;
 
+  /// Non-destructive observer view for ops endpoints (`/traces` on the
+  /// admin server): the ring's retained traces NEWEST first, then any
+  /// pinned exemplars not already in the ring (slowest first), deduplicated
+  /// by trace id and capped at `max_traces` (0 = everything). Peeking never
+  /// consumes — a later Peek or Drain still sees every trace.
+  std::vector<std::shared_ptr<const CompletedTrace>> Peek(
+      size_t max_traces = 0) const;
+
+  /// Destructive export of the ring: returns its contents (oldest first per
+  /// shard, cross-shard order unspecified) and clears it, so repeated
+  /// exporters (a log shipper, a trace uploader) see each trace exactly
+  /// once. Exemplars are retention, not a queue — they stay pinned and keep
+  /// appearing in Peek()/Exemplars() after a drain. Drained ring slots are
+  /// not counted as evictions.
+  std::vector<std::shared_ptr<const CompletedTrace>> Drain();
+
   TraceSinkStats Stats() const;
 
  private:

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "subtab/ops/slo_monitor.h"
 #include "subtab/service/engine.h"
 
 namespace subtab {
@@ -175,6 +176,65 @@ TEST(SaturationTest, GlobalQueueBoundShedsEveryone) {
   EXPECT_GT(shed, 0u);
   EXPECT_GT(ok, 0u);
   EXPECT_EQ(ok + shed, futures.size());
+}
+
+// The ops plane's view of this suite's induced overload: an SloMonitor
+// attached to the saturated engine must see the shed burst in its burn
+// windows and flip health to degraded, then recover once traffic runs
+// clean. The monitor is driven with real engine snapshots at synthetic
+// times (no ticker thread), so the flip is deterministic.
+TEST(SaturationTest, SloMonitorFlipsDegradedUnderInducedOverload) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.max_queue_depth = 4;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("t", SmallTable(), SmallConfig()).ok());
+
+  ops::SloOptions slo;
+  slo.short_window_seconds = 1.0;
+  slo.long_window_seconds = 2.0;
+  slo.shed_rate_objective = 0.01;
+  slo.latency_p95_objective_seconds = 1e9;  // Judge on shedding alone.
+  slo.recovery_ticks = 1;
+  ops::SloMonitor monitor(&engine, slo);
+
+  double now = 0.0;
+  engine.Stats();
+  monitor.TickWithSnapshotForTesting(engine.metrics().Snapshot(), now++);
+  EXPECT_EQ(monitor.health(), ops::HealthState::kOk);
+
+  // Same overload shape as GlobalQueueBoundShedsEveryone.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  engine.SubmitBarrierTaskForTesting([opened] { opened.wait(); });
+  std::vector<std::shared_future<SelectResponse>> futures;
+  for (int i = 0; i < 20; ++i) {
+    SelectRequest request;
+    request.table_id = "t";
+    request.query.filters = {
+        Predicate::Num("a", CmpOp::kGe, static_cast<double>(i))};
+    futures.push_back(engine.SubmitSelect(request));
+  }
+  gate.set_value();
+  engine.Drain();
+  size_t shed = 0;
+  for (auto& future : futures) {
+    if (future.get().status.code() == StatusCode::kUnavailable) ++shed;
+  }
+  ASSERT_GT(shed, 0u);
+
+  engine.Stats();
+  monitor.TickWithSnapshotForTesting(engine.metrics().Snapshot(), now++);
+  EXPECT_EQ(monitor.health(), ops::HealthState::kDegraded);
+  EXPECT_GT(monitor.status().burn_shed_short, 1.0);
+
+  // Clean ticks (no new sheds) age the burst out of the windows.
+  for (int i = 0; i < 10 && monitor.health() != ops::HealthState::kOk; ++i) {
+    engine.Stats();
+    monitor.TickWithSnapshotForTesting(engine.metrics().Snapshot(), now++);
+  }
+  EXPECT_EQ(monitor.health(), ops::HealthState::kOk);
+  EXPECT_GE(monitor.status().transitions, 2u);
 }
 
 }  // namespace

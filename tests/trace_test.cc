@@ -11,6 +11,7 @@
 #include <atomic>
 #include <future>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "subtab/service/engine.h"
@@ -224,6 +225,52 @@ TEST(TraceSinkTest, ExemplarReplacementConvergesOnSlowest) {
   EXPECT_EQ(exemplars[0]->trace_id, 205u);  // 5s
   EXPECT_EQ(exemplars[1]->trace_id, 204u);  // 4s
   EXPECT_GT(sink.Stats().exemplars_evicted, 0u);
+}
+
+TEST(TraceSinkTest, PeekIsNonDestructiveAndDrainConsumesRingOnce) {
+  TraceSinkOptions options;
+  options.ring_capacity = 8;
+  options.shards = 2;
+  options.exemplar_capacity = 2;
+  options.exemplar_percentile = 0.5;
+  options.exemplar_min_samples = 4;
+  TraceSink sink(options);
+
+  for (uint64_t i = 1; i <= 6; ++i) sink.Commit(FakeTrace(i, 1'000'000));
+  // A slow spike pinned as an exemplar, then churn it out of the ring.
+  sink.Commit(FakeTrace(500, 5'000'000'000));
+  for (uint64_t i = 7; i <= 20; ++i) sink.Commit(FakeTrace(i, 1'000'000));
+
+  // Peek merges ring + evicted exemplars, deduplicated, and is capped.
+  std::vector<std::shared_ptr<const CompletedTrace>> peeked = sink.Peek();
+  const size_t ring_size = sink.Recent().size();
+  EXPECT_GE(peeked.size(), ring_size);  // Exemplar 500 rides along.
+  bool saw_exemplar = false;
+  std::unordered_set<uint64_t> ids;
+  for (const auto& trace : peeked) {
+    EXPECT_TRUE(ids.insert(trace->trace_id).second);  // Exactly once.
+    if (trace->trace_id == 500) saw_exemplar = true;
+  }
+  EXPECT_TRUE(saw_exemplar);
+  EXPECT_EQ(sink.Peek(3).size(), 3u);
+
+  // Peeking consumed nothing: a drain after the peek still returns the
+  // whole ring, exactly once.
+  std::vector<std::shared_ptr<const CompletedTrace>> drained = sink.Drain();
+  EXPECT_EQ(drained.size(), ring_size);
+  EXPECT_TRUE(sink.Recent().empty());
+  EXPECT_TRUE(sink.Drain().empty());  // Second drain: already consumed.
+
+  // Exemplars are retention, not a queue: the pin survives the drain and
+  // still shows up in observer views.
+  ASSERT_FALSE(sink.Exemplars().empty());
+  EXPECT_EQ(sink.Exemplars()[0]->trace_id, 500u);
+  std::vector<std::shared_ptr<const CompletedTrace>> after = sink.Peek();
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0]->trace_id, 500u);
+
+  // Draining is not an eviction; the sink's stats stay truthful.
+  EXPECT_EQ(sink.Stats().committed, 21u);
 }
 
 TEST(TraceSinkTest, JsonlExportOneLinePerTrace) {
