@@ -32,8 +32,10 @@
 
 #include "bench_common.h"
 #include "subtab/cluster/kmeans.h"
+#include "subtab/core/subtab.h"
 #include "subtab/eda/session_generator.h"
 #include "subtab/service/engine.h"
+#include "subtab/util/sample_quality.h"
 #include "subtab/util/stopwatch.h"
 #include "subtab/util/string_util.h"
 
@@ -526,6 +528,87 @@ void RunTracingOverhead(const GeneratedDataset& data,
   if (!quick) SUBTAB_CHECK(overhead <= 0.03);
 }
 
+/// Sub-linear sampled selection vs the exact path on a scope large enough
+/// that the threshold (10k rows) is exceeded even in --quick. Timed on the
+/// model directly (SelectScoped with and without sampling, same seeds) so
+/// the comparison isolates the select stage; quality ratios come from the
+/// same SampleQualityCheck the engine's gate uses. Both run sizes enforce
+/// the acceptance criteria: sampled p95 <= 0.3x exact, and MEAN combined
+/// coverage+diversity ratio >= 0.95 across the paired seeds. Per-seed
+/// ratios straddle 1.0 either way (k-means local optima: a sample can beat
+/// the exact run), so the worst seed is reported but not gated — in
+/// production a sub-gate seed is exactly what the engine's quality check
+/// catches and serves exact instead (quality_fallbacks counts them here).
+void RunSampledSelection(const BenchArgs& args, BenchJsonFile* file) {
+  GeneratedDataset data = LoadDataset("CY", Sized(args, 30000, 12000));
+  Result<SubTab> fitted = SubTab::Fit(data.table, DefaultConfig());
+  SUBTAB_CHECK(fitted.ok());
+  const SubTab& model = *fitted;
+
+  SelectionScope scope;  // Full table: the worst case for exact selection.
+  SelectionSamplingOptions sampling;
+  sampling.min_rows = 1;
+  sampling.sample_rows = 2048;
+  constexpr size_t kRows = 10, kCols = 8;
+
+  // Exact is the slow side, so only the first `pairs` iterations run it
+  // (paired seeds: the quality ratio compares like with like).
+  const size_t pairs = args.quick ? 6 : 15;
+  const size_t sampled_iters = args.quick ? 24 : 60;
+
+  SampleQualityCheck quality;
+  std::vector<double> sampled_seconds, exact_seconds;
+  double worst_ratio = 2.0, ratio_sum = 0.0;
+  uint64_t checks = 0, fallbacks = 0;
+  for (size_t i = 0; i < sampled_iters; ++i) {
+    const uint64_t seed = 4242 + i;
+    const SubTabView sampled =
+        model.SelectScoped(scope, kRows, kCols, seed, sampling);
+    SUBTAB_CHECK(sampled.sampled);
+    sampled_seconds.push_back(sampled.selection_seconds);
+    if (i < pairs) {
+      const SubTabView exact = model.SelectScoped(scope, kRows, kCols, seed);
+      exact_seconds.push_back(exact.selection_seconds);
+      const double ratio = quality.QualityRatio(
+          /*model_digest=*/1, model.preprocessed().binned(),
+          /*keep_alive=*/nullptr, sampled.row_ids, sampled.col_ids,
+          exact.row_ids, exact.col_ids);
+      ++checks;
+      worst_ratio = std::min(worst_ratio, ratio);
+      ratio_sum += ratio;
+      if (ratio < 0.95) ++fallbacks;
+    }
+  }
+  std::sort(sampled_seconds.begin(), sampled_seconds.end());
+  std::sort(exact_seconds.begin(), exact_seconds.end());
+  const double sampled_p95 = PercentileMs(sampled_seconds, 0.95);
+  const double exact_p95 = PercentileMs(exact_seconds, 0.95);
+  const double speedup = exact_p95 / sampled_p95;
+  const double mean_ratio = ratio_sum / static_cast<double>(checks);
+
+  Measured(StrFormat(
+      "sampled selection %zu of %zu rows: p95 %.2f ms vs exact %.2f ms "
+      "(%.1fx, floor 3.3x)  quality ratio %.3f mean / %.3f worst "
+      "(gate 0.95 on mean; %zu of %zu seeds would fall back)",
+      sampling.sample_rows, data.table.num_rows(), sampled_p95, exact_p95,
+      speedup, mean_ratio, worst_ratio, static_cast<size_t>(fallbacks),
+      static_cast<size_t>(checks)));
+  JsonLine("selection_sampling")
+      .Field("scope_rows", static_cast<uint64_t>(data.table.num_rows()))
+      .Field("sample_rows", static_cast<uint64_t>(sampling.sample_rows))
+      .Field("sampled_select_p95_ms", sampled_p95)
+      .Field("exact_select_p95_ms", exact_p95)
+      .Field("speedup", speedup)
+      .Field("quality_ratio", mean_ratio)
+      .Field("worst_quality_ratio", worst_ratio)
+      .Field("quality_checks", checks)
+      .Field("quality_fallbacks", fallbacks)
+      .Emit(file);
+
+  SUBTAB_CHECK(sampled_p95 <= 0.3 * exact_p95);
+  SUBTAB_CHECK(mean_ratio >= 0.95);
+}
+
 }  // namespace
 }  // namespace subtab::bench
 
@@ -576,6 +659,7 @@ int main(int argc, char** argv) {
   RunOverload(data, queries, model_dir, &file);
   RunDrillDown(data, model_dir, args.quick, &file);
   RunTracingOverhead(data, queries, model_dir, args.quick, &file);
+  RunSampledSelection(args, &file);
   file.Write();
 
   // Enforced on the full-size run only: --quick's tiny tables leave too

@@ -97,6 +97,12 @@ int main(int argc, char** argv) {
 
   service::EngineOptions options;
   options.num_threads = kWorkers;
+  // This demo's headline property is that the pipeline + caches return the
+  // serial path's result bit-identically; sampled selection is a
+  // deliberate, quality-gated approximation on large scopes, so pin it off
+  // here (sampling_test and BENCH_serving's selection_sampling phase cover
+  // that path).
+  options.sampled_selection_min_rows = 0;
   service::ServingEngine engine(options);
 
   // Ops plane: started BEFORE the workload so /metrics and /healthz are

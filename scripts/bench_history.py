@@ -16,6 +16,8 @@ One JSONL record per run, keyed by git SHA + UTC timestamp:
   shed_rate                      — overload phase shed fraction
   containment_hit_rate           — drill-down phase with reuse ON
   tracing_overhead               — traced vs untraced throughput delta
+  sampled_select_p95_ms          — sampled select-stage p95 (>= 10k scope)
+  sample_quality_ratio           — mean sampled/exact combined-score ratio
   engine_requests_submitted      — scale witness from METRICS_serving.json
 
 Usage:
@@ -114,6 +116,17 @@ def build_record(bench_path: str, metrics_path: str, sha: str) -> dict | None:
     if overhead and isinstance(overhead[0].get("overhead"), (int, float)):
         record["tracing_overhead"] = overhead[0]["overhead"]
         found += 1
+
+    sampling = grouped.get("selection_sampling", [])
+    if sampling:
+        for src, dst in (("sampled_select_p95_ms", "sampled_select_p95_ms"),
+                         ("quality_ratio", "sample_quality_ratio")):
+            value = sampling[0].get(src)
+            if isinstance(value, (int, float)):
+                record[dst] = value
+        if "sampled_select_p95_ms" in record or \
+                "sample_quality_ratio" in record:
+            found += 1
 
     if os.path.exists(metrics_path):
         with open(metrics_path, encoding="utf-8") as handle:

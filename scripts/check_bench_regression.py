@@ -9,9 +9,10 @@ noisy run can neither mask a real regression nor manufacture a fake one.
 
 A metric regresses when it moves beyond --tolerance in its bad direction:
 
-  higher-is-better  (rps, containment_hit_rate):
+  higher-is-better  (rps, containment_hit_rate, sample_quality_ratio):
       value < median * (1 - tolerance)
-  lower-is-better   (stage latencies, shed_rate, tracing_overhead):
+  lower-is-better   (stage latencies incl. sampled_select_p95_ms,
+                     shed_rate, tracing_overhead):
       value > median * (1 + tolerance) + slack
       (slack absorbs ~0 baselines where any jitter is an infinite ratio)
 
@@ -31,7 +32,7 @@ import json
 import statistics
 import sys
 
-HIGHER_IS_BETTER = ["rps", "containment_hit_rate"]
+HIGHER_IS_BETTER = ["rps", "containment_hit_rate", "sample_quality_ratio"]
 LOWER_IS_BETTER = [
     "queue_scan_p95_ms",
     "scan_p50_ms",
@@ -41,6 +42,7 @@ LOWER_IS_BETTER = [
     "select_p95_ms",
     "shed_rate",
     "tracing_overhead",
+    "sampled_select_p95_ms",
 ]
 # Below this absolute baseline a lower-is-better ratio is meaningless
 # (e.g. a 0.02ms queue p95 doubling to 0.04ms); the slack is added to the

@@ -10,9 +10,12 @@ existing with stable keys:
     sink's retention counters (span coverage, containment-hit traces,
     pinned exemplars),
   * `tracing_overhead` — traced vs untraced throughput on the cold staged
-    path.
+    path,
+  * `selection_sampling` — sampled vs exact select-stage p95 on a >= 10k
+    row scope, the measured speedup, and the combined coverage+diversity
+    quality ratio with its check/fallback counts.
 
-This script fails CI when either record is missing or dropped a key, so a
+This script fails CI when any record is missing or dropped a key, so a
 refactor of the bench cannot silently stop exporting the trace summary
 (docs/OBSERVABILITY.md documents the schema).
 
@@ -58,6 +61,17 @@ REQUIRED_KEYS = {
         "rps_traced",
         "rps_untraced",
         "overhead",
+    ],
+    "selection_sampling": [
+        "scope_rows",
+        "sample_rows",
+        "sampled_select_p95_ms",
+        "exact_select_p95_ms",
+        "speedup",
+        "quality_ratio",
+        "worst_quality_ratio",
+        "quality_checks",
+        "quality_fallbacks",
     ],
 }
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "subtab/cluster/kmeans.h"
+#include "subtab/util/alias_table.h"
+#include "subtab/util/hash.h"
+#include "subtab/util/rng.h"
 #include "subtab/util/stopwatch.h"
 
 namespace subtab {
@@ -15,10 +19,69 @@ std::vector<size_t> AllIndices(size_t n) {
   return idx;
 }
 
+// Salt folded into the request seed for the sampling Rng, so the sample
+// stream is independent of the k-means++ streams derived from the same seed.
+constexpr uint64_t kSampleSeedSalt = 0xa0761d6478bd642fULL;
+
+/// Deterministic weighted sample of `want` distinct rows from `rows`.
+/// Each row is weighted by the inverse frequency of its *bin signature*
+/// (hash of its binned tokens over the visible `cols`), so rows carrying a
+/// rare value pattern — exactly the planted patterns the coverage metric
+/// rewards — are drawn far more often than redundant bulk rows. Draws with
+/// replacement from an O(1) alias table, keeping first occurrences; if the
+/// attempt budget runs out before `want` distinct rows (heavy skew), tops
+/// up in scope order so the result size is exact. Returned ids are sorted
+/// ascending and are a pure function of (rows, cols, seed).
+std::vector<size_t> SampleScopeRows(const BinnedTable& binned,
+                                    const std::vector<size_t>& rows,
+                                    const std::vector<size_t>& cols,
+                                    size_t want, uint64_t seed) {
+  std::vector<uint64_t> signature(rows.size());
+  std::unordered_map<uint64_t, uint32_t> frequency;
+  frequency.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Token* tokens = binned.row_data(rows[i]);
+    uint64_t h = kFnvOffsetBasis;
+    for (size_t c : cols) h = HashCombine(h, tokens[c]);
+    signature[i] = h;
+    ++frequency[h];
+  }
+  std::vector<double> weights(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(frequency[signature[i]]);
+  }
+  const AliasTable alias(weights);
+  Rng rng(seed ^ kSampleSeedSalt);
+
+  std::vector<char> picked(rows.size(), 0);
+  std::vector<size_t> sample;
+  sample.reserve(want);
+  // With-replacement draws discard repeats, so heavily skewed weights need
+  // slack; 8x covers the worst realistic skew and stays O(sample_rows).
+  const size_t max_attempts = 8 * want;
+  for (size_t attempt = 0; attempt < max_attempts && sample.size() < want;
+       ++attempt) {
+    const size_t i = alias.Sample(rng);
+    if (!picked[i]) {
+      picked[i] = 1;
+      sample.push_back(rows[i]);
+    }
+  }
+  for (size_t i = 0; i < rows.size() && sample.size() < want; ++i) {
+    if (!picked[i]) {
+      picked[i] = 1;
+      sample.push_back(rows[i]);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
 }  // namespace
 
 Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
-                         const SelectionScope& scope, uint64_t seed) {
+                         const SelectionScope& scope, uint64_t seed,
+                         const SelectionSamplingOptions& sampling) {
   Stopwatch watch;
   const BinnedTable& binned = pre.binned();
   const CellModel& model = pre.cell_model();
@@ -44,11 +107,28 @@ Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
   const size_t k_eff = std::min(k, rows.size());
   const size_t l_eff = std::max(std::min(l, cols.size()), std::min(targets.size(), l));
 
+  // ---- Sub-linear path: shrink the working row set before any O(rows)
+  // embedding work. The sample is deterministic in (scope, cols, seed), so
+  // a sampled selection stays a pure function of its request key.
+  const bool use_sample = sampling.min_rows > 0 &&
+                          rows.size() >= sampling.min_rows &&
+                          sampling.sample_rows < rows.size() &&
+                          k_eff < rows.size();
+  std::vector<size_t> sampled_rows;
+  if (use_sample) {
+    const size_t want = std::max(sampling.sample_rows, k_eff);
+    sampled_rows = SampleScopeRows(binned, rows, cols, want, seed);
+    out.sampled = true;
+    out.sample_rows = sampled_rows.size();
+  }
+  // Rows the clustering below actually walks: the sample, or the full scope.
+  const std::vector<size_t>& work_rows = use_sample ? sampled_rows : rows;
+
   // ---- Row selection (lines 8-12). --------------------------------------
-  if (k_eff == rows.size()) {
-    out.row_ids = rows;
+  if (k_eff == work_rows.size()) {
+    out.row_ids = work_rows;
   } else {
-    const std::vector<float> row_matrix = model.RowMatrix(rows, cols);
+    const std::vector<float> row_matrix = model.RowMatrix(work_rows, cols);
     KMeansOptions opts;
     opts.k = k_eff;
     // Multiple k-means++ restarts, like the sklearn KMeans the paper uses
@@ -59,7 +139,7 @@ Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
     const std::vector<size_t> medoids =
         ClusterRepresentatives(row_matrix, model.dim(), opts);
     out.row_ids.reserve(k_eff);
-    for (size_t m : medoids) out.row_ids.push_back(rows[m]);
+    for (size_t m : medoids) out.row_ids.push_back(work_rows[m]);
     std::sort(out.row_ids.begin(), out.row_ids.end());
   }
 
@@ -80,7 +160,9 @@ Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
     std::vector<float> col_matrix;
     col_matrix.reserve(candidates.size() * model.dim());
     for (size_t c : candidates) {
-      const std::vector<float> v = model.ColumnVector(c, rows);
+      // On the sampled path, column vectors average over the sampled rows
+      // only — the second O(rows) term of the exact path.
+      const std::vector<float> v = model.ColumnVector(c, work_rows);
       col_matrix.insert(col_matrix.end(), v.begin(), v.end());
     }
     KMeansOptions opts;

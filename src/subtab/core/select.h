@@ -31,12 +31,31 @@ struct Selection {
   std::vector<size_t> row_ids;
   std::vector<size_t> col_ids;
   double seconds = 0.0;  ///< Wall time of the selection phase (Fig. 9).
+  bool sampled = false;  ///< Selection ran over a sampled scope, not all rows.
+  size_t sample_rows = 0;  ///< Distinct scope rows in the sample (0 = exact).
+};
+
+/// Tuning for the sub-linear sampled path: when `min_rows` > 0 and the scope
+/// has at least that many rows, row k-means (and column-vector averaging)
+/// run over a deterministic weighted sample of the scope instead of every
+/// scoped row. Draws are weighted toward rare bin signatures — rows whose
+/// binned value pattern is uncommon in the scope — so small planted patterns
+/// survive the sample. The sample is a pure function of (scope, cols, seed),
+/// which keeps selection-cache and in-flight-dedup semantics sound.
+struct SelectionSamplingOptions {
+  /// Minimum scope rows before sampling kicks in; 0 disables sampling.
+  size_t min_rows = 0;
+  /// Distinct scope rows drawn for the sampled path (floored at k).
+  size_t sample_rows = 2048;
 };
 
 /// Runs centroid-based selection for a k x l display. If fewer rows/columns
-/// are visible than requested, all of them are returned.
+/// are visible than requested, all of them are returned. With `sampling`
+/// enabled and a large enough scope, runs the sub-linear sampled path and
+/// marks the result `sampled`; the default options always select exactly.
 Selection SelectSubTable(const PreprocessedTable& pre, size_t k, size_t l,
-                         const SelectionScope& scope, uint64_t seed);
+                         const SelectionScope& scope, uint64_t seed,
+                         const SelectionSamplingOptions& sampling = {});
 
 }  // namespace subtab
 

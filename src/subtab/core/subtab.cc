@@ -131,14 +131,17 @@ Result<SubTabView> SubTab::SelectForQuery(const SpQuery& query,
 }
 
 SubTabView SubTab::SelectScoped(const SelectionScope& scope, size_t k, size_t l,
-                                std::optional<uint64_t> seed) const {
-  const Selection sel =
-      SelectSubTable(pre_, k, l, scope, seed.value_or(config_.seed));
+                                std::optional<uint64_t> seed,
+                                const SelectionSamplingOptions& sampling) const {
+  const Selection sel = SelectSubTable(pre_, k, l, scope,
+                                       seed.value_or(config_.seed), sampling);
   SubTabView view;
   view.table = table_->SubTable(sel.row_ids, sel.col_ids);
   view.row_ids = sel.row_ids;
   view.col_ids = sel.col_ids;
   view.selection_seconds = sel.seconds;
+  view.sampled = sel.sampled;
+  view.sample_rows = sel.sample_rows;
   return view;
 }
 

@@ -31,6 +31,8 @@ struct SubTabView {
   std::vector<size_t> row_ids;  ///< Source row ids, ascending.
   std::vector<size_t> col_ids;  ///< Source column ids, ascending.
   double selection_seconds = 0.0;
+  bool sampled = false;    ///< Selection ran over a sampled scope.
+  size_t sample_rows = 0;  ///< Distinct scope rows sampled (0 = exact).
 };
 
 /// Containment hint for ResolveScope: the already-resolved rows of a PROVEN
@@ -126,9 +128,11 @@ class SubTab {
   /// Selection over an explicit scope (used by baselines, benches, and the
   /// serving engine). `seed` overrides the config's master seed for this one
   /// selection (nullopt = config seed), letting callers re-randomize a
-  /// display without refitting.
+  /// display without refitting. `sampling` enables the sub-linear sampled
+  /// path of core/select.h (default: always exact).
   SubTabView SelectScoped(const SelectionScope& scope, size_t k, size_t l,
-                          std::optional<uint64_t> seed = std::nullopt) const;
+                          std::optional<uint64_t> seed = std::nullopt,
+                          const SelectionSamplingOptions& sampling = {}) const;
 
  private:
   SubTab(std::shared_ptr<const Table> table, SubTabConfig config,

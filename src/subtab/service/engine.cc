@@ -38,6 +38,11 @@ ServingEngine::ServingEngine(EngineOptions options)
       selection_cache_(options.selection_cache_capacity, options.cache_shards,
                        options.scope_index_per_model,
                        options.scope_index_rows_per_model),
+      sample_quality_([&options] {
+        SampleQualityOptions quality;
+        quality.check_every = options.sample_quality_check_every;
+        return quality;
+      }()),
       pool_(options.num_threads) {
   // Register every instrument once, up front — the request path only ever
   // touches the cached pointers (metrics.h: registration is mutexed, the
@@ -61,6 +66,15 @@ ServingEngine::ServingEngine(EngineOptions options)
   c_rows_matched_ = metrics_.counter("scan.rows_matched");
   c_chunks_scanned_ = metrics_.counter("scan.chunks_scanned");
   c_chunks_pruned_ = metrics_.counter("scan.chunks_pruned");
+  c_sel_sampled_ = metrics_.counter("selection.sampled");
+  c_sel_exact_ = metrics_.counter("selection.exact");
+  c_sel_sample_rows_ = metrics_.counter("selection.sample_rows");
+  c_sel_scope_rows_ = metrics_.counter("selection.scope_rows_sampled");
+  c_sel_quality_checks_ = metrics_.counter("selection.sample_quality_checks");
+  c_sel_quality_fallbacks_ =
+      metrics_.counter("selection.sample_quality_fallbacks");
+  g_sel_last_quality_ = metrics_.gauge("selection.last_quality_ratio");
+  g_sel_min_quality_ = metrics_.gauge("selection.min_quality_ratio");
   h_latency_ = metrics_.histogram("pipeline.latency");
   h_queue_scan_ = metrics_.histogram("pipeline.stage.queue_scan");
   h_scan_ = metrics_.histogram("pipeline.stage.scan");
@@ -665,15 +679,64 @@ void ServingEngine::ExecuteSelect(const std::shared_ptr<PendingSelect>& pending)
   // k/l/seed were resolved against the model's config at submit time
   // (KeyFor), so passing them explicitly equals the serial path's
   // value_or chain bit for bit.
+  SelectionSamplingOptions sampling;
+  sampling.min_rows = options_.sampled_selection_min_rows;
+  sampling.sample_rows = options_.selection_sample_rows;
   SubTabView view = pending->model->SelectScoped(
-      pending->scope, pending->key.k, pending->key.l, pending->key.seed);
+      pending->scope, pending->key.k, pending->key.l, pending->key.seed,
+      sampling);
   c_select_busy_ns_->Add(static_cast<uint64_t>(stage.ElapsedSeconds() * 1e9));
   h_select_->Record(stage.ElapsedSeconds());
+
+  // Quality gate: on the deterministic schedule, re-run exactly and score
+  // both results; below the floor the exact result is served instead. The
+  // check (and the fallback result it may substitute) is itself a pure
+  // function of the per-model request sequence, so within one engine the
+  // memoized outcome stays consistent across duplicates and cache hits.
+  double quality_ratio = -1.0;
+  bool quality_fallback = false;
+  if (view.sampled) {
+    c_sel_sampled_->Add(1);
+    c_sel_sample_rows_->Add(view.sample_rows);
+    c_sel_scope_rows_->Add(pending->scope.rows.size());
+    if (sample_quality_.ShouldCheck(pending->key.model_digest)) {
+      SubTabView exact = pending->model->SelectScoped(
+          pending->scope, pending->key.k, pending->key.l, pending->key.seed);
+      quality_ratio = sample_quality_.QualityRatio(
+          pending->key.model_digest, pending->model->preprocessed().binned(),
+          pending->model, view.row_ids, view.col_ids, exact.row_ids,
+          exact.col_ids);
+      c_sel_quality_checks_->Add(1);
+      {
+        std::lock_guard<std::mutex> lock(quality_mu_);
+        last_quality_ratio_ = quality_ratio;
+        min_quality_ratio_ = min_quality_ratio_ == 0.0
+                                 ? quality_ratio
+                                 : std::min(min_quality_ratio_, quality_ratio);
+        g_sel_last_quality_->Set(last_quality_ratio_);
+        g_sel_min_quality_->Set(min_quality_ratio_);
+      }
+      if (quality_ratio < options_.sampled_selection_min_quality) {
+        c_sel_quality_fallbacks_->Add(1);
+        quality_fallback = true;
+        view = std::move(exact);
+      }
+    }
+  } else {
+    c_sel_exact_->Add(1);
+  }
+
   if (span.enabled()) {
     span.AddAttr("k", (uint64_t)pending->key.k);
     span.AddAttr("l", (uint64_t)pending->key.l);
     span.AddAttr("scope_rows", (uint64_t)pending->scope.rows.size());
     span.AddAttr("scope_cols", (uint64_t)pending->scope.cols.size());
+    span.AddAttr("sampled", (uint64_t)(view.sampled ? 1 : 0));
+    span.AddAttr("sample_rows", (uint64_t)view.sample_rows);
+    if (quality_ratio >= 0.0) {
+      span.AddAttr("quality_ratio", quality_ratio);
+      span.AddAttr("quality_fallback", (uint64_t)(quality_fallback ? 1 : 0));
+    }
   }
   pending->trace.FinishSpan(std::move(span));
   CachedSelection outcome;
@@ -817,6 +880,18 @@ EngineStats ServingEngine::Stats() const {
   stats.pipeline.max_queue_depth_configured = options_.max_queue_depth;
   stats.pipeline.max_pending_per_tenant = options_.max_pending_per_tenant;
 
+  stats.selection.sampled = c_sel_sampled_->Value();
+  stats.selection.exact = c_sel_exact_->Value();
+  stats.selection.sample_rows_total = c_sel_sample_rows_->Value();
+  stats.selection.scope_rows_sampled = c_sel_scope_rows_->Value();
+  stats.selection.quality_checks = c_sel_quality_checks_->Value();
+  stats.selection.quality_fallbacks = c_sel_quality_fallbacks_->Value();
+  {
+    std::lock_guard<std::mutex> lock(quality_mu_);
+    stats.selection.last_quality_ratio = last_quality_ratio_;
+    stats.selection.min_quality_ratio = min_quality_ratio_;
+  }
+
   std::vector<std::shared_ptr<stream::StreamSession>> streams;
   std::vector<std::shared_ptr<const Table>> bound_tables;
   {
@@ -958,6 +1033,18 @@ std::string EngineStats::ToJson() const {
       (unsigned long long)trace.exemplars_pinned,
       (unsigned long long)trace.exemplars_evicted,
       trace.exemplar_threshold_seconds * 1e3);
+  json += StrFormat(
+      "\"selection\":{\"sampled\":%llu,\"exact\":%llu,"
+      "\"sample_rows_total\":%llu,\"scope_rows_sampled\":%llu,"
+      "\"quality_checks\":%llu,\"quality_fallbacks\":%llu,"
+      "\"last_quality_ratio\":%.6g,\"min_quality_ratio\":%.6g},",
+      (unsigned long long)selection.sampled,
+      (unsigned long long)selection.exact,
+      (unsigned long long)selection.sample_rows_total,
+      (unsigned long long)selection.scope_rows_sampled,
+      (unsigned long long)selection.quality_checks,
+      (unsigned long long)selection.quality_fallbacks,
+      selection.last_quality_ratio, selection.min_quality_ratio);
   json += StrFormat(
       "\"selection_cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu},",

@@ -18,6 +18,7 @@
 #include "subtab/stream/stream_session.h"
 #include "subtab/util/latency_histogram.h"
 #include "subtab/util/metrics.h"
+#include "subtab/util/sample_quality.h"
 #include "subtab/util/stopwatch.h"
 #include "subtab/util/thread_pool.h"
 #include "subtab/util/trace.h"
@@ -167,6 +168,23 @@ struct EngineOptions {
   bool tracing = true;
   /// Ring/exemplar tuning of the engine's sink (ignored when !tracing).
   TraceSinkOptions trace_sink;
+  /// Sub-linear selection (core/select.h sampled path): scopes with at
+  /// least this many rows cluster over a deterministic weighted sample of
+  /// the scope instead of every scoped row. The sample is a pure function
+  /// of the request key, so caching/dedup semantics are unchanged; exact
+  /// SelectScoped stays the differential reference. 0 = always exact.
+  size_t sampled_selection_min_rows = 10000;
+  /// Distinct scope rows drawn per sampled selection (weighted toward rare
+  /// bin signatures so planted patterns survive the sample).
+  size_t selection_sample_rows = 2048;
+  /// Quality gate (util/sample_quality.h): every Nth sampled selection per
+  /// model is also run exactly and both results scored with the combined
+  /// coverage+diversity metric (Eq. 3); when sampled/exact falls below
+  /// `sampled_selection_min_quality` the exact result is served instead and
+  /// selection.sample_quality_fallbacks counts it. The first sampled
+  /// selection of each model is always checked. 0 = never check.
+  uint64_t sample_quality_check_every = 32;
+  double sampled_selection_min_quality = 0.95;
 };
 
 /// Refresh activity across every stream bound to the engine (aggregated
@@ -281,6 +299,23 @@ struct ContainmentStats {
   uint64_t scope_invalidations = 0;
 };
 
+/// Sub-linear selection accounting: how many select stages ran over a
+/// sampled scope vs the full scope, how much row work sampling skipped
+/// (`scope_rows_sampled - sample_rows_total` is the rows never embedded),
+/// and what the quality gate measured. `min_quality_ratio` is the worst
+/// sampled/exact combined-score ratio any check observed (0 until the
+/// first check).
+struct SelectionStats {
+  uint64_t sampled = 0;            ///< Select stages over a sampled scope.
+  uint64_t exact = 0;              ///< Select stages over the full scope.
+  uint64_t sample_rows_total = 0;  ///< Rows actually clustered when sampled.
+  uint64_t scope_rows_sampled = 0; ///< Scope rows of those sampled selects.
+  uint64_t quality_checks = 0;
+  uint64_t quality_fallbacks = 0;  ///< Checks that served the exact result.
+  double last_quality_ratio = 0.0;
+  double min_quality_ratio = 0.0;
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
@@ -289,6 +324,7 @@ struct EngineStats {
   StreamingStats streaming;
   MemoryStats memory;
   PipelineStats pipeline;
+  SelectionStats selection;
   /// Trace retention (zeros when tracing is disabled).
   TraceSinkStats trace;
   uint64_t requests_submitted = 0;
@@ -536,6 +572,14 @@ class ServingEngine {
   Counter* c_rows_matched_;
   Counter* c_chunks_scanned_;
   Counter* c_chunks_pruned_;
+  Counter* c_sel_sampled_;
+  Counter* c_sel_exact_;
+  Counter* c_sel_sample_rows_;
+  Counter* c_sel_scope_rows_;
+  Counter* c_sel_quality_checks_;
+  Counter* c_sel_quality_fallbacks_;
+  Gauge* g_sel_last_quality_;
+  Gauge* g_sel_min_quality_;
   LatencyHistogram* h_latency_;
   LatencyHistogram* h_queue_scan_;
   LatencyHistogram* h_scan_;
@@ -550,6 +594,14 @@ class ServingEngine {
   Gauge* g_memory_logical_;
   Gauge* g_memory_saved_;
   Gauge* g_effective_max_queue_depth_;
+
+  /// Quality gate for the sampled selection path (internally synchronized);
+  /// quality_mu_ guards only the last/min ratio aggregates below, which the
+  /// rare check path writes and Stats() reads.
+  SampleQualityCheck sample_quality_;
+  mutable std::mutex quality_mu_;
+  double last_quality_ratio_ = 0.0;
+  double min_quality_ratio_ = 0.0;
 
   /// Created iff options_.tracing; shared with bound streams so refresh
   /// traces land next to request traces.

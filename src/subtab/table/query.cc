@@ -211,7 +211,27 @@ std::vector<size_t> ScanShardBoundaries(
     }
   }
   bounds.push_back(num_rows);
-  return bounds;
+
+  // Coalescing can only MERGE chunk edges, never split them, so one
+  // dominant sealed chunk (a huge base table plus a few streamed batches)
+  // would collapse the scan to ~serial. Subdivide any group wider than the
+  // row-balanced target at row granularity — VisitRows handles arbitrary
+  // ranges, and boundaries never affect a row's verdict.
+  std::vector<size_t> split;
+  split.reserve(bounds.size());
+  split.push_back(bounds.front());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    const size_t begin = bounds[i - 1];
+    const size_t width = bounds[i] - begin;
+    if (width > target) {
+      const size_t pieces = (width + target - 1) / target;
+      for (size_t p = 1; p < pieces; ++p) {
+        split.push_back(begin + p * width / pieces);
+      }
+    }
+    split.push_back(bounds[i]);
+  }
+  return split;
 }
 
 /// Point evaluation of one bound predicate at a single row — the restricted
@@ -304,6 +324,19 @@ Result<std::vector<char>> EvalFilterMask(const Table& table,
 }
 
 }  // namespace
+
+Result<std::vector<size_t>> ScanShardBoundariesForQuery(const Table& table,
+                                                        const SpQuery& query,
+                                                        size_t num_shards) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(query.filters.size());
+  for (const Predicate& pred : query.filters) {
+    SUBTAB_ASSIGN_OR_RETURN(BoundPredicate b, BindPredicate(table, pred));
+    bound.push_back(b);
+  }
+  if (num_shards == 0) num_shards = 1;
+  return ScanShardBoundaries(bound, table.num_rows(), num_shards);
+}
 
 Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
                                      const QueryExecOptions& exec) {

@@ -108,6 +108,17 @@ struct QueryScope {
 Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
                                      const QueryExecOptions& exec = {});
 
+/// Introspection/test hook: the row boundaries the chunk-parallel filter
+/// scan would shard `query` into over `table` (bounds.front() == 0,
+/// bounds.back() == num_rows; each consecutive pair is one shard). Shards
+/// align to sealed-chunk edges where possible, but any group wider than
+/// ceil(num_rows / num_shards) is subdivided at row granularity, so a
+/// dominant sealed chunk cannot collapse the fan-out to ~serial. Boundaries
+/// only partition the row space — they never change a row's verdict.
+Result<std::vector<size_t>> ScanShardBoundariesForQuery(const Table& table,
+                                                        const SpQuery& query,
+                                                        size_t num_shards);
+
 /// True iff the two predicates are the same conjunct for caching/containment
 /// purposes: same column, op, literal type, and literal — numeric literals
 /// compared by bit pattern (so NaN == NaN and -0.0 != 0.0), matching the

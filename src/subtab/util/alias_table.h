@@ -1,0 +1,93 @@
+#ifndef SUBTAB_UTIL_ALIAS_TABLE_H_
+#define SUBTAB_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "subtab/util/check.h"
+#include "subtab/util/rng.h"
+
+/// \file alias_table.h
+/// Walker/Vose alias method: O(n) preprocessing of a fixed non-negative
+/// weight vector into two flat arrays, then O(1) weighted draws. Every draw
+/// consumes exactly two Rng values (one slot pick, one coin flip), so a
+/// sample sequence is fully determined by the Rng seed — the property the
+/// sampled selection path relies on for cache/dedup soundness: the same
+/// (scope, seed) always yields the same sampled sub-table.
+///
+/// The construction partitions slots into "small" (below-average weight) and
+/// "large" (above-average); each small slot donates its deficit to exactly
+/// one large alias partner. Weights that are zero simply never win the coin
+/// flip and alias away; an all-zero (or empty) vector degenerates to uniform
+/// over the slots.
+
+namespace subtab {
+
+class AliasTable {
+ public:
+  /// Builds the table from `weights`. Negative weights are invalid
+  /// (checked); zero weights are allowed and draw with probability 0 unless
+  /// every weight is zero, in which case draws are uniform.
+  explicit AliasTable(const std::vector<double>& weights)
+      : prob_(weights.size(), 1.0), alias_(weights.size()) {
+    const size_t n = weights.size();
+    for (size_t i = 0; i < n; ++i) alias_[i] = i;
+    if (n == 0) return;
+    double total = 0.0;
+    for (double w : weights) {
+      SUBTAB_CHECK(w >= 0.0 && "AliasTable weights must be non-negative");
+      total += w;
+    }
+    if (!(total > 0.0)) return;  // All-zero: uniform fallback.
+
+    // Scaled[i] = weight[i] * n / total; average scaled weight is 1.
+    std::vector<double> scaled(n);
+    std::vector<size_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const size_t s = small.back();
+      const size_t l = large.back();
+      small.pop_back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];  // Large donates the small slot's deficit.
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Whatever remains (either stack, from rounding) keeps prob 1 — it can
+    // only be within floating error of 1 anyway.
+    for (size_t s : small) prob_[s] = 1.0;
+    for (size_t l : large) prob_[l] = 1.0;
+  }
+
+  /// One weighted draw: a slot index in [0, size()). Consumes exactly two
+  /// Rng values regardless of the outcome, so interleaved consumers stay
+  /// reproducible.
+  size_t Sample(Rng& rng) const {
+    SUBTAB_CHECK(!prob_.empty() && "Sample() on an empty AliasTable");
+    const size_t slot = static_cast<size_t>(rng.Uniform(prob_.size()));
+    const double flip = rng.UniformDouble();
+    return flip < prob_[slot] ? slot : alias_[slot];
+  }
+
+  size_t size() const { return prob_.size(); }
+
+  /// Probability of drawing `slot` directly (vs its alias) — exposed for
+  /// tests asserting the Vose invariants.
+  double prob(size_t slot) const { return prob_[slot]; }
+  size_t alias(size_t slot) const { return alias_[slot]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_ALIAS_TABLE_H_

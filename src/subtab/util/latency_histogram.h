@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 /// \file latency_histogram.h
@@ -30,7 +31,14 @@ class LatencyHistogram {
     /// Returns the geometric midpoint of the owning bucket.
     double Percentile(double p) const {
       if (count == 0) return 0.0;
-      uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+      // Nearest-rank: the ceil(p*count)-th smallest sample, i.e. 0-based
+      // index ceil(p*count) - 1. floor(p*count) would land one sample past
+      // that whenever p*count is integral (p50 of 2 samples must be the
+      // 1st, not the 2nd), inflating percentiles by up to a bucket on
+      // round counts.
+      uint64_t rank =
+          static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+      if (rank > 0) --rank;
       if (rank >= count) rank = count - 1;
       uint64_t seen = 0;
       for (size_t b = 0; b < kBuckets; ++b) {

@@ -1,0 +1,59 @@
+#include "subtab/util/sample_quality.h"
+
+#include <utility>
+
+#include "subtab/metrics/combined.h"
+
+namespace subtab {
+
+SampleQualityCheck::SampleQualityCheck(SampleQualityOptions options)
+    : options_(std::move(options)) {}
+
+bool SampleQualityCheck::ShouldCheck(uint64_t model_digest) {
+  if (options_.check_every == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t n = scheduled_[model_digest]++;
+  return n % options_.check_every == 0;
+}
+
+const SampleQualityCheck::CacheEntry& SampleQualityCheck::EvaluatorFor(
+    uint64_t model_digest, const BinnedTable& binned,
+    std::shared_ptr<const void> keep_alive) {
+  // Held across mining: concurrent checks of the same model would otherwise
+  // mine the same rules twice. Checks are off the hot path (every Nth
+  // sampled selection), so serializing them is the cheap choice.
+  auto it = evaluators_.find(model_digest);
+  if (it != evaluators_.end()) return it->second;
+  if (evaluators_.size() >= options_.max_cached_models) evaluators_.clear();
+
+  CacheEntry entry;
+  entry.keep_alive = std::move(keep_alive);
+  entry.rules = std::make_unique<RuleSet>(MineRules(binned, options_.mining));
+  entry.evaluator = std::make_unique<CoverageEvaluator>(binned, *entry.rules);
+  return evaluators_.emplace(model_digest, std::move(entry)).first->second;
+}
+
+double SampleQualityCheck::QualityRatio(
+    uint64_t model_digest, const BinnedTable& binned,
+    std::shared_ptr<const void> keep_alive,
+    const std::vector<size_t>& sampled_rows,
+    const std::vector<size_t>& sampled_cols,
+    const std::vector<size_t>& exact_rows,
+    const std::vector<size_t>& exact_cols) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const CacheEntry& entry =
+      EvaluatorFor(model_digest, binned, std::move(keep_alive));
+  const SubTableScore sampled = ScoreSubTable(*entry.evaluator, sampled_rows,
+                                              sampled_cols, options_.alpha);
+  const SubTableScore exact = ScoreSubTable(*entry.evaluator, exact_rows,
+                                            exact_cols, options_.alpha);
+  if (!(exact.combined > 0.0)) return 1.0;
+  return sampled.combined / exact.combined;
+}
+
+size_t SampleQualityCheck::cached_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluators_.size();
+}
+
+}  // namespace subtab

@@ -1,0 +1,89 @@
+#ifndef SUBTAB_UTIL_SAMPLE_QUALITY_H_
+#define SUBTAB_UTIL_SAMPLE_QUALITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "subtab/metrics/cell_coverage.h"
+#include "subtab/rules/miner.h"
+
+/// \file sample_quality.h
+/// Quality gate for the sub-linear sampled selection path (core/select.h).
+/// Sampling trades scope coverage for speed; this gate bounds the trade the
+/// same way the refresh policy gates model staleness on measured drift: on a
+/// deterministic schedule (every Nth sampled selection per model) the
+/// serving engine re-runs the selection exactly, scores both results with
+/// the paper's combined coverage+diversity metric (Eq. 3), and serves the
+/// exact result instead when the sampled/exact ratio falls below the
+/// configured floor.
+///
+/// Scoring needs association rules, and mining them is far more expensive
+/// than one selection — so rules (and the CoverageEvaluator built from
+/// them) are mined once per model digest and cached, pinned by a keep-alive
+/// handle so the binned table the evaluator points into cannot be evicted
+/// out from under it. All entry points are thread-safe.
+
+namespace subtab {
+
+struct SampleQualityOptions {
+  /// Check every Nth sampled selection per model digest; the 1st sampled
+  /// selection of each model is always checked so a bad configuration is
+  /// caught immediately. 0 = never check.
+  uint64_t check_every = 32;
+  /// Eq. 3 weight between cell coverage and diversity.
+  double alpha = 0.5;
+  /// Rules mined per model for the coverage half of the score.
+  RuleMiningOptions mining;
+  /// Cached evaluators are cleared when more models than this accumulate
+  /// (checks are rare; re-mining after a clear is acceptable).
+  size_t max_cached_models = 8;
+};
+
+class SampleQualityCheck {
+ public:
+  explicit SampleQualityCheck(SampleQualityOptions options = {});
+
+  /// True when the next sampled selection for `model_digest` is due a
+  /// quality check under the deterministic schedule. Advances the per-model
+  /// counter as a side effect.
+  bool ShouldCheck(uint64_t model_digest);
+
+  /// Combined-score ratio sampled/exact for one selection pair over the
+  /// model's binned table. `keep_alive` owns (directly or transitively) the
+  /// storage behind `binned` and is held for the lifetime of the cached
+  /// evaluator. Returns 1.0 when the exact score is not positive (nothing
+  /// to lose); values above 1.0 are possible and simply mean the sample
+  /// scored better.
+  double QualityRatio(uint64_t model_digest, const BinnedTable& binned,
+                      std::shared_ptr<const void> keep_alive,
+                      const std::vector<size_t>& sampled_rows,
+                      const std::vector<size_t>& sampled_cols,
+                      const std::vector<size_t>& exact_rows,
+                      const std::vector<size_t>& exact_cols);
+
+  /// Cached evaluators currently held (test/ops introspection).
+  size_t cached_models() const;
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const void> keep_alive;
+    std::unique_ptr<RuleSet> rules;
+    std::unique_ptr<CoverageEvaluator> evaluator;
+  };
+
+  const CacheEntry& EvaluatorFor(uint64_t model_digest,
+                                 const BinnedTable& binned,
+                                 std::shared_ptr<const void> keep_alive);
+
+  SampleQualityOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> scheduled_;  ///< Per-model counters.
+  std::unordered_map<uint64_t, CacheEntry> evaluators_;
+};
+
+}  // namespace subtab
+
+#endif  // SUBTAB_UTIL_SAMPLE_QUALITY_H_

@@ -330,6 +330,82 @@ TEST(ParallelScanTest, BitIdenticalAcrossThreadCountsAndLayouts) {
   }
 }
 
+TEST(ParallelScanTest, SingleChunkTableShardsIntoNumShards) {
+  // Regression: a 1-chunk 100k-row table must fan out into num_shards
+  // row-balanced shards (the even-split fallback), and stay bit-identical
+  // to the serial scan.
+  const size_t n = 100000;
+  std::vector<double> a;
+  a.reserve(n);
+  for (size_t i = 0; i < n; ++i) a.push_back(static_cast<double>(i % 997));
+  Result<Table> t = Table::Make({Column::Numeric("a", a)});
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->column(size_t{0}).chunks().size(), 1u);
+
+  SpQuery q;
+  q.filters = {Predicate::Num("a", CmpOp::kLt, 500.0)};
+  const size_t num_shards = 8;
+  Result<std::vector<size_t>> bounds =
+      ScanShardBoundariesForQuery(*t, q, num_shards);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_EQ(bounds->size(), num_shards + 1);  // Exactly num_shards groups.
+  EXPECT_EQ(bounds->front(), 0u);
+  EXPECT_EQ(bounds->back(), n);
+  const size_t target = (n + num_shards - 1) / num_shards;
+  for (size_t i = 1; i < bounds->size(); ++i) {
+    EXPECT_GT((*bounds)[i], (*bounds)[i - 1]);
+    EXPECT_LE((*bounds)[i] - (*bounds)[i - 1], target);
+  }
+
+  Result<QueryScope> serial = ResolveQueryScope(*t, q);
+  QueryExecOptions exec;
+  exec.num_threads = num_shards;
+  exec.min_parallel_rows = 1;
+  Result<QueryScope> parallel = ResolveQueryScope(*t, q, exec);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(parallel->row_ids, serial->row_ids);
+  EXPECT_EQ(parallel->col_ids, serial->col_ids);
+}
+
+TEST(ParallelScanTest, DominantChunkIsSubdividedNotSerial) {
+  // Regression for the merge-only degeneration: chunk-edge coalescing could
+  // never SPLIT a group, so one dominant sealed chunk collapsed the scan to
+  // ~serial. A 60k+40k chunk layout at 8 shards used to produce 2 groups;
+  // subdivision must restore >= num_shards groups, none wider than the
+  // row-balanced target.
+  const size_t n = 100000;
+  std::vector<double> a;
+  a.reserve(n);
+  for (size_t i = 0; i < n; ++i) a.push_back(static_cast<double>(i % 811));
+  Result<Table> made = Table::Make({Column::Numeric("a", a)});
+  ASSERT_TRUE(made.ok());
+  Table t = made->Rechunked(60000);  // Chunks: 60000 + 40000 rows.
+  ASSERT_GE(t.column(size_t{0}).chunks().size(), 2u);
+
+  SpQuery q;
+  q.filters = {Predicate::Num("a", CmpOp::kGe, 100.0)};
+  const size_t num_shards = 8;
+  Result<std::vector<size_t>> bounds =
+      ScanShardBoundariesForQuery(t, q, num_shards);
+  ASSERT_TRUE(bounds.ok());
+  const size_t target = (n + num_shards - 1) / num_shards;
+  EXPECT_GE(bounds->size(), num_shards + 1);
+  EXPECT_EQ(bounds->front(), 0u);
+  EXPECT_EQ(bounds->back(), n);
+  for (size_t i = 1; i < bounds->size(); ++i) {
+    EXPECT_GT((*bounds)[i], (*bounds)[i - 1]);
+    EXPECT_LE((*bounds)[i] - (*bounds)[i - 1], target);
+  }
+
+  Result<QueryScope> serial = ResolveQueryScope(t, q);
+  QueryExecOptions exec;
+  exec.num_threads = num_shards;
+  exec.min_parallel_rows = 1;
+  Result<QueryScope> parallel = ResolveQueryScope(t, q, exec);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(parallel->row_ids, serial->row_ids);
+}
+
 TEST(ParallelScanTest, ScopeMatchesRunQueryProvenance) {
   Table t = FlightsMini();
   SpQuery q;

@@ -1,0 +1,346 @@
+// Tests for the sub-linear sampled selection path: the deterministic
+// weighted sampler in core/select.cc (alias-table draws over bin-signature
+// rarity weights), the SampleQualityCheck gate (util/sample_quality.h), and
+// the serving engine's sampled-selection integration — differential against
+// exact SelectScoped (the reference path) on identical seeds, the quality
+// gate's fallback accounting, and a concurrent sampled-selects-vs-appends
+// mix for the TSan matrix.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "subtab/core/subtab.h"
+#include "subtab/data/datasets.h"
+#include "subtab/data/generator.h"
+#include "subtab/metrics/combined.h"
+#include "subtab/rules/miner.h"
+#include "subtab/service/engine.h"
+#include "subtab/stream/stream_session.h"
+#include "subtab/util/sample_quality.h"
+
+namespace subtab {
+namespace {
+
+using service::EngineOptions;
+using service::SelectRequest;
+using service::SelectResponse;
+using service::ServingEngine;
+using stream::StreamSession;
+using stream::StreamSessionOptions;
+
+SubTabConfig SmallConfig(uint64_t seed = 7) {
+  SubTabConfig config;
+  config.k = 10;
+  config.l = 6;
+  config.embedding.dim = 16;
+  config.embedding.epochs = 1;
+  config.seed = seed;
+  return config;
+}
+
+/// A planted-pattern table (the CY generator's ground-truth rules) sized so
+/// sampling is meaningfully sub-scope.
+SubTab PatternModel(size_t rows, uint64_t seed = 7) {
+  GeneratedDataset data = MakeCyber(rows);
+  Result<SubTab> model = SubTab::Fit(data.table, SmallConfig(seed));
+  SUBTAB_CHECK(model.ok());
+  return std::move(*model);
+}
+
+/// An adversarial table for the quality gate: several id-like numeric
+/// columns with co-prime strides, so nearly every row's bin signature is
+/// unique and rarity weighting has nothing to prefer.
+Table AllUniqueRowsTable(size_t rows) {
+  std::vector<double> a, b, c, d;
+  for (size_t i = 0; i < rows; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>((i * 7919) % rows));
+    c.push_back(static_cast<double>((i * 104729) % rows));
+    d.push_back(static_cast<double>((i * 1299709) % rows));
+  }
+  Result<Table> table =
+      Table::Make({Column::Numeric("a", a), Column::Numeric("b", b),
+                   Column::Numeric("c", c), Column::Numeric("d", d)});
+  SUBTAB_CHECK(table.ok());
+  return std::move(*table);
+}
+
+// ------------------------------------------------------ Core sampled path --
+
+TEST(SampledSelectionTest, SameSeedSameResultAndValidShape) {
+  const SubTab model = PatternModel(4000);
+  SelectionScope scope;  // Full table.
+  SelectionSamplingOptions sampling;
+  sampling.min_rows = 1;
+  sampling.sample_rows = 512;
+
+  const SubTabView v1 = model.SelectScoped(scope, 10, 6, 123, sampling);
+  const SubTabView v2 = model.SelectScoped(scope, 10, 6, 123, sampling);
+  EXPECT_TRUE(v1.sampled);
+  EXPECT_GT(v1.sample_rows, 0u);
+  EXPECT_LE(v1.sample_rows, 512u);
+  EXPECT_EQ(v1.row_ids, v2.row_ids);
+  EXPECT_EQ(v1.col_ids, v2.col_ids);
+  EXPECT_EQ(v1.sample_rows, v2.sample_rows);
+
+  ASSERT_EQ(v1.row_ids.size(), 10u);
+  for (size_t i = 1; i < v1.row_ids.size(); ++i) {
+    EXPECT_LT(v1.row_ids[i - 1], v1.row_ids[i]);  // Sorted, distinct.
+  }
+  EXPECT_LT(v1.row_ids.back(), model.table().num_rows());
+}
+
+TEST(SampledSelectionTest, DisabledSamplingIsBitIdenticalToExact) {
+  const SubTab model = PatternModel(2000);
+  SelectionScope scope;
+  // min_rows = 0 disables the sampled path entirely; a threshold above the
+  // scope must behave identically.
+  for (const size_t min_rows : {size_t{0}, size_t{100000}}) {
+    SelectionSamplingOptions sampling;
+    sampling.min_rows = min_rows;
+    sampling.sample_rows = 256;
+    for (const uint64_t seed : {11ull, 77ull, 123456ull}) {
+      const SubTabView exact = model.SelectScoped(scope, 10, 6, seed);
+      const SubTabView gated = model.SelectScoped(scope, 10, 6, seed, sampling);
+      EXPECT_FALSE(exact.sampled);
+      EXPECT_FALSE(gated.sampled);
+      EXPECT_EQ(gated.row_ids, exact.row_ids) << "min_rows=" << min_rows;
+      EXPECT_EQ(gated.col_ids, exact.col_ids);
+    }
+  }
+}
+
+TEST(SampledSelectionTest, QualityRatioMeetsGateOnPlantedPatterns) {
+  const SubTab model = PatternModel(6000);
+  SelectionScope scope;
+  SelectionSamplingOptions sampling;
+  sampling.min_rows = 1;
+  sampling.sample_rows = 1024;
+
+  SampleQualityCheck quality;
+  double worst = 2.0;
+  for (const uint64_t seed : {5ull, 21ull, 99ull}) {
+    const SubTabView sampled = model.SelectScoped(scope, 10, 8, seed, sampling);
+    const SubTabView exact = model.SelectScoped(scope, 10, 8, seed);
+    ASSERT_TRUE(sampled.sampled);
+    const double ratio = quality.QualityRatio(
+        /*model_digest=*/1, model.preprocessed().binned(),
+        /*keep_alive=*/nullptr, sampled.row_ids, sampled.col_ids,
+        exact.row_ids, exact.col_ids);
+    worst = std::min(worst, ratio);
+  }
+  // The issue's acceptance gate: rarity-weighted sampling must preserve at
+  // least 95% of the exact selection's combined coverage+diversity score.
+  EXPECT_GE(worst, 0.95);
+  EXPECT_EQ(quality.cached_models(), 1u);  // Rules mined once, not per call.
+}
+
+TEST(SampleQualityCheckTest, ScheduleChecksFirstThenEveryNth) {
+  SampleQualityOptions options;
+  options.check_every = 4;
+  SampleQualityCheck quality(options);
+  // Per model: checks sampled selections 1, 5, 9, ... (the first is always
+  // checked so a misconfigured sampler is caught immediately).
+  EXPECT_TRUE(quality.ShouldCheck(1));
+  EXPECT_FALSE(quality.ShouldCheck(1));
+  EXPECT_FALSE(quality.ShouldCheck(1));
+  EXPECT_FALSE(quality.ShouldCheck(1));
+  EXPECT_TRUE(quality.ShouldCheck(1));
+  // Independent counter per model digest.
+  EXPECT_TRUE(quality.ShouldCheck(2));
+
+  SampleQualityOptions off;
+  off.check_every = 0;
+  SampleQualityCheck never(off);
+  EXPECT_FALSE(never.ShouldCheck(1));
+  EXPECT_FALSE(never.ShouldCheck(1));
+}
+
+// -------------------------------------------------------- Engine sampling --
+
+TEST(EngineSamplingTest, SampledEngineMatchesDirectSampledPath) {
+  GeneratedDataset data = MakeCyber(3000);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.sampled_selection_min_rows = 500;
+  options.selection_sample_rows = 256;
+  options.sample_quality_check_every = 0;  // Pure sampled path, no gate.
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("cy", data.table, SmallConfig()).ok());
+
+  SelectRequest request{.table_id = "cy", .query = {}, .k = {}, .l = {},
+                        .seed = {}};
+  const SelectResponse response = engine.Select(request);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.view, nullptr);
+  EXPECT_TRUE(response.view->sampled);
+  EXPECT_EQ(response.view->sample_rows, 256u);
+
+  // The engine's sampled result must equal the direct core-path result with
+  // the same options — the engine adds routing, not randomness.
+  SelectionSamplingOptions sampling;
+  sampling.min_rows = options.sampled_selection_min_rows;
+  sampling.sample_rows = options.selection_sample_rows;
+  std::shared_ptr<const SubTab> model = engine.GetModel("cy");
+  ASSERT_NE(model, nullptr);
+  const SubTabView direct =
+      model->SelectScoped(SelectionScope{{}, {}, {}}, SmallConfig().k,
+                          SmallConfig().l, std::nullopt, sampling);
+  EXPECT_EQ(response.view->row_ids, direct.row_ids);
+  EXPECT_EQ(response.view->col_ids, direct.col_ids);
+
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.selection.sampled, 1u);
+  EXPECT_EQ(stats.selection.exact, 0u);
+  EXPECT_EQ(stats.selection.sample_rows_total, 256u);
+  EXPECT_EQ(stats.selection.scope_rows_sampled, 3000u);
+  EXPECT_EQ(stats.selection.quality_checks, 0u);
+}
+
+TEST(EngineSamplingTest, ThresholdZeroEngineIsBitIdenticalToSerial) {
+  // Randomized differential: with sampling disabled the engine must remain
+  // bit-identical to the serial SelectForQuery reference, per request seed.
+  GeneratedDataset data = MakeCyber(1500);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.sampled_selection_min_rows = 0;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterTable("cy", data.table, SmallConfig()).ok());
+  Result<SubTab> reference = SubTab::Fit(data.table, SmallConfig());
+  ASSERT_TRUE(reference.ok());
+
+  const std::string numeric = data.table.column(0).name();
+  for (const uint64_t seed : {3ull, 42ull, 1001ull}) {
+    SpQuery query;
+    query.filters = {Predicate::NotNull(numeric)};
+    SelectRequest request{.table_id = "cy", .query = query, .k = {}, .l = {},
+                          .seed = seed};
+    const SelectResponse response = engine.Select(request);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.view->sampled);
+    Result<SubTabView> serial =
+        reference->SelectForQuery(query, {}, {}, seed);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(response.view->row_ids, serial->row_ids) << "seed=" << seed;
+    EXPECT_EQ(response.view->col_ids, serial->col_ids);
+  }
+  EXPECT_EQ(engine.Stats().selection.sampled, 0u);
+  EXPECT_EQ(engine.Stats().selection.exact, 3u);
+}
+
+TEST(EngineSamplingTest, UnreachableGateFallsBackToExactAndCounts) {
+  // An all-unique-rows table gives the sampler nothing to prefer, and a
+  // floor above 1 + epsilon is unreachable by construction (the ratio
+  // hovers at ~1), so every checked selection must fall back to exact.
+  Table adversarial = AllUniqueRowsTable(2000);
+  EngineOptions options;
+  options.num_threads = 2;
+  options.sampled_selection_min_rows = 500;
+  options.selection_sample_rows = 128;
+  options.sample_quality_check_every = 1;  // Check every sampled selection.
+  options.sampled_selection_min_quality = 1.25;
+  ServingEngine engine(options);
+  SubTabConfig config = SmallConfig();
+  config.k = 8;
+  config.l = 3;
+  ASSERT_TRUE(engine.RegisterTable("adv", adversarial, config).ok());
+
+  SelectRequest request{.table_id = "adv", .query = {}, .k = {}, .l = {},
+                        .seed = {}};
+  const SelectResponse response = engine.Select(request);
+  ASSERT_TRUE(response.status.ok());
+
+  // The served result is the exact fallback, bit-identical to the exact
+  // reference path (and accordingly not marked sampled).
+  std::shared_ptr<const SubTab> model = engine.GetModel("adv");
+  const SubTabView exact =
+      model->SelectScoped(SelectionScope{{}, {}, {}}, config.k, config.l);
+  EXPECT_FALSE(response.view->sampled);
+  EXPECT_EQ(response.view->row_ids, exact.row_ids);
+  EXPECT_EQ(response.view->col_ids, exact.col_ids);
+
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.selection.sampled, 1u);  // It ran sampled, then fell back.
+  EXPECT_EQ(stats.selection.quality_checks, 1u);
+  EXPECT_EQ(stats.selection.quality_fallbacks, 1u);
+  EXPECT_GT(stats.selection.last_quality_ratio, 0.0);
+  EXPECT_LT(stats.selection.last_quality_ratio, 1.25);
+  EXPECT_EQ(stats.selection.min_quality_ratio,
+            stats.selection.last_quality_ratio);
+}
+
+// ---------------------------------------------- Concurrency (TSan matrix) --
+
+Table GrowingTable(size_t n, size_t offset = 0) {
+  std::vector<double> a, b;
+  std::vector<std::string> c;
+  for (size_t i = offset; i < offset + n; ++i) {
+    a.push_back(static_cast<double>(i % 60));
+    b.push_back(static_cast<double>(i % 7) * 2.5);
+    c.push_back(i % 3 == 0 ? "x" : i % 3 == 1 ? "y" : "z");
+  }
+  Result<Table> table = Table::Make({Column::Numeric("a", a),
+                                     Column::Numeric("b", b),
+                                     Column::Categorical("c", c)});
+  SUBTAB_CHECK(table.ok());
+  return std::move(*table);
+}
+
+TEST(EngineSamplingTest, ConcurrentSampledSelectsWithStreamAppends) {
+  StreamSessionOptions stream_options;
+  stream_options.config = SmallConfig();
+  stream_options.config.k = 4;
+  stream_options.config.l = 3;
+  stream_options.policy.max_out_of_range_rate = 1.0;
+  stream_options.policy.max_new_category_rate = 1.0;
+  stream_options.policy.staleness_budget = 1e9;
+  stream_options.policy.incremental_threshold = 1e9;
+  auto session = StreamSession::Open(GrowingTable(600), stream_options);
+  ASSERT_TRUE(session.ok());
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.sampled_selection_min_rows = 200;
+  options.selection_sample_rows = 64;
+  options.sample_quality_check_every = 4;
+  ServingEngine engine(options);
+  ASSERT_TRUE(engine.RegisterStream("live", *session).ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> selectors;
+  for (int t = 0; t < 3; ++t) {
+    selectors.emplace_back([&engine, &failures, t] {
+      for (int i = 0; i < 25; ++i) {
+        SelectRequest request{.table_id = "live", .query = {}, .k = {},
+                              .l = {},
+                              .seed = static_cast<uint64_t>(t * 1000 + i)};
+        const SelectResponse response = engine.Select(request);
+        if (!response.status.ok() || response.view == nullptr) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread appender([&engine, &failures] {
+    for (int i = 0; i < 8; ++i) {
+      if (!engine.Append("live", GrowingTable(20, 600 + 20 * i)).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  for (auto& thread : selectors) thread.join();
+  appender.join();
+  engine.Drain();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.requests_completed, 75u);
+  EXPECT_GE(stats.selection.sampled + stats.selection.quality_fallbacks, 1u);
+  EXPECT_GE(stats.selection.quality_checks, 1u);
+}
+
+}  // namespace
+}  // namespace subtab

@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "subtab/util/alias_table.h"
 #include "subtab/util/bitset.h"
 #include "subtab/util/latency_histogram.h"
 #include "subtab/util/parallel.h"
@@ -441,6 +442,101 @@ TEST(LatencyHistogramTest, EmptyAndEdgeCases) {
   hist.Record(0.0);
   hist.Record(-1.0);  // Clamped, not UB.
   EXPECT_EQ(hist.TakeSnapshot().count, 2u);
+}
+
+// Bucket midpoints the histogram reports: 100us lands in bucket 7
+// ([64, 128)us, mid 96us); 400ms lands in bucket 19 ([262, 524)ms,
+// mid ~393ms). Pinning the exact returns makes the nearest-rank math
+// observable through the bucketing.
+constexpr double kFastMid = 96e-6;
+constexpr double kSlowMid = 393216e-6;
+
+TEST(LatencyHistogramTest, NearestRankP50OfTwoIsTheSmaller) {
+  LatencyHistogram hist;
+  hist.Record(100e-6);
+  hist.Record(0.4);
+  const LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  // Nearest-rank p50 of two samples is the 1st (ceil(0.5*2) = 1), not the
+  // 2nd — the off-by-one this pins reported the larger sample.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), kFastMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.51), kSlowMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), kSlowMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), kFastMid);
+}
+
+TEST(LatencyHistogramTest, NearestRankPinnedOnRoundCounts) {
+  // 95 fast + 5 slow: p95 is the 95th smallest (ceil(0.95*100) = 95) —
+  // still fast; p96 and p99 cross into the slow tail.
+  LatencyHistogram hist;
+  for (int i = 0; i < 95; ++i) hist.Record(100e-6);
+  for (int i = 0; i < 5; ++i) hist.Record(0.4);
+  const LatencyHistogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), kFastMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.95), kFastMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.96), kSlowMid);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), kSlowMid);
+
+  // 50 fast + 50 slow: p50 = 50th sample = fast (floor-rank reported slow).
+  LatencyHistogram half;
+  for (int i = 0; i < 50; ++i) half.Record(100e-6);
+  for (int i = 0; i < 50; ++i) half.Record(0.4);
+  EXPECT_DOUBLE_EQ(half.TakeSnapshot().Percentile(0.50), kFastMid);
+
+  // A single sample answers every percentile with its own bucket.
+  LatencyHistogram one;
+  one.Record(0.4);
+  EXPECT_DOUBLE_EQ(one.TakeSnapshot().Percentile(0.50), kSlowMid);
+  EXPECT_DOUBLE_EQ(one.TakeSnapshot().Percentile(0.99), kSlowMid);
+}
+
+// ----------------------------------------------------------- Alias table --
+
+TEST(AliasTableTest, VoseInvariantsAndZeroWeightNeverDrawn) {
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  AliasTable alias(weights);
+  ASSERT_EQ(alias.size(), 3u);
+  // Every slot's alias must point at a valid slot.
+  for (size_t s = 0; s < alias.size(); ++s) {
+    EXPECT_GE(alias.prob(s), 0.0);
+    EXPECT_LE(alias.prob(s), 1.0);
+    EXPECT_LT(alias.alias(s), alias.size());
+  }
+  Rng rng(42);
+  size_t hits[3] = {0, 0, 0};
+  const size_t draws = 40000;
+  for (size_t i = 0; i < draws; ++i) ++hits[alias.Sample(rng)];
+  EXPECT_EQ(hits[1], 0u);  // Zero weight: never drawn.
+  // Empirical frequencies track 1:3 within a loose band.
+  EXPECT_NEAR(static_cast<double>(hits[0]) / draws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / draws, 0.75, 0.02);
+}
+
+TEST(AliasTableTest, DeterministicAcrossInstances) {
+  const std::vector<double> weights = {0.5, 2.0, 1.0, 0.25, 4.0};
+  AliasTable a(weights);
+  AliasTable b(weights);
+  Rng ra(7);
+  Rng rb(7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.Sample(ra), b.Sample(rb));
+  // A different seed yields a different draw sequence somewhere.
+  Rng rc(8);
+  bool diverged = false;
+  Rng ra2(7);
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.Sample(ra2) != a.Sample(rc);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(AliasTableTest, AllZeroAndSingleSlotDegenerateToUniform) {
+  AliasTable zero(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  Rng rng(3);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(zero.Sample(rng));
+  EXPECT_EQ(seen.size(), 4u);  // Uniform fallback reaches every slot.
+
+  AliasTable single(std::vector<double>{5.0});
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(single.Sample(rng), 0u);
 }
 
 }  // namespace
