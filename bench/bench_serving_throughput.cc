@@ -35,6 +35,7 @@
 #include "subtab/core/subtab.h"
 #include "subtab/eda/session_generator.h"
 #include "subtab/service/engine.h"
+#include "subtab/table/query.h"
 #include "subtab/util/sample_quality.h"
 #include "subtab/util/stopwatch.h"
 #include "subtab/util/string_util.h"
@@ -609,6 +610,117 @@ void RunSampledSelection(const BenchArgs& args, BenchJsonFile* file) {
   SUBTAB_CHECK(mean_ratio >= 0.95);
 }
 
+/// Zone-map pruning on the scan stage itself: a wide clustered table
+/// (ascending timestamps rechunked into ~128 sealed chunks, a block-local
+/// categorical riding along) under narrowing drill-down chains — the
+/// analyst refinement pattern where each step's range is a subset of its
+/// parent's, so most chunks refute most steps. ResolveQueryScope is timed
+/// directly (pruning on vs off, identical queries and repeats) so the
+/// comparison isolates the filter scan from selection/caching; bit-identity
+/// is asserted on every query. Both run sizes enforce the acceptance bar:
+/// mean pruned-chunk fraction >= 60% and full-scan p95 >= 2x the pruned p95.
+void RunScanPruning(const BenchArgs& args, BenchJsonFile* file) {
+  const size_t rows = Sized(args, 512000, 128000);
+  constexpr size_t kChunks = 128;
+  const size_t chunk_rows = rows / kChunks;
+  constexpr size_t kBlocks = 8;  // Categorical value per table eighth.
+  std::vector<double> ts(rows);
+  std::vector<std::string> shard(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ts[i] = static_cast<double>(i);
+    shard[i] = "shard" + std::to_string(i * kBlocks / rows);
+  }
+  Result<Table> made =
+      Table::Make({Column::Numeric("ts", ts).Rechunked(chunk_rows),
+                   Column::Categorical("shard", shard).Rechunked(chunk_rows)});
+  SUBTAB_CHECK(made.ok());
+  const Table& table = *made;
+
+  // Drill-down chains: each starts on a quarter of the domain at a random
+  // offset plus the shard holding its lower edge, then tightens the range
+  // by 0.6x per step — interval containment, like DrillDownSessions.
+  const size_t chains = Sized(args, 8, 4);
+  constexpr size_t kSteps = 10;
+  std::mt19937 rng(271);
+  std::uniform_real_distribution<double> offset(0.0, 0.7);
+  std::vector<SpQuery> queries;
+  for (size_t c = 0; c < chains; ++c) {
+    const double lo = offset(rng) * static_cast<double>(rows);
+    double span = 0.25 * static_cast<double>(rows);
+    const std::string value =
+        "shard" + std::to_string(static_cast<size_t>(lo) * kBlocks / rows);
+    for (size_t s = 0; s < kSteps; ++s) {
+      SpQuery q;
+      q.filters = {Predicate::Num("ts", CmpOp::kGe, lo),
+                   Predicate::Num("ts", CmpOp::kLt, lo + span),
+                   Predicate::Str("shard", CmpOp::kEq, value)};
+      queries.push_back(q);
+      span *= 0.6;
+    }
+  }
+
+  QueryExecOptions pruned;  // Serial: isolate pruning from thread fan-out.
+  pruned.zone_map_pruning = true;
+  QueryExecOptions full = pruned;
+  full.zone_map_pruning = false;
+
+  const size_t repeats = Sized(args, 9, 5);
+  std::vector<double> pruned_seconds, full_seconds;
+  double pruned_fraction_sum = 0.0;
+  uint64_t code_eval = 0;
+  for (const SpQuery& q : queries) {
+    Result<QueryScope> off = ResolveQueryScope(table, q, full);
+    SUBTAB_CHECK(off.ok());
+    Result<QueryScope> on = ResolveQueryScope(table, q, pruned);
+    SUBTAB_CHECK(on.ok());
+    SUBTAB_CHECK(on->row_ids == off->row_ids);  // Bit-identity, every query.
+    SUBTAB_CHECK(on->col_ids == off->col_ids);
+    const ScanStats& s = on->stats;
+    SUBTAB_CHECK(s.chunks_scanned + s.chunks_pruned ==
+                 off->stats.chunks_scanned);
+    pruned_fraction_sum += static_cast<double>(s.chunks_pruned) /
+                           static_cast<double>(std::max<size_t>(
+                               1, s.chunks_scanned + s.chunks_pruned));
+    code_eval += s.code_eval_predicates;
+    for (size_t r = 0; r < repeats; ++r) {
+      Stopwatch watch;
+      (void)ResolveQueryScope(table, q, pruned);
+      pruned_seconds.push_back(watch.ElapsedSeconds());
+      watch.Reset();
+      (void)ResolveQueryScope(table, q, full);
+      full_seconds.push_back(watch.ElapsedSeconds());
+    }
+  }
+  std::sort(pruned_seconds.begin(), pruned_seconds.end());
+  std::sort(full_seconds.begin(), full_seconds.end());
+  const double pruned_p95 = PercentileMs(pruned_seconds, 0.95);
+  const double full_p95 = PercentileMs(full_seconds, 0.95);
+  const double speedup = full_p95 / pruned_p95;
+  const double pruned_fraction =
+      pruned_fraction_sum / static_cast<double>(queries.size());
+
+  Measured(StrFormat(
+      "scan pruning over %zu rows / %zu chunks: %zu drill-down queries, "
+      "%.1f%% chunks pruned (floor 60%%), scan p95 %.3f ms pruned vs %.3f ms "
+      "full (%.1fx, floor 2x), %llu code-eval conjuncts",
+      rows, kChunks, queries.size(), pruned_fraction * 100.0, pruned_p95,
+      full_p95, speedup, static_cast<unsigned long long>(code_eval)));
+  JsonLine("scan_pruning")
+      .Field("table_rows", static_cast<uint64_t>(rows))
+      .Field("chunks", static_cast<uint64_t>(kChunks))
+      .Field("queries", static_cast<uint64_t>(queries.size()))
+      .Field("pruned_chunk_fraction", pruned_fraction)
+      .Field("scan_p95_pruned_ms", pruned_p95)
+      .Field("scan_p95_full_ms", full_p95)
+      .Field("speedup", speedup)
+      .Field("code_eval_predicates", code_eval)
+      .Field("bit_identical", uint64_t{1})
+      .Emit(file);
+
+  SUBTAB_CHECK(pruned_fraction >= 0.6);
+  SUBTAB_CHECK(speedup >= 2.0);
+}
+
 }  // namespace
 }  // namespace subtab::bench
 
@@ -660,6 +772,7 @@ int main(int argc, char** argv) {
   RunDrillDown(data, model_dir, args.quick, &file);
   RunTracingOverhead(data, queries, model_dir, args.quick, &file);
   RunSampledSelection(args, &file);
+  RunScanPruning(args, &file);
   file.Write();
 
   // Enforced on the full-size run only: --quick's tiny tables leave too

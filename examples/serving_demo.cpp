@@ -201,6 +201,22 @@ int main(int argc, char** argv) {
   SUBTAB_CHECK(pipeline.latency_p99_ms >= pipeline.latency_p50_ms);
   SUBTAB_CHECK(stats.ToJson().find("\"worker_utilization\"") != std::string::npos);
 
+  // Scan attribution: zone maps prune chunks a conjunct provably cannot
+  // match, and dictionary-column conjuncts run over integer codes.
+  const service::ScanAttributionStats& scan = stats.scan;
+  const uint64_t scan_chunk_walk = scan.chunks_scanned + scan.chunks_pruned;
+  std::printf("scan: %llu chunks walked, %llu pruned by zone maps (%.0f%%), "
+              "%llu code-eval conjuncts, %llu rows visited\n",
+              (unsigned long long)scan_chunk_walk,
+              (unsigned long long)scan.chunks_pruned,
+              scan_chunk_walk == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(scan.chunks_pruned) /
+                        static_cast<double>(scan_chunk_walk),
+              (unsigned long long)scan.code_eval_predicates,
+              (unsigned long long)scan.rows_visited);
+  SUBTAB_CHECK(stats.ToJson().find("\"chunks_pruned\"") != std::string::npos);
+
   // ---- 5. Request-scoped tracing: the per-request stage waterfall. ---------
   // A fresh seed forces a cache miss, so the request walks every stage:
   // queue.scan -> scan -> queue.select -> select under one root span.
@@ -231,6 +247,15 @@ int main(int argc, char** argv) {
                 static_cast<double>(span.duration_ns) * 1e-6, attrs.c_str());
   }
   SUBTAB_CHECK(trace.spans.size() == 5);  // root + 4 stage spans
+  // The scan span's waterfall line carries the zone-map attribution.
+  bool scan_span_attributed = false;
+  for (const TraceSpan& span : trace.spans) {
+    if (span.name != "scan") continue;
+    for (const TraceAttr& attr : span.attrs) {
+      if (attr.key == "chunks_pruned") scan_span_attributed = true;
+    }
+  }
+  SUBTAB_CHECK(scan_span_attributed);
   uint64_t staged_ns = 0;
   for (const TraceSpan& span : trace.spans) {
     if (span.parent_id != 0) {

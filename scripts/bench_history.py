@@ -18,6 +18,8 @@ One JSONL record per run, keyed by git SHA + UTC timestamp:
   tracing_overhead               — traced vs untraced throughput delta
   sampled_select_p95_ms          — sampled select-stage p95 (>= 10k scope)
   sample_quality_ratio           — mean sampled/exact combined-score ratio
+  pruned_chunk_fraction          — mean zone-map pruned fraction (scan bench)
+  pruned_scan_p95_ms             — pruned-scan p95 over the drill-down chains
   engine_requests_submitted      — scale witness from METRICS_serving.json
 
 Usage:
@@ -126,6 +128,17 @@ def build_record(bench_path: str, metrics_path: str, sha: str) -> dict | None:
                 record[dst] = value
         if "sampled_select_p95_ms" in record or \
                 "sample_quality_ratio" in record:
+            found += 1
+
+    pruning = grouped.get("scan_pruning", [])
+    if pruning:
+        for src, dst in (("pruned_chunk_fraction", "pruned_chunk_fraction"),
+                         ("scan_p95_pruned_ms", "pruned_scan_p95_ms")):
+            value = pruning[0].get(src)
+            if isinstance(value, (int, float)):
+                record[dst] = value
+        if "pruned_chunk_fraction" in record or \
+                "pruned_scan_p95_ms" in record:
             found += 1
 
     if os.path.exists(metrics_path):

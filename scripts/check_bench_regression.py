@@ -9,10 +9,11 @@ noisy run can neither mask a real regression nor manufacture a fake one.
 
 A metric regresses when it moves beyond --tolerance in its bad direction:
 
-  higher-is-better  (rps, containment_hit_rate, sample_quality_ratio):
+  higher-is-better  (rps, containment_hit_rate, sample_quality_ratio,
+                     pruned_chunk_fraction):
       value < median * (1 - tolerance)
-  lower-is-better   (stage latencies incl. sampled_select_p95_ms,
-                     shed_rate, tracing_overhead):
+  lower-is-better   (stage latencies incl. sampled_select_p95_ms and
+                     pruned_scan_p95_ms, shed_rate, tracing_overhead):
       value > median * (1 + tolerance) + slack
       (slack absorbs ~0 baselines where any jitter is an infinite ratio)
 
@@ -32,7 +33,8 @@ import json
 import statistics
 import sys
 
-HIGHER_IS_BETTER = ["rps", "containment_hit_rate", "sample_quality_ratio"]
+HIGHER_IS_BETTER = ["rps", "containment_hit_rate", "sample_quality_ratio",
+                    "pruned_chunk_fraction"]
 LOWER_IS_BETTER = [
     "queue_scan_p95_ms",
     "scan_p50_ms",
@@ -43,6 +45,7 @@ LOWER_IS_BETTER = [
     "shed_rate",
     "tracing_overhead",
     "sampled_select_p95_ms",
+    "pruned_scan_p95_ms",
 ]
 # Below this absolute baseline a lower-is-better ratio is meaningless
 # (e.g. a 0.02ms queue p95 doubling to 0.04ms); the slack is added to the

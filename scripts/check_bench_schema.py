@@ -13,7 +13,11 @@ existing with stable keys:
     path,
   * `selection_sampling` — sampled vs exact select-stage p95 on a >= 10k
     row scope, the measured speedup, and the combined coverage+diversity
-    quality ratio with its check/fallback counts.
+    quality ratio with its check/fallback counts,
+  * `scan_pruning` — zone-map pruned vs full scan p95 under narrowing
+    drill-down chains, the mean pruned-chunk fraction, and the
+    dictionary-code conjunct count (bit_identical pins the equivalence
+    assertion the bench ran).
 
 This script fails CI when any record is missing or dropped a key, so a
 refactor of the bench cannot silently stop exporting the trace summary
@@ -73,6 +77,17 @@ REQUIRED_KEYS = {
         "quality_checks",
         "quality_fallbacks",
     ],
+    "scan_pruning": [
+        "table_rows",
+        "chunks",
+        "queries",
+        "pruned_chunk_fraction",
+        "scan_p95_pruned_ms",
+        "scan_p95_full_ms",
+        "speedup",
+        "code_eval_predicates",
+        "bit_identical",
+    ],
 }
 
 
@@ -85,6 +100,8 @@ REQUIRED_METRICS = {
         "engine.requests.completed",
         "pipeline.shed.global_queue",
         "pipeline.shed.tenant",
+        "scan.chunks_pruned",
+        "scan.code_eval_predicates",
     ],
     "gauges": [
         "engine.queue_depth",

@@ -66,6 +66,7 @@ ServingEngine::ServingEngine(EngineOptions options)
   c_rows_matched_ = metrics_.counter("scan.rows_matched");
   c_chunks_scanned_ = metrics_.counter("scan.chunks_scanned");
   c_chunks_pruned_ = metrics_.counter("scan.chunks_pruned");
+  c_code_eval_preds_ = metrics_.counter("scan.code_eval_predicates");
   c_sel_sampled_ = metrics_.counter("selection.sampled");
   c_sel_exact_ = metrics_.counter("selection.exact");
   c_sel_sample_rows_ = metrics_.counter("selection.sample_rows");
@@ -541,6 +542,7 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
   Stopwatch stage;
   QueryExecOptions exec;
   exec.num_threads = options_.scan_threads;
+  exec.zone_map_pruning = options_.zone_map_pruning;
   // Containment probe: a drill-down refinement of an already-resolved query
   // has a cached ancestor scope; restricting it visits O(parent scope) rows
   // instead of O(table). The hint never changes the resolved scope — see
@@ -603,6 +605,7 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
   c_rows_matched_->Add(scan_stats.rows_matched);
   c_chunks_scanned_->Add(scan_stats.chunks_scanned);
   c_chunks_pruned_->Add(scan_stats.chunks_pruned);
+  c_code_eval_preds_->Add(scan_stats.code_eval_predicates);
   if (span.enabled()) {
     // Cost attribution: "rows scanned vs restricted" is what makes a
     // drill-down trace self-explanatory — a hit's rows_visited equals the
@@ -618,6 +621,8 @@ void ServingEngine::ExecuteScan(const std::shared_ptr<PendingSelect>& pending) {
     span.AddAttr("rows_matched", (uint64_t)scan_stats.rows_matched);
     span.AddAttr("chunks_scanned", (uint64_t)scan_stats.chunks_scanned);
     span.AddAttr("chunks_pruned", (uint64_t)scan_stats.chunks_pruned);
+    span.AddAttr("code_eval_predicates",
+                 (uint64_t)scan_stats.code_eval_predicates);
     span.AddAttr("status", scope.ok() ? "ok" : "error");
   }
   pending->trace.FinishSpan(std::move(span));
@@ -848,6 +853,12 @@ EngineStats ServingEngine::Stats() const {
   stats.containment.scope_entries = selection_cache_.scope_entries();
   stats.containment.scope_invalidations = c_scope_invalidations_->Value();
 
+  stats.scan.rows_visited = c_rows_visited_->Value();
+  stats.scan.rows_matched = c_rows_matched_->Value();
+  stats.scan.chunks_scanned = c_chunks_scanned_->Value();
+  stats.scan.chunks_pruned = c_chunks_pruned_->Value();
+  stats.scan.code_eval_predicates = c_code_eval_preds_->Value();
+
   stats.pipeline.shed_global_queue = c_shed_global_->Value();
   stats.pipeline.shed_tenant = c_shed_tenant_->Value();
   stats.pipeline.requests_shed =
@@ -1062,6 +1073,15 @@ std::string EngineStats::ToJson() const {
       (unsigned long long)containment.full_scan_rows,
       containment.scope_entries,
       (unsigned long long)containment.scope_invalidations);
+  json += StrFormat(
+      "\"scan\":{\"rows_visited\":%llu,\"rows_matched\":%llu,"
+      "\"chunks_scanned\":%llu,\"chunks_pruned\":%llu,"
+      "\"code_eval_predicates\":%llu},",
+      (unsigned long long)scan.rows_visited,
+      (unsigned long long)scan.rows_matched,
+      (unsigned long long)scan.chunks_scanned,
+      (unsigned long long)scan.chunks_pruned,
+      (unsigned long long)scan.code_eval_predicates);
   json += StrFormat(
       "\"registry\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
       "\"entries\":%zu,\"loads\":%llu,\"fits\":%llu,\"coalesced\":%llu},",

@@ -129,6 +129,13 @@ struct EngineOptions {
   /// QueryExecOptions::min_parallel_rows — leave at 1 for small tables or
   /// fully loaded engines.
   size_t scan_threads = 1;
+  /// Zone-map pruning of the filter scan (QueryExecOptions::zone_map_pruning,
+  /// table/query.h): seal-time chunk statistics refute whole chunks before a
+  /// cell is read, and dictionary-column comparisons are resolved against
+  /// the dictionary once and evaluated over integer codes. Bit-identical
+  /// either way; off = every scan walks every chunk (kept for differential
+  /// testing and the BENCH_serving scan_pruning phase).
+  bool zone_map_pruning = true;
   /// Admission control: maximum computations one tenant (table id) may have
   /// admitted (queued or running; cache hits and coalesced attaches are
   /// free) before further ones are shed with kUnavailable. 0 = unbounded.
@@ -316,6 +323,20 @@ struct SelectionStats {
   double min_quality_ratio = 0.0;
 };
 
+/// Scan-stage attribution summed over every full (non-restricted) filter
+/// scan the engine ran: how much chunk walking the zone maps skipped and how
+/// often dictionary comparisons ran code-level. `chunks_pruned /
+/// (chunks_scanned + chunks_pruned)` is the prune rate the drill-down
+/// workload is expected to drive up (table/query.h ScanStats per request).
+struct ScanAttributionStats {
+  uint64_t rows_visited = 0;
+  uint64_t rows_matched = 0;
+  uint64_t chunks_scanned = 0;
+  uint64_t chunks_pruned = 0;
+  /// Conjuncts on dictionary columns evaluated over integer codes.
+  uint64_t code_eval_predicates = 0;
+};
+
 /// Counter snapshot for introspection / load-shedding decisions.
 struct EngineStats {
   ModelRegistryStats registry;
@@ -325,6 +346,7 @@ struct EngineStats {
   MemoryStats memory;
   PipelineStats pipeline;
   SelectionStats selection;
+  ScanAttributionStats scan;
   /// Trace retention (zeros when tracing is disabled).
   TraceSinkStats trace;
   uint64_t requests_submitted = 0;
@@ -572,6 +594,7 @@ class ServingEngine {
   Counter* c_rows_matched_;
   Counter* c_chunks_scanned_;
   Counter* c_chunks_pruned_;
+  Counter* c_code_eval_preds_;
   Counter* c_sel_sampled_;
   Counter* c_sel_exact_;
   Counter* c_sel_sample_rows_;

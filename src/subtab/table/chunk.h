@@ -27,6 +27,33 @@ namespace subtab {
 
 class Column;
 
+enum class ColumnType;
+
+/// Seal-time zone map of one chunk (Hyrise-style chunk statistics): enough
+/// to refute a whole conjunct for the chunk without reading a single cell.
+/// Computed once by Column::SealTail and immutable afterwards, so every
+/// snapshot that shares the chunk's shared_ptr carries the stats for free —
+/// Table::AppendRows and streaming versioning stay O(batch). Stats exist
+/// only for sealed chunks; the open tail has none, so fresh appends can
+/// never be pruned by a stale zone.
+struct ChunkStats {
+  /// Distinct-code cap: past this many distinct codes the set is dropped
+  /// (has_code_set stays false) and only null counts can refute the chunk.
+  static constexpr size_t kMaxTrackedCodes = 64;
+
+  bool valid = false;     ///< True once SealTail computed the stats.
+  size_t null_count = 0;  ///< Null slots in the chunk.
+  /// Numeric zone: min/max over non-null values (never NaN — NaN input is
+  /// stored as null). has_range is false when every slot is null.
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// Categorical zone: the sorted distinct dictionary codes present in the
+  /// chunk, tracked only up to kMaxTrackedCodes distinct values.
+  bool has_code_set = false;
+  std::vector<int32_t> codes;
+};
+
 /// One immutable slice of a column's payload. Only Column builds chunks;
 /// everything else reads them through const access.
 class Chunk {
@@ -54,6 +81,10 @@ class Chunk {
 
   size_t null_count() const;
 
+  /// Seal-time zone map; stats().valid is false only for the open tail
+  /// (which is never a sealed chunk inside a Table).
+  const ChunkStats& stats() const { return stats_; }
+
   /// Heap payload bytes (validity + values), for resident-memory accounting.
   size_t ByteSize() const {
     return valid_.size() * sizeof(uint8_t) + nums_.size() * sizeof(double) +
@@ -63,9 +94,14 @@ class Chunk {
  private:
   friend class Column;
 
+  /// Fills stats_ from the payload — called exactly once, by
+  /// Column::SealTail, right before the chunk becomes immutable.
+  void ComputeStats(ColumnType type);
+
   std::vector<uint8_t> valid_;  ///< 1 = present, 0 = null.
   std::vector<double> nums_;    ///< Numeric payload (empty for categorical).
   std::vector<int32_t> codes_;  ///< Categorical payload (empty for numeric).
+  ChunkStats stats_;            ///< Zone map, filled at seal time.
 };
 
 }  // namespace subtab

@@ -18,9 +18,44 @@ const char* ColumnTypeName(ColumnType type) {
 }
 
 size_t Chunk::null_count() const {
+  if (stats_.valid) return stats_.null_count;
   size_t n = 0;
   for (uint8_t v : valid_) n += (v == 0);
   return n;
+}
+
+void Chunk::ComputeStats(ColumnType type) {
+  ChunkStats s;
+  s.valid = true;
+  for (uint8_t v : valid_) s.null_count += (v == 0);
+  if (type == ColumnType::kNumeric) {
+    // Non-null values are never NaN (NaN input is stored as null), so the
+    // running min/max are well-defined plain comparisons.
+    for (size_t i = 0; i < valid_.size(); ++i) {
+      if (valid_[i] == 0) continue;
+      const double v = nums_[i];
+      if (!s.has_range || v < s.min) s.min = v;
+      if (!s.has_range || v > s.max) s.max = v;
+      s.has_range = true;
+    }
+  } else {
+    // Distinct codes, abandoned past the cap: a high-cardinality chunk is
+    // unlikely to be refutable by set membership anyway, and the zone map
+    // must stay O(chunk) to build and O(1) to carry.
+    std::unordered_set<int32_t> seen;
+    bool capped = false;
+    for (size_t i = 0; i < valid_.size() && !capped; ++i) {
+      if (valid_[i] == 0) continue;
+      seen.insert(codes_[i]);
+      capped = seen.size() > ChunkStats::kMaxTrackedCodes;
+    }
+    if (!capped) {
+      s.has_code_set = true;
+      s.codes.assign(seen.begin(), seen.end());
+      std::sort(s.codes.begin(), s.codes.end());
+    }
+  }
+  stats_ = std::move(s);
 }
 
 Column::Column(std::string name, ColumnType type)
@@ -87,6 +122,7 @@ void Column::SealTail() {
     tail_.reset();
     return;
   }
+  tail_->ComputeStats(type_);  // Zone map rides the seal: O(chunk), once.
   offsets_.push_back(sealed_rows_);
   sealed_rows_ += tail_->size();
   chunks_.emplace_back(std::move(tail_));

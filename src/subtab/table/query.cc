@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "subtab/util/parallel.h"
 #include "subtab/util/string_util.h"
@@ -98,9 +100,20 @@ namespace {
 
 /// A predicate with its column resolved and type-checked — validation
 /// happens once, serially, so the sharded scan below cannot fail mid-flight.
+/// For value comparisons on dictionary columns, binding also resolves the
+/// comparison against the dictionary ONCE (code_verdict), so the row loop
+/// compares integer codes instead of materializing strings.
 struct BoundPredicate {
   const Predicate* pred = nullptr;
   const Column* col = nullptr;
+  /// True for value comparisons on categorical columns: code_verdict holds
+  /// the per-dictionary-code answer, indexed by code.
+  bool use_codes = false;
+  /// True when no dictionary code satisfies the comparison — no row of the
+  /// column can match (e.g. equality against a value the table never saw),
+  /// so every sealed chunk is refutable without consulting its zone.
+  bool always_false = false;
+  std::vector<uint8_t> code_verdict;
 };
 
 template <typename T>
@@ -133,27 +146,45 @@ Result<BoundPredicate> BindPredicate(const Table& table, const Predicate& pred) 
                   pred.column.c_str(), ColumnTypeName(col.type()),
                   pred.literal_is_numeric ? "numeric" : "string"));
   }
-  return BoundPredicate{&pred, &col};
+  BoundPredicate bound;
+  bound.pred = &pred;
+  bound.col = &col;
+  if (pred.op != CmpOp::kIsNull && pred.op != CmpOp::kNotNull &&
+      !col.is_numeric()) {
+    const std::vector<std::string>& words = col.dictionary();
+    bound.use_codes = true;
+    bound.code_verdict.resize(words.size());
+    bool any = false;
+    for (size_t c = 0; c < words.size(); ++c) {
+      const bool v = Compare(pred.op, std::string_view(words[c]),
+                             std::string_view(pred.str_literal));
+      bound.code_verdict[c] = v ? 1 : 0;
+      any = any || v;
+    }
+    bound.always_false = !any;
+  }
+  return bound;
 }
 
 /// Verdict of one bound predicate on one chunk cell — THE single definition
 /// of per-cell predicate semantics. Both scan paths (the chunk-sequential
 /// full scan and the restricted point scan) go through here, so they cannot
 /// drift: the containment tier's bit-identity guarantee depends on it.
-/// Nulls fail every value comparison (SQL semantics).
-bool CellVerdict(const Predicate& pred, const Column& col, const Chunk& chunk,
+/// Nulls fail every value comparison (SQL semantics). Dictionary-column
+/// value comparisons read the bind-time code_verdict — bit-identical to
+/// comparing the materialized string, because the verdict table IS that
+/// comparison evaluated per dictionary entry.
+bool CellVerdict(const BoundPredicate& bound, const Chunk& chunk,
                  size_t local) {
+  const Predicate& pred = *bound.pred;
   if (pred.op == CmpOp::kIsNull || pred.op == CmpOp::kNotNull) {
     return chunk.is_null(local) == (pred.op == CmpOp::kIsNull);
   }
   if (chunk.is_null(local)) return false;
-  if (col.is_numeric()) {
+  if (bound.col->is_numeric()) {
     return Compare(pred.op, chunk.num_value(local), pred.num_literal);
   }
-  return Compare(pred.op,
-                 std::string_view(col.dictionary()[static_cast<size_t>(
-                     chunk.cat_code(local))]),
-                 std::string_view(pred.str_literal));
+  return bound.code_verdict[static_cast<size_t>(chunk.cat_code(local))] != 0;
 }
 
 /// Evaluates one bound predicate over rows [begin, end), ANDing into `keep`
@@ -162,12 +193,59 @@ bool CellVerdict(const Predicate& pred, const Column& col, const Chunk& chunk,
 /// row's cell, so any row partition evaluates to identical bytes.
 void EvalPredicateRange(const BoundPredicate& bound, size_t begin, size_t end,
                         bool first, char* keep) {
+  bound.col->VisitRows(
+      begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
+        const char m = CellVerdict(bound, chunk, local) ? 1 : 0;
+        keep[r] = first ? m : (keep[r] & m);
+      });
+}
+
+/// True iff the chunk's seal-time zone (ChunkStats) PROVES no row in it can
+/// satisfy `bound`. Conservative by construction: false means "cannot
+/// prove", never "does not match" — bit-identity of pruned and unpruned
+/// scans rests on this direction. Stats exist only for sealed chunks, so
+/// the open tail is never consulted here (a batch appended past a refuted
+/// zone lands in a NEW sealed chunk with fresh stats, or stays in the
+/// unpruned tail).
+bool ZoneRefutes(const BoundPredicate& bound, const Chunk& chunk) {
+  const ChunkStats& s = chunk.stats();
+  if (!s.valid) return false;
   const Predicate& pred = *bound.pred;
-  const Column& col = *bound.col;
-  col.VisitRows(begin, end, [&](size_t r, const Chunk& chunk, size_t local) {
-    const char m = CellVerdict(pred, col, chunk, local) ? 1 : 0;
-    keep[r] = first ? m : (keep[r] & m);
-  });
+  if (pred.op == CmpOp::kIsNull) return s.null_count == 0;
+  if (pred.op == CmpOp::kNotNull) return s.null_count == chunk.size();
+  if (bound.always_false) return true;  // No dictionary code matches at all.
+  if (bound.use_codes) {
+    if (!s.has_code_set) return false;
+    for (const int32_t code : s.codes) {
+      if (bound.code_verdict[static_cast<size_t>(code)] != 0) return false;
+    }
+    return true;  // Every distinct code present fails; nulls fail too.
+  }
+  // Numeric zone: non-null values lie in [min, max] and are never NaN (NaN
+  // input is stored as null); nulls fail every value comparison.
+  if (!s.has_range) return true;  // All-null chunk.
+  const double v = pred.num_literal;
+  if (std::isnan(v)) {
+    // x op NaN is false for every op except !=, which every non-null value
+    // satisfies — so a NaN literal refutes unless the op is kNe.
+    return pred.op != CmpOp::kNe;
+  }
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return v < s.min || v > s.max;
+    case CmpOp::kNe:
+      return s.min == v && s.max == v;
+    case CmpOp::kLt:
+      return s.min >= v;
+    case CmpOp::kLe:
+      return s.min > v;
+    case CmpOp::kGt:
+      return s.max <= v;
+    case CmpOp::kGe:
+      return s.max < v;
+    default:
+      return false;
+  }
 }
 
 /// Shard boundaries for the filter scan: aligned to the sealed-chunk edges
@@ -243,8 +321,7 @@ bool EvalPredicateAt(const BoundPredicate& bound, size_t row) {
   bool verdict = false;
   bound.col->VisitRows(row, row + 1,
                        [&](size_t, const Chunk& chunk, size_t local) {
-                         verdict = CellVerdict(*bound.pred, *bound.col, chunk,
-                                               local);
+                         verdict = CellVerdict(bound, chunk, local);
                        });
   return verdict;
 }
@@ -290,37 +367,157 @@ Result<QueryScope> FinishScope(const Table& table, const SpQuery& query,
   return scope;
 }
 
-Result<std::vector<char>> EvalFilterMask(const Table& table,
-                                         const std::vector<Predicate>& filters,
-                                         const QueryExecOptions& exec) {
+/// What the filter scan produced beyond the mask itself: the surviving row
+/// ranges (so callers can skip pruned regions) and the attribution that
+/// ResolveQueryScope copies into ScanStats.
+struct FilterMask {
+  std::vector<char> keep;
+  /// Complement of the merged refuted set: the row ranges whose cells were
+  /// actually evaluated, ascending and disjoint. [0, n) when nothing pruned.
+  std::vector<std::pair<size_t, size_t>> survive;
+  size_t chunks_scanned = 0;
+  size_t chunks_pruned = 0;
+  size_t rows_pruned = 0;
+  size_t code_eval_predicates = 0;
+};
+
+/// Splits the surviving ranges into ~num_shards row-balanced pieces, each
+/// inside one surviving range, so the parallel scan never touches a pruned
+/// row. The pruning-on analogue of ScanShardBoundaries' subdivision step.
+std::vector<std::pair<size_t, size_t>> ShardSurvivingRanges(
+    const std::vector<std::pair<size_t, size_t>>& ranges, size_t num_shards) {
+  size_t total = 0;
+  for (const auto& r : ranges) total += r.second - r.first;
+  const size_t target = (total + num_shards - 1) / num_shards;
+  std::vector<std::pair<size_t, size_t>> shards;
+  for (const auto& r : ranges) {
+    const size_t width = r.second - r.first;
+    const size_t pieces = target == 0 ? 1 : (width + target - 1) / target;
+    for (size_t p = 0; p < pieces; ++p) {
+      shards.emplace_back(r.first + p * width / pieces,
+                          r.first + (p + 1) * width / pieces);
+    }
+  }
+  return shards;
+}
+
+Result<FilterMask> EvalFilterMask(const Table& table,
+                                  const std::vector<Predicate>& filters,
+                                  const QueryExecOptions& exec) {
   const size_t n = table.num_rows();
-  std::vector<char> keep(n, 1);
-  if (filters.empty()) return keep;
+  FilterMask out;
+  out.keep.assign(n, 1);
+  out.survive.emplace_back(0, n);
+  if (filters.empty()) return out;
 
   std::vector<BoundPredicate> bound;
   bound.reserve(filters.size());
   for (const Predicate& pred : filters) {
     SUBTAB_ASSIGN_OR_RETURN(BoundPredicate b, BindPredicate(table, pred));
-    bound.push_back(b);
+    out.code_eval_predicates += b.use_codes ? 1 : 0;
+    bound.push_back(std::move(b));
   }
+
+  // Zone-map pruning: collect the row intervals of sealed chunks whose
+  // stats refute one conjunct, and merge them across predicates (each
+  // column has its own chunk layout). Rows inside the merged set provably
+  // fail the conjunction, so they are pre-failed without reading a cell.
+  std::vector<std::pair<size_t, size_t>> merged;
+  if (exec.zone_map_pruning) {
+    std::vector<std::pair<size_t, size_t>> refuted;
+    for (const BoundPredicate& b : bound) {
+      const auto& chunks = b.col->chunks();
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        if (ZoneRefutes(b, *chunks[c])) {
+          const size_t begin = b.col->chunk_offset(c);
+          refuted.emplace_back(begin, begin + chunks[c]->size());
+        }
+      }
+    }
+    std::sort(refuted.begin(), refuted.end());
+    for (const auto& r : refuted) {
+      if (!merged.empty() && r.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, r.second);
+      } else {
+        merged.push_back(r);
+      }
+    }
+  }
+  for (const auto& r : merged) {
+    std::fill(out.keep.begin() + static_cast<ptrdiff_t>(r.first),
+              out.keep.begin() + static_cast<ptrdiff_t>(r.second), 0);
+    out.rows_pruned += r.second - r.first;
+  }
+
+  // Attribution: a chunk counts as pruned when the merged refuted set
+  // covers its whole row range (possibly thanks to another column's
+  // conjunct), as scanned otherwise — scanned + pruned always equals the
+  // chunk walk a pruning-off scan performs.
+  const auto covered = [&merged](size_t begin, size_t end) {
+    auto it = std::upper_bound(
+        merged.begin(), merged.end(),
+        std::make_pair(begin, std::numeric_limits<size_t>::max()));
+    if (it == merged.begin()) return false;
+    --it;
+    return it->first <= begin && end <= it->second;
+  };
+  for (const BoundPredicate& b : bound) {
+    const auto& chunks = b.col->chunks();
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const size_t begin = b.col->chunk_offset(c);
+      if (covered(begin, begin + chunks[c]->size())) {
+        ++out.chunks_pruned;
+      } else {
+        ++out.chunks_scanned;
+      }
+    }
+  }
+
+  // Surviving ranges: the complement of the refuted set. Evaluation — and
+  // sharding — happens over these only; pruned rows are never revisited.
+  out.survive.clear();
+  size_t cursor = 0;
+  for (const auto& r : merged) {
+    if (r.first > cursor) out.survive.emplace_back(cursor, r.first);
+    cursor = r.second;
+  }
+  if (cursor < n) out.survive.emplace_back(cursor, n);
+  const size_t surviving_rows = n - out.rows_pruned;
+  if (surviving_rows == 0) return out;
 
   size_t threads = exec.num_threads == 0 ? HardwareThreads() : exec.num_threads;
-  if (n < exec.min_parallel_rows) threads = 1;
+  if (surviving_rows < exec.min_parallel_rows) threads = 1;
   if (threads <= 1) {
-    for (size_t i = 0; i < bound.size(); ++i) {
-      EvalPredicateRange(bound[i], 0, n, /*first=*/i == 0, keep.data());
+    for (const auto& range : out.survive) {
+      for (size_t i = 0; i < bound.size(); ++i) {
+        EvalPredicateRange(bound[i], range.first, range.second,
+                           /*first=*/i == 0, out.keep.data());
+      }
     }
-    return keep;
+    return out;
   }
 
-  const std::vector<size_t> bounds = ScanShardBoundaries(bound, n, threads);
-  ParallelForEach(bounds.size() - 1, threads, [&](size_t s) {
+  if (merged.empty()) {
+    // Nothing pruned: keep the chunk-edge-aligned sharding (cache-friendly
+    // and pinned by query_test via ScanShardBoundariesForQuery).
+    const std::vector<size_t> bounds = ScanShardBoundaries(bound, n, threads);
+    ParallelForEach(bounds.size() - 1, threads, [&](size_t s) {
+      for (size_t i = 0; i < bound.size(); ++i) {
+        EvalPredicateRange(bound[i], bounds[s], bounds[s + 1], i == 0,
+                           out.keep.data());
+      }
+    });
+    return out;
+  }
+  const std::vector<std::pair<size_t, size_t>> shards =
+      ShardSurvivingRanges(out.survive, threads);
+  ParallelForEach(shards.size(), threads, [&](size_t s) {
     for (size_t i = 0; i < bound.size(); ++i) {
-      EvalPredicateRange(bound[i], bounds[s], bounds[s + 1], i == 0,
-                         keep.data());
+      EvalPredicateRange(bound[i], shards[s].first, shards[s].second, i == 0,
+                         out.keep.data());
     }
   });
-  return keep;
+  return out;
 }
 
 }  // namespace
@@ -341,24 +538,25 @@ Result<std::vector<size_t>> ScanShardBoundariesForQuery(const Table& table,
 Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
                                      const QueryExecOptions& exec) {
   const size_t n = table.num_rows();
-  SUBTAB_ASSIGN_OR_RETURN(std::vector<char> keep,
+  SUBTAB_ASSIGN_OR_RETURN(FilterMask mask,
                           EvalFilterMask(table, query.filters, exec));
 
+  // Collect matches from the surviving ranges only: zone-pruned regions
+  // hold provably-failing rows, so skipping them cannot change the result.
   std::vector<size_t> row_ids;
-  for (size_t r = 0; r < n; ++r) {
-    if (keep[r]) row_ids.push_back(r);
+  for (const auto& range : mask.survive) {
+    for (size_t r = range.first; r < range.second; ++r) {
+      if (mask.keep[r]) row_ids.push_back(r);
+    }
   }
 
   ScanStats stats;
-  stats.rows_visited = n;
+  stats.rows_visited = n - mask.rows_pruned;
   stats.rows_matched = row_ids.size();
   stats.predicates_evaluated = query.filters.size();
-  // Each predicate walks every chunk of its column (no pruning yet — the
-  // zone-map seam, ROADMAP item 1, will subtract into chunks_pruned here).
-  for (const Predicate& pred : query.filters) {
-    Result<size_t> col_idx = table.ColumnIndex(pred.column);
-    if (col_idx.ok()) stats.chunks_scanned += table.column(*col_idx).chunks().size();
-  }
+  stats.chunks_scanned = mask.chunks_scanned;
+  stats.chunks_pruned = mask.chunks_pruned;
+  stats.code_eval_predicates = mask.code_eval_predicates;
 
   Result<QueryScope> scope = FinishScope(table, query, std::move(row_ids));
   if (scope.ok()) scope->stats = stats;
@@ -397,6 +595,9 @@ Result<QueryScope> RestrictQueryScope(const Table& table,
   stats.rows_visited = parent_rows.size();
   stats.rows_matched = row_ids.size();
   stats.predicates_evaluated = extra.size();
+  for (const BoundPredicate& b : bound) {
+    stats.code_eval_predicates += b.use_codes ? 1 : 0;
+  }
   // Point lookups, not chunk walks: chunks_scanned stays 0 by definition.
 
   Result<QueryScope> scope = FinishScope(table, query, std::move(row_ids));

@@ -66,9 +66,15 @@ struct QueryExecOptions {
   /// ParallelForEach; streaming snapshots accumulate one chunk per appended
   /// batch). 1 = serial; 0 = HardwareThreads().
   size_t num_threads = 1;
-  /// Below this many rows the scan stays serial even when num_threads > 1 —
-  /// spawning threads costs more than the scan itself.
+  /// Below this many surviving (unpruned) rows the scan stays serial even
+  /// when num_threads > 1 — spawning threads costs more than the scan itself.
   size_t min_parallel_rows = 16384;
+  /// Consult seal-time chunk statistics (zone maps, chunk.h ChunkStats) to
+  /// skip whole chunks a conjunct provably cannot match, and resolve
+  /// categorical comparisons against the dictionary once so rows are judged
+  /// by integer code. Results are bit-identical either way — the knob exists
+  /// for benchmarking and bisection, not semantics.
+  bool zone_map_pruning = true;
 };
 
 /// What one scan actually did — the per-request attribution the serving
@@ -76,19 +82,25 @@ struct QueryExecOptions {
 /// restricted", docs/OBSERVABILITY.md) and aggregates into scan.* metrics.
 /// Purely observational: nothing here feeds back into the scan.
 struct ScanStats {
-  /// Rows the filter loop touched: the table's row count for a full scan,
-  /// the parent scope's size for a restricted (containment) scan.
+  /// Rows the filter loop touched: the table's row count minus zone-pruned
+  /// rows for a full scan, the parent scope's size for a restricted
+  /// (containment) scan.
   size_t rows_visited = 0;
   /// Rows surviving the filters, before order/limit trimming.
   size_t rows_matched = 0;
   /// Sealed chunks of the filtered columns the scan walked (0 when there
   /// are no filters, or on the restricted path's point lookups).
   size_t chunks_scanned = 0;
-  /// Chunks skipped without touching their rows. Always 0 today — the
-  /// zone-map pruning seam (ROADMAP item 1) reports through this field.
+  /// Sealed chunks skipped whole because the merged zone-map refutation
+  /// covers their row range (QueryExecOptions::zone_map_pruning);
+  /// chunks_scanned + chunks_pruned equals the walk a pruning-off scan does.
   size_t chunks_pruned = 0;
   /// Conjuncts evaluated per visited row.
   size_t predicates_evaluated = 0;
+  /// Conjuncts on dictionary columns resolved to code-level evaluation: the
+  /// comparison was answered once per dictionary entry at bind time, and the
+  /// row loop compared integer codes instead of materialized strings.
+  size_t code_eval_predicates = 0;
   /// True for the containment tier's restricted path (RestrictQueryScope).
   bool restricted = false;
 };
@@ -114,7 +126,10 @@ Result<QueryScope> ResolveQueryScope(const Table& table, const SpQuery& query,
 /// align to sealed-chunk edges where possible, but any group wider than
 /// ceil(num_rows / num_shards) is subdivided at row granularity, so a
 /// dominant sealed chunk cannot collapse the fan-out to ~serial. Boundaries
-/// only partition the row space — they never change a row's verdict.
+/// only partition the row space — they never change a row's verdict. This
+/// hook describes the pruning-off layout; when zone maps prune chunks, the
+/// scan shards over the surviving row ranges only (same row-balanced target,
+/// pruned ranges excluded).
 Result<std::vector<size_t>> ScanShardBoundariesForQuery(const Table& table,
                                                         const SpQuery& query,
                                                         size_t num_shards);
