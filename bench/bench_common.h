@@ -1,6 +1,7 @@
 #ifndef SUBTAB_BENCH_BENCH_COMMON_H_
 #define SUBTAB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -54,9 +55,45 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   return args;
 }
 
-/// The full-report size, or the CI size under --quick.
+/// Centralized --quick sizing. Quick CI runs derive from ONE scale factor —
+/// 1/4 of the full-report data — instead of ad-hoc per-bench constants, so
+/// every harness shrinks consistently and quick CI wall-clock stays bounded
+/// (<60 s per bench) by construction as full sizes grow. Per-site floors
+/// keep sizes above structural thresholds (e.g. the 10k sampled-selection
+/// cutoff needs a >10k quick scope); Pick is the explicit escape hatch for
+/// the few benches whose quick size is deliberately deeper than 1/4 (the
+/// runtime-dominated fig9 harness).
+struct BenchScale {
+  bool quick = false;
+  double factor = 1.0;  ///< Data-size multiplier applied under --quick.
+
+  /// `full` scaled by the factor under --quick, never below `quick_floor`.
+  size_t Rows(size_t full, size_t quick_floor = 1) const {
+    if (!quick) return full;
+    const auto scaled =
+        static_cast<size_t>(static_cast<double>(full) * factor);
+    return std::max(quick_floor, std::max<size_t>(1, scaled));
+  }
+  /// Same scaling for non-row counts (sessions, batches, sweep widths);
+  /// reads better at call sites.
+  size_t Count(size_t full, size_t quick_floor = 1) const {
+    return Rows(full, quick_floor);
+  }
+  /// Explicit quick-size override (the pre-centralization Sized semantics).
+  size_t Pick(size_t full, size_t quick_size) const {
+    return quick ? quick_size : full;
+  }
+};
+
+/// The one place the quick factor is defined.
+inline BenchScale ScaleFor(bool quick) {
+  return BenchScale{quick, quick ? 0.25 : 1.0};
+}
+
+/// The full-report size, or the explicit CI size under --quick (routes
+/// through BenchScale::Pick; prefer ScaleFor(...).Rows for new call sites).
 inline size_t Sized(const BenchArgs& args, size_t full, size_t quick) {
-  return args.quick ? quick : full;
+  return ScaleFor(args.quick).Pick(full, quick);
 }
 
 /// Flattens generated analyst sessions into their step queries — the

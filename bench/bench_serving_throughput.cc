@@ -541,7 +541,7 @@ void RunTracingOverhead(const GeneratedDataset& data,
 /// production a sub-gate seed is exactly what the engine's quality check
 /// catches and serves exact instead (quality_fallbacks counts them here).
 void RunSampledSelection(const BenchArgs& args, BenchJsonFile* file) {
-  GeneratedDataset data = LoadDataset("CY", Sized(args, 30000, 12000));
+  GeneratedDataset data = LoadDataset("CY", ScaleFor(args.quick).Rows(30000, 12000));
   Result<SubTab> fitted = SubTab::Fit(data.table, DefaultConfig());
   SUBTAB_CHECK(fitted.ok());
   const SubTab& model = *fitted;
@@ -620,7 +620,7 @@ void RunSampledSelection(const BenchArgs& args, BenchJsonFile* file) {
 /// is asserted on every query. Both run sizes enforce the acceptance bar:
 /// mean pruned-chunk fraction >= 60% and full-scan p95 >= 2x the pruned p95.
 void RunScanPruning(const BenchArgs& args, BenchJsonFile* file) {
-  const size_t rows = Sized(args, 512000, 128000);
+  const size_t rows = ScaleFor(args.quick).Rows(512000);
   constexpr size_t kChunks = 128;
   const size_t chunk_rows = rows / kChunks;
   constexpr size_t kBlocks = 8;  // Categorical value per table eighth.
@@ -639,7 +639,7 @@ void RunScanPruning(const BenchArgs& args, BenchJsonFile* file) {
   // Drill-down chains: each starts on a quarter of the domain at a random
   // offset plus the shard holding its lower edge, then tightens the range
   // by 0.6x per step — interval containment, like DrillDownSessions.
-  const size_t chains = Sized(args, 8, 4);
+  const size_t chains = ScaleFor(args.quick).Count(8, 4);
   constexpr size_t kSteps = 10;
   std::mt19937 rng(271);
   std::uniform_real_distribution<double> offset(0.0, 0.7);
@@ -664,7 +664,7 @@ void RunScanPruning(const BenchArgs& args, BenchJsonFile* file) {
   QueryExecOptions full = pruned;
   full.zone_map_pruning = false;
 
-  const size_t repeats = Sized(args, 9, 5);
+  const size_t repeats = ScaleFor(args.quick).Count(9, 5);
   std::vector<double> pruned_seconds, full_seconds;
   double pruned_fraction_sum = 0.0;
   uint64_t code_eval = 0;
@@ -735,9 +735,9 @@ int main(int argc, char** argv) {
   PaperRef("per serial selection, Fig. 9 — the engine must beat that at p99");
   PaperRef("while scaling with threads and serving repeats from cache.)");
 
-  GeneratedDataset data = LoadDataset("CY", Sized(args, 8000, 2000));
+  GeneratedDataset data = LoadDataset("CY", ScaleFor(args.quick).Rows(8000));
   SessionGeneratorOptions session_options;
-  session_options.num_sessions = Sized(args, 40, 12);
+  session_options.num_sessions = ScaleFor(args.quick).Count(40, 12);
   session_options.seed = 9;
   std::vector<Session> sessions = GenerateSessions(data, session_options);
   const std::vector<SpQuery> queries = StepQueries(sessions);

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   PaperRef("assumes frozen content. Target: selects stay interactive over");
   PaperRef(">= 10 append batches at a small fraction of full-refit cost.)");
 
-  const size_t base_rows = Sized(args, 6000, 1500);
+  const size_t base_rows = ScaleFor(args.quick).Rows(6000);
   const size_t num_batches = 10;
   const size_t batch_rows = base_rows / 10;
   const size_t total_rows = base_rows + num_batches * batch_rows;
@@ -224,8 +224,8 @@ int main(int argc, char** argv) {
   // ---- the minimum over reps estimates the true cost of the (identical)
   // ---- per-append work with noise suppressed; a real O(rows) term would be
   // ---- paid by every rep and survive the min.
-  const size_t series_base = Sized(args, 6000, 3000);
-  const size_t series_batch = Sized(args, 3000, 2000);
+  const size_t series_base = ScaleFor(args.quick).Rows(6000, 3000);
+  const size_t series_batch = ScaleFor(args.quick).Rows(3000, 2000);
   const size_t series_reps = 25;
   struct SnapshotSeries {
     std::unique_ptr<stream::StreamingTable> table;

@@ -22,9 +22,20 @@ One JSONL record per run, keyed by git SHA + UTC timestamp:
   pruned_scan_p95_ms             — pruned-scan p95 over the drill-down chains
   engine_requests_submitted      — scale witness from METRICS_serving.json
 
+With --scale BENCH_scale.json (the workload-forge sweep, bench/bench_scale.cc;
+typically written to its own history file via --out), the record instead
+folds the scaling-curve headliners:
+
+  scale_rps                      — best served throughput across sweep points
+  scale_p95_ms                   — admitted p95 at the top (past-saturation)
+    offered rate — bounded-queue health, not raw speed
+  scale_shed_fraction            — shed rate at that top rate (the knee)
+  generator_ns_per_row           — large-table generation cost (O(rows) gate)
+
 Usage:
   scripts/bench_history.py [--bench BENCH_serving.json]
                            [--metrics METRICS_serving.json]
+                           [--scale BENCH_scale.json]
                            [--out bench/history/BENCH_trajectory.jsonl]
                            [--sha SHA]
 
@@ -152,15 +163,71 @@ def build_record(bench_path: str, metrics_path: str, sha: str) -> dict | None:
     return record if found > 0 else None
 
 
+def build_scale_record(scale_path: str, sha: str) -> dict | None:
+    """Folds a BENCH_scale.json sweep into one trajectory record."""
+    grouped, quick = records_by_bench(scale_path)
+    record: dict = {
+        "sha": sha,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "quick": quick,
+    }
+    found = 0
+
+    sweeps = [r for r in grouped.get("scale_sweep", [])
+              if isinstance(r.get("rps"), (int, float))]
+    if sweeps:
+        record["scale_rps"] = max(r["rps"] for r in sweeps)
+        # The top offered rate is where bounded-queue behavior shows: track
+        # the admitted p95 and shed fraction at that point.
+        top = max(sweeps, key=lambda r: r.get("rate_rps", 0.0))
+        if isinstance(top.get("p95_ms"), (int, float)):
+            record["scale_p95_ms"] = top["p95_ms"]
+        if isinstance(top.get("shed_fraction"), (int, float)):
+            record["scale_shed_fraction"] = top["shed_fraction"]
+        found += 1
+
+    generators = grouped.get("generator_scaling", [])
+    if generators and isinstance(generators[0].get("ns_per_row_large"),
+                                 (int, float)):
+        record["generator_ns_per_row"] = generators[0]["ns_per_row_large"]
+        found += 1
+
+    return record if found > 0 else None
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bench", default="BENCH_serving.json")
     parser.add_argument("--metrics", default="METRICS_serving.json")
+    parser.add_argument("--scale", default=None,
+                        help="fold a BENCH_scale.json sweep instead of the "
+                             "serving artifacts")
     parser.add_argument("--out",
                         default="bench/history/BENCH_trajectory.jsonl")
     parser.add_argument("--sha", default=None,
                         help="override `git rev-parse` (e.g. in CI)")
     args = parser.parse_args(argv[1:])
+
+    if args.scale is not None:
+        if not os.path.exists(args.scale):
+            print(f"bench_history: {args.scale} not found — run bench_scale "
+                  "first", file=sys.stderr)
+            return 1
+        record = build_scale_record(args.scale, git_sha(args.sha))
+        if record is None:
+            print(f"bench_history: {args.scale} carried no scale_sweep / "
+                  "generator_scaling records", file=sys.stderr)
+            return 1
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        metric_count = len([k for k in record
+                            if k not in ("sha", "timestamp", "quick")])
+        print(f"bench_history: appended {record['sha']} @ "
+              f"{record['timestamp']} ({metric_count} scale metrics) -> "
+              f"{args.out}")
+        return 0
 
     if not os.path.exists(args.bench):
         print(f"bench_history: {args.bench} not found — run the serving "

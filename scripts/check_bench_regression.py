@@ -34,7 +34,10 @@ import statistics
 import sys
 
 HIGHER_IS_BETTER = ["rps", "containment_hit_rate", "sample_quality_ratio",
-                    "pruned_chunk_fraction"]
+                    "pruned_chunk_fraction",
+                    # Workload-forge sweep (bench_scale, its own history
+                    # file): best served throughput across the rate points.
+                    "scale_rps"]
 LOWER_IS_BETTER = [
     "queue_scan_p95_ms",
     "scan_p50_ms",
@@ -46,6 +49,10 @@ LOWER_IS_BETTER = [
     "tracing_overhead",
     "sampled_select_p95_ms",
     "pruned_scan_p95_ms",
+    # Workload-forge sweep: admitted p95 at the past-saturation rate
+    # (bounded-queue health) and per-row generation cost (O(rows) drift).
+    "scale_p95_ms",
+    "generator_ns_per_row",
 ]
 # Below this absolute baseline a lower-is-better ratio is meaningless
 # (e.g. a 0.02ms queue p95 doubling to 0.04ms); the slack is added to the
@@ -53,6 +60,11 @@ LOWER_IS_BETTER = [
 ABSOLUTE_SLACK = {
     "shed_rate": 0.05,
     "tracing_overhead": 0.02,
+    # Bucketed percentiles at the knee move in ~2x histogram steps; absorb
+    # one bucket of jitter.
+    "scale_p95_ms": 100.0,
+    # ns/row on shared runners jitters with memory bandwidth.
+    "generator_ns_per_row": 100.0,
 }
 DEFAULT_SLACK_MS = 0.05
 

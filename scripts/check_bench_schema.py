@@ -23,7 +23,7 @@ This script fails CI when any record is missing or dropped a key, so a
 refactor of the bench cannot silently stop exporting the trace summary
 (docs/OBSERVABILITY.md documents the schema).
 
-It also validates the two sibling artifacts of the ops plane when asked:
+It also validates the sibling artifacts when asked:
 
   * --metrics METRICS_serving.json — the registry dump must carry the
     counters/gauges/histograms sections with the core pipeline instruments
@@ -31,10 +31,19 @@ It also validates the two sibling artifacts of the ops plane when asked:
   * --trajectory bench/history/BENCH_trajectory.jsonl — every line is a
     JSON object with sha/timestamp, and timestamps are monotonically
     non-decreasing (an out-of-order append corrupts the regression
-    baseline of scripts/check_bench_regression.py).
+    baseline of scripts/check_bench_regression.py),
+  * --scale BENCH_scale.json — the workload-forge scaling curves
+    (bench/bench_scale.cc): a `generator_scaling` record proving O(rows)
+    generation, at least three `scale_sweep` points per curve (rps,
+    latency percentiles, shed fraction, per-stage attribution), and a
+    `scale_knee` record per (rows, threads) group with the open-loop knee
+    demonstrated. When --scale is given without an explicit serving-bench
+    positional, only the scale file (plus any other requested artifacts)
+    is checked — the scale-smoke CI job runs bench_scale alone.
 
 Usage: scripts/check_bench_schema.py [BENCH_serving.json]
                                      [--metrics PATH] [--trajectory PATH]
+                                     [--scale PATH]
 Exit code 0 = schema intact, 1 = a record or key is missing.
 Standard library only.
 """
@@ -112,6 +121,113 @@ REQUIRED_METRICS = {
         "pipeline.latency",
     ],
 }
+
+
+# BENCH_scale.json record schemas (bench/bench_scale.cc).
+SCALE_SWEEP_KEYS = [
+    "rows",
+    "threads",
+    "tenants",
+    "arrival",
+    "rate_rps",
+    "fired",
+    "duration_s",
+    "rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "shed_fraction",
+    "queue_scan_p95_ms",
+    "scan_p95_ms",
+    "queue_select_p95_ms",
+    "select_p95_ms",
+    "max_lag_ms",
+]
+
+SCALE_GENERATOR_KEYS = [
+    "rows_small",
+    "rows_large",
+    "ns_per_row_small",
+    "ns_per_row_large",
+    "per_row_ratio",
+    "flat",
+]
+
+SCALE_KNEE_KEYS = [
+    "rows",
+    "threads",
+    "low_rate_rps",
+    "top_rate_rps",
+    "low_shed_fraction",
+    "top_shed_fraction",
+    "admitted_p95_ms",
+    "p95_bound_ms",
+    "knee_demonstrated",
+]
+
+
+def check_scale(path: str) -> int:
+    """Validates the BENCH_scale.json scaling curves. Returns #failures."""
+    if not os.path.exists(path):
+        print(f"check_bench_schema: {path} not found", file=sys.stderr)
+        return 1
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    records = data.get("records")
+    if not isinstance(records, list):
+        print(f"check_bench_schema: {path} has no `records` list",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    sweeps = [r for r in records if r.get("bench") == "scale_sweep"]
+    generators = [r for r in records if r.get("bench") == "generator_scaling"]
+    knees = [r for r in records if r.get("bench") == "scale_knee"]
+
+    if len(sweeps) < 3:
+        print(f"check_bench_schema: {path} has {len(sweeps)} scale_sweep "
+              "record(s); the sweep must cover >= 3 rate points",
+              file=sys.stderr)
+        failures += 1
+    if not generators:
+        print(f"check_bench_schema: {path} lost the generator_scaling record",
+              file=sys.stderr)
+        failures += 1
+    if not knees:
+        print(f"check_bench_schema: {path} lost the scale_knee record(s)",
+              file=sys.stderr)
+        failures += 1
+
+    for name, keys, group in (("scale_sweep", SCALE_SWEEP_KEYS, sweeps),
+                              ("generator_scaling", SCALE_GENERATOR_KEYS,
+                               generators),
+                              ("scale_knee", SCALE_KNEE_KEYS, knees)):
+        for record in group:
+            missing = [key for key in keys if key not in record]
+            if missing:
+                print(f"check_bench_schema: a `{name}` record lost keys: "
+                      f"{', '.join(missing)}", file=sys.stderr)
+                failures += 1
+                break
+
+    for record in sweeps:
+        shed = record.get("shed_fraction")
+        if not (isinstance(shed, (int, float)) and 0.0 <= shed <= 1.0):
+            print(f"check_bench_schema: shed_fraction {shed!r} is not a "
+                  "ratio in [0, 1]", file=sys.stderr)
+            failures += 1
+    for record in knees:
+        if not record.get("knee_demonstrated"):
+            print("check_bench_schema: a scale_knee record reports the knee "
+                  "NOT demonstrated — shed did not rise past saturation or "
+                  "admitted p95 broke its queue bound", file=sys.stderr)
+            failures += 1
+
+    if failures == 0:
+        print(f"check_bench_schema: OK — {path} carries "
+              f"{len(sweeps)} sweep point(s), generator scaling, and "
+              f"{len(knees)} demonstrated knee(s)")
+    return failures
 
 
 def check_metrics(path: str) -> int:
@@ -193,11 +309,13 @@ def check_trajectory(path: str) -> int:
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("bench", nargs="?", default="BENCH_serving.json")
+    parser.add_argument("bench", nargs="?", default=None)
     parser.add_argument("--metrics", default=None,
                         help="also validate a METRICS_serving.json dump")
     parser.add_argument("--trajectory", default=None,
                         help="also validate a BENCH_trajectory.jsonl history")
+    parser.add_argument("--scale", default=None,
+                        help="also validate a BENCH_scale.json scaling sweep")
     args = parser.parse_args(argv[1:])
 
     extra_failures = 0
@@ -205,8 +323,14 @@ def main(argv: list[str]) -> int:
         extra_failures += check_metrics(args.metrics)
     if args.trajectory is not None:
         extra_failures += check_trajectory(args.trajectory)
+    if args.scale is not None:
+        extra_failures += check_scale(args.scale)
+        if args.bench is None:
+            # Scale-only invocation (the scale-smoke job has no serving
+            # artifact to validate).
+            return 1 if extra_failures else 0
 
-    path = args.bench
+    path = args.bench if args.bench is not None else "BENCH_serving.json"
     if not os.path.exists(path):
         print(f"check_bench_schema: {path} not found", file=sys.stderr)
         return 1

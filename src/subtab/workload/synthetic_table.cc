@@ -1,0 +1,429 @@
+#include "subtab/workload/synthetic_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "subtab/util/check.h"
+
+namespace subtab::workload {
+
+namespace {
+
+// Counter-based randomness: SplitMix64's finalizer over a (seed, salt,
+// column, row) counter. Three multiplies of avalanche per draw keeps cells
+// statistically independent while staying a pure function of the
+// coordinates — the property the chunk-layout-independence contract and the
+// O(rows) bound both rest on.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+enum Salt : uint64_t {
+  kSaltValueA = 1,
+  kSaltValueB,
+  kSaltNull,
+  kSaltRegion,
+  kSaltConfidence,
+  kSaltAlternative,
+  kSaltProfile,
+  kSaltAffinity,
+  kSaltPreferred,
+};
+
+uint64_t CellBits(uint64_t seed, uint64_t salt, uint64_t column,
+                  uint64_t row) {
+  uint64_t h = seed;
+  h = Mix64(h ^ (salt * 0x9e3779b97f4a7c15ULL));
+  h = Mix64(h ^ (column * 0xc2b2ae3d27d4eb4fULL));
+  h = Mix64(h ^ (row * 0x165667b19e3779f9ULL));
+  return h;
+}
+
+// Uniform double in [0, 1) from 53 high bits.
+double UnitFromBits(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+double CellUnit(uint64_t seed, uint64_t salt, uint64_t column, uint64_t row) {
+  return UnitFromBits(CellBits(seed, salt, column, row));
+}
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Zipf cumulative weights over [0, n): P(i) proportional to 1/(i+1)^s
+// (matching util/rng.h's Zipf), normalized to end at 1.
+std::vector<double> ZipfCumulative(size_t n, double s) {
+  std::vector<double> cumulative(n, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cumulative[i] = total;
+  }
+  for (double& c : cumulative) c /= total;
+  return cumulative;
+}
+
+size_t PickCumulative(const std::vector<double>& cumulative, double u) {
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  const size_t idx = static_cast<size_t>(it - cumulative.begin());
+  return std::min(idx, cumulative.size() - 1);
+}
+
+}  // namespace
+
+ColumnDataDistribution ColumnDataDistribution::Uniform(double min, double max,
+                                                       size_t num_distinct) {
+  SUBTAB_CHECK(min < max);
+  ColumnDataDistribution d;
+  d.type = DataDistributionType::kUniform;
+  d.min_value = min;
+  d.max_value = max;
+  d.num_distinct = num_distinct;
+  return d;
+}
+
+ColumnDataDistribution ColumnDataDistribution::Pareto(double scale,
+                                                      double shape,
+                                                      size_t num_distinct) {
+  SUBTAB_CHECK(scale > 0.0 && shape > 0.0);
+  ColumnDataDistribution d;
+  d.type = DataDistributionType::kPareto;
+  d.pareto_scale = scale;
+  d.pareto_shape = shape;
+  d.num_distinct = num_distinct;
+  return d;
+}
+
+ColumnDataDistribution ColumnDataDistribution::NormalSkewed(
+    double location, double scale, double shape, size_t num_distinct) {
+  SUBTAB_CHECK(scale > 0.0);
+  ColumnDataDistribution d;
+  d.type = DataDistributionType::kNormalSkewed;
+  d.skew_location = location;
+  d.skew_scale = scale;
+  d.skew_shape = shape;
+  d.num_distinct = num_distinct;
+  return d;
+}
+
+double ColumnDataDistribution::GridMin() const {
+  switch (type) {
+    case DataDistributionType::kUniform:
+      return min_value;
+    case DataDistributionType::kPareto:
+      return pareto_scale;
+    case DataDistributionType::kNormalSkewed:
+      return skew_location - 3.0 * skew_scale;
+  }
+  return 0.0;
+}
+
+double ColumnDataDistribution::GridMax() const {
+  switch (type) {
+    case DataDistributionType::kUniform:
+      return max_value;
+    case DataDistributionType::kPareto:
+      // p99 of the inverse CDF: scale / 0.01^(1/shape).
+      return pareto_scale * std::pow(100.0, 1.0 / pareto_shape);
+    case DataDistributionType::kNormalSkewed:
+      return skew_location + 3.0 * skew_scale;
+  }
+  return 1.0;
+}
+
+double ColumnDataDistribution::ValueOfIndex(size_t idx) const {
+  SUBTAB_CHECK(num_distinct > 0 && idx < num_distinct);
+  const double step =
+      (GridMax() - GridMin()) / static_cast<double>(num_distinct);
+  return GridMin() + (static_cast<double>(idx) + 0.5) * step;
+}
+
+size_t ColumnDataDistribution::IndexOfValue(double value) const {
+  SUBTAB_CHECK(num_distinct > 0);
+  const double lo = GridMin();
+  const double step = (GridMax() - lo) / static_cast<double>(num_distinct);
+  const double raw = std::floor((value - lo) / step);
+  if (raw <= 0.0) return 0;
+  const size_t idx = static_cast<size_t>(raw);
+  return std::min(idx, num_distinct - 1);
+}
+
+double ColumnDataDistribution::SampleContinuous(double u0, double u1) const {
+  switch (type) {
+    case DataDistributionType::kUniform:
+      return min_value + u0 * (max_value - min_value);
+    case DataDistributionType::kPareto:
+      // Inverse CDF; u0 in [0, 1) keeps 1-u0 in (0, 1] so the pow is finite.
+      return pareto_scale / std::pow(1.0 - u0, 1.0 / pareto_shape);
+    case DataDistributionType::kNormalSkewed: {
+      // Box-Muller gives two independent standard normals; the delta method
+      // combines them into Azzalini's skew-normal: delta*|z0| biases the
+      // half-normal direction, the orthogonal z1 keeps the spread.
+      const double r = std::sqrt(-2.0 * std::log(1.0 - u0));
+      const double z0 = r * std::cos(kTwoPi * u1);
+      const double z1 = r * std::sin(kTwoPi * u1);
+      const double delta =
+          skew_shape / std::sqrt(1.0 + skew_shape * skew_shape);
+      const double z =
+          delta * std::fabs(z0) + std::sqrt(1.0 - delta * delta) * z1;
+      return skew_location + skew_scale * z;
+    }
+  }
+  return 0.0;
+}
+
+SyntheticColumnSpec SyntheticColumnSpec::Numeric(
+    std::string name, ColumnDataDistribution distribution,
+    double profile_affinity) {
+  SyntheticColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kNumeric;
+  spec.distribution = distribution;
+  spec.profile_affinity = profile_affinity;
+  return spec;
+}
+
+SyntheticColumnSpec SyntheticColumnSpec::Categorical(
+    std::string name, ColumnDataDistribution distribution,
+    double profile_affinity) {
+  SUBTAB_CHECK(distribution.num_distinct > 0);
+  SyntheticColumnSpec spec;
+  spec.name = std::move(name);
+  spec.type = ColumnType::kCategorical;
+  spec.distribution = distribution;
+  spec.profile_affinity = profile_affinity;
+  return spec;
+}
+
+size_t SyntheticTable::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < spec.columns.size(); ++c) {
+    if (spec.columns[c].name == name) return c;
+  }
+  SUBTAB_CHECK(false);
+  return 0;
+}
+
+std::string CategoryOfIndex(size_t idx) {
+  std::string word = "v";
+  word += std::to_string(idx);
+  return word;
+}
+
+size_t PreferredIndex(const SyntheticTableSpec& spec, size_t profile,
+                      size_t column) {
+  const size_t n = spec.columns[column].distribution.num_distinct;
+  SUBTAB_CHECK(n > 0);
+  return CellBits(spec.seed, kSaltPreferred, column, profile) % n;
+}
+
+namespace {
+
+/// Pre-resolved per-column view of the spec plus the rule each column is
+/// forced by, per region.
+struct ResolvedRules {
+  /// cumulative[r] = sum of supports of rules [0, r]; a row's region hash
+  /// below cumulative.back() lands in a rule region, else background.
+  std::vector<double> cumulative;
+  /// forced[r][c] = value index rule r forces on column c as lhs
+  /// (npos = not forced). rhs handled separately (confidence draw).
+  std::vector<std::vector<size_t>> forced_lhs;
+  /// rhs_column[r] / rhs_index[r] of rule r.
+  std::vector<size_t> rhs_column;
+  std::vector<size_t> rhs_index;
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+};
+
+ResolvedRules ResolveRules(const SyntheticTableSpec& spec) {
+  ResolvedRules resolved;
+  double total_support = 0.0;
+  for (const PlantedRule& rule : spec.rules) {
+    SUBTAB_CHECK(rule.support > 0.0 && rule.confidence >= 0.0 &&
+                 rule.confidence <= 1.0);
+    total_support += rule.support;
+    resolved.cumulative.push_back(total_support);
+    std::vector<size_t> forced(spec.columns.size(), ResolvedRules::kNone);
+    auto resolve = [&](const std::pair<std::string, size_t>& ref) {
+      size_t column = ResolvedRules::kNone;
+      for (size_t c = 0; c < spec.columns.size(); ++c) {
+        if (spec.columns[c].name == ref.first) column = c;
+      }
+      SUBTAB_CHECK(column != ResolvedRules::kNone);
+      // Rules need >= 2 values so the low-confidence alternative exists.
+      SUBTAB_CHECK(spec.columns[column].distribution.num_distinct >= 2);
+      SUBTAB_CHECK(ref.second < spec.columns[column].distribution.num_distinct);
+      return column;
+    };
+    for (const auto& lhs : rule.lhs) forced[resolve(lhs)] = lhs.second;
+    resolved.rhs_column.push_back(resolve(rule.rhs));
+    resolved.rhs_index.push_back(rule.rhs.second);
+    resolved.forced_lhs.push_back(std::move(forced));
+  }
+  SUBTAB_CHECK(total_support <= 0.9);
+  return resolved;
+}
+
+}  // namespace
+
+SyntheticTable GenerateSyntheticTable(const SyntheticTableSpec& spec) {
+  SUBTAB_CHECK(!spec.columns.empty());
+  const ResolvedRules rules = ResolveRules(spec);
+  const std::vector<double> profile_cumulative =
+      spec.num_profiles > 0
+          ? ZipfCumulative(spec.num_profiles, spec.profile_zipf)
+          : std::vector<double>{};
+
+  const size_t num_cols = spec.columns.size();
+  const size_t batch_rows =
+      spec.chunk_rows == 0 ? std::max<size_t>(spec.num_rows, 1)
+                           : spec.chunk_rows;
+
+  Table table;
+  bool first_batch = true;
+  for (size_t begin = 0; begin < spec.num_rows || first_batch;
+       begin += batch_rows) {
+    const size_t end = std::min(spec.num_rows, begin + batch_rows);
+    std::vector<Column> columns;
+    columns.reserve(num_cols);
+    for (const SyntheticColumnSpec& col : spec.columns) {
+      columns.emplace_back(col.name, col.type);
+      columns.back().Reserve(end - begin);
+    }
+
+    for (size_t row = begin; row < end; ++row) {
+      // Region membership and profile are per-row hashes — scattered
+      // uniformly over the table, so zone maps see realistic value mixes
+      // rather than sorted pattern blocks.
+      size_t region = ResolvedRules::kNone;
+      if (!rules.cumulative.empty()) {
+        const double u = CellUnit(spec.seed, kSaltRegion, 0, row);
+        if (u < rules.cumulative.back()) {
+          region = PickCumulative(rules.cumulative, u);
+        }
+      }
+      const size_t profile =
+          spec.num_profiles > 0
+              ? PickCumulative(profile_cumulative,
+                               CellUnit(spec.seed, kSaltProfile, 0, row))
+              : 0;
+
+      for (size_t c = 0; c < num_cols; ++c) {
+        const SyntheticColumnSpec& col = spec.columns[c];
+        const ColumnDataDistribution& dist = col.distribution;
+        Column& out = columns[c];
+
+        // Precedence: rule-forced cell > null > profile > marginal draw.
+        size_t forced = ResolvedRules::kNone;
+        if (region != ResolvedRules::kNone) {
+          forced = rules.forced_lhs[region][c];
+          if (forced == ResolvedRules::kNone &&
+              rules.rhs_column[region] == c) {
+            const size_t rhs = rules.rhs_index[region];
+            if (CellUnit(spec.seed, kSaltConfidence, c, row) <
+                spec.rules[region].confidence) {
+              forced = rhs;
+            } else {
+              // A deterministic non-rhs alternative keeps the planted
+              // confidence exact.
+              const size_t n = dist.num_distinct;
+              const size_t alt =
+                  1 + CellBits(spec.seed, kSaltAlternative, c, row) % (n - 1);
+              forced = (rhs + alt) % n;
+            }
+          }
+        }
+
+        if (forced != ResolvedRules::kNone) {
+          if (col.type == ColumnType::kNumeric) {
+            out.AppendNumeric(dist.ValueOfIndex(forced));
+          } else {
+            out.AppendCategorical(CategoryOfIndex(forced));
+          }
+          continue;
+        }
+
+        if (dist.null_fraction > 0.0 &&
+            CellUnit(spec.seed, kSaltNull, c, row) < dist.null_fraction) {
+          out.AppendNull();
+          continue;
+        }
+
+        size_t idx = ResolvedRules::kNone;
+        if (col.profile_affinity > 0.0 && spec.num_profiles > 0 &&
+            dist.num_distinct > 0 &&
+            CellUnit(spec.seed, kSaltAffinity, c, row) <
+                col.profile_affinity) {
+          idx = PreferredIndex(spec, profile, c);
+        } else if (dist.num_distinct > 0) {
+          idx = dist.IndexOfValue(dist.SampleContinuous(
+              CellUnit(spec.seed, kSaltValueA, c, row),
+              CellUnit(spec.seed, kSaltValueB, c, row)));
+        }
+
+        if (col.type == ColumnType::kCategorical) {
+          out.AppendCategorical(CategoryOfIndex(idx));
+        } else if (idx != ResolvedRules::kNone) {
+          out.AppendNumeric(dist.ValueOfIndex(idx));
+        } else {
+          out.AppendNumeric(dist.SampleContinuous(
+              CellUnit(spec.seed, kSaltValueA, c, row),
+              CellUnit(spec.seed, kSaltValueB, c, row)));
+        }
+      }
+    }
+
+    Result<Table> batch = Table::Make(std::move(columns));
+    SUBTAB_CHECK(batch.ok());
+    if (first_batch) {
+      table = std::move(*batch);
+      first_batch = false;
+    } else {
+      Result<Table> appended = table.AppendRows(*batch, batch_rows);
+      SUBTAB_CHECK(appended.ok());
+      table = std::move(*appended);
+    }
+    if (end >= spec.num_rows) break;
+  }
+
+  return SyntheticTable{std::move(table), spec};
+}
+
+Rule PlantedRuleTokens(const SyntheticTable& data, const BinnedTable& binned,
+                       const PlantedRule& rule) {
+  auto token_of = [&](const std::pair<std::string, size_t>& ref) {
+    const size_t c = data.ColumnIndex(ref.first);
+    const SyntheticColumnSpec& col = data.spec.columns[c];
+    const ColumnBinning& binning = binned.binning().column(c);
+    uint32_t bin = 0;
+    if (col.type == ColumnType::kNumeric) {
+      bin = binning.BinOfNumeric(col.distribution.ValueOfIndex(ref.second));
+    } else {
+      // Resolve the category string through the column's dictionary; a
+      // planted category can be absent only if it never materialized.
+      const std::string word = CategoryOfIndex(ref.second);
+      const auto& dict = data.table.column(c).dictionary();
+      int32_t code = -1;
+      for (size_t i = 0; i < dict.size(); ++i) {
+        if (dict[i] == word) code = static_cast<int32_t>(i);
+      }
+      SUBTAB_CHECK(code >= 0);
+      bin = binning.BinOfCode(code);
+    }
+    return MakeToken(static_cast<uint32_t>(c), bin);
+  };
+
+  Rule expected;
+  for (const auto& lhs : rule.lhs) expected.lhs.push_back(token_of(lhs));
+  std::sort(expected.lhs.begin(), expected.lhs.end());
+  expected.rhs.push_back(token_of(rule.rhs));
+  expected.support = rule.support;
+  expected.confidence = rule.confidence;
+  return expected;
+}
+
+}  // namespace subtab::workload

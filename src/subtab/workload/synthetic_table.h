@@ -1,0 +1,192 @@
+#ifndef SUBTAB_WORKLOAD_SYNTHETIC_TABLE_H_
+#define SUBTAB_WORKLOAD_SYNTHETIC_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/rules/rule.h"
+#include "subtab/table/table.h"
+
+/// \file synthetic_table.h
+/// The workload forge's data half: a deterministic, seedable generator that
+/// produces million-row chunked Tables from per-column distribution configs,
+/// modeled on hyrise's SyntheticTableGenerator (SNIPPETS.md 1-3) but grown
+/// for this repo's needs — planted minable patterns and cluster structure so
+/// the coverage/diversity metrics the selection pipeline optimizes stay
+/// meaningful at 10^6 rows (ROADMAP item 4; the existing data/generator.*
+/// shapes small paper-replica datasets, this one shapes *scale*).
+///
+/// Determinism is counter-based: every random draw for cell (row, column) is
+/// a pure hash of (seed, column, row, salt), never a sequential RNG stream.
+/// That makes generation
+///   * O(rows) and embarrassingly batchable — cells are independent,
+///   * independent of the chunking: the same (seed, spec) yields the same
+///     values whether built in 512-row or 64k-row batches, so
+///     core/fingerprint.h TableFingerprint is identical across chunk
+///     layouts (workload_test pins this),
+///   * stable under column reordering of *other* columns (each column hashes
+///     its own index).
+///
+/// Tables are built through the table/ append path (Table::AppendRows in
+/// chunk-sized batches), so chunk zone maps (ChunkStats) and cumulative
+/// dictionaries form exactly as they would under streaming ingest — the
+/// generated data exercises the same pruning/encoding machinery production
+/// tables would.
+///
+/// Planted patterns: a PlantedRule forces, on a hash-scattered `support`
+/// fraction of rows, its lhs cells to fixed value indices and its rhs cell
+/// to the rhs index with probability `confidence`. Value indices quantize
+/// each distribution onto a num_distinct-point grid (ValueOfIndex), so a
+/// binning fine enough to separate grid points recovers the rule as tokens
+/// — PlantedRuleTokens builds the expected Rule and rules/miner.h finds it
+/// at the configured support (workload_test pins this too). Cluster
+/// structure comes from latent row profiles (Zipf-popular, like
+/// data/generator.*): columns with profile_affinity > 0 prefer a
+/// profile-specific value index, giving the pervasive cross-column
+/// correlation of real tables.
+
+namespace subtab::workload {
+
+/// Which marginal distribution a column draws from (hyrise's enum).
+enum class DataDistributionType { kUniform, kPareto, kNormalSkewed };
+
+/// Per-column value distribution plus quantization/null controls.
+struct ColumnDataDistribution {
+  DataDistributionType type = DataDistributionType::kUniform;
+
+  // kUniform: support [min_value, max_value).
+  double min_value = 0.0;
+  double max_value = 1.0;
+
+  // kPareto: inverse-CDF scale / (1-u)^(1/shape); support [scale, inf).
+  double pareto_scale = 1.0;
+  double pareto_shape = 1.0;
+
+  // kNormalSkewed: Azzalini skew-normal (location, scale, shape) via the
+  // delta method over two hashed normals; shape 0 = plain normal.
+  double skew_location = 0.0;
+  double skew_scale = 1.0;
+  double skew_shape = 0.0;
+
+  /// 0 = continuous (numeric columns only). Otherwise every draw snaps to a
+  /// num_distinct-point grid over [GridMin, GridMax] (ValueOfIndex), which
+  /// bounds the column's distinct count and gives planted rules crisp,
+  /// binnable values. Categorical columns require num_distinct >= 1 — the
+  /// grid indices become the category ids.
+  size_t num_distinct = 0;
+
+  /// Background probability that a cell is null (planted-rule cells are
+  /// never nulled — the rule's support is exact).
+  double null_fraction = 0.0;
+
+  static ColumnDataDistribution Uniform(double min, double max,
+                                        size_t num_distinct = 0);
+  static ColumnDataDistribution Pareto(double scale, double shape,
+                                       size_t num_distinct = 0);
+  static ColumnDataDistribution NormalSkewed(double location, double scale,
+                                             double shape,
+                                             size_t num_distinct = 0);
+
+  /// Quantization grid bounds: the distribution's bulk mass (exact support
+  /// for kUniform, the ~p99 span for the unbounded tails).
+  double GridMin() const;
+  double GridMax() const;
+
+  /// Grid value of index `idx` (requires num_distinct > 0, idx < it).
+  double ValueOfIndex(size_t idx) const;
+
+  /// Grid index a continuous draw snaps to (requires num_distinct > 0).
+  size_t IndexOfValue(double value) const;
+
+  /// One continuous draw from two uniforms in [0, 1) (exposed so tests can
+  /// check distribution shape without a Table in the loop).
+  double SampleContinuous(double u0, double u1) const;
+};
+
+/// One column of a synthetic table.
+struct SyntheticColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  ColumnDataDistribution distribution;
+
+  /// Probability that a background cell follows the row's latent profile
+  /// (PreferredIndex) instead of its marginal draw. Requires
+  /// num_distinct > 0 to act; 0 = profile-independent.
+  double profile_affinity = 0.0;
+
+  static SyntheticColumnSpec Numeric(std::string name,
+                                     ColumnDataDistribution distribution,
+                                     double profile_affinity = 0.0);
+  /// Categorical column over `distribution.num_distinct` categories whose
+  /// popularity follows the distribution's quantized marginal.
+  static SyntheticColumnSpec Categorical(std::string name,
+                                         ColumnDataDistribution distribution,
+                                         double profile_affinity = 0.0);
+};
+
+/// One planted association rule: lhs (column, value-index) conjuncts ->
+/// rhs (column, value-index). Referenced columns need num_distinct >= 2.
+struct PlantedRule {
+  std::vector<std::pair<std::string, size_t>> lhs;
+  std::pair<std::string, size_t> rhs;
+  /// Fraction of all rows carrying this rule (regions of distinct rules are
+  /// disjoint; supports must sum to <= 0.9).
+  double support = 0.1;
+  /// P(rhs index | lhs indices) within the rule's region.
+  double confidence = 0.9;
+};
+
+/// Full table specification.
+struct SyntheticTableSpec {
+  std::string name = "forge";
+  size_t num_rows = 1u << 20;
+  /// Rows per sealed chunk; generation appends in batches of this size
+  /// through Table::AppendRows (0 = one chunk).
+  size_t chunk_rows = 65536;
+  uint64_t seed = 42;
+  std::vector<SyntheticColumnSpec> columns;
+  std::vector<PlantedRule> rules;
+
+  /// Latent row profiles for cluster structure: every row hashes to a
+  /// profile (Zipf-popular, exponent profile_zipf); columns with
+  /// profile_affinity > 0 prefer PreferredIndex(profile, column).
+  /// 0 disables profiles.
+  size_t num_profiles = 0;
+  double profile_zipf = 1.0;
+};
+
+/// A generated table plus its ground truth.
+struct SyntheticTable {
+  Table table;
+  SyntheticTableSpec spec;
+
+  /// Index of a named column in the spec/table (fatal if absent).
+  size_t ColumnIndex(const std::string& name) const;
+};
+
+/// Generates the table. O(num_rows * num_columns); deterministic in
+/// (seed, spec) and independent of chunk_rows (values, not layout).
+SyntheticTable GenerateSyntheticTable(const SyntheticTableSpec& spec);
+
+/// The category string of value index `idx` ("v0", "v1", ...).
+std::string CategoryOfIndex(size_t idx);
+
+/// The value index a profile prefers in a column with num_distinct > 0
+/// (pure hash of (seed, profile, column); exposed so tests can verify the
+/// planted correlation).
+size_t PreferredIndex(const SyntheticTableSpec& spec, size_t profile,
+                      size_t column);
+
+/// The token-level Rule a planted rule should surface as under `binned`
+/// (lhs/rhs value indices mapped through the binning). Support/confidence
+/// carry the planted configuration; workload_test checks MineRules output
+/// contains a rule with these tokens.
+Rule PlantedRuleTokens(const SyntheticTable& data, const BinnedTable& binned,
+                       const PlantedRule& rule);
+
+}  // namespace subtab::workload
+
+#endif  // SUBTAB_WORKLOAD_SYNTHETIC_TABLE_H_

@@ -1,0 +1,176 @@
+#include "subtab/workload/traffic_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "subtab/util/check.h"
+
+namespace subtab::workload {
+
+SteadyClock::SteadyClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SteadyClock::Now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SteadyClock::SleepUntil(double deadline_seconds) {
+  const double remaining = deadline_seconds - Now();
+  if (remaining <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+}
+
+double FakeClock::Now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void FakeClock::SleepUntil(double deadline_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = std::max(now_, deadline_seconds);
+}
+
+void FakeClock::Advance(double seconds) {
+  SUBTAB_CHECK(seconds >= 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += seconds;
+}
+
+const char* ArrivalProcessName(ArrivalProcess arrival) {
+  return arrival == ArrivalProcess::kPoisson ? "poisson" : "bursty";
+}
+
+namespace {
+
+// Exponential inter-arrival at `rate`; UniformDouble() < 1 keeps the log
+// finite.
+double ExpGap(Rng* rng, double rate) {
+  return -std::log(1.0 - rng->UniformDouble()) / rate;
+}
+
+}  // namespace
+
+TrafficDriver::TrafficDriver(TrafficOptions options,
+                             std::vector<std::vector<SpQuery>> sessions,
+                             Clock* clock)
+    : options_(std::move(options)),
+      sessions_(std::move(sessions)),
+      clock_(clock != nullptr ? clock : &own_clock_) {
+  SUBTAB_CHECK(options_.rate_rps > 0.0);
+  SUBTAB_CHECK(options_.num_tenants > 0);
+  if (options_.arrival == ArrivalProcess::kBursty) {
+    SUBTAB_CHECK(options_.burst_factor >= 1.0);
+    SUBTAB_CHECK(options_.burst_on_seconds > 0.0 &&
+                 options_.burst_on_seconds < options_.burst_cycle_seconds);
+  }
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [](const std::vector<SpQuery>& s) {
+                                   return s.empty();
+                                 }),
+                  sessions_.end());
+  if (sessions_.empty()) sessions_.push_back({SpQuery{}});
+}
+
+double TrafficDriver::NextArrival(double t, Rng* rng) const {
+  if (options_.arrival == ArrivalProcess::kPoisson) {
+    return t + ExpGap(rng, options_.rate_rps);
+  }
+  // Piecewise-constant-rate Poisson: draw from the current phase's rate; a
+  // gap that crosses the phase boundary is discarded at the boundary and
+  // redrawn from the next phase (memorylessness makes this exact).
+  const double cycle = options_.burst_cycle_seconds;
+  const double on = options_.burst_on_seconds;
+  const double off = cycle - on;
+  const double rate_hi = options_.rate_rps * options_.burst_factor;
+  const double rate_lo = std::max(
+      0.0, options_.rate_rps * (cycle - options_.burst_factor * on) / off);
+  for (;;) {
+    const double phase = t - std::floor(t / cycle) * cycle;
+    const bool in_burst = phase < on;
+    const double phase_end = t - phase + (in_burst ? on : cycle);
+    const double rate = in_burst ? rate_hi : rate_lo;
+    if (rate <= 0.0) {
+      t = phase_end;
+      continue;
+    }
+    const double gap = ExpGap(rng, rate);
+    if (t + gap <= phase_end) return t + gap;
+    t = phase_end;
+  }
+}
+
+DriveReport TrafficDriver::Drive(const TrafficSink& sink) {
+  Rng rng(options_.seed);
+  Rng arrival_rng = rng.Fork();
+  Rng tenant_rng = rng.Fork();
+  Rng session_rng = rng.Fork();
+
+  // Per-tenant session cursor: which session the tenant's analyst is in and
+  // which step comes next.
+  struct Cursor {
+    size_t session = 0;
+    size_t step = 0;
+  };
+  std::vector<Cursor> cursors(options_.num_tenants);
+  for (Cursor& cursor : cursors) {
+    cursor.session = session_rng.Uniform(sessions_.size());
+  }
+
+  DriveReport report;
+  report.tenant_fires.assign(options_.num_tenants, 0);
+  const double start = clock_->Now();
+  double offset = 0.0;
+  double lag_sum = 0.0;
+  double first_fire = 0.0;
+  double last_fire = 0.0;
+
+  for (size_t seq = 0; seq < options_.total_requests; ++seq) {
+    offset = NextArrival(offset, &arrival_rng);
+    const double scheduled = start + offset;
+    clock_->SleepUntil(scheduled);
+    const double fired = clock_->Now();
+
+    const size_t tenant =
+        options_.tenant_zipf > 0.0
+            ? tenant_rng.Zipf(options_.num_tenants, options_.tenant_zipf)
+            : static_cast<size_t>(tenant_rng.Uniform(options_.num_tenants));
+    Cursor& cursor = cursors[tenant];
+    if (cursor.step >= sessions_[cursor.session].size()) {
+      cursor.session = session_rng.Uniform(sessions_.size());
+      cursor.step = 0;
+    }
+
+    TrafficRequest request;
+    request.sequence = seq;
+    request.tenant = tenant;
+    request.table_id = options_.tenant_prefix + std::to_string(tenant);
+    request.query = &sessions_[cursor.session][cursor.step];
+    request.session = cursor.session;
+    request.step = cursor.step;
+    request.scheduled_seconds = scheduled;
+    request.fired_seconds = fired;
+    ++cursor.step;
+
+    sink(request);
+
+    ++report.fired;
+    ++report.tenant_fires[tenant];
+    const double lag = std::max(0.0, fired - scheduled);
+    lag_sum += lag;
+    report.max_lag_seconds = std::max(report.max_lag_seconds, lag);
+    if (report.fired == 1) first_fire = fired;
+    last_fire = fired;
+  }
+
+  if (report.fired > 0) {
+    report.duration_seconds = std::max(1e-9, last_fire - first_fire);
+    report.offered_rate_rps =
+        static_cast<double>(report.fired) / report.duration_seconds;
+    report.mean_lag_seconds = lag_sum / static_cast<double>(report.fired);
+  }
+  return report;
+}
+
+}  // namespace subtab::workload

@@ -1,0 +1,174 @@
+#ifndef SUBTAB_WORKLOAD_TRAFFIC_DRIVER_H_
+#define SUBTAB_WORKLOAD_TRAFFIC_DRIVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "subtab/table/query.h"
+#include "subtab/util/rng.h"
+
+/// \file traffic_driver.h
+/// The workload forge's traffic half: an OPEN-LOOP request driver. The
+/// existing benches are closed-loop — each client thread waits for its
+/// response before sending the next request — which silently throttles the
+/// offered load to whatever the engine can absorb, so queueing delay and
+/// shed behavior are invisible. This driver fires on a schedule derived
+/// only from the arrival process and the clock, never from completions:
+/// when the engine stalls, requests keep arriving (and the engine's
+/// admission control is what must cope). That is the harness that can
+/// contradict the ROADMAP's scale claims (item 4; bench/bench_scale.cc is
+/// the sweep built on it).
+///
+/// Pieces:
+///   * Clock — injectable time source. SteadyClock sleeps for real;
+///     FakeClock jumps, so tests burn through a 10k-request schedule
+///     instantly and assert on the scheduled inter-arrival statistics.
+///   * ArrivalProcess — kPoisson (exponential inter-arrivals at rate_rps)
+///     or kBursty (piecewise-constant-rate Poisson: burst_factor x the
+///     rate for burst_on_seconds out of every burst_cycle_seconds, the
+///     off-phase rate chosen to preserve the configured mean when
+///     feasible).
+///   * Tenant skew — each request picks a tenant by a Zipf(tenant_zipf)
+///     draw over num_tenants, so hot tenants hammer their per-tenant
+///     admission bound the way real multi-tenant traffic does.
+///   * Session mix — requests walk drill-down session chains (vectors of
+///     SpQuery steps, e.g. eda/session_generator output flattened per
+///     session) with a per-tenant cursor: an analyst's next request is the
+///     next refinement of their current session, and a finished session
+///     rolls to a fresh one.
+///
+/// The sink MUST NOT block (pass ServingEngine::SubmitSelect, not Select):
+/// a blocking sink would turn the driver back into a closed loop. Shed
+/// responses come back as already-resolved futures — count them, never
+/// retry (DriveReport's lag statistics prove the schedule was honored
+/// regardless).
+///
+/// Determinism: the whole schedule (arrival times, tenants, session walks)
+/// is a pure function of (options.seed, sessions) — two drives with the
+/// same seed fire the identical request sequence.
+
+namespace subtab::workload {
+
+/// Injectable monotonic time source (seconds).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() = 0;
+  virtual void SleepUntil(double deadline_seconds) = 0;
+};
+
+/// Real time on std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock();
+  double Now() override;
+  void SleepUntil(double deadline_seconds) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Test clock: SleepUntil jumps straight to the deadline, so a driver on a
+/// FakeClock replays its entire schedule without wall delay; Advance lets a
+/// test move time from outside.
+class FakeClock final : public Clock {
+ public:
+  double Now() override;
+  void SleepUntil(double deadline_seconds) override;
+  void Advance(double seconds);
+
+ private:
+  std::mutex mu_;
+  double now_ = 0.0;
+};
+
+enum class ArrivalProcess { kPoisson, kBursty };
+
+/// Returns "poisson" / "bursty".
+const char* ArrivalProcessName(ArrivalProcess arrival);
+
+struct TrafficOptions {
+  /// Mean arrival rate (requests/second) of the whole process.
+  double rate_rps = 100.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// kBursty: the on-phase fires at burst_factor * rate_rps for
+  /// burst_on_seconds out of every burst_cycle_seconds; the off-phase rate
+  /// preserves the configured mean when burst_factor * burst_on_seconds <=
+  /// burst_cycle_seconds, else the off-phase is silent.
+  double burst_factor = 4.0;
+  double burst_on_seconds = 0.5;
+  double burst_cycle_seconds = 2.0;
+  /// Tenants "t0" .. "t<n-1>" (tenant_prefix + index), picked per request
+  /// by Zipf(tenant_zipf) — 0 = uniform.
+  size_t num_tenants = 4;
+  double tenant_zipf = 1.0;
+  std::string tenant_prefix = "t";
+  size_t total_requests = 1000;
+  uint64_t seed = 42;
+};
+
+/// One fired request. `query` points into the driver's session pool and is
+/// valid for the sink call only as long as the driver lives.
+struct TrafficRequest {
+  size_t sequence = 0;
+  size_t tenant = 0;
+  std::string table_id;
+  const SpQuery* query = nullptr;
+  size_t session = 0;  ///< Index into the session pool.
+  size_t step = 0;     ///< Step within that session.
+  double scheduled_seconds = 0.0;  ///< When the schedule wanted it fired.
+  double fired_seconds = 0.0;      ///< When the clock let it fire.
+};
+
+using TrafficSink = std::function<void(const TrafficRequest&)>;
+
+/// What the drive did — and proof it stayed open-loop: lag is fired minus
+/// scheduled time, which stays near zero whenever the sink is non-blocking,
+/// no matter how far behind the engine falls.
+struct DriveReport {
+  size_t fired = 0;
+  double duration_seconds = 0.0;  ///< First to last fire, on the clock.
+  double offered_rate_rps = 0.0;  ///< fired / duration.
+  double mean_lag_seconds = 0.0;
+  double max_lag_seconds = 0.0;
+  std::vector<uint64_t> tenant_fires;  ///< Per-tenant request counts.
+};
+
+class TrafficDriver {
+ public:
+  /// `sessions` is the drill-down pool (each inner vector one session's
+  /// query steps, in order); empty sessions are dropped, and an empty pool
+  /// gets one whole-table (empty-query) session. `clock` may be null
+  /// (internal SteadyClock) and must outlive the driver otherwise.
+  TrafficDriver(TrafficOptions options,
+                std::vector<std::vector<SpQuery>> sessions,
+                Clock* clock = nullptr);
+
+  /// Fires options.total_requests requests at the sink on the arrival
+  /// schedule. Blocking (single dispatch thread — the caller's); reentrant
+  /// per driver instance is not supported, but a fresh Drive replays the
+  /// identical schedule (same seed).
+  DriveReport Drive(const TrafficSink& sink);
+
+  const TrafficOptions& options() const { return options_; }
+  const std::vector<std::vector<SpQuery>>& sessions() const {
+    return sessions_;
+  }
+
+ private:
+  /// Next arrival offset (seconds since drive start) strictly after `t`.
+  double NextArrival(double t, Rng* rng) const;
+
+  TrafficOptions options_;
+  std::vector<std::vector<SpQuery>> sessions_;
+  Clock* clock_;
+  SteadyClock own_clock_;
+};
+
+}  // namespace subtab::workload
+
+#endif  // SUBTAB_WORKLOAD_TRAFFIC_DRIVER_H_

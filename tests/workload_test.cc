@@ -1,0 +1,324 @@
+// The workload forge's data half (workload/synthetic_table.h): counter-based
+// determinism (identical fingerprints across chunk layouts), distribution
+// shape, null/distinct accounting, and — the load-bearing property — that
+// planted association rules survive the full binning + mining pipeline at
+// their configured support.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "subtab/binning/binned_table.h"
+#include "subtab/core/fingerprint.h"
+#include "subtab/rules/miner.h"
+#include "subtab/util/rng.h"
+#include "subtab/workload/synthetic_table.h"
+
+namespace subtab::workload {
+namespace {
+
+SyntheticTableSpec BaseSpec(size_t rows, size_t chunk_rows = 4096,
+                            uint64_t seed = 11) {
+  SyntheticTableSpec spec;
+  spec.name = "forge";
+  spec.num_rows = rows;
+  spec.chunk_rows = chunk_rows;
+  spec.seed = seed;
+  spec.columns = {
+      SyntheticColumnSpec::Numeric("amount",
+                                   ColumnDataDistribution::Pareto(1.0, 1.5)),
+      SyntheticColumnSpec::Numeric(
+          "score", ColumnDataDistribution::NormalSkewed(50.0, 12.0, 4.0)),
+      SyntheticColumnSpec::Numeric("age",
+                                   ColumnDataDistribution::Uniform(18.0, 90.0)),
+      SyntheticColumnSpec::Categorical(
+          "region", ColumnDataDistribution::Uniform(0.0, 1.0, 4)),
+      SyntheticColumnSpec::Categorical(
+          "device", ColumnDataDistribution::Uniform(0.0, 1.0, 4)),
+      SyntheticColumnSpec::Categorical(
+          "outcome", ColumnDataDistribution::Uniform(0.0, 1.0, 4)),
+  };
+  return spec;
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(SyntheticTableTest, FingerprintIndependentOfChunkLayout) {
+  SyntheticTableSpec spec = BaseSpec(20000, 512);
+  const uint64_t fp512 = TableFingerprint(GenerateSyntheticTable(spec).table);
+
+  spec.chunk_rows = 4096;
+  EXPECT_EQ(TableFingerprint(GenerateSyntheticTable(spec).table), fp512);
+
+  spec.chunk_rows = 0;  // One chunk for the whole table.
+  EXPECT_EQ(TableFingerprint(GenerateSyntheticTable(spec).table), fp512);
+
+  spec.chunk_rows = 512;  // Regeneration is bit-identical, too.
+  EXPECT_EQ(TableFingerprint(GenerateSyntheticTable(spec).table), fp512);
+}
+
+TEST(SyntheticTableTest, SeedChangesContent) {
+  SyntheticTableSpec spec = BaseSpec(5000);
+  const uint64_t fp = TableFingerprint(GenerateSyntheticTable(spec).table);
+  spec.seed = 12;
+  EXPECT_NE(TableFingerprint(GenerateSyntheticTable(spec).table), fp);
+}
+
+TEST(SyntheticTableTest, ChunkLayoutMatchesSpec) {
+  const SyntheticTableSpec spec = BaseSpec(10000, 1024);
+  const SyntheticTable data = GenerateSyntheticTable(spec);
+  ASSERT_EQ(data.table.num_rows(), 10000u);
+  for (size_t c = 0; c < data.table.num_columns(); ++c) {
+    // ceil(10000 / 1024) = 10 chunks, formed by the append path.
+    EXPECT_EQ(data.table.column(c).num_chunks(), 10u);
+  }
+}
+
+// ------------------------------------------------------ distribution shape --
+
+TEST(SyntheticTableTest, ContinuousSampleShape) {
+  Rng rng(3);
+  const auto uniform = ColumnDataDistribution::Uniform(18.0, 90.0);
+  const auto pareto = ColumnDataDistribution::Pareto(2.0, 1.5);
+  const auto skewed = ColumnDataDistribution::NormalSkewed(50.0, 12.0, 4.0);
+
+  const size_t n = 100000;
+  double uniform_sum = 0.0, skew_sum = 0.0;
+  std::vector<double> pareto_samples;
+  pareto_samples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u0 = rng.UniformDouble();
+    const double u1 = rng.UniformDouble();
+    const double u = uniform.SampleContinuous(u0, u1);
+    ASSERT_GE(u, 18.0);
+    ASSERT_LT(u, 90.0);
+    uniform_sum += u;
+    const double p = pareto.SampleContinuous(u0, u1);
+    ASSERT_GE(p, 2.0);  // Pareto support is [scale, inf).
+    pareto_samples.push_back(p);
+    skew_sum += skewed.SampleContinuous(u0, u1);
+  }
+  EXPECT_NEAR(uniform_sum / n, (18.0 + 90.0) / 2.0, 0.5);
+
+  // Pareto shape 1.5 has infinite variance — test the median, not the mean:
+  // scale * 2^(1/shape).
+  std::nth_element(pareto_samples.begin(), pareto_samples.begin() + n / 2,
+                   pareto_samples.end());
+  EXPECT_NEAR(pareto_samples[n / 2], 2.0 * std::pow(2.0, 1.0 / 1.5), 0.05);
+
+  // Skew-normal mean: location + scale * delta * sqrt(2/pi).
+  const double delta = 4.0 / std::sqrt(1.0 + 16.0);
+  const double mean = 50.0 + 12.0 * delta * std::sqrt(2.0 / M_PI);
+  EXPECT_NEAR(skew_sum / n, mean, 0.3);
+}
+
+TEST(SyntheticTableTest, TableMarginalsMatchTheory) {
+  const SyntheticTableSpec spec = BaseSpec(60000);
+  const SyntheticTable data = GenerateSyntheticTable(spec);
+  const Column& age = data.table.column(data.ColumnIndex("age"));
+  double sum = 0.0;
+  double lo = 1e300, hi = -1e300;
+  for (size_t r = 0; r < age.size(); ++r) {
+    const double v = age.num_value(r);
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(sum / static_cast<double>(age.size()), 54.0, 0.5);
+  EXPECT_GE(lo, 18.0);
+  EXPECT_LT(hi, 90.0);
+
+  const Column& amount = data.table.column(data.ColumnIndex("amount"));
+  double amount_min = 0.0, amount_max = 0.0;
+  ASSERT_TRUE(amount.NumericRange(&amount_min, &amount_max));
+  EXPECT_GE(amount_min, 1.0);    // Pareto scale.
+  EXPECT_GT(amount_max, 10.0);   // The heavy tail actually showed up.
+}
+
+TEST(SyntheticTableTest, GridQuantizationRoundTrips) {
+  const auto dist = ColumnDataDistribution::Uniform(10.0, 20.0, 8);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dist.IndexOfValue(dist.ValueOfIndex(i)), i);
+  }
+  EXPECT_EQ(dist.IndexOfValue(-100.0), 0u);   // Clamped.
+  EXPECT_EQ(dist.IndexOfValue(1000.0), 7u);
+}
+
+// ----------------------------------------------------- null/distinct books --
+
+TEST(SyntheticTableTest, NullFractionAndDistinctCounts) {
+  SyntheticTableSpec spec = BaseSpec(50000);
+  spec.columns[0].distribution.null_fraction = 0.1;   // amount
+  spec.columns[2].distribution.num_distinct = 16;     // age, quantized
+  const SyntheticTable data = GenerateSyntheticTable(spec);
+
+  const Column& amount = data.table.column(data.ColumnIndex("amount"));
+  const double null_rate = static_cast<double>(amount.null_count()) /
+                           static_cast<double>(amount.size());
+  EXPECT_NEAR(null_rate, 0.1, 0.01);
+
+  const Column& age = data.table.column(data.ColumnIndex("age"));
+  EXPECT_EQ(age.null_count(), 0u);
+  EXPECT_EQ(age.distinct_count(), 16u);
+
+  const Column& region = data.table.column(data.ColumnIndex("region"));
+  EXPECT_EQ(region.dictionary().size(), 4u);
+  EXPECT_EQ(region.distinct_count(), 4u);
+}
+
+// --------------------------------------------------------- planted rules --
+
+SyntheticTableSpec RuleSpec(size_t rows) {
+  SyntheticTableSpec spec = BaseSpec(rows);
+  spec.rules = {
+      PlantedRule{{{"region", 1}, {"device", 2}}, {"outcome", 0}, 0.12, 0.9},
+      PlantedRule{{{"region", 2}, {"device", 0}}, {"outcome", 3}, 0.08, 0.85},
+  };
+  return spec;
+}
+
+TEST(SyntheticTableTest, PlantedRuleGroundTruthCounts) {
+  const SyntheticTableSpec spec = RuleSpec(50000);
+  const SyntheticTable data = GenerateSyntheticTable(spec);
+  const Column& region = data.table.column(data.ColumnIndex("region"));
+  const Column& device = data.table.column(data.ColumnIndex("device"));
+  const Column& outcome = data.table.column(data.ColumnIndex("outcome"));
+
+  // Background rows (outside every rule region) also hit a rule's lhs combo
+  // by coincidence — with 4x4 uniform categories, 1/16 of them — and then
+  // match the rhs only 1/4 of the time. The table-level support and
+  // confidence are therefore the planted values DILUTED by that background,
+  // and the expected mixtures are exact:
+  double total_support = 0.0;
+  for (const PlantedRule& rule : spec.rules) total_support += rule.support;
+  const double background = 1.0 - total_support;
+
+  for (const PlantedRule& rule : spec.rules) {
+    size_t lhs_rows = 0, both_rows = 0;
+    for (size_t r = 0; r < data.table.num_rows(); ++r) {
+      if (region.is_null(r) || device.is_null(r) || outcome.is_null(r)) {
+        continue;
+      }
+      const bool lhs =
+          region.cat_value(r) == CategoryOfIndex(rule.lhs[0].second) &&
+          device.cat_value(r) == CategoryOfIndex(rule.lhs[1].second);
+      if (!lhs) continue;
+      ++lhs_rows;
+      if (outcome.cat_value(r) == CategoryOfIndex(rule.rhs.second)) {
+        ++both_rows;
+      }
+    }
+    const double n = static_cast<double>(data.table.num_rows());
+    const double expected_lhs = rule.support + background / 16.0;
+    const double expected_both =
+        rule.support * rule.confidence + background / 16.0 / 4.0;
+    EXPECT_NEAR(static_cast<double>(lhs_rows) / n, expected_lhs, 0.01);
+    EXPECT_NEAR(static_cast<double>(both_rows) / n, expected_both, 0.01);
+    EXPECT_NEAR(static_cast<double>(both_rows) / static_cast<double>(lhs_rows),
+                expected_both / expected_lhs, 0.03);
+  }
+}
+
+TEST(SyntheticTableTest, PlantedRulesRecoveredByMiner) {
+  const SyntheticTableSpec spec = RuleSpec(40000);
+  const SyntheticTable data = GenerateSyntheticTable(spec);
+  const BinnedTable binned = BinnedTable::Compute(data.table);
+
+  RuleMiningOptions mining;
+  mining.apriori.min_support = 0.05;
+  // Table-level confidence is the planted confidence diluted by background
+  // lhs coincidences (see PlantedRuleGroundTruthCounts) — threshold below
+  // the diluted values, not the planted ones.
+  mining.min_confidence = 0.55;
+  mining.min_rule_size = 3;
+  const RuleSet mined = MineRules(binned, mining);
+  ASSERT_FALSE(mined.rules.empty());
+
+  double total_support = 0.0;
+  for (const PlantedRule& rule : spec.rules) total_support += rule.support;
+  const double background = 1.0 - total_support;
+
+  for (const PlantedRule& planted : spec.rules) {
+    const Rule expected = PlantedRuleTokens(data, binned, planted);
+    const double expected_support =
+        planted.support * planted.confidence + background / 16.0 / 4.0;
+    const double expected_lhs = planted.support + background / 16.0;
+    bool found = false;
+    for (const Rule& rule : mined.rules) {
+      if (!rule.SameTokens(expected)) continue;
+      found = true;
+      EXPECT_NEAR(rule.support, expected_support, 0.015);
+      EXPECT_NEAR(rule.confidence, expected_support / expected_lhs, 0.04);
+    }
+    EXPECT_TRUE(found) << "planted rule not mined (support "
+                       << planted.support << ")";
+  }
+}
+
+// ------------------------------------------------------- cluster structure --
+
+/// Total variation distance between the joint (a, b) distribution and the
+/// product of marginals — zero iff independent.
+double JointDeviation(const Column& a, const Column& b, size_t cardinality) {
+  const size_t n = a.size();
+  std::vector<double> pa(cardinality, 0.0), pb(cardinality, 0.0);
+  std::vector<double> joint(cardinality * cardinality, 0.0);
+  const double w = 1.0 / static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const auto ia = static_cast<size_t>(a.cat_code(r));
+    const auto ib = static_cast<size_t>(b.cat_code(r));
+    pa[ia] += w;
+    pb[ib] += w;
+    joint[ia * cardinality + ib] += w;
+  }
+  double tv = 0.0;
+  for (size_t i = 0; i < cardinality; ++i) {
+    for (size_t j = 0; j < cardinality; ++j) {
+      tv += std::abs(joint[i * cardinality + j] - pa[i] * pb[j]);
+    }
+  }
+  return tv / 2.0;
+}
+
+TEST(SyntheticTableTest, ProfileAffinityCreatesCrossColumnCorrelation) {
+  SyntheticTableSpec spec;
+  spec.num_rows = 40000;
+  spec.chunk_rows = 8192;
+  spec.seed = 5;
+  spec.num_profiles = 4;
+  spec.profile_zipf = 1.0;
+  spec.columns = {
+      SyntheticColumnSpec::Categorical(
+          "a", ColumnDataDistribution::Uniform(0.0, 1.0, 8), 0.7),
+      SyntheticColumnSpec::Categorical(
+          "b", ColumnDataDistribution::Uniform(0.0, 1.0, 8), 0.7),
+  };
+  const SyntheticTable with = GenerateSyntheticTable(spec);
+  const double correlated =
+      JointDeviation(with.table.column(0), with.table.column(1), 8);
+
+  spec.columns[0].profile_affinity = 0.0;
+  spec.columns[1].profile_affinity = 0.0;
+  const SyntheticTable without = GenerateSyntheticTable(spec);
+  const double independent =
+      JointDeviation(without.table.column(0), without.table.column(1), 8);
+
+  EXPECT_GT(correlated, 0.15);
+  EXPECT_LT(independent, 0.04);
+}
+
+TEST(SyntheticTableTest, PreferredIndexIsStableAndInRange) {
+  SyntheticTableSpec spec = BaseSpec(100);
+  spec.num_profiles = 8;
+  for (size_t profile = 0; profile < 8; ++profile) {
+    const size_t idx = PreferredIndex(spec, profile, 3);  // region, 4 values.
+    EXPECT_LT(idx, 4u);
+    EXPECT_EQ(PreferredIndex(spec, profile, 3), idx);
+  }
+}
+
+}  // namespace
+}  // namespace subtab::workload
